@@ -1,0 +1,263 @@
+"""Benchmark: the extension systems (paper future-work directions).
+
+* clock-sweep diagnosis vs single-clock (future work 5: "more information"),
+* GA-style fill optimization (Section G's suggestion, after [11]),
+* dictionary compaction (future work 4: storage expense),
+* analytic vs Monte-Carlo statistical STA (the framework choice).
+"""
+
+import numpy as np
+import pytest
+
+from repro.atpg import generate_path_tests, optimize_fill
+from repro.circuits import load_benchmark
+from repro.core import (
+    ALG_REV,
+    build_dictionary,
+    build_sweep_dictionary,
+    compaction_report,
+    diagnose,
+    multi_clock_behavior,
+    suspect_edges,
+    sweep_clocks,
+)
+from repro.defects import SingleDefectModel, behavior_matrix
+from repro.timing import (
+    CircuitTiming,
+    SampleSpace,
+    analyze,
+    analyze_analytic,
+    diagnosis_clock,
+    simulate_pattern_set,
+)
+
+
+@pytest.fixture(scope="module")
+def timing():
+    return CircuitTiming(load_benchmark("s1196", seed=0), SampleSpace(250, 0))
+
+
+@pytest.fixture(scope="module")
+def firing_case(timing):
+    """A defect whose failures are defect-caused, with patterns and sims."""
+    rng = np.random.default_rng(3)
+    model = SingleDefectModel(timing)
+    for _ in range(30):
+        candidate = model.draw(rng)
+        patterns, _ = generate_path_tests(
+            timing, candidate.edge, n_paths=8, rng_seed=3
+        )
+        if not len(patterns):
+            continue
+        sims = simulate_pattern_set(timing, list(patterns))
+        clk = diagnosis_clock(
+            timing, list(patterns), 0.85,
+            simulations=sims, targets=patterns.target_observations(),
+        )
+        defect = model.defect_at(candidate.edge, size_mean=3.0)
+        behavior = behavior_matrix(timing, patterns, clk, defect, 7)
+        healthy = behavior_matrix(timing, patterns, clk, None, 7)
+        if (behavior & ~healthy).any():
+            return model, defect, patterns, sims, clk, behavior
+    pytest.skip("no firing case found")
+
+
+def test_extension_clock_sweep(benchmark, timing, firing_case):
+    """3-clock sweep dictionary + diagnosis vs the single-clock answer."""
+    model, defect, patterns, sims, clk, behavior = firing_case
+    clks = sweep_clocks(
+        timing, patterns, quantiles=(0.7, 0.85, 0.95), simulations=sims
+    )
+    suspects = suspect_edges(sims, behavior)
+    size = model.dictionary_size_variable().samples
+
+    def run():
+        sweep_behavior = multi_clock_behavior(timing, patterns, clks, defect, 7)
+        sweep = build_sweep_dictionary(
+            timing, patterns, clks, suspects, size, base_simulations=sims
+        )
+        return diagnose(sweep, sweep_behavior, ALG_REV)
+
+    sweep_result = benchmark.pedantic(run, rounds=1, iterations=1)
+    single = build_dictionary(
+        timing, patterns, clk, suspects, size, base_simulations=sims
+    )
+    single_result = diagnose(single, behavior, ALG_REV)
+    print(f"\n  true defect rank: single-clk {single_result.rank_of(defect.edge)}, "
+          f"3-clk sweep {sweep_result.rank_of(defect.edge)} "
+          f"({len(suspects)} suspects)")
+    assert sweep_result.rank_of(defect.edge) is not None
+
+
+def test_extension_fill_optimization(benchmark, timing):
+    """Evolutionary fill: extra defect visibility over quiet fill."""
+    import random
+
+    for start in (120, 300, 500):
+        _patterns, tests = generate_path_tests(
+            timing, timing.circuit.edges[start], n_paths=3, rng_seed=0
+        )
+        if tests:
+            break
+    assert tests
+
+    result = benchmark.pedantic(
+        optimize_fill,
+        args=(timing, tests[0]),
+        kwargs=dict(population=8, generations=4, rng=random.Random(0)),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n  defect visibility {result.baseline_visibility:.3f} -> "
+          f"{result.optimized_visibility:.3f} of delta {result.delta:.2f} "
+          f"(+{result.improvement:.3f})")
+    assert result.improvement >= -1e-9
+    assert result.optimized_visibility <= result.delta + 1e-9
+
+
+def test_extension_dictionary_compaction(benchmark, timing, firing_case):
+    """Sparsify+quantize the dictionary; report size vs rank drift."""
+    model, defect, patterns, sims, clk, behavior = firing_case
+    suspects = suspect_edges(sims, behavior)
+    dictionary = build_dictionary(
+        timing, patterns, clk, suspects,
+        model.dictionary_size_variable().samples, base_simulations=sims,
+    )
+
+    report = benchmark.pedantic(
+        compaction_report,
+        args=(dictionary, behavior),
+        kwargs=dict(threshold=0.01),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n  {report['bytes_dense']} B -> {report['bytes_compact']} B "
+          f"({report['compression_ratio']:.1f}x), "
+          f"top-10 rank drift {report['max_rank_drift_topk']}, "
+          f"top1 preserved: {report['top1_preserved']}")
+    assert report["compression_ratio"] > 2.0
+
+
+def test_extension_analytic_sta(benchmark, timing):
+    """Clark-based analytic STA: speed + documented std bias."""
+    analytic = benchmark(analyze_analytic, timing)
+    mc = analyze(timing).circuit_delay()
+    summary = analytic["__circuit__"]
+    print(f"\n  circuit delay: MC mean {mc.mean:.2f} std {mc.std:.3f} | "
+          f"analytic mean {summary.mean:.2f} std {summary.std:.3f}")
+    assert abs(summary.mean - mc.mean) / mc.mean < 0.05
+    assert summary.std < mc.std  # the correlation-blindness bias
+
+
+def test_extension_adaptive_diagnosis(benchmark, timing, firing_case):
+    """Adaptive refinement: distinguishing patterns on demand."""
+    from repro.core import make_instance_tester, refine_diagnosis
+
+    model, defect, patterns, sims, clk, behavior = firing_case
+    suspects = suspect_edges(sims, behavior)
+    dictionary = build_dictionary(
+        timing, patterns, clk, suspects,
+        model.dictionary_size_variable().samples, base_simulations=sims,
+    )
+    tester = make_instance_tester(timing, defect, 7, clk)
+    before = diagnose(dictionary, behavior, ALG_REV).rank_of(defect.edge)
+
+    refined = benchmark.pedantic(
+        refine_diagnosis,
+        args=(timing, patterns, dictionary, behavior, tester),
+        kwargs=dict(truth_edge=defect.edge, max_new_patterns=3),
+        rounds=1,
+        iterations=1,
+    )
+    after = refined.result.rank_of(defect.edge)
+    print(f"\n  true defect rank {before} -> {after} "
+          f"(+{refined.patterns_added} adaptive patterns)")
+    assert refined.behavior.shape[1] == behavior.shape[1] + refined.patterns_added
+
+
+def test_extension_quality_sweep(benchmark, timing, firing_case):
+    """Yield loss vs escapes across the capture clock."""
+    from repro.defects import clock_quality_sweep
+
+    model, defect, patterns, sims, clk, behavior = firing_case
+    quality = benchmark.pedantic(
+        clock_quality_sweep,
+        args=(timing, patterns, model),
+        kwargs=dict(n_defects=8, seed=0, base_simulations=sims),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for c, loss, escape in zip(quality.clks, quality.yield_loss, quality.escape_rate):
+        print(f"  clk {c:6.2f}: yield loss {100 * loss:5.1f}%  "
+              f"escapes {100 * escape:5.1f}%")
+    assert quality.yield_loss == sorted(quality.yield_loss, reverse=True)
+    assert quality.escape_rate == sorted(quality.escape_rate)
+
+
+def test_extension_tester_noise(benchmark):
+    """A5: diagnosis robustness to behavior-matrix bit flips."""
+    from repro.experiments import ablation_tester_noise
+
+    rates = benchmark.pedantic(
+        ablation_tester_noise,
+        kwargs=dict(
+            circuit_name="s1196",
+            flip_probabilities=(0.0, 0.05),
+            n_trials=6,
+            n_samples=150,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for p_flip, rate in rates.items():
+        print(f"  flip prob {p_flip:.2f}: alg_rev top-5 success {100 * rate:3.0f}%")
+    assert all(0.0 <= rate <= 1.0 for rate in rates.values())
+
+
+def test_extension_resolution_analysis(benchmark, timing, firing_case):
+    """Section C in numbers: logic vs timing diagnostic resolution."""
+    from repro.core import compare_with_logic_resolution
+
+    model, defect, patterns, sims, clk, behavior = firing_case
+    suspects = suspect_edges(sims, behavior)
+    dictionary = build_dictionary(
+        timing, patterns, clk, suspects,
+        model.dictionary_size_variable().samples, base_simulations=sims,
+    )
+    report = benchmark.pedantic(
+        compare_with_logic_resolution,
+        args=(dictionary, sims),
+        kwargs=dict(tolerance=0.01),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n  suspects {report['n_suspects']}: "
+          f"logic classes {report['logic_classes']} "
+          f"(expected class size {report['logic_expected_resolution']:.1f}) | "
+          f"timing classes {report['timing_classes']} "
+          f"(expected {report['timing_expected_resolution']:.1f})")
+    print(f"  logic classes split by timing: "
+          f"{report['logic_classes_split_by_timing']}   "
+          f"timing-blind suspects: {report['timing_blind_suspects']}")
+    assert report["n_suspects"] == len(suspects)
+
+
+def test_extension_multi_defect(benchmark):
+    """A6: two simultaneous defects — single vs greedy-residual diagnosis."""
+    from repro.experiments import ablation_multi_defect
+
+    stats = benchmark.pedantic(
+        ablation_multi_defect,
+        kwargs=dict(n_trials=5, n_samples=150, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n  trials {stats['trials']:.0f}: "
+          f"single top-2 any {100 * stats['single_any']:3.0f}% "
+          f"both {100 * stats['single_both']:3.0f}% | "
+          f"greedy multi any {100 * stats['multi_any']:3.0f}% "
+          f"both {100 * stats['multi_both']:3.0f}%")
+    assert stats["multi_both"] <= stats["multi_any"] + 1e-9

@@ -1,0 +1,70 @@
+"""Benchmark: regenerate the data behind the paper's Figures 1-3.
+
+Each benchmark reruns one figure experiment and asserts the figure's claim
+(see :mod:`repro.experiments.figures` for what each one demonstrates).
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    figure1_case_a,
+    figure1_case_b,
+    figure2_data,
+    figure3_data,
+)
+
+
+def test_figure1_case_a(benchmark):
+    """Same fault via long vs short path: critical probability curves."""
+    data = benchmark(figure1_case_a, n_samples=1500, seed=0)
+    print()
+    for size, long_p, short_p in zip(
+        data["defect_sizes"], data["crt_long"], data["crt_short"]
+    ):
+        print(f"  defect size {size:4.2f}: crt(long-path test) {long_p:.3f}  "
+              f"crt(short-path test) {short_p:.3f}")
+    assert data["crt_long"][-1] > 0.9
+    assert data["crt_short"][0] < 0.05
+    assert all(a >= b for a, b in zip(data["crt_long"], data["crt_short"]))
+
+
+def test_figure1_case_b(benchmark):
+    """Merging paths: max() dominance makes faults timing-distinguishable."""
+    data = benchmark(figure1_case_b, n_samples=1500, seed=0)
+    print()
+    for key, value in data.items():
+        print(f"  {key}: {value:.3f}")
+    assert data["prob_long_dominates"] == 1.0
+    assert data["crt_defect_on_long"] > 0.9
+    assert abs(data["crt_defect_on_short"] - data["crt_healthy"]) < 0.05
+
+
+def test_figure2(benchmark):
+    """The dictionary-matching ambiguity on the paper's exact matrices."""
+    data = benchmark(figure2_data)
+    print()
+    print(f"  ones-matching winner : {data['ones_matching']['winner']}")
+    print(f"  zeros-matching winner: {data['zeros_matching']['winner']}")
+    for name, verdict in data["error_function_verdicts"].items():
+        print(f"  {name}: {verdict}")
+    assert data["ones_matching"]["winner"] == "fault1"
+    assert data["zeros_matching"]["winner"] == "fault2"
+
+
+def test_figure3(benchmark):
+    """Equivalence-checking error model == Alg_rev's minimization."""
+    rng = np.random.default_rng(7)
+    behavior = rng.integers(0, 2, (4, 6))
+    signatures = {f"candidate_{i}": rng.uniform(0, 1, (4, 6)) for i in range(8)}
+
+    data = benchmark(figure3_data, signatures, behavior)
+    print()
+    print(f"  best candidate: {data['best']} "
+          f"(error {data['best_error']:.4f})")
+    errors = {
+        name: entry["euclidean_error"]
+        for name, entry in data["candidates"].items()
+    }
+    assert data["best"] == min(errors, key=errors.get)
+    for entry in data["candidates"].values():
+        assert entry["euclidean_error"] == entry["alg_rev_score"]

@@ -1,0 +1,113 @@
+"""Microbenchmarks of the substrate kernels.
+
+Not paper experiments — these time the computational primitives everything
+else is built from, so performance regressions in the simulator/ATPG are
+caught where they happen.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atpg import Justifier, generate_path_tests
+from repro.circuits import load_benchmark
+from repro.core import build_dictionary, suspect_edges
+from repro.defects import SingleDefectModel
+from repro.logic import simulate
+from repro.timing import (
+    CircuitTiming,
+    SampleSpace,
+    analyze,
+    diagnosis_clock,
+    simulate_pattern_set,
+    simulate_transition,
+)
+
+
+@pytest.fixture(scope="module")
+def timing():
+    circuit = load_benchmark("s1196", seed=0)
+    return CircuitTiming(circuit, SampleSpace(n_samples=300, seed=0))
+
+
+@pytest.fixture(scope="module")
+def vectors(timing):
+    rng = np.random.default_rng(0)
+    n = len(timing.circuit.inputs)
+    return rng.integers(0, 2, n), rng.integers(0, 2, n)
+
+
+def test_kernel_logic_simulation(benchmark, timing):
+    """Bit-parallel logic simulation, 1024 patterns."""
+    rng = np.random.default_rng(1)
+    patterns = rng.integers(0, 2, size=(1024, len(timing.circuit.inputs)))
+    result = benchmark(simulate, timing.circuit, patterns)
+    assert result.n_patterns == 1024
+
+
+def test_kernel_statistical_sta(benchmark, timing):
+    """Monte-Carlo block STA over the full circuit."""
+    sta = benchmark(analyze, timing)
+    assert sta.circuit_delay().mean > 0
+
+
+def test_kernel_dynamic_simulation(benchmark, timing, vectors):
+    """Timed two-vector transition simulation (all samples at once)."""
+    v1, v2 = vectors
+    sim = benchmark(simulate_transition, timing, v1, v2)
+    assert sim.width == timing.space.n_samples
+
+
+def test_kernel_pattern_generation(benchmark, timing):
+    """Path-delay ATPG for one fault site (8 paths)."""
+    edge = timing.circuit.edges[300]
+    patterns, _ = benchmark.pedantic(
+        generate_path_tests,
+        args=(timing, edge),
+        kwargs=dict(n_paths=8, rng_seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(patterns) >= 1
+
+
+def test_kernel_dictionary_construction(benchmark, timing):
+    """Probabilistic fault dictionary for a realistic suspect set."""
+    rng = np.random.default_rng(2)
+    model = SingleDefectModel(timing)
+    defect = model.defect_at(timing.circuit.edges[300], size_mean=3.0)
+    patterns, _ = generate_path_tests(timing, defect.edge, n_paths=8, rng_seed=0)
+    sims = simulate_pattern_set(timing, list(patterns))
+    clk = diagnosis_clock(
+        timing, list(patterns), 0.85,
+        simulations=sims, targets=patterns.target_observations(),
+    )
+    from repro.defects import behavior_matrix
+
+    behavior = behavior_matrix(timing, patterns, clk, defect, 7)
+    suspects = suspect_edges(sims, behavior)
+    if not suspects:
+        pytest.skip("instance did not fail; nothing to build")
+
+    dictionary = benchmark.pedantic(
+        build_dictionary,
+        args=(timing, patterns, clk, suspects,
+              model.dictionary_size_variable().samples),
+        kwargs=dict(base_simulations=sims),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n  suspects: {len(dictionary)}, patterns: {len(patterns)}")
+    assert len(dictionary) == len(suspects)
+
+
+def test_kernel_justification(benchmark, timing):
+    """Two-frame PODEM on a deep objective."""
+    circuit = timing.circuit
+    deep = max(circuit.levels, key=circuit.levels.get)
+    justifier = Justifier(circuit)
+
+    def run():
+        return justifier.justify({(deep, 0): 0, (deep, 1): 1})
+
+    result = benchmark(run)
+    assert result.success or result.backtracks > 0

@@ -1,0 +1,67 @@
+"""Benchmark: regenerate the paper's Table I (diagnosis accuracy).
+
+One benchmark per Table I circuit.  Each run executes the Section I
+protocol (defect injection trials, pattern generation through the fault
+site, probabilistic dictionary construction, the three diagnosis methods at
+the paper's K values) and prints the measured success rates next to the
+published ones.  ``pytest benchmarks/bench_table1.py --benchmark-only``.
+
+Trial counts are reduced (paper: N=20) to keep the suite in benchmark
+territory; ``examples/table1_reproduction.py`` runs the full protocol and
+EXPERIMENTS.md records its output.
+"""
+
+import pytest
+
+from repro.experiments import (
+    Table1Result,
+    published_rates,
+    render_table1,
+    run_table1_circuit,
+    table1_circuits,
+)
+
+#: (trials, samples) used inside the benchmark loop — reduced Section I.
+BENCH_TRIALS = 6
+BENCH_SAMPLES = 150
+
+
+@pytest.mark.parametrize("circuit_name", table1_circuits())
+def test_table1_circuit(benchmark, circuit_name):
+    result = benchmark.pedantic(
+        run_table1_circuit,
+        args=(circuit_name,),
+        kwargs=dict(n_trials=BENCH_TRIALS, n_samples=BENCH_SAMPLES, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table1(Table1Result([result])))
+
+    # sanity: rates are percentages and K-monotone
+    for k in result.k_values:
+        for method in ("method_I", "method_II", "alg_rev"):
+            assert 0.0 <= result.measured(method, k) <= 100.0
+    for method in ("method_I", "method_II", "alg_rev"):
+        rates = [result.measured(method, k) for k in result.k_values]
+        assert rates == sorted(rates)
+
+
+def test_table1_shape(benchmark):
+    """The qualitative Table I claims over a three-circuit subset."""
+
+    def run():
+        return Table1Result(
+            [
+                run_table1_circuit(
+                    name, n_trials=BENCH_TRIALS, n_samples=BENCH_SAMPLES, seed=1
+                )
+                for name in ("s1196", "s1238", "s1488")
+            ]
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table1(table))
+    checks = table.shape_checks()
+    assert checks["success_monotone_in_K"]

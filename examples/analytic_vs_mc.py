@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Scenario: why is the paper's timing framework Monte-Carlo?
+
+Analytic statistical STA (Gaussian moments + Clark's max) is much faster
+but assumes independence inside every max — precisely what correlated
+process variation and reconvergent fanout violate.  This study quantifies
+the analytic bias against the Monte-Carlo backend on the benchmark suite:
+
+* circuit-delay mean: analytic tracks MC closely (Clark is good at means),
+* circuit-delay std: analytic *understates* the spread badly whenever a
+  shared global process factor correlates all cell delays — the spread the
+  diagnosis clock and the critical probabilities live off.
+
+Run:  python examples/analytic_vs_mc.py [n_samples]
+"""
+
+import sys
+import time
+
+from repro.circuits import load_benchmark
+from repro.timing import (
+    CellLibrary,
+    CircuitTiming,
+    SampleSpace,
+    analyze,
+    analyze_analytic,
+)
+
+
+def main() -> None:
+    n_samples = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+
+    print(f"{'circuit':>8s} {'mc mean':>9s} {'an mean':>9s} "
+          f"{'mc std':>7s} {'an std':>7s} {'mc ms':>7s} {'an ms':>7s}")
+    for name in ("s1196", "s1238", "s1423", "s5378"):
+        circuit = load_benchmark(name, seed=0)
+        timing = CircuitTiming(circuit, SampleSpace(n_samples, seed=0))
+
+        t0 = time.perf_counter()
+        mc = analyze(timing).circuit_delay()
+        mc_ms = 1000 * (time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        analytic = analyze_analytic(timing)["__circuit__"]
+        an_ms = 1000 * (time.perf_counter() - t0)
+
+        print(f"{name:>8s} {mc.mean:9.2f} {analytic.mean:9.2f} "
+              f"{mc.std:7.3f} {analytic.std:7.3f} {mc_ms:7.1f} {an_ms:7.1f}")
+
+    # isolate the cause: kill the global factor and the analytic std recovers
+    print("\nwith sigma_global = 0 (no chip-to-chip correlation):")
+    circuit = load_benchmark("s1196", seed=0)
+    library = CellLibrary(sigma_global=0.0, sigma_local=0.05)
+    timing = CircuitTiming(circuit, SampleSpace(n_samples, seed=0), library=library)
+    mc = analyze(timing).circuit_delay()
+    analytic = analyze_analytic(timing)["__circuit__"]
+    print(f"  s1196: mc std {mc.std:.3f}  analytic std {analytic.std:.3f}  "
+          f"(gap closes: the bias is the correlation, not Clark's max)")
+
+
+if __name__ == "__main__":
+    main()

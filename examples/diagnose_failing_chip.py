@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Scenario: a failure-analysis engineer works one failing chip.
+
+Unlike the quickstart (which knows the ground truth), this walks the flow
+the way a lab would see it: a chip fails at-speed test; the engineer has
+the behavior matrix and the design's statistical timing model, and wants a
+short, ranked list of physical segments to inspect under the microscope.
+
+Shown along the way:
+
+* the probabilistic fault dictionary itself (M_crt and a few suspect
+  signatures) — the paper's central data structure,
+* disagreement between error functions on the same evidence (the Figure 2
+  phenomenon on real data),
+* automatic K selection (how many candidates are worth inspecting),
+* the logic-only baseline, to see what the statistical information buys,
+* a multiple-defect pass (future-work #3) in case one candidate cannot
+  explain everything.
+
+Run:  python examples/diagnose_failing_chip.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.atpg import generate_path_tests
+from repro.circuits import load_benchmark
+from repro.core import (
+    ALL_ERROR_FUNCTIONS,
+    build_dictionary,
+    diagnose,
+    diagnose_logic_only,
+    diagnose_multi,
+    k_by_mass,
+    k_by_score_gap,
+    suspect_edges,
+)
+from repro.defects import SingleDefectModel, draw_failing_trial
+from repro.timing import (
+    CircuitTiming,
+    SampleSpace,
+    diagnosis_clock,
+    simulate_pattern_set,
+)
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+
+    circuit = load_benchmark("s1238", seed=seed)
+    timing = CircuitTiming(circuit, SampleSpace(n_samples=400, seed=seed))
+    rng = np.random.default_rng(seed)
+    defect_model = SingleDefectModel(timing)
+
+    # ---- what the lab receives: a failing chip and its test program -------
+    defect = patterns = None
+    for _ in range(10):
+        defect = defect_model.draw(rng)  # hidden from the "engineer" below
+        patterns, _tests = generate_path_tests(
+            timing, defect.edge, n_paths=10, rng_seed=seed
+        )
+        if len(patterns):
+            break
+    simulations = simulate_pattern_set(timing, list(patterns))
+    clk = diagnosis_clock(
+        timing, list(patterns), 0.85,
+        simulations=simulations, targets=patterns.target_observations(),
+    )
+    trial, _ = draw_failing_trial(
+        timing, patterns, clk, defect_model, rng, defect=defect
+    )
+    behavior = trial.behavior
+    print(f"chip fails {behavior.sum()} of {behavior.size} "
+          f"(output, pattern) observations at clk={clk:.2f}")
+
+    # ---- step 1: cause-effect pruning --------------------------------------
+    suspects = suspect_edges(simulations, behavior)
+    print(f"suspect segments after backward tracing: {len(suspects)}")
+
+    # ---- step 2: the probabilistic fault dictionary -------------------------
+    dictionary = build_dictionary(
+        timing,
+        patterns,
+        clk,
+        suspects,
+        defect_model.dictionary_size_variable().samples,
+        base_simulations=simulations,
+    )
+    m = dictionary.m_crt
+    print(f"\nM_crt (healthy criticality): shape {m.shape}, "
+          f"{(m > 0.01).sum()} nonzero entries, max {m.max():.2f}")
+    busiest = max(suspects, key=lambda e: dictionary.signatures[e].sum())
+    print(f"largest signature: {busiest} "
+          f"(mass {dictionary.signatures[busiest].sum():.2f})")
+
+    # ---- step 3: all error functions on the same evidence ------------------
+    print("\ntop-5 candidates per error function:")
+    results = {}
+    for function in ALL_ERROR_FUNCTIONS:
+        result = diagnose(dictionary, behavior, function)
+        results[function.name] = result
+        top = ", ".join(str(edge) for edge in result.top(5))
+        print(f"  {function.name:14s}: {top}")
+
+    # ---- step 4: how many candidates should we physically inspect? ---------
+    rev = results["alg_rev"]
+    print(f"\nautomatic K: score-gap -> {k_by_score_gap(rev)}, "
+          f"mass(0.9) -> {k_by_mass(rev)}")
+
+    # ---- step 5: what did the statistics buy? -------------------------------
+    logic = diagnose_logic_only(simulations, behavior, suspects)
+    print(f"logic-only baseline top-5: "
+          f"{', '.join(str(e) for e in logic.top(5))}")
+
+    # ---- step 6: multiple-defect pass ---------------------------------------
+    multi = diagnose_multi(dictionary, behavior, max_defects=2)
+    print(f"greedy multi-defect commitments: "
+          f"{', '.join(str(e) for e in multi.candidates) or '(none)'}")
+
+    # ---- reveal -------------------------------------------------------------
+    print(f"\nground truth: {defect.edge}")
+    for name, result in results.items():
+        print(f"  {name:14s}: true defect ranked {result.rank_of(defect.edge)}")
+    print(f"  {'logic_only':14s}: true defect ranked {logic.rank_of(defect.edge)}")
+
+
+if __name__ == "__main__":
+    main()

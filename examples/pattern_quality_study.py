@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Scenario: how much does diagnostic pattern quality matter? (Section G)
+
+The paper devotes Section G to pattern generation: good delay-diagnosis
+patterns must sensitize *long* paths through the fault, and the fill of
+unconstrained inputs changes test quality.  This study quantifies those
+claims on one circuit by diagnosing the same defect population with four
+pattern strategies:
+
+* ``targeted-quiet``  — longest testable paths through the site, quiet
+  fill (the main flow's patterns),
+* ``targeted-random`` — same paths, random fill (noisy incidental paths),
+* ``random-pairs``    — pure random two-vector tests, no targeting,
+* ``fewer-paths``     — targeted but only 3 paths (test-length budget).
+
+Reported per strategy: how often the defective chip fails at all (test
+escape), and the Alg_rev top-5 diagnosis success over the failing chips.
+
+Run:  python examples/pattern_quality_study.py [n_trials] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.atpg import generate_path_tests, random_pattern_pairs
+from repro.circuits import load_benchmark
+from repro.core import run_diagnosis
+from repro.defects import SingleDefectModel, draw_failing_trial
+from repro.timing import (
+    CircuitTiming,
+    SampleSpace,
+    diagnosis_clock,
+    simulate_pattern_set,
+)
+
+
+def make_patterns(strategy, timing, defect, seed):
+    if strategy == "targeted-quiet":
+        patterns, _ = generate_path_tests(timing, defect.edge, n_paths=10, rng_seed=seed)
+        return patterns
+    if strategy == "targeted-random":
+        patterns, tests = generate_path_tests(
+            timing, defect.edge, n_paths=10, rng_seed=seed
+        )
+        # Re-fill each targeted test with random (noisy) off-path values.
+        import random as _random
+
+        from repro.atpg import PatternPairSet
+
+        rng = _random.Random(seed)
+        noisy = PatternPairSet(timing.circuit)
+        for test in tests:
+            v1 = list(test.v1)
+            v2 = list(test.v2)
+            for index in range(len(v1)):
+                if rng.random() < 0.3:
+                    v1[index] = rng.randint(0, 1)
+                    v2[index] = rng.randint(0, 1)
+            noisy.append(v1, v2, source=test.path)
+        return noisy
+    if strategy == "random-pairs":
+        return random_pattern_pairs(timing.circuit, 10, seed=seed)
+    if strategy == "fewer-paths":
+        patterns, _ = generate_path_tests(timing, defect.edge, n_paths=3, rng_seed=seed)
+        return patterns
+    raise ValueError(strategy)
+
+
+def main() -> None:
+    n_trials = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+
+    circuit = load_benchmark("s1196", seed=seed)
+    timing = CircuitTiming(circuit, SampleSpace(n_samples=300, seed=seed))
+    strategies = ("targeted-quiet", "targeted-random", "random-pairs", "fewer-paths")
+
+    print(f"{'strategy':16s} {'escapes':>8s} {'top5 success':>13s} {'mean patterns':>14s}")
+    for strategy in strategies:
+        rng = np.random.default_rng(seed)
+        defect_model = SingleDefectModel(timing)
+        hits = failing = escapes = 0
+        pattern_counts = []
+        for trial_index in range(n_trials):
+            defect = patterns = None
+            for _ in range(10):
+                defect = defect_model.draw(rng)
+                patterns = make_patterns(strategy, timing, defect, seed + trial_index)
+                if len(patterns):
+                    break
+            if patterns is None or not len(patterns):
+                continue
+            pattern_counts.append(len(patterns))
+            simulations = simulate_pattern_set(timing, list(patterns))
+            targets = patterns.target_observations() or None
+            clk = diagnosis_clock(
+                timing, list(patterns), 0.85,
+                simulations=simulations, targets=targets,
+            )
+            try:
+                trial, attempts = draw_failing_trial(
+                    timing, patterns, clk, defect_model, rng,
+                    max_attempts=25, defect=defect,
+                )
+            except RuntimeError:
+                escapes += 1
+                continue
+            failing += 1
+            results, _ = run_diagnosis(
+                timing,
+                patterns,
+                clk,
+                trial.behavior,
+                defect_model.dictionary_size_variable().samples,
+                base_simulations=simulations,
+            )
+            hits += results["alg_rev"].hit(defect.edge, 5)
+        success = hits / failing if failing else 0.0
+        mean_patterns = np.mean(pattern_counts) if pattern_counts else 0.0
+        print(f"{strategy:16s} {escapes:>8d} {success:>13.2f} {mean_patterns:>14.1f}")
+
+
+if __name__ == "__main__":
+    main()

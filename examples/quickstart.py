@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: diagnose one delay-defective chip, end to end.
+
+The full flow of the paper on one benchmark circuit:
+
+1. load a circuit and attach the statistical timing model (the CAD-side
+   predictor ``C`` of Definition D.1),
+2. inject a hidden segment defect into one manufactured chip instance
+   (Definition D.2 / D.10),
+3. generate two-vector path-delay tests through the defect site (Section
+   H-4) and pick the diagnosis cut-off clock,
+4. observe the chip's 0-1 failing behavior matrix on the "tester",
+5. run the three diagnosis algorithms (Alg_sim Methods I/II, Alg_rev) and
+   see where the true defect ranks.
+
+Run:  python examples/quickstart.py [benchmark] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.circuits import load_benchmark
+from repro.core import run_diagnosis
+from repro.defects import SingleDefectModel, draw_failing_trial
+from repro.timing import (
+    CircuitTiming,
+    SampleSpace,
+    diagnosis_clock,
+    simulate_pattern_set,
+)
+from repro.atpg import generate_path_tests
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "s1196"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    # -- 1. circuit + statistical timing model --------------------------------
+    circuit = load_benchmark(benchmark, seed=seed)
+    print(f"{benchmark}: {circuit.stats()}")
+    space = SampleSpace(n_samples=400, seed=seed)
+    timing = CircuitTiming(circuit, space)
+    print(f"mean cell delay: {timing.mean_cell_delay():.3f} delay units")
+
+    # -- 2. the hidden ground truth -------------------------------------------
+    rng = np.random.default_rng(seed)
+    defect_model = SingleDefectModel(timing)
+    defect = patterns = None
+    for _ in range(10):
+        defect = defect_model.draw(rng)
+        # -- 3. diagnostic patterns: longest testable paths through the site --
+        patterns, tests = generate_path_tests(
+            timing, defect.edge, n_paths=10, rng_seed=seed
+        )
+        if len(patterns):
+            break
+    assert patterns is not None
+    print(f"\ninjected (hidden) defect: {defect}")
+    print(f"generated {len(patterns)} two-vector tests "
+          f"({sum(t.achieved.value == 'robust' for t in tests)} robust)")
+
+    simulations = simulate_pattern_set(timing, list(patterns))
+    clk = diagnosis_clock(
+        timing, list(patterns), quantile=0.85,
+        simulations=simulations, targets=patterns.target_observations(),
+    )
+    print(f"diagnosis cut-off clk = {clk:.2f}")
+
+    # -- 4. the tester observes a failing chip --------------------------------
+    trial, attempts = draw_failing_trial(
+        timing, patterns, clk, defect_model, rng, defect=defect
+    )
+    print(f"\nfailing chip found after {attempts} instance draw(s); "
+          f"{trial.n_failing_observations} failing (output, pattern) entries")
+
+    # -- 5. diagnosis ----------------------------------------------------------
+    results, dictionary = run_diagnosis(
+        timing,
+        patterns,
+        clk,
+        trial.behavior,
+        defect_model.dictionary_size_variable().samples,
+        base_simulations=simulations,
+    )
+    print(f"suspects after cause-effect pruning: {len(dictionary)}")
+    print("\nrank of the true defect location:")
+    for name, result in results.items():
+        rank = result.rank_of(defect.edge)
+        top3 = ", ".join(str(edge) for edge in result.top(3))
+        print(f"  {name:10s}: rank {rank}   (top-3: {top3})")
+
+
+if __name__ == "__main__":
+    main()

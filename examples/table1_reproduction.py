@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table I: diagnosis accuracy on the benchmarks.
+
+Runs the Section I protocol (N=20 injected-defect trials per circuit, the
+paper's K values, Alg_sim Methods I/II and Alg_rev) over the eight Table I
+circuits and prints the measured success rates next to the published ones,
+followed by the qualitative shape checks.
+
+The full run takes several minutes.  A quicker pass:
+
+    python examples/table1_reproduction.py --trials 8 --circuits s1196,s1238
+
+Absolute percentages are not expected to match (our substrate is a
+synthetic profile circuit with a parametric delay library; see DESIGN.md);
+the shape — success monotone in K, Alg_rev/Method II dominating Method I —
+is the reproduction target.
+"""
+
+import argparse
+
+from repro.experiments import (
+    render_shape_checks,
+    render_table1,
+    run_table1,
+    table1_circuits,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=20, help="trials per circuit (paper: 20)")
+    parser.add_argument("--samples", type=int, default=300, help="Monte-Carlo samples")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--circuits",
+        type=str,
+        default=",".join(table1_circuits()),
+        help="comma-separated circuit subset",
+    )
+    args = parser.parse_args()
+
+    circuits = [name.strip() for name in args.circuits.split(",") if name.strip()]
+    result = run_table1(
+        circuits=circuits,
+        n_trials=args.trials,
+        n_samples=args.samples,
+        seed=args.seed,
+    )
+    print(render_table1(result))
+    print()
+    print(render_shape_checks(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""repro — statistical delay defect diagnosis.
+
+A from-scratch reproduction of Krstic, Wang, Cheng, Liou and Abadir,
+*"Delay Defect Diagnosis Based Upon Statistical Timing Models — The First
+Step"* (DATE 2003): gate-level circuits, a Monte-Carlo statistical timing
+framework, path-delay ATPG, statistical defect injection/fault simulation,
+and the probabilistic-dictionary diagnosis algorithms (``Alg_sim`` methods
+I/II/III and the explicit-error ``Alg_rev``).
+
+Quick start::
+
+    from repro import quick_diagnosis_demo
+    report = quick_diagnosis_demo("s1196", seed=1)
+    print(report)
+
+or assemble the flow from the subpackages — see ``examples/quickstart.py``.
+"""
+
+from .circuits import Circuit, GateType, load_benchmark, parse_bench
+from .timing import (
+    SampleSpace,
+    CircuitTiming,
+    RandomVariable,
+    simulate_transition,
+    diagnosis_clock,
+)
+from .atpg import generate_path_tests, PatternPairSet
+from .defects import SingleDefectModel, DefectSizeModel, draw_failing_trial
+from .core import (
+    run_diagnosis,
+    diagnose,
+    DiagnosisResult,
+    METHOD_I,
+    METHOD_II,
+    METHOD_III,
+    ALG_REV,
+    EvaluationConfig,
+    evaluate_circuit,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "GateType",
+    "load_benchmark",
+    "parse_bench",
+    "SampleSpace",
+    "CircuitTiming",
+    "RandomVariable",
+    "simulate_transition",
+    "diagnosis_clock",
+    "generate_path_tests",
+    "PatternPairSet",
+    "SingleDefectModel",
+    "DefectSizeModel",
+    "draw_failing_trial",
+    "run_diagnosis",
+    "diagnose",
+    "DiagnosisResult",
+    "METHOD_I",
+    "METHOD_II",
+    "METHOD_III",
+    "ALG_REV",
+    "EvaluationConfig",
+    "evaluate_circuit",
+    "quick_diagnosis_demo",
+]
+
+
+def quick_diagnosis_demo(benchmark: str = "s1196", seed: int = 0, n_samples: int = 300):
+    """One-call end-to-end demo: inject a defect, diagnose it, report.
+
+    Returns a small dict with the injected location, the per-method rank of
+    the true defect, and context numbers.  See ``examples/quickstart.py``
+    for the expanded, commented version of this flow.
+    """
+    import numpy as np
+
+    from .timing import simulate_pattern_set
+
+    circuit = load_benchmark(benchmark, seed=seed)
+    timing = CircuitTiming(circuit, SampleSpace(n_samples=n_samples, seed=seed))
+    rng = np.random.default_rng(seed)
+    defect_model = SingleDefectModel(timing)
+
+    defect = None
+    patterns = None
+    for _ in range(10):
+        defect = defect_model.draw(rng)
+        patterns, _tests = generate_path_tests(
+            timing, defect.edge, n_paths=8, rng_seed=seed
+        )
+        if len(patterns):
+            break
+    assert patterns is not None and defect is not None
+    simulations = simulate_pattern_set(timing, list(patterns))
+    clk = diagnosis_clock(
+        timing,
+        list(patterns),
+        0.85,
+        simulations=simulations,
+        targets=patterns.target_observations(),
+    )
+    trial, _attempts = draw_failing_trial(
+        timing, patterns, clk, defect_model, rng, defect=defect
+    )
+    results, dictionary = run_diagnosis(
+        timing,
+        patterns,
+        clk,
+        trial.behavior,
+        defect_model.dictionary_size_variable().samples,
+        base_simulations=simulations,
+    )
+    return {
+        "benchmark": benchmark,
+        "injected": str(defect.edge),
+        "clk": clk,
+        "patterns": len(patterns),
+        "suspects": len(dictionary),
+        "failing_observations": trial.n_failing_observations,
+        "rank_by_method": {
+            name: result.rank_of(defect.edge) for name, result in results.items()
+        },
+    }

@@ -1,0 +1,251 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library so the common flows run without writing
+Python.  Commands:
+
+* ``info <benchmark>``           — circuit statistics and timing summary
+* ``sta <benchmark>``            — statistical STA report (MC + analytic)
+* ``atpg <benchmark> <edge#>``   — path-delay tests through an edge
+* ``diagnose <benchmark>``       — inject a random defect and diagnose it
+* ``table1 [circuits...]``       — the Table I reproduction
+* ``benchmarks``                 — list known benchmark circuits
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load_timing(name: str, samples: int, seed: int):
+    from .circuits import load_benchmark
+    from .timing import CircuitTiming, SampleSpace
+
+    circuit = load_benchmark(name, seed=seed)
+    return CircuitTiming(circuit, SampleSpace(n_samples=samples, seed=seed))
+
+
+def cmd_benchmarks(_args) -> int:
+    from .circuits import PROFILES, benchmark_names
+
+    print("known benchmarks:")
+    for name in benchmark_names():
+        profile = PROFILES.get(name)
+        if profile is None:
+            print(f"  {name:8s} (embedded genuine netlist)")
+        else:
+            print(
+                f"  {name:8s} PI {profile.published_inputs:3d}  "
+                f"PO {profile.published_outputs:3d}  "
+                f"DFF {profile.published_dffs:3d}  "
+                f"gates {profile.published_gates:5d}  "
+                f"scale {profile.default_scale:.2f}"
+            )
+    return 0
+
+
+def cmd_info(args) -> int:
+    timing = _load_timing(args.benchmark, args.samples, args.seed)
+    circuit = timing.circuit
+    stats = circuit.stats()
+    print(f"{circuit.name}: {stats}")
+    print(f"mean cell delay: {timing.mean_cell_delay():.3f} delay units")
+    return 0
+
+
+def cmd_sta(args) -> int:
+    from .timing import analyze, analyze_analytic, suggest_clock
+
+    timing = _load_timing(args.benchmark, args.samples, args.seed)
+    sta = analyze(timing)
+    delay = sta.circuit_delay()
+    print(f"{timing.circuit.name}: circuit delay (Monte-Carlo, "
+          f"n={timing.space.n_samples})")
+    print(f"  mean {delay.mean:.3f}  std {delay.std:.3f}  "
+          f"q95 {delay.quantile(0.95):.3f}  q99 {delay.quantile(0.99):.3f}")
+    analytic = analyze_analytic(timing)["__circuit__"]
+    print(f"  analytic (Clark): mean {analytic.mean:.3f}  std {analytic.std:.3f}")
+    print(f"  suggested test clock (q95): {suggest_clock(timing, 0.95):.3f}")
+    return 0
+
+
+def cmd_atpg(args) -> int:
+    from .atpg import generate_path_tests
+
+    timing = _load_timing(args.benchmark, args.samples, args.seed)
+    circuit = timing.circuit
+    if not 0 <= args.edge < len(circuit.edges):
+        print(f"edge index out of range (0..{len(circuit.edges) - 1})",
+              file=sys.stderr)
+        return 2
+    edge = circuit.edges[args.edge]
+    patterns, tests = generate_path_tests(
+        timing, edge, n_paths=args.paths, rng_seed=args.seed
+    )
+    print(f"site {edge}: {len(patterns)} tests")
+    for index, test in enumerate(tests):
+        print(f"  test {index}: {test.achieved.value:10s} "
+              f"len {len(test.path):3d}  "
+              f"nominal {test.path.nominal_length(timing):7.2f}  "
+              f"path {test.path}")
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    from . import quick_diagnosis_demo
+
+    report = quick_diagnosis_demo(args.benchmark, seed=args.seed,
+                                  n_samples=args.samples)
+    print(f"benchmark          : {report['benchmark']}")
+    print(f"injected defect    : {report['injected']} (hidden ground truth)")
+    print(f"patterns applied   : {report['patterns']}")
+    print(f"cut-off clock      : {report['clk']:.3f}")
+    print(f"failing entries    : {report['failing_observations']}")
+    print(f"suspects           : {report['suspects']}")
+    print("rank of true defect:")
+    for method, rank in report["rank_by_method"].items():
+        print(f"  {method:10s}: {rank}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    """Inject a random defect, then locate + size + type it; optional
+    markdown report via ``--report``."""
+    from .atpg import generate_path_tests
+    from .core import (
+        build_dictionary,
+        diagnose_all,
+        estimate_defect_size,
+        suspect_edges,
+    )
+    from .defects import SingleDefectModel, classify_defect_type, draw_failing_trial
+    from .experiments import render_diagnosis_report
+    from .timing import diagnosis_clock, simulate_pattern_set
+
+    timing = _load_timing(args.benchmark, args.samples, args.seed)
+    rng = np.random.default_rng(args.seed)
+    model = SingleDefectModel(timing)
+    defect = patterns = None
+    for _ in range(20):
+        defect = model.draw(rng)
+        patterns, _ = generate_path_tests(
+            timing, defect.edge, n_paths=10, rng_seed=args.seed
+        )
+        if len(patterns):
+            break
+    if patterns is None or not len(patterns):
+        print("could not generate patterns for any drawn defect", file=sys.stderr)
+        return 1
+    sims = simulate_pattern_set(timing, list(patterns))
+    clk = diagnosis_clock(
+        timing, list(patterns), 0.85,
+        simulations=sims, targets=patterns.target_observations(),
+    )
+    trial, _ = draw_failing_trial(timing, patterns, clk, model, rng, defect=defect)
+    suspects = suspect_edges(sims, trial.behavior)
+    dictionary = build_dictionary(
+        timing, patterns, clk, suspects,
+        model.dictionary_size_variable().samples, base_simulations=sims,
+    )
+    results = diagnose_all(dictionary, trial.behavior)
+    located = results["alg_rev"].top(1)[0] if results["alg_rev"].ranking else None
+    size_estimate = None
+    type_verdict = None
+    if located is not None:
+        size_estimate = estimate_defect_size(
+            timing, patterns, clk, trial.behavior, located, base_simulations=sims
+        )
+        type_verdict = classify_defect_type(
+            timing, patterns, clk, trial.behavior, located, base_simulations=sims
+        )
+    report = render_diagnosis_report(
+        args.benchmark, clk, trial.behavior, results, dictionary,
+        size_estimate=size_estimate, type_verdict=type_verdict,
+    )
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.report}")
+    else:
+        print(report)
+    print(f"(hidden ground truth: {defect.edge}, "
+          f"alg_rev rank {results['alg_rev'].rank_of(defect.edge)})")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from .experiments import render_shape_checks, render_table1, run_table1
+
+    result = run_table1(
+        circuits=args.circuits or None,
+        n_trials=args.trials,
+        n_samples=args.samples,
+        seed=args.seed,
+    )
+    print(render_table1(result))
+    print()
+    print(render_shape_checks(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--samples", type=int, default=300)
+        p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("benchmarks").set_defaults(func=cmd_benchmarks)
+
+    p = sub.add_parser("info")
+    p.add_argument("benchmark")
+    common(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("sta")
+    p.add_argument("benchmark")
+    common(p)
+    p.set_defaults(func=cmd_sta)
+
+    p = sub.add_parser("atpg")
+    p.add_argument("benchmark")
+    p.add_argument("edge", type=int, help="edge index (see circuit.edges)")
+    p.add_argument("--paths", type=int, default=8)
+    common(p)
+    p.set_defaults(func=cmd_atpg)
+
+    p = sub.add_parser("diagnose")
+    p.add_argument("benchmark")
+    common(p)
+    p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("characterize")
+    p.add_argument("benchmark")
+    p.add_argument("--report", type=str, default="", help="write markdown here")
+    common(p)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("table1")
+    p.add_argument("circuits", nargs="*", help="circuit subset (default all)")
+    p.add_argument("--trials", type=int, default=20)
+    common(p)
+    p.set_defaults(func=cmd_table1)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # output piped into head/less that closed early
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Test generation: two-frame justification, path-delay ATPG, stuck-at PODEM."""
+
+from .values import ZERO, ONE, XX, D, DB
+from .justify import Justifier, JustifyResult
+from .pathdelay import PathTest, build_path_constraints, generate_test_for_path
+from .stuckat import StuckAtAtpg, StuckAtTest
+from .patterns import PatternPairSet, generate_path_tests, random_pattern_pairs
+from .fill import FillResult, optimize_fill
+from .broadside import (
+    BroadsideModel,
+    BroadsideTest,
+    broadside_expand,
+    generate_broadside_test,
+)
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "XX",
+    "D",
+    "DB",
+    "Justifier",
+    "JustifyResult",
+    "PathTest",
+    "build_path_constraints",
+    "generate_test_for_path",
+    "StuckAtAtpg",
+    "StuckAtTest",
+    "PatternPairSet",
+    "generate_path_tests",
+    "random_pattern_pairs",
+    "FillResult",
+    "optimize_fill",
+    "BroadsideModel",
+    "BroadsideTest",
+    "broadside_expand",
+    "generate_broadside_test",
+]

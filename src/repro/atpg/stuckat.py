@@ -1,0 +1,230 @@
+"""Single-frame PODEM for stuck-at faults (5-valued D-algebra).
+
+The logic-domain baseline the paper contrasts with (Sections B, C): classic
+PODEM [Goel 1981] — decisions on primary inputs only, objectives chosen from
+fault activation and the D-frontier, implications by full 5-valued
+simulation of the fault machine.  Used for:
+
+* the logic-only diagnosis baseline's pattern generation,
+* fault-resolution studies (maximal resolution in the logic domain),
+* launch-vector construction for transition-fault tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.library import CONTROLLING_VALUE, GateType, INVERTING
+from ..circuits.netlist import Circuit
+from ..logic.faults import StuckAtFault
+from .values import D, DB, ONE, XX, ZERO, d_and, d_not, d_or, d_xor
+
+__all__ = ["StuckAtAtpg", "StuckAtTest"]
+
+
+@dataclass
+class StuckAtTest:
+    """A test vector detecting a stuck-at fault (values over PIs)."""
+
+    fault: StuckAtFault
+    vector: List[int]
+
+
+def _eval_d(gate_type: GateType, inputs: List[int]) -> int:
+    if gate_type in (GateType.BUF, GateType.OUTPUT, GateType.DFF):
+        return inputs[0]
+    if gate_type is GateType.NOT:
+        return d_not(inputs[0])
+    if gate_type in (GateType.AND, GateType.NAND):
+        out = inputs[0]
+        for value in inputs[1:]:
+            out = d_and(out, value)
+        return d_not(out) if gate_type is GateType.NAND else out
+    if gate_type in (GateType.OR, GateType.NOR):
+        out = inputs[0]
+        for value in inputs[1:]:
+            out = d_or(out, value)
+        return d_not(out) if gate_type is GateType.NOR else out
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        out = inputs[0]
+        for value in inputs[1:]:
+            out = d_xor(out, value)
+        return d_not(out) if gate_type is GateType.XNOR else out
+    raise ValueError(f"unsupported gate type {gate_type}")
+
+
+class StuckAtAtpg:
+    """PODEM test generator for one circuit."""
+
+    def __init__(self, circuit: Circuit, backtrack_limit: int = 400) -> None:
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+
+    # ------------------------------------------------------------------
+    def generate(
+        self, fault: StuckAtFault, rng: Optional[random.Random] = None
+    ) -> Optional[StuckAtTest]:
+        """Find a vector detecting ``fault``, or ``None`` (untestable/limit)."""
+        rng = rng or random.Random(0)
+        assignment: Dict[str, int] = {}
+        decisions: List[Tuple[str, int, bool]] = []
+        backtracks = 0
+
+        while True:
+            values = self._imply(assignment, fault)
+            state = self._status(values, fault)
+            if state == "detected":
+                vector = [
+                    assignment.get(net, rng.randint(0, 1))
+                    for net in self.circuit.inputs
+                ]
+                return StuckAtTest(fault, vector)
+            if state == "conflict":
+                if not self._backtrack(decisions, assignment):
+                    return None
+                backtracks += 1
+                if backtracks > self.backtrack_limit:
+                    return None
+                continue
+            objective = self._objective(values, fault)
+            if objective is None:
+                if not self._backtrack(decisions, assignment):
+                    return None
+                backtracks += 1
+                if backtracks > self.backtrack_limit:
+                    return None
+                continue
+            decision = self._backtrace(objective, values)
+            if decision is None:
+                if not self._backtrack(decisions, assignment):
+                    return None
+                backtracks += 1
+                if backtracks > self.backtrack_limit:
+                    return None
+                continue
+            net, value = decision
+            assignment[net] = value
+            decisions.append((net, value, False))
+
+    # ------------------------------------------------------------------
+    def _imply(self, assignment: Dict[str, int], fault: StuckAtFault) -> Dict[str, int]:
+        values: Dict[str, int] = {}
+        for name in self.circuit.topological_order:
+            gate = self.circuit.gates[name]
+            if gate.gate_type is GateType.INPUT:
+                value = assignment.get(name, XX)
+                value = {0: ZERO, 1: ONE, XX: XX}[value] if value in (0, 1, XX) else XX
+            else:
+                value = _eval_d(
+                    gate.gate_type, [values[f] for f in gate.fanins]
+                )
+            if name == fault.net:
+                value = self._faulty_value(value, fault)
+            values[name] = value
+        return values
+
+    @staticmethod
+    def _faulty_value(good: int, fault: StuckAtFault) -> int:
+        """Inject the fault: composite value given the good-machine value."""
+        if good == XX:
+            return XX
+        good_bit = {ZERO: 0, ONE: 1, D: 1, DB: 0}[good]
+        if good_bit == fault.value:
+            return ZERO if fault.value == 0 else ONE  # fault not activated
+        return D if good_bit == 1 else DB
+
+    def _status(self, values: Dict[str, int], fault: StuckAtFault) -> str:
+        if any(values[o] in (D, DB) for o in self.circuit.outputs):
+            return "detected"
+        site = values[fault.net]
+        if site in (ZERO, ONE):
+            # Fault not activated and site fully determined: conflict.
+            return "conflict"
+        if site in (D, DB) and not self._d_frontier(values):
+            # Activated but no gate can still propagate: conflict.
+            if not any(values[o] in (D, DB) for o in self.circuit.outputs):
+                return "conflict"
+        return "pending"
+
+    def _d_frontier(self, values: Dict[str, int]) -> List[str]:
+        frontier = []
+        for name in self.circuit.topological_order:
+            gate = self.circuit.gates[name]
+            if gate.gate_type is GateType.INPUT:
+                continue
+            if values[name] == XX and any(
+                values[f] in (D, DB) for f in gate.fanins
+            ):
+                frontier.append(name)
+        return frontier
+
+    def _objective(
+        self, values: Dict[str, int], fault: StuckAtFault
+    ) -> Optional[Tuple[str, int]]:
+        site = values[fault.net]
+        if site == XX:
+            # Activate: drive the site to the opposite of the stuck value.
+            return fault.net, 1 - fault.value
+        frontier = self._d_frontier(values)
+        if not frontier:
+            return None
+        gate = self.circuit.gates[frontier[0]]
+        controlling = CONTROLLING_VALUE[gate.gate_type]
+        for fanin in gate.fanins:
+            if values[fanin] == XX:
+                if controlling is not None:
+                    return fanin, 1 - controlling
+                return fanin, 0
+        return None
+
+    def _backtrace(
+        self, objective: Tuple[str, int], values: Dict[str, int]
+    ) -> Optional[Tuple[str, int]]:
+        net, value = objective
+        guard = 0
+        while True:
+            guard += 1
+            if guard > len(self.circuit.gates) + 1:
+                return None
+            gate = self.circuit.gates[net]
+            if gate.gate_type is GateType.INPUT:
+                return (net, value) if values[net] == XX else None
+            if gate.gate_type in (GateType.BUF, GateType.OUTPUT):
+                net = gate.fanins[0]
+                continue
+            if gate.gate_type is GateType.NOT:
+                net, value = gate.fanins[0], 1 - value
+                continue
+            x_inputs = [f for f in gate.fanins if values[f] == XX]
+            if not x_inputs:
+                return None
+            controlling = CONTROLLING_VALUE[gate.gate_type]
+            inverted = gate.gate_type in INVERTING
+            if controlling is not None:
+                controlled_output = (1 - controlling) if inverted else controlling
+                if value == controlled_output:
+                    net, value = x_inputs[0], controlling
+                else:
+                    net, value = x_inputs[0], 1 - controlling
+                continue
+            parity = 1 if gate.gate_type is GateType.XNOR else 0
+            for fanin in gate.fanins:
+                if values[fanin] in (ZERO, ONE) and fanin != x_inputs[0]:
+                    parity ^= 1 if values[fanin] == ONE else 0
+            net, value = x_inputs[0], value ^ parity
+            continue
+
+    @staticmethod
+    def _backtrack(
+        decisions: List[Tuple[str, int, bool]], assignment: Dict[str, int]
+    ) -> bool:
+        while decisions:
+            net, value, flipped = decisions.pop()
+            del assignment[net]
+            if not flipped:
+                assignment[net] = 1 - value
+                decisions.append((net, 1 - value, True))
+                return True
+        return False

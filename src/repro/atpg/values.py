@@ -1,0 +1,72 @@
+"""Value algebras shared by the ATPG engines.
+
+Two algebras are used:
+
+* **Two-frame ternary** — each net carries a pair of settled values, one per
+  test vector, each in {0, 1, X}.  The path-delay ATPG justifies constraint
+  sets expressed in this algebra (:mod:`repro.atpg.justify`).
+* **Five-valued D-algebra** — {0, 1, X, D, DB} for the single-frame stuck-at
+  PODEM (:mod:`repro.atpg.stuckat`); ``D`` means good-1/faulty-0 and ``DB``
+  the reverse.
+"""
+
+from __future__ import annotations
+
+
+__all__ = ["ZERO", "ONE", "XX", "D", "DB", "d_and", "d_or", "d_not", "d_xor"]
+
+ZERO, ONE, XX, D, DB = 0, 1, 2, 3, 4
+
+#: good-machine / faulty-machine projections of each 5-valued literal.
+_GOOD = {ZERO: 0, ONE: 1, XX: 2, D: 1, DB: 0}
+_FAULTY = {ZERO: 0, ONE: 1, XX: 2, D: 0, DB: 1}
+
+
+def _combine(good: int, faulty: int) -> int:
+    if good == 2 or faulty == 2:
+        return XX
+    if good == faulty:
+        return ONE if good == 1 else ZERO
+    return D if good == 1 else DB
+
+
+def _t_and(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    if a == 2 or b == 2:
+        return 2
+    return 1
+
+
+def _t_or(a: int, b: int) -> int:
+    if a == 1 or b == 1:
+        return 1
+    if a == 2 or b == 2:
+        return 2
+    return 0
+
+
+def _t_xor(a: int, b: int) -> int:
+    if a == 2 or b == 2:
+        return 2
+    return a ^ b
+
+
+def d_and(a: int, b: int) -> int:
+    """5-valued AND: componentwise on (good, faulty) projections."""
+    return _combine(_t_and(_GOOD[a], _GOOD[b]), _t_and(_FAULTY[a], _FAULTY[b]))
+
+
+def d_or(a: int, b: int) -> int:
+    return _combine(_t_or(_GOOD[a], _GOOD[b]), _t_or(_FAULTY[a], _FAULTY[b]))
+
+
+def d_xor(a: int, b: int) -> int:
+    return _combine(_t_xor(_GOOD[a], _GOOD[b]), _t_xor(_FAULTY[a], _FAULTY[b]))
+
+
+def d_not(a: int) -> int:
+    good, faulty = _GOOD[a], _FAULTY[a]
+    return _combine(
+        2 if good == 2 else 1 - good, 2 if faulty == 2 else 1 - faulty
+    )

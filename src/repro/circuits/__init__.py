@@ -1,0 +1,42 @@
+"""Circuit substrate: netlists, parsing, generation, benchmarks, validation."""
+
+from .library import GateType, CONTROLLING_VALUE, INVERTING, X, eval_gate
+from .netlist import Circuit, Gate, Edge, CircuitError
+from .bench_parser import parse_bench, parse_bench_file, write_bench, BenchParseError
+from .verilog_parser import (
+    parse_verilog,
+    parse_verilog_file,
+    write_verilog,
+    VerilogParseError,
+)
+from .generate import GeneratorConfig, generate_circuit
+from .benchmarks import BenchmarkProfile, PROFILES, load_benchmark, benchmark_names
+from .validate import ValidationReport, validate_circuit
+
+__all__ = [
+    "GateType",
+    "CONTROLLING_VALUE",
+    "INVERTING",
+    "X",
+    "eval_gate",
+    "Circuit",
+    "Gate",
+    "Edge",
+    "CircuitError",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "BenchParseError",
+    "parse_verilog",
+    "parse_verilog_file",
+    "write_verilog",
+    "VerilogParseError",
+    "GeneratorConfig",
+    "generate_circuit",
+    "BenchmarkProfile",
+    "PROFILES",
+    "load_benchmark",
+    "benchmark_names",
+    "ValidationReport",
+    "validate_circuit",
+]

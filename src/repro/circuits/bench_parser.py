@@ -1,0 +1,128 @@
+"""Reader/writer for the ISCAS ``.bench`` netlist format.
+
+The paper evaluates on ISCAS89 sequential benchmarks (s1196 ... s15850),
+distributed in the ``.bench`` format::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G1)
+    G17 = NOT(G10)
+    G20 = DFF(G17)
+
+This module parses that format into :class:`repro.circuits.netlist.Circuit`
+objects (and writes them back).  When real ISCAS netlists are available they
+can be dropped in transparently; the experiments otherwise fall back to the
+synthetic profile generator (see :mod:`repro.circuits.generate` and the
+substitution note in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from .library import GateType
+from .netlist import Circuit, CircuitError
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench", "BenchParseError"]
+
+
+class BenchParseError(CircuitError):
+    """Raised when ``.bench`` text cannot be parsed."""
+
+
+_GATE_TYPES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "DFF": GateType.DFF,
+}
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$")
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` text into a frozen :class:`Circuit`.
+
+    The returned circuit may contain DFFs; callers targeting the delay-test
+    flow should follow up with :meth:`Circuit.unroll_scan`.
+    """
+    circuit = Circuit(name)
+    outputs: List[str] = []
+    pending: List[Tuple[int, str, GateType, List[str]]] = []
+    declared_inputs: List[str] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, net = io_match.group(1).upper(), io_match.group(2)
+            if keyword == "INPUT":
+                declared_inputs.append(net)
+            else:
+                outputs.append(net)
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            target, type_name, operand_text = gate_match.groups()
+            gate_type = _GATE_TYPES.get(type_name.upper())
+            if gate_type is None:
+                raise BenchParseError(
+                    f"line {line_number}: unknown gate type {type_name!r}"
+                )
+            operands = [op.strip() for op in operand_text.split(",") if op.strip()]
+            if not operands:
+                raise BenchParseError(f"line {line_number}: gate with no operands")
+            pending.append((line_number, target, gate_type, operands))
+            continue
+        raise BenchParseError(f"line {line_number}: cannot parse {raw_line!r}")
+
+    for net in declared_inputs:
+        circuit.add_input(net)
+    for line_number, target, gate_type, operands in pending:
+        try:
+            circuit.add_gate(target, gate_type, operands)
+        except CircuitError as exc:
+            raise BenchParseError(f"line {line_number}: {exc}") from exc
+    for net in outputs:
+        circuit.mark_output(net)
+    try:
+        return circuit.freeze()
+    except CircuitError as exc:
+        raise BenchParseError(str(exc)) from exc
+
+
+def parse_bench_file(path: Union[str, Path]) -> Circuit:
+    """Parse a ``.bench`` file; the circuit name is the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Render a circuit back to ``.bench`` text (inverse of :func:`parse_bench`)."""
+    lines: List[str] = [f"# {circuit.name}"]
+    for net in circuit.inputs:
+        lines.append(f"INPUT({net})")
+    for net in circuit.outputs:
+        lines.append(f"OUTPUT({net})")
+    for name in circuit.topological_order:
+        gate = circuit.gates[name]
+        if gate.gate_type is GateType.INPUT:
+            continue
+        type_name = {GateType.NOT: "NOT", GateType.BUF: "BUFF"}.get(
+            gate.gate_type, gate.gate_type.name
+        )
+        lines.append(f"{name} = {type_name}({', '.join(gate.fanins)})")
+    return "\n".join(lines) + "\n"

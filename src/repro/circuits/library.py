@@ -1,0 +1,174 @@
+"""Gate library: the cell types understood by every tool in the package.
+
+The paper models a circuit as a DAG of *cells* connected by *arcs* whose
+pin-to-pin delays are random variables (Definition D.1).  This module defines
+the combinational cell types, their logic functions (in three evaluation
+styles: scalar, bit-parallel and three-valued), and their *controlling
+values*, which drive both sensitization analysis and the timed transition
+simulator.
+
+A gate type is identified by a :class:`GateType` enum member.  Sequential
+elements (``DFF``) are accepted by the parser but are converted into
+pseudo-primary inputs/outputs by :func:`repro.circuits.netlist.Circuit.unroll_scan`,
+reflecting the standard full-scan assumption used for delay testing of the
+ISCAS89 circuits in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "GateType",
+    "CONTROLLING_VALUE",
+    "INVERTING",
+    "eval_gate",
+    "eval_gate_bits",
+    "eval_gate_ternary",
+    "X",
+]
+
+#: Three-valued logic "unknown" marker used by ``eval_gate_ternary``.
+X = 2
+
+
+class GateType(enum.Enum):
+    """Cell types supported by the netlist, simulators and ATPG."""
+
+    INPUT = "input"
+    OUTPUT = "output"  # transparent output marker (buffer semantics)
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    DFF = "dff"
+
+    @property
+    def is_combinational(self) -> bool:
+        return self not in (GateType.INPUT, GateType.DFF)
+
+    @property
+    def has_controlling_value(self) -> bool:
+        return self in _CONTROLLING
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateType.{self.name}"
+
+
+_CONTROLLING: Dict[GateType, int] = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+#: Map gate type -> controlling input value, or ``None`` when the gate has no
+#: controlling value (XOR family, inverters, buffers).
+CONTROLLING_VALUE: Dict[GateType, Optional[int]] = {
+    gate_type: _CONTROLLING.get(gate_type) for gate_type in GateType
+}
+
+#: Gate types whose output inverts the "natural" (OR/AND/parity) result.
+INVERTING = frozenset({GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR})
+
+
+def eval_gate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate a gate on scalar 0/1 inputs.
+
+    ``INPUT`` gates are not evaluable; ``OUTPUT``/``BUF``/``DFF`` behave as
+    buffers (a DFF's combinational view is transparent only after scan
+    unrolling, but buffer semantics keep the function total).
+    """
+    if gate_type is GateType.INPUT:
+        raise ValueError("INPUT gates have no logic function")
+    if gate_type in (GateType.BUF, GateType.OUTPUT, GateType.DFF):
+        return int(inputs[0])
+    if gate_type is GateType.NOT:
+        return 1 - int(inputs[0])
+    if gate_type is GateType.AND:
+        return int(all(inputs))
+    if gate_type is GateType.NAND:
+        return 1 - int(all(inputs))
+    if gate_type is GateType.OR:
+        return int(any(inputs))
+    if gate_type is GateType.NOR:
+        return 1 - int(any(inputs))
+    parity = 0
+    for value in inputs:
+        parity ^= int(value)
+    if gate_type is GateType.XOR:
+        return parity
+    if gate_type is GateType.XNOR:
+        return 1 - parity
+    raise ValueError(f"unsupported gate type {gate_type}")
+
+
+def eval_gate_bits(gate_type: GateType, inputs: Sequence[np.ndarray]) -> np.ndarray:
+    """Evaluate a gate on bit-parallel uint64 word arrays.
+
+    Each array packs 64 patterns per word; all arrays must share a shape.
+    Used by the bit-parallel logic simulator for pattern-set evaluation.
+    """
+    if gate_type is GateType.INPUT:
+        raise ValueError("INPUT gates have no logic function")
+    if gate_type in (GateType.BUF, GateType.OUTPUT, GateType.DFF):
+        return inputs[0].copy()
+    if gate_type is GateType.NOT:
+        return ~inputs[0]
+    if gate_type in (GateType.AND, GateType.NAND):
+        out = inputs[0].copy()
+        for word in inputs[1:]:
+            out &= word
+        return ~out if gate_type is GateType.NAND else out
+    if gate_type in (GateType.OR, GateType.NOR):
+        out = inputs[0].copy()
+        for word in inputs[1:]:
+            out |= word
+        return ~out if gate_type is GateType.NOR else out
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        out = inputs[0].copy()
+        for word in inputs[1:]:
+            out ^= word
+        return ~out if gate_type is GateType.XNOR else out
+    raise ValueError(f"unsupported gate type {gate_type}")
+
+
+def eval_gate_ternary(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate a gate in three-valued logic (0, 1, X=2).
+
+    The three-valued semantics follow the usual dominance rules: a
+    controlling input forces the output regardless of X inputs; otherwise any
+    X input makes the output X.  Used by the ATPG justification engine.
+    """
+    if gate_type is GateType.INPUT:
+        raise ValueError("INPUT gates have no logic function")
+    if gate_type in (GateType.BUF, GateType.OUTPUT, GateType.DFF):
+        return int(inputs[0])
+    if gate_type is GateType.NOT:
+        value = int(inputs[0])
+        return X if value == X else 1 - value
+    controlling = CONTROLLING_VALUE[gate_type]
+    if controlling is not None:
+        inverted = gate_type in INVERTING
+        if any(int(value) == controlling for value in inputs):
+            # Controlled output: AND/NAND -> 0 base, OR/NOR -> 1 base.
+            base = 0 if controlling == 0 else 1
+            return (1 - base) if inverted else base
+        if any(int(value) == X for value in inputs):
+            return X
+        base = 1 if controlling == 0 else 0  # all non-controlling
+        return (1 - base) if inverted else base
+    # XOR / XNOR: any X poisons the output.
+    if any(int(value) == X for value in inputs):
+        return X
+    parity = 0
+    for value in inputs:
+        parity ^= int(value)
+    return (1 - parity) if gate_type is GateType.XNOR else parity

@@ -1,0 +1,75 @@
+"""Structural validation of circuits.
+
+Lightweight lint checks used by the test-suite, the generator's own sanity
+gates, and by users dropping in external ``.bench`` netlists.  All checks are
+pure structure; logic/timing semantic checks live with their tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .library import GateType
+from .netlist import Circuit
+
+__all__ = ["ValidationReport", "validate_circuit"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_circuit`; ``ok`` is True when no issues."""
+
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def add(self, message: str) -> None:
+        self.issues.append(message)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "ok" if self.ok else "\n".join(self.issues)
+
+
+def validate_circuit(circuit: Circuit, require_observable: bool = True) -> ValidationReport:
+    """Check structural invariants.
+
+    * frozen and acyclic (guaranteed by ``freeze``, revalidated here),
+    * at least one input and one output,
+    * no DFFs (delay-test flow expects the scan-unrolled view),
+    * no duplicated fanins on XOR-family gates feeding trivial constants,
+    * optionally: every gate reaches a primary output and every gate is
+      reachable from a primary input (full controllability/observability),
+      which the defect-injection experiments rely on.
+    """
+    report = ValidationReport()
+    if not circuit.frozen:
+        report.add("circuit is not frozen")
+        return report
+    if not circuit.inputs:
+        report.add("no primary inputs")
+    if not circuit.outputs:
+        report.add("no primary outputs")
+    for gate in circuit:
+        if gate.gate_type is GateType.DFF:
+            report.add(f"gate {gate.name!r} is a DFF; call unroll_scan() first")
+        if gate.gate_type in (GateType.XOR, GateType.XNOR):
+            if len(set(gate.fanins)) != len(gate.fanins):
+                report.add(f"XOR-family gate {gate.name!r} has duplicate fanins")
+
+    if require_observable and circuit.outputs and circuit.inputs:
+        observable = set()
+        for output in circuit.outputs:
+            observable.update(circuit.fanin_cone(output))
+        controllable = set()
+        for net in circuit.inputs:
+            controllable.update(circuit.fanout_cone(net))
+        for name in circuit.gates:
+            if name not in observable:
+                report.add(f"net {name!r} does not reach any primary output")
+            gate = circuit.gates[name]
+            if gate.gate_type is not GateType.INPUT and name not in controllable:
+                report.add(f"net {name!r} is not reachable from any primary input")
+    return report

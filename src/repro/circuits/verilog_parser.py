@@ -1,0 +1,169 @@
+"""Reader/writer for gate-level structural Verilog netlists.
+
+Industrial netlists are more often Verilog than ``.bench``; this module
+accepts the structural subset that gate-level netlists use::
+
+    module top (a, b, y);
+      input a, b;
+      output y;
+      wire n1;
+      nand g1 (n1, a, b);   // output first, then inputs
+      not  g2 (y, n1);
+    endmodule
+
+Supported: one module per file; ``input``/``output``/``wire`` declarations
+(comma lists, multiple statements); primitive instantiations of ``and``,
+``nand``, ``or``, ``nor``, ``xor``, ``xnor``, ``not``, ``buf`` (output
+first, as in the Verilog primitive convention); ``dff`` instances
+``dff d1 (q, d);`` for sequential netlists; ``//`` and ``/* */`` comments.
+Vectors, assigns, parameters and behavioural constructs are out of scope —
+this is a netlist reader, not a Verilog front end.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from .library import GateType
+from .netlist import Circuit, CircuitError
+
+__all__ = ["parse_verilog", "parse_verilog_file", "write_verilog", "VerilogParseError"]
+
+
+class VerilogParseError(CircuitError):
+    """Raised when structural Verilog cannot be parsed."""
+
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+    "dff": GateType.DFF,
+}
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>[A-Za-z_][\w$]*)\s*\((?P<ports>[^)]*)\)\s*;", re.DOTALL
+)
+_DECL_RE = re.compile(r"\b(input|output|wire)\b([^;]*);")
+_INSTANCE_RE = re.compile(
+    r"\b(?P<prim>and|nand|or|nor|xor|xnor|not|buf|dff)\b\s*"
+    r"(?P<inst>[A-Za-z_][\w$]*)?\s*\((?P<conns>[^)]*)\)\s*;"
+)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", " ", text)
+
+
+def _split_names(raw: str) -> List[str]:
+    names = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        # escaped identifiers (\name ) normalize to their bare text so a
+        # write/parse round-trip preserves net names like c17's "22"
+        if token.startswith("\\"):
+            token = token[1:].strip()
+        names.append(token)
+    return names
+
+
+def parse_verilog(text: str, name: str = "") -> Circuit:
+    """Parse a structural Verilog module into a frozen :class:`Circuit`."""
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise VerilogParseError("no module declaration found")
+    if "endmodule" not in text:
+        raise VerilogParseError("missing endmodule")
+    body = text[module.end() : text.index("endmodule")]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for kind, raw in _DECL_RE.findall(body):
+        names = _split_names(raw)
+        if not names:
+            raise VerilogParseError(f"empty {kind} declaration")
+        if kind == "input":
+            inputs.extend(names)
+        elif kind == "output":
+            outputs.extend(names)
+        # wires carry no information we need (every net is named by use)
+
+    instances: List[Tuple[GateType, List[str]]] = []
+    for match in _INSTANCE_RE.finditer(body):
+        connections = _split_names(match.group("conns"))
+        if len(connections) < 2:
+            raise VerilogParseError(
+                f"instance {match.group('inst') or match.group('prim')!r} "
+                "needs an output and at least one input"
+            )
+        instances.append((_PRIMITIVES[match.group("prim")], connections))
+
+    circuit = Circuit(name or module.group("name"))
+    for net in inputs:
+        circuit.add_input(net)
+    for gate_type, connections in instances:
+        output_net, *input_nets = connections
+        try:
+            circuit.add_gate(output_net, gate_type, input_nets)
+        except CircuitError as exc:
+            raise VerilogParseError(str(exc)) from exc
+    for net in outputs:
+        circuit.mark_output(net)
+    try:
+        return circuit.freeze()
+    except CircuitError as exc:
+        raise VerilogParseError(str(exc)) from exc
+
+
+def parse_verilog_file(path: Union[str, Path]) -> Circuit:
+    path = Path(path)
+    return parse_verilog(path.read_text(), name=path.stem)
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Render a circuit as a structural Verilog module."""
+    def sanitize(net: str) -> str:
+        return net if re.fullmatch(r"[A-Za-z_][\w$]*", net) else f"\\{net} "
+
+    ports = [sanitize(n) for n in circuit.inputs + circuit.outputs]
+    lines = [f"module {circuit.name or 'top'} ({', '.join(ports)});"]
+    if circuit.inputs:
+        lines.append(f"  input {', '.join(sanitize(n) for n in circuit.inputs)};")
+    if circuit.outputs:
+        lines.append(f"  output {', '.join(sanitize(n) for n in circuit.outputs)};")
+    wires = [
+        name
+        for name, gate in circuit.gates.items()
+        if gate.gate_type is not GateType.INPUT and name not in circuit.outputs
+    ]
+    if wires:
+        lines.append(f"  wire {', '.join(sanitize(n) for n in wires)};")
+    reverse = {v: k for k, v in _PRIMITIVES.items()}
+    index = 0
+    for name in circuit.topological_order:
+        gate = circuit.gates[name]
+        if gate.gate_type is GateType.INPUT:
+            continue
+        prim = reverse.get(gate.gate_type)
+        if prim is None:
+            raise VerilogParseError(
+                f"gate type {gate.gate_type} has no Verilog primitive"
+            )
+        connections = ", ".join(
+            sanitize(n) for n in [name] + list(gate.fanins)
+        )
+        lines.append(f"  {prim} g{index} ({connections});")
+        index += 1
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

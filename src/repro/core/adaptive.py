@@ -1,0 +1,209 @@
+"""Adaptive diagnosis: generate *distinguishing* patterns on demand.
+
+The paper's question (2) asks what remains for the timing domain once the
+logic-domain pattern set is good.  One operational answer: when the
+probabilistic dictionary leaves the top suspects tied, go back to the
+tester — generate a new two-vector test whose *predicted* signatures for
+the tied suspects differ, apply it, and re-diagnose.  This is the delay
+analogue of classic adaptive logic diagnosis (Ghosh-Dastidar & Touba [9],
+cited by the paper).
+
+The chip stays on the tester as a black box: the caller supplies a
+``tester`` callable mapping a pattern pair to its observed failure column,
+and :func:`make_instance_tester` builds one from a simulated (instance,
+defect) pair.
+
+The loop:
+
+1. diagnose with the current dictionary;
+2. if the leader is separated (automatic-K says "1") or budgets are
+   exhausted, stop;
+3. pick the two best suspects; search candidate tests through the leader's
+   site whose predicted signature *differs* between the two (mass of
+   ``|S_a - S_b|`` above a threshold);
+4. apply it on the tester, extend the behavior matrix and the dictionary
+   (one base simulation + cone re-simulations for the new column only),
+   and repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..atpg.patterns import PatternPairSet, generate_path_tests
+from ..circuits.netlist import Edge
+from ..timing.dynamic import resimulate_with_extra, simulate_transition
+from ..timing.instance import CircuitTiming
+from .dictionary import ProbabilisticFaultDictionary
+from .diagnosis import DiagnosisResult, diagnose
+from .error_functions import ALG_REV, ErrorFunction
+
+__all__ = ["AdaptiveResult", "make_instance_tester", "refine_diagnosis"]
+
+#: Maps a two-vector test to the chip's observed failure column (0/1 per PO).
+Tester = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of an adaptive refinement session."""
+
+    result: DiagnosisResult
+    dictionary: ProbabilisticFaultDictionary
+    behavior: np.ndarray
+    patterns_added: int
+    rank_trajectory: List[Optional[int]] = field(default_factory=list)
+
+
+def make_instance_tester(
+    timing: CircuitTiming, defect, sample_index: int, clk: float
+) -> Tester:
+    """A tester closure for a simulated chip carrying ``defect``."""
+
+    def tester(v1: np.ndarray, v2: np.ndarray) -> np.ndarray:
+        extra = None
+        if defect is not None:
+            extra = {defect.edge_index: defect.size_on_instance(sample_index)}
+        sim = simulate_transition(
+            timing, v1, v2, extra_delay=extra, sample_index=sample_index
+        )
+        return sim.output_failures(clk)[:, 0].astype(np.int8)
+
+    return tester
+
+
+def _signature_column(
+    timing: CircuitTiming,
+    sim,
+    edge: Edge,
+    size_samples: np.ndarray,
+    clk: float,
+) -> np.ndarray:
+    """One suspect's E_crt column for a single new pattern."""
+    circuit = timing.circuit
+    column = sim.error_vector(clk)
+    if not sim.transitioned(edge.sink):
+        return column
+    patched = resimulate_with_extra(
+        sim, {timing.edge_index[edge]: size_samples}
+    )
+    return patched.error_vector(clk)
+
+
+def refine_diagnosis(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    dictionary: ProbabilisticFaultDictionary,
+    behavior: np.ndarray,
+    tester: Tester,
+    truth_edge: Optional[Edge] = None,
+    error_function: ErrorFunction = ALG_REV,
+    max_new_patterns: int = 5,
+    candidates_per_round: int = 6,
+    distinction_threshold: float = 0.05,
+    rng_seed: int = 0,
+) -> AdaptiveResult:
+    """Iteratively add distinguishing patterns until the leader separates.
+
+    ``truth_edge`` (optional) is only used to record the rank trajectory
+    for evaluation — the refinement itself never sees it.  The input
+    ``patterns``/``dictionary``/``behavior`` are not modified; extended
+    copies are returned.
+    """
+    clk = dictionary.clk
+    size_samples = dictionary.size_samples
+    suspects = list(dictionary.suspects)
+    m_crt = dictionary.m_crt.copy()
+    signatures = {edge: dictionary.signatures[edge].copy() for edge in suspects}
+    behavior = np.asarray(behavior).copy()
+    all_pairs = PatternPairSet(
+        timing.circuit, patterns.pairs.copy(), list(patterns.sources)
+    )
+
+    def current_dictionary() -> ProbabilisticFaultDictionary:
+        return ProbabilisticFaultDictionary(
+            timing=timing,
+            clk=clk,
+            m_crt=m_crt,
+            suspects=suspects,
+            signatures=signatures,
+            size_samples=size_samples,
+        )
+
+    result = diagnose(current_dictionary(), behavior, error_function)
+    trajectory = [result.rank_of(truth_edge)] if truth_edge is not None else []
+    added = 0
+
+    while added < max_new_patterns and len(result.ranking) >= 2:
+        # Target ambiguity among the top suspects: walk the pairs in rank
+        # order and fire the first test that tells a pair apart.  A wrongly
+        # separated leader is still challenged this way — any test through
+        # it that the chip then PASSES is evidence against it.
+        top = [edge for edge, _s in result.ranking[:5]]
+        best_pair = None
+        best_distinction = distinction_threshold
+        best_sim = None
+        for a_index in range(len(top)):
+            for b_index in range(a_index + 1, len(top)):
+                top_a, top_b = top[a_index], top[b_index]
+                candidate_set, _tests = generate_path_tests(
+                    timing,
+                    top_a,
+                    n_paths=candidates_per_round,
+                    rng_seed=rng_seed + 31 * added + a_index + 7 * b_index,
+                )
+                for v1, v2 in candidate_set:
+                    if len(all_pairs) and (
+                        (
+                            all_pairs.pairs
+                            == np.asarray([v1, v2], dtype=np.int8)
+                        ).all(axis=(1, 2))
+                    ).any():
+                        continue
+                    sim = simulate_transition(timing, v1, v2)
+                    column_a = _signature_column(
+                        timing, sim, top_a, size_samples, clk
+                    )
+                    column_b = _signature_column(
+                        timing, sim, top_b, size_samples, clk
+                    )
+                    distinction = float(np.abs(column_a - column_b).sum())
+                    if distinction > best_distinction:
+                        best_distinction = distinction
+                        best_pair = (np.asarray(v1), np.asarray(v2))
+                        best_sim = sim
+                if best_pair is not None:
+                    break
+            if best_pair is not None:
+                break
+        if best_pair is None:
+            break  # nothing tells the top suspects apart; stop gracefully
+
+        v1, v2 = best_pair
+        observed = np.asarray(tester(v1, v2)).reshape(-1, 1)
+        behavior = np.concatenate([behavior, observed], axis=1)
+        all_pairs.append(v1, v2)
+        base_column = best_sim.error_vector(clk).reshape(-1, 1)
+        m_crt = np.concatenate([m_crt, base_column], axis=1)
+        for edge in suspects:
+            e_column = _signature_column(
+                timing, best_sim, edge, size_samples, clk
+            ).reshape(-1, 1)
+            signatures[edge] = np.concatenate(
+                [signatures[edge], e_column - base_column], axis=1
+            )
+        added += 1
+        result = diagnose(current_dictionary(), behavior, error_function)
+        if truth_edge is not None:
+            trajectory.append(result.rank_of(truth_edge))
+
+    return AdaptiveResult(
+        result=result,
+        dictionary=current_dictionary(),
+        behavior=behavior,
+        patterns_added=added,
+        rank_trajectory=trajectory,
+    )

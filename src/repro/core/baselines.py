@@ -1,0 +1,77 @@
+"""Logic-domain diagnosis baseline (the paper's Sections B-C contrast).
+
+Traditional effect-cause/dictionary diagnosis ignores timing: a suspect's
+"dictionary entry" is the 0-1 set of (output, pattern) observations it can
+logically explain, and suspects are ranked by how well that set matches the
+observed failures (intersection/union style counts, as in classic stuck-at
+dictionary diagnosis).
+
+For delay defects this throws away the probabilistic information — exactly
+the gap the paper's probabilistic dictionary fills.  The baseline is used
+by the examples and the ablation benches to show *when* statistical
+diagnosis pays: whenever several suspects are logically equivalent under
+the pattern set but differ in the timing lengths of the sensitized paths
+(the Figure 1 situations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Edge
+from ..timing.dynamic import TransitionSimResult
+from .diagnosis import DiagnosisResult
+from .suspects import trace_sensitized_edges
+
+__all__ = ["logic_signatures", "diagnose_logic_only"]
+
+
+def logic_signatures(
+    simulations: Sequence[TransitionSimResult],
+    suspects: Sequence[Edge],
+) -> Dict[Edge, np.ndarray]:
+    """0-1 predicted-failure matrices per suspect.
+
+    Entry ``(i, j)`` is 1 iff suspect ``e`` is logically sensitized to
+    output ``i`` by pattern ``j`` — i.e. a (gross) delay fault at ``e``
+    *could* produce a failure there.  This is the logic-domain projection of
+    the probabilistic signature (every nonzero probability flattened to 1).
+    """
+    if not simulations:
+        return {edge: np.zeros((0, 0)) for edge in suspects}
+    circuit = simulations[0].timing.circuit
+    outputs = circuit.outputs
+    shape = (len(outputs), len(simulations))
+    signatures = {edge: np.zeros(shape, dtype=np.int8) for edge in set(suspects)}
+    for column, sim in enumerate(simulations):
+        for row, output in enumerate(outputs):
+            for edge in trace_sensitized_edges(sim, output):
+                if edge in signatures:
+                    signatures[edge][row, column] = 1
+    return signatures
+
+
+def diagnose_logic_only(
+    simulations: Sequence[TransitionSimResult],
+    behavior: np.ndarray,
+    suspects: Sequence[Edge],
+) -> DiagnosisResult:
+    """Rank suspects by logic-domain signature match (higher = better).
+
+    Score = |predicted AND observed| - |predicted AND NOT observed| * 0.5,
+    a standard dictionary-matching count rewarding explained failures and
+    penalizing predicted-but-absent ones; pure passes carry no information
+    because a small delay defect may legitimately pass any pattern.
+    """
+    behavior = np.asarray(behavior, dtype=bool)
+    signatures = logic_signatures(simulations, suspects)
+    scored: List[Tuple[Edge, float]] = []
+    for edge in suspects:
+        predicted = signatures[edge].astype(bool)
+        explained = np.logical_and(predicted, behavior).sum()
+        overpredicted = np.logical_and(predicted, ~behavior).sum()
+        scored.append((edge, float(explained) - 0.5 * float(overpredicted)))
+    ranking = sorted(scored, key=lambda item: -item[1])
+    return DiagnosisResult("logic_only", ranking)

@@ -1,0 +1,168 @@
+"""Dictionary compaction (paper future work #4).
+
+    "reduce the expense of computing and storing the probabilistic fault
+    dictionary"
+
+A probabilistic fault dictionary is |suspects| dense float64 matrices of
+shape ``|O| x |TP|`` — on the paper's industrial targets that is the
+dominant storage cost.  Two lossy compactions are provided, both of which
+keep the dictionary usable by every error function through transparent
+reconstruction:
+
+* **sparsification** — signature entries below a threshold are dropped
+  (stored as COO triplets); signatures are overwhelmingly sparse because a
+  suspect only influences outputs in its fanout cone under patterns that
+  toggle it,
+* **quantization** — probabilities stored as ``uint8`` (1/255 resolution),
+  which is far below the Monte-Carlo resolution of any practical sample
+  budget anyway.
+
+:func:`compaction_report` measures the size/accuracy trade-off on a real
+dictionary: bytes before/after and the worst rank perturbation across
+suspects for a given behavior matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Edge
+from .dictionary import ProbabilisticFaultDictionary
+from .diagnosis import diagnose
+from .error_functions import ALG_REV, ErrorFunction
+
+__all__ = ["CompactDictionary", "compact_dictionary", "compaction_report"]
+
+
+@dataclass
+class _SparseSignature:
+    """COO storage of one quantized signature matrix."""
+
+    rows: np.ndarray  # uint16
+    cols: np.ndarray  # uint16
+    values: np.ndarray  # uint8 (probability * 255)
+    shape: Tuple[int, int]
+
+    def dense(self) -> np.ndarray:
+        matrix = np.zeros(self.shape)
+        matrix[self.rows, self.cols] = self.values.astype(float) / 255.0
+        return matrix
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows.nbytes + self.cols.nbytes + self.values.nbytes
+
+
+class CompactDictionary:
+    """A sparsified + quantized probabilistic fault dictionary.
+
+    Behaves like the dense dictionary for diagnosis purposes via
+    :meth:`to_dictionary` (reconstruction is exact up to the declared loss).
+    """
+
+    def __init__(
+        self,
+        source: ProbabilisticFaultDictionary,
+        threshold: float = 0.01,
+    ) -> None:
+        if not 0.0 <= threshold < 1.0:
+            raise ValueError("threshold must be in [0, 1)")
+        self.timing = source.timing
+        self.clk = source.clk
+        self.threshold = threshold
+        self.suspects: List[Edge] = list(source.suspects)
+        self.size_samples = source.size_samples
+        # m_crt is a single matrix; keep it quantized-dense.
+        self.m_crt_q = np.round(source.m_crt * 255.0).astype(np.uint8)
+        self.m_shape = source.m_crt.shape
+        self._sparse: Dict[Edge, _SparseSignature] = {}
+        for edge in self.suspects:
+            signature = source.signatures[edge]
+            mask = signature >= threshold
+            rows, cols = np.nonzero(mask)
+            self._sparse[edge] = _SparseSignature(
+                rows.astype(np.uint16),
+                cols.astype(np.uint16),
+                np.round(signature[mask] * 255.0).astype(np.uint8),
+                signature.shape,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint of the compacted signatures + baseline."""
+        return self.m_crt_q.nbytes + sum(
+            sparse.nbytes for sparse in self._sparse.values()
+        )
+
+    def signature(self, edge: Edge) -> np.ndarray:
+        return self._sparse[edge].dense()
+
+    def to_dictionary(self) -> ProbabilisticFaultDictionary:
+        """Reconstruct a dense dictionary (lossy by threshold+quantization)."""
+        return ProbabilisticFaultDictionary(
+            timing=self.timing,
+            clk=self.clk,
+            m_crt=self.m_crt_q.astype(float) / 255.0,
+            suspects=list(self.suspects),
+            signatures={edge: self.signature(edge) for edge in self.suspects},
+            size_samples=self.size_samples,
+        )
+
+    def __len__(self) -> int:
+        return len(self.suspects)
+
+
+def compact_dictionary(
+    dictionary: ProbabilisticFaultDictionary, threshold: float = 0.01
+) -> CompactDictionary:
+    """Sparsify + quantize a dictionary."""
+    return CompactDictionary(dictionary, threshold)
+
+
+def dense_nbytes(dictionary: ProbabilisticFaultDictionary) -> int:
+    """Storage footprint of the dense float64 dictionary."""
+    return dictionary.m_crt.nbytes + sum(
+        signature.nbytes for signature in dictionary.signatures.values()
+    )
+
+
+def compaction_report(
+    dictionary: ProbabilisticFaultDictionary,
+    behavior: np.ndarray,
+    threshold: float = 0.01,
+    error_function: ErrorFunction = ALG_REV,
+    top_k: int = 10,
+) -> Dict[str, object]:
+    """Size/accuracy trade-off of compaction on one diagnosis instance.
+
+    Reports the compression ratio and how far the compacted ranking drifts:
+    maximum absolute rank change over the dense top-``top_k`` suspects, and
+    whether the top-1 answer is preserved.
+    """
+    compact = compact_dictionary(dictionary, threshold)
+    dense_result = diagnose(dictionary, behavior, error_function)
+    compact_result = diagnose(compact.to_dictionary(), behavior, error_function)
+
+    drift = 0
+    for edge in dense_result.top(min(top_k, len(dense_result))):
+        dense_rank = dense_result.rank_of(edge)
+        compact_rank = compact_result.rank_of(edge)
+        if dense_rank is not None and compact_rank is not None:
+            drift = max(drift, abs(dense_rank - compact_rank))
+    before = dense_nbytes(dictionary)
+    after = compact.nbytes
+    return {
+        "bytes_dense": before,
+        "bytes_compact": after,
+        "compression_ratio": before / after if after else float("inf"),
+        "max_rank_drift_topk": drift,
+        "top1_preserved": (
+            dense_result.ranking[0][0] == compact_result.ranking[0][0]
+            if dense_result.ranking
+            else True
+        ),
+    }

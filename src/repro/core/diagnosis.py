@@ -1,0 +1,151 @@
+"""The diagnosis drivers: ``Alg_sim`` (Algorithm E.1) and ``Alg_rev`` (F.1).
+
+Both algorithms share all steps except the final scoring/ranking rule:
+
+1. prune suspects by cause-effect tracing (:mod:`repro.core.suspects`),
+2. build the probabilistic fault dictionary, i.e. per-suspect signature
+   matrices via statistical dynamic timing simulation
+   (:mod:`repro.core.dictionary`),
+3. score each suspect's signature against the observed behavior matrix with
+   a diagnosis error function (:mod:`repro.core.error_functions`),
+4. rank and emit the top-``K`` candidate defect locations.
+
+:func:`diagnose` runs steps 3-4 for one error function on a prebuilt
+dictionary; :func:`run_diagnosis` is the end-to-end convenience wrapper
+around all four steps.  Ties are broken deterministically by suspect order
+(position in ``circuit.edges``), which matters for reproducibility when many
+signatures are all-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..atpg.patterns import PatternPairSet
+from ..circuits.netlist import Edge
+from ..timing.critical import simulate_pattern_set
+from ..timing.dynamic import TransitionSimResult
+from ..timing.instance import CircuitTiming
+from .dictionary import ProbabilisticFaultDictionary, build_dictionary
+from .error_functions import ALG_REV, ErrorFunction, METHOD_I, METHOD_II
+from .suspects import suspect_edges
+
+__all__ = ["DiagnosisResult", "diagnose", "diagnose_all", "run_diagnosis"]
+
+
+@dataclass
+class DiagnosisResult:
+    """A ranked list of candidate defect locations.
+
+    ``ranking`` is best-first: ``ranking[0]`` is the most probable defect
+    site under the chosen error function.  Scores keep the function's
+    native orientation (probabilities for Alg_sim methods, errors for
+    Alg_rev).
+    """
+
+    method: str
+    ranking: List[Tuple[Edge, float]]
+
+    def top(self, k: int = 1) -> List[Edge]:
+        """The paper's top-``K`` answer set."""
+        if k < 1:
+            raise ValueError("K must be at least 1")
+        return [edge for edge, _score in self.ranking[:k]]
+
+    def rank_of(self, edge: Edge) -> Optional[int]:
+        """1-based rank of an edge, or ``None`` if it is not a suspect."""
+        for index, (candidate, _score) in enumerate(self.ranking):
+            if candidate == edge:
+                return index + 1
+        return None
+
+    def hit(self, edge: Edge, k: int) -> bool:
+        """Success criterion of Section I: injected defect in the top-K."""
+        rank = self.rank_of(edge)
+        return rank is not None and rank <= k
+
+    def score_of(self, edge: Edge) -> Optional[float]:
+        for candidate, score in self.ranking:
+            if candidate == edge:
+                return score
+        return None
+
+    def __len__(self) -> int:
+        return len(self.ranking)
+
+
+def diagnose(
+    dictionary: ProbabilisticFaultDictionary,
+    behavior: np.ndarray,
+    error_function: ErrorFunction = ALG_REV,
+) -> DiagnosisResult:
+    """Rank the dictionary's suspects against a behavior matrix.
+
+    Suspects are scored on their full failing-probability matrices
+    ``E_crt = M_crt + S_crt`` (Figure 2's "probabilities of failing").  In
+    the paper's regime — "we can always make clk large enough so that
+    M_crt = 0, in that case S_crt = E_crt" — this is identical to scoring
+    the signature; with a tight diagnosis clock, baseline-critical
+    observations (``m ~ 1``) would otherwise make every suspect look
+    inconsistent with failures the healthy circuit itself produces.
+    """
+    behavior = np.asarray(behavior)
+    if behavior.shape != dictionary.m_crt.shape:
+        raise ValueError(
+            f"behavior shape {behavior.shape} != error-matrix shape "
+            f"{dictionary.m_crt.shape}"
+        )
+    scored = [
+        (edge, error_function(dictionary.e_crt(edge), behavior))
+        for edge in dictionary.suspects
+    ]
+    # Stable sort: ties keep the deterministic suspect order.
+    reverse = error_function.higher_is_better
+    ranking = sorted(scored, key=lambda item: -item[1] if reverse else item[1])
+    return DiagnosisResult(error_function.name, ranking)
+
+
+def diagnose_all(
+    dictionary: ProbabilisticFaultDictionary,
+    behavior: np.ndarray,
+    error_functions: Sequence[ErrorFunction] = (METHOD_I, METHOD_II, ALG_REV),
+) -> Dict[str, DiagnosisResult]:
+    """Run several error functions on one dictionary (one sim pass total)."""
+    return {
+        function.name: diagnose(dictionary, behavior, function)
+        for function in error_functions
+    }
+
+
+def run_diagnosis(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    clk: float,
+    behavior: np.ndarray,
+    size_samples: np.ndarray,
+    error_functions: Sequence[ErrorFunction] = (METHOD_I, METHOD_II, ALG_REV),
+    base_simulations: Optional[Sequence[TransitionSimResult]] = None,
+    suspects: Optional[Sequence[Edge]] = None,
+) -> Tuple[Dict[str, DiagnosisResult], ProbabilisticFaultDictionary]:
+    """End-to-end diagnosis of one failing chip.
+
+    Returns the per-method results plus the dictionary (so callers can
+    inspect signatures, rerun other error functions, or feed the automatic
+    K-selection heuristics).
+    """
+    if base_simulations is None:
+        base_simulations = simulate_pattern_set(timing, list(patterns))
+    if suspects is None:
+        suspects = suspect_edges(base_simulations, behavior)
+    dictionary = build_dictionary(
+        timing,
+        patterns,
+        clk,
+        suspects,
+        size_samples,
+        base_simulations=base_simulations,
+    )
+    return diagnose_all(dictionary, behavior, error_functions), dictionary

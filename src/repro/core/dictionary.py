@@ -1,0 +1,138 @@
+"""The probabilistic fault dictionary (paper Sections C-1, E; Definition E.1).
+
+For the defect-free model the dictionary holds ``M_crt = Err_M(C, TP, clk)``;
+for every suspect fault ``i`` it holds the signature probability matrix
+
+    ``S_crt(i) = Err_M(D_i(C), TP, clk) - M_crt``
+
+the suspect's *additional contribution* to each output/pattern critical
+probability.  Construction cost is dominated by the per-suspect dynamic
+re-simulations; two structural facts keep it tractable:
+
+* logic values never change under a delay defect, so only settle times in
+  the suspect edge's fanout cone need re-evaluation
+  (:func:`repro.timing.dynamic.resimulate_with_extra`),
+* a suspect can only affect patterns that launch a transition through its
+  edge, and only outputs in its fanout cone — other entries are copied
+  from ``M_crt`` without simulation.
+
+The monotonicity ``err_ij >= crt_ij`` noted in the paper holds *exactly*
+per Monte-Carlo sample here (extra delay can only increase settle times),
+so signatures are non-negative by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.netlist import Circuit, Edge
+from ..timing.critical import simulate_pattern_set
+from ..timing.dynamic import TransitionSimResult, resimulate_with_extra
+from ..timing.instance import CircuitTiming
+from ..atpg.patterns import PatternPairSet
+
+__all__ = ["ProbabilisticFaultDictionary", "build_dictionary"]
+
+
+@dataclass
+class ProbabilisticFaultDictionary:
+    """Per-suspect signature matrices plus the defect-free error matrix.
+
+    ``m_crt`` is ``|O| x |TP|``; ``signatures[edge]`` has the same shape.
+    ``size_samples`` records the defect-size population assumed while
+    building (the diagnosis has to guess the unknown size distribution;
+    Definition D.8's discussion, point 4).
+    """
+
+    timing: CircuitTiming
+    clk: float
+    m_crt: np.ndarray
+    suspects: List[Edge]
+    signatures: Dict[Edge, np.ndarray]
+    size_samples: np.ndarray
+
+    @property
+    def circuit(self) -> Circuit:
+        return self.timing.circuit
+
+    def signature(self, edge: Edge) -> np.ndarray:
+        return self.signatures[edge]
+
+    def e_crt(self, edge: Edge) -> np.ndarray:
+        """``Err_M(D_s(C), TP, clk)`` for one suspect."""
+        return self.m_crt + self.signatures[edge]
+
+    def __len__(self) -> int:
+        return len(self.suspects)
+
+
+def build_dictionary(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    clk: float,
+    suspects: Sequence[Edge],
+    size_samples: np.ndarray,
+    base_simulations: Optional[Sequence[TransitionSimResult]] = None,
+) -> ProbabilisticFaultDictionary:
+    """Build the dictionary for the given suspect set.
+
+    ``size_samples`` is the Monte-Carlo materialization of the assumed
+    defect-size random variable (shared across suspects: common random
+    numbers keep the suspect comparison noise-free).  Pass precomputed
+    ``base_simulations`` (from :func:`simulate_pattern_set`) to reuse the
+    defect-free runs.
+    """
+    circuit = timing.circuit
+    size_samples = np.asarray(size_samples, dtype=float)
+    if size_samples.shape != (timing.space.n_samples,):
+        raise ValueError("size_samples must cover the full sample space")
+    if base_simulations is None:
+        base_simulations = simulate_pattern_set(timing, list(patterns))
+    if len(base_simulations) != len(patterns):
+        raise ValueError("one base simulation per pattern required")
+
+    m_columns = [sim.error_vector(clk) for sim in base_simulations]
+    m_crt = (
+        np.stack(m_columns, axis=1)
+        if m_columns
+        else np.zeros((len(circuit.outputs), 0))
+    )
+
+    output_row = {net: row for row, net in enumerate(circuit.outputs)}
+    # cache of fanout cones per suspect sink net
+    cone_cache: Dict[str, List[str]] = {}
+
+    signatures: Dict[Edge, np.ndarray] = {}
+    for edge in suspects:
+        edge_index = timing.edge_index[edge]
+        if edge.sink not in cone_cache:
+            cone_cache[edge.sink] = circuit.fanout_cone(edge.sink)
+        affected_outputs = [
+            net for net in cone_cache[edge.sink] if net in output_row
+        ]
+        signature = np.zeros_like(m_crt)
+        for column, sim in enumerate(base_simulations):
+            if not affected_outputs:
+                break
+            # The defect only matters when the test launches a transition
+            # through the defective segment's sink gate.
+            if not sim.transitioned(edge.sink):
+                continue
+            patched = resimulate_with_extra(sim, {edge_index: size_samples})
+            for net in affected_outputs:
+                if patched.transitioned(net):
+                    row = output_row[net]
+                    err = float(np.mean(patched.stable[net] > clk))
+                    signature[row, column] = err - m_crt[row, column]
+        signatures[edge] = signature
+    return ProbabilisticFaultDictionary(
+        timing=timing,
+        clk=clk,
+        m_crt=m_crt,
+        suspects=list(suspects),
+        signatures=signatures,
+        size_samples=size_samples,
+    )

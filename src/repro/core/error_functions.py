@@ -1,0 +1,179 @@
+"""Diagnosis error functions (paper Sections C-1, E step 7, F).
+
+Every function answers the same question — *how well does a suspect's
+signature probability matrix explain the observed 0-1 behavior matrix?* —
+and, as the paper stresses, different answers lead to different diagnoses
+(the Figure 2 ambiguity).  Implemented:
+
+* the per-pattern match probability machinery shared by all methods
+  (steps 5-6 of Algorithm E.1): ``p_kj = b_kj s_kj + (1-b_kj)(1-s_kj)``
+  and ``phi_j = prod_k p_kj``,
+* **Method I**   — noisy-OR over patterns: ``1 - prod_j (1 - phi_j)``,
+* **Method II**  — average: ``mean_j phi_j``,
+* **Method III** — conjunction: ``prod_j phi_j`` (shown by the paper to be
+  too restrictive: a single zero-probability pattern annihilates the
+  suspect),
+* **Alg_rev**    — the explicit Euclidean error of Section F:
+  ``sum_j (1 - phi_j)^2`` against the ideal all-match outcome, *minimized*,
+* extensions (paper future work 5): a log-likelihood score (the
+  numerically robust form of Method III) and a direct per-entry Euclidean
+  distance ``||S - B||^2`` in the spirit of Equation (4).
+
+All functions expose the same interface: ``score(signature, behavior)``
+returning a float, with :attr:`ErrorFunction.higher_is_better` fixing the
+ranking direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+__all__ = [
+    "ErrorFunction",
+    "match_probabilities",
+    "pattern_match_probability",
+    "METHOD_I",
+    "METHOD_II",
+    "METHOD_III",
+    "ALG_REV",
+    "LOG_LIKELIHOOD",
+    "EUCLIDEAN_SB",
+    "ALL_ERROR_FUNCTIONS",
+    "by_name",
+]
+
+
+def match_probabilities(signature: np.ndarray, behavior: np.ndarray) -> np.ndarray:
+    """Step 5 of Algorithm E.1: per-entry consistency probabilities.
+
+    ``p_kj = b_kj * s_kj + (1 - b_kj) * (1 - s_kj)`` — keep the signature
+    probability where an error was observed, flip it where none was.
+    """
+    signature = np.asarray(signature, dtype=float)
+    behavior = np.asarray(behavior, dtype=float)
+    if signature.shape != behavior.shape:
+        raise ValueError(
+            f"signature {signature.shape} vs behavior {behavior.shape}"
+        )
+    return behavior * signature + (1.0 - behavior) * (1.0 - signature)
+
+
+def pattern_match_probability(
+    signature: np.ndarray, behavior: np.ndarray
+) -> np.ndarray:
+    """Step 6: ``phi_j = prod_k p_kj`` — all outputs of pattern j match."""
+    return match_probabilities(signature, behavior).prod(axis=0)
+
+
+@dataclass(frozen=True)
+class ErrorFunction:
+    """A named diagnosis error function.
+
+    ``score`` maps (signature matrix, behavior matrix) to a scalar;
+    suspects are ranked by descending score when ``higher_is_better`` and
+    ascending otherwise.
+    """
+
+    name: str
+    score: Callable[[np.ndarray, np.ndarray], float]
+    higher_is_better: bool
+    description: str = ""
+
+    def __call__(self, signature: np.ndarray, behavior: np.ndarray) -> float:
+        return float(self.score(signature, behavior))
+
+
+def _method_i(signature: np.ndarray, behavior: np.ndarray) -> float:
+    phi = pattern_match_probability(signature, behavior)
+    return float(1.0 - np.prod(1.0 - phi))
+
+
+def _method_ii(signature: np.ndarray, behavior: np.ndarray) -> float:
+    phi = pattern_match_probability(signature, behavior)
+    return float(phi.mean()) if phi.size else 0.0
+
+
+def _method_iii(signature: np.ndarray, behavior: np.ndarray) -> float:
+    phi = pattern_match_probability(signature, behavior)
+    return float(np.prod(phi)) if phi.size else 0.0
+
+
+def _alg_rev(signature: np.ndarray, behavior: np.ndarray) -> float:
+    phi = pattern_match_probability(signature, behavior)
+    return float(np.sum((1.0 - phi) ** 2))
+
+
+_EPS = 1e-12
+
+
+def _log_likelihood(signature: np.ndarray, behavior: np.ndarray) -> float:
+    p = match_probabilities(signature, behavior)
+    return float(np.log(np.clip(p, _EPS, None)).sum())
+
+
+def _euclidean_sb(signature: np.ndarray, behavior: np.ndarray) -> float:
+    signature = np.asarray(signature, dtype=float)
+    behavior = np.asarray(behavior, dtype=float)
+    return float(((signature - behavior) ** 2).sum())
+
+
+METHOD_I = ErrorFunction(
+    "method_I",
+    _method_i,
+    higher_is_better=True,
+    description="P(suspect consistent with at least one pattern) — noisy-OR",
+)
+METHOD_II = ErrorFunction(
+    "method_II",
+    _method_ii,
+    higher_is_better=True,
+    description="average per-pattern consistency probability",
+)
+METHOD_III = ErrorFunction(
+    "method_III",
+    _method_iii,
+    higher_is_better=True,
+    description="P(suspect consistent with every pattern) — too restrictive",
+)
+ALG_REV = ErrorFunction(
+    "alg_rev",
+    _alg_rev,
+    higher_is_better=False,
+    description="Euclidean distance to the zero-mismatch ideal (Section F)",
+)
+LOG_LIKELIHOOD = ErrorFunction(
+    "log_likelihood",
+    _log_likelihood,
+    higher_is_better=True,
+    description="sum of per-entry log consistency (robust Method III)",
+)
+EUCLIDEAN_SB = ErrorFunction(
+    "euclidean_sb",
+    _euclidean_sb,
+    higher_is_better=False,
+    description="per-entry ||S - B||^2 in the spirit of Equation (4)",
+)
+
+ALL_ERROR_FUNCTIONS: List[ErrorFunction] = [
+    METHOD_I,
+    METHOD_II,
+    METHOD_III,
+    ALG_REV,
+    LOG_LIKELIHOOD,
+    EUCLIDEAN_SB,
+]
+
+_BY_NAME: Dict[str, ErrorFunction] = {f.name: f for f in ALL_ERROR_FUNCTIONS}
+
+
+def by_name(name: str) -> ErrorFunction:
+    """Look up an error function by its registered name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown error function {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,184 @@
+"""Evaluation protocol of Section I: statistical defect injection trials.
+
+For a circuit model ``C`` and defect model ``D_s``:
+
+1. draw a defect (location uniform over edges, size from the D.9/D.10
+   population) and generate the diagnostic pattern set for its site — the
+   longest testable paths through the fault, per Section H-4,
+2. pick the cut-off ``clk`` tight against the tested paths
+   (:func:`repro.timing.critical.diagnosis_clock`),
+3. draw chip instances carrying the defect until one *fails* (a passing
+   chip is never submitted for diagnosis),
+4. run every configured diagnosis method and record the rank of the true
+   defect location,
+5. repeat ``n_trials`` times and report per-(method, K) success rates —
+   success means the injected defect is contained in the top-K answer set.
+
+Defect locations whose site admits no path-delay test at all are redrawn
+(the tester would never see such a chip fail; the redraw count is recorded).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..atpg.patterns import PatternPairSet, generate_path_tests
+from ..circuits.netlist import Edge
+from ..defects.injection import draw_failing_trial
+from ..defects.model import DefectSizeModel, SingleDefectModel
+from ..timing.critical import diagnosis_clock, simulate_pattern_set
+from ..timing.instance import CircuitTiming
+from .diagnosis import run_diagnosis
+from .error_functions import ALG_REV, ErrorFunction, METHOD_I, METHOD_II
+
+__all__ = ["EvaluationConfig", "TrialRecord", "EvaluationResult", "evaluate_circuit"]
+
+
+@dataclass
+class EvaluationConfig:
+    """Knobs of the Section I protocol (defaults follow the paper)."""
+
+    n_trials: int = 20
+    n_paths: int = 10
+    clk_quantile: float = 0.85
+    k_values: Tuple[int, ...] = (1, 3, 7)
+    error_functions: Tuple[ErrorFunction, ...] = (METHOD_I, METHOD_II, ALG_REV)
+    size_model: DefectSizeModel = field(default_factory=DefectSizeModel)
+    seed: int = 0
+    max_location_redraws: int = 10
+    max_instance_redraws: int = 50
+
+
+@dataclass
+class TrialRecord:
+    """Ground truth and per-method outcome of one injection trial."""
+
+    defect_edge: Edge
+    defect_size_mean: float
+    sample_index: int
+    n_patterns: int
+    n_suspects: int
+    n_failing_observations: int
+    location_redraws: int
+    instance_redraws: int
+    ranks: Dict[str, Optional[int]]
+    seconds: float
+
+    def hit(self, method: str, k: int) -> bool:
+        rank = self.ranks.get(method)
+        return rank is not None and rank <= k
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregated success rates plus the raw per-trial records."""
+
+    circuit_name: str
+    config: EvaluationConfig
+    records: List[TrialRecord]
+
+    def success_rate(self, method: str, k: int) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([record.hit(method, k) for record in self.records]))
+
+    def table(self) -> Dict[Tuple[str, int], float]:
+        """{(method, K): success rate} over the configured grid."""
+        return {
+            (function.name, k): self.success_rate(function.name, k)
+            for function in self.config.error_functions
+            for k in self.config.k_values
+        }
+
+    def mean_suspects(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([record.n_suspects for record in self.records]))
+
+    def mean_patterns(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([record.n_patterns for record in self.records]))
+
+
+def evaluate_circuit(
+    timing: CircuitTiming,
+    config: Optional[EvaluationConfig] = None,
+) -> EvaluationResult:
+    """Run the full Section I protocol on one circuit model."""
+    config = config or EvaluationConfig()
+    rng = np.random.default_rng(config.seed)
+    defect_model = SingleDefectModel(timing, size_model=config.size_model)
+    records: List[TrialRecord] = []
+
+    for trial_index in range(config.n_trials):
+        started = time.perf_counter()
+        patterns: Optional[PatternPairSet] = None
+        defect = None
+        location_redraws = 0
+        for _redraw in range(config.max_location_redraws):
+            defect = defect_model.draw(rng)
+            patterns, _tests = generate_path_tests(
+                timing,
+                defect.edge,
+                n_paths=config.n_paths,
+                rng_seed=config.seed * 1000 + trial_index,
+            )
+            if len(patterns):
+                break
+            location_redraws += 1
+        if patterns is None or not len(patterns):
+            raise RuntimeError(
+                "could not find a testable defect site after "
+                f"{config.max_location_redraws} redraws"
+            )
+
+        simulations = simulate_pattern_set(timing, list(patterns))
+        clk = diagnosis_clock(
+            timing,
+            list(patterns),
+            config.clk_quantile,
+            simulations=simulations,
+            targets=patterns.target_observations(),
+        )
+        trial, instance_redraws = draw_failing_trial(
+            timing,
+            patterns,
+            clk,
+            defect_model,
+            rng,
+            max_attempts=config.max_instance_redraws,
+            defect=defect,
+        )
+
+        results, dictionary = run_diagnosis(
+            timing,
+            patterns,
+            clk,
+            trial.behavior,
+            defect_model.dictionary_size_variable().samples,
+            error_functions=config.error_functions,
+            base_simulations=simulations,
+        )
+        ranks = {
+            name: result.rank_of(defect.edge) for name, result in results.items()
+        }
+        records.append(
+            TrialRecord(
+                defect_edge=defect.edge,
+                defect_size_mean=defect.size_mean,
+                sample_index=trial.sample_index,
+                n_patterns=len(patterns),
+                n_suspects=len(dictionary),
+                n_failing_observations=trial.n_failing_observations,
+                location_redraws=location_redraws,
+                instance_redraws=instance_redraws,
+                ranks=ranks,
+                seconds=time.perf_counter() - started,
+            )
+        )
+    return EvaluationResult(timing.circuit.name, config, records)

@@ -1,0 +1,86 @@
+"""Automatic selection of the answer-set size K (paper future work #2).
+
+The paper leaves K user-defined and notes "develop heuristics to select K
+automatically" as future work.  Two standard heuristics are provided; both
+look only at the ranked scores, so they compose with every error function:
+
+* :func:`k_by_score_gap` — cut at the largest relative gap between
+  consecutive scores within the first ``max_k`` ranks (elbow detection);
+  when scores decay smoothly there is no natural cluster and the fallback
+  is returned,
+* :func:`k_by_mass` — smallest K whose (normalized, orientation-corrected)
+  score mass reaches a threshold: "keep candidates until we have captured
+  90% of the total evidence".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .diagnosis import DiagnosisResult
+
+__all__ = ["k_by_score_gap", "k_by_mass"]
+
+
+def _oriented_scores(result: DiagnosisResult) -> np.ndarray:
+    """Scores as best-first non-negative evidence values.
+
+    Alg_rev ranks by ascending error; convert to evidence by reflecting
+    around the worst score so larger = better for every method.
+    """
+    scores = np.array([score for _edge, score in result.ranking], dtype=float)
+    if scores.size == 0:
+        return scores
+    if scores[0] <= scores[-1]:
+        # best-first ascending => smaller is better (an error measure)
+        scores = scores.max() - scores
+    return np.clip(scores - scores.min(), 0.0, None)
+
+
+def k_by_score_gap(
+    result: DiagnosisResult, max_k: int = 15, min_gap: float = 0.25, fallback: int = 5
+) -> int:
+    """Elbow heuristic: cut where the evidence drops the most.
+
+    Returns the K (1-based) before the largest *relative* drop among the
+    first ``max_k`` ranked scores, provided that drop removes at least
+    ``min_gap`` of the local evidence; otherwise ``fallback`` (bounded by
+    the suspect count).
+    """
+    scores = _oriented_scores(result)
+    limit = min(max_k, scores.size)
+    if limit == 0:
+        return 0
+    if limit == 1:
+        return 1
+    top = scores[0]
+    if top <= 0.0:
+        return min(fallback, scores.size)
+    best_k, best_drop = None, 0.0
+    for k in range(1, limit):
+        # Normalize by the top score, not the local one: a tail of
+        # near-zero scores always drops by ~100% of itself, which must not
+        # masquerade as the elbow.
+        drop = (scores[k - 1] - scores[k]) / top
+        if drop > best_drop:
+            best_k, best_drop = k, drop
+    if best_k is not None and best_drop >= min_gap:
+        return best_k
+    return min(fallback, scores.size)
+
+
+def k_by_mass(
+    result: DiagnosisResult, mass: float = 0.9, max_k: int = 15
+) -> int:
+    """Smallest K capturing ``mass`` of the total (oriented) score mass."""
+    if not 0.0 < mass <= 1.0:
+        raise ValueError("mass must be in (0, 1]")
+    scores = _oriented_scores(result)
+    if scores.size == 0:
+        return 0
+    total = scores.sum()
+    if total <= 0.0:
+        return min(max_k, scores.size)
+    cumulative = np.cumsum(scores) / total
+    k = int(np.searchsorted(cumulative, mass) + 1)
+    return min(k, max_k, scores.size)

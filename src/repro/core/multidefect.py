@@ -1,0 +1,99 @@
+"""Multiple-defect relaxation (paper future work #3).
+
+The single-defect assumption (Definition D.10) fixes ``sum(rho_i) = 1``.
+This module relaxes it to a small number of simultaneous segment defects
+via greedy residual diagnosis — the natural extension of the paper's
+framework that needs no new dictionary machinery:
+
+1. diagnose under the single-defect assumption, take the best candidate,
+2. *commit* it: add its assumed delay population to the timing model's
+   picture of the chip by folding the candidate's signature into the
+   baseline error matrix, then re-score the remaining suspects against the
+   still-unexplained failures,
+3. repeat up to ``max_defects`` times or until the observed behavior is
+   explained.
+
+The committed-candidate update works on the signature matrices directly:
+after committing candidate ``c``, a remaining suspect ``e`` is scored on
+the *residual* behavior — observed failures not already made plausible by
+``c`` (entries where ``c``'s own signature probability exceeds a
+plausibility threshold are considered explained and removed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..circuits.netlist import Edge
+from .dictionary import ProbabilisticFaultDictionary
+from .diagnosis import DiagnosisResult, diagnose
+from .error_functions import ALG_REV, ErrorFunction
+
+__all__ = ["MultiDefectResult", "diagnose_multi"]
+
+
+@dataclass
+class MultiDefectResult:
+    """Greedy multi-defect diagnosis outcome.
+
+    ``candidates`` are the committed locations in commitment order;
+    ``stages`` holds the per-stage single-defect rankings for inspection.
+    """
+
+    candidates: List[Edge]
+    stages: List[DiagnosisResult]
+
+    def hit_any(self, edges: Sequence[Edge]) -> bool:
+        """True if any true defect location was committed."""
+        return any(edge in self.candidates for edge in edges)
+
+    def hit_all(self, edges: Sequence[Edge]) -> bool:
+        """True if every true defect location was committed."""
+        return all(edge in self.candidates for edge in edges)
+
+
+def diagnose_multi(
+    dictionary: ProbabilisticFaultDictionary,
+    behavior: np.ndarray,
+    error_function: ErrorFunction = ALG_REV,
+    max_defects: int = 2,
+    explain_threshold: float = 0.2,
+) -> MultiDefectResult:
+    """Greedy residual diagnosis for up to ``max_defects`` defects.
+
+    ``explain_threshold`` is the signature probability above which a
+    committed candidate is considered to explain an observed failure; those
+    entries are cleared from the residual behavior before the next stage.
+    """
+    if max_defects < 1:
+        raise ValueError("max_defects must be >= 1")
+    residual = np.asarray(behavior, dtype=np.int8).copy()
+    committed: List[Edge] = []
+    stages: List[DiagnosisResult] = []
+
+    for _stage in range(max_defects):
+        if not residual.any():
+            break
+        remaining = [edge for edge in dictionary.suspects if edge not in committed]
+        if not remaining:
+            break
+        stage_dictionary = ProbabilisticFaultDictionary(
+            timing=dictionary.timing,
+            clk=dictionary.clk,
+            m_crt=dictionary.m_crt,
+            suspects=remaining,
+            signatures={edge: dictionary.signatures[edge] for edge in remaining},
+            size_samples=dictionary.size_samples,
+        )
+        result = diagnose(stage_dictionary, residual, error_function)
+        stages.append(result)
+        if not result.ranking:
+            break
+        best_edge, _score = result.ranking[0]
+        committed.append(best_edge)
+        explained = dictionary.signatures[best_edge] >= explain_threshold
+        residual = np.where(explained, 0, residual).astype(np.int8)
+    return MultiDefectResult(committed, stages)

@@ -1,0 +1,200 @@
+"""Diagnostic resolution in the timing domain (the Section C claim, measured).
+
+In the logic domain, a pattern set's *fault resolution* partitions faults
+into classes with identical detection signatures; diagnosis can never
+distinguish within a class (Section C).  The paper's core claim is that
+timing information refines this partition: two logically-equivalent faults
+can have different *probabilistic* signatures (Figure 1 case b).
+
+This module measures that refinement on a built dictionary:
+
+* :func:`signature_distance` — L1 distance between two suspects' failing
+  probability matrices,
+* :func:`diagnosability_classes` — suspects whose signatures are
+  indistinguishable (within a tolerance that reflects Monte-Carlo noise),
+* :func:`expected_resolution` — the expected class size a diagnosis ends
+  in (1.0 = perfectly diagnosable),
+* :func:`resolution_curve` — resolution as patterns accumulate (the
+  marginal diagnostic value of each test),
+* :func:`compare_with_logic_resolution` — the headline comparison: the
+  timing partition is provably a refinement of the logic partition, and
+  the function reports how much finer it actually is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..circuits.netlist import Edge
+from ..timing.dynamic import TransitionSimResult
+from .baselines import logic_signatures
+from .dictionary import ProbabilisticFaultDictionary
+
+__all__ = [
+    "signature_distance",
+    "diagnosability_classes",
+    "expected_resolution",
+    "resolution_curve",
+    "compare_with_logic_resolution",
+]
+
+
+def signature_distance(
+    dictionary: ProbabilisticFaultDictionary, a: Edge, b: Edge
+) -> float:
+    """L1 distance between two suspects' failing-probability matrices."""
+    return float(
+        np.abs(dictionary.signatures[a] - dictionary.signatures[b]).sum()
+    )
+
+
+def _partition(
+    suspects: Sequence[Edge],
+    matrices: Dict[Edge, np.ndarray],
+    tolerance: float,
+) -> List[List[Edge]]:
+    """Group suspects whose matrices are pairwise within ``tolerance`` (L1).
+
+    Greedy single-link grouping: deterministic in suspect order, exact for
+    tolerance 0 (identical matrices), and for small tolerances it merges
+    exactly the Monte-Carlo-noise-level differences it is meant to absorb.
+    """
+    classes: List[List[Edge]] = []
+    for suspect in suspects:
+        placed = False
+        for group in classes:
+            representative = group[0]
+            distance = float(
+                np.abs(matrices[suspect] - matrices[representative]).sum()
+            )
+            if distance <= tolerance:
+                group.append(suspect)
+                placed = True
+                break
+        if not placed:
+            classes.append([suspect])
+    return classes
+
+
+def diagnosability_classes(
+    dictionary: ProbabilisticFaultDictionary, tolerance: float = 1e-9
+) -> List[List[Edge]]:
+    """Suspects indistinguishable by their timing signatures.
+
+    With the default (near-zero) tolerance, two suspects share a class only
+    when no behavior matrix could ever rank them apart.  Raise the
+    tolerance to the Monte-Carlo noise floor (~``1/n_samples`` per entry
+    times the matrix size) for a statistically honest partition.
+    """
+    return _partition(dictionary.suspects, dictionary.signatures, tolerance)
+
+
+def expected_resolution(
+    dictionary: ProbabilisticFaultDictionary, tolerance: float = 1e-9
+) -> float:
+    """Expected diagnosability-class size under a uniform true defect.
+
+    ``sum(|class|^2) / total`` — the mean size of the class the true
+    defect lands in.  1.0 means every suspect is uniquely identifiable.
+    """
+    classes = diagnosability_classes(dictionary, tolerance)
+    total = sum(len(group) for group in classes)
+    if total == 0:
+        return 0.0
+    return float(sum(len(group) ** 2 for group in classes)) / total
+
+
+def resolution_curve(
+    dictionary: ProbabilisticFaultDictionary, tolerance: float = 1e-9
+) -> List[float]:
+    """Expected resolution after each pattern-prefix of the dictionary.
+
+    Entry ``j`` uses only the first ``j+1`` patterns' columns — the
+    marginal diagnostic value of each added test, the quantity adaptive
+    pattern generation tries to maximize.
+    """
+    n_patterns = dictionary.m_crt.shape[1]
+    curve: List[float] = []
+    for upto in range(1, n_patterns + 1):
+        matrices = {
+            edge: dictionary.signatures[edge][:, :upto]
+            for edge in dictionary.suspects
+        }
+        classes = _partition(dictionary.suspects, matrices, tolerance)
+        total = sum(len(group) for group in classes)
+        curve.append(
+            float(sum(len(group) ** 2 for group in classes)) / total
+            if total
+            else 0.0
+        )
+    return curve
+
+
+def compare_with_logic_resolution(
+    dictionary: ProbabilisticFaultDictionary,
+    simulations: Sequence[TransitionSimResult],
+    tolerance: float = 1e-9,
+) -> Dict[str, object]:
+    """Logic-domain vs timing-domain resolution on the same pattern set.
+
+    The logic partition groups suspects by their 0-1 sensitization
+    signatures (which (output, pattern) entries the suspect could fail at
+    all).  The paper's Section C shows the two domains disagree in *both*
+    directions, and this function quantifies each on real data:
+
+    * **Figure 1 case (b)** — timing *splits* logic classes: suspects with
+      identical logical sensitization but different signature probabilities
+      (different path lengths / max() dominance).  Reported as
+      ``logic_classes_split_by_timing`` and the per-domain expected
+      resolutions.
+    * **Figure 1 case (a)** — timing goes *blind* where logic can see:
+      suspects that are logically sensitized yet carry (near-)zero
+      signature mass because every sensitized path clears the cut-off with
+      slack ("it may detect none").  Reported as ``timing_blind_suspects``
+      — these all land in one indistinguishable timing class.
+    """
+    logic = logic_signatures(simulations, dictionary.suspects)
+    logic_classes = _partition(
+        dictionary.suspects,
+        {edge: matrix.astype(float) for edge, matrix in logic.items()},
+        tolerance=0.0,
+    )
+    timing_classes = diagnosability_classes(dictionary, tolerance)
+
+    splits = 0
+    for group in logic_classes:
+        if len(group) < 2:
+            continue
+        sub = _partition(
+            group,
+            {edge: dictionary.signatures[edge] for edge in group},
+            tolerance,
+        )
+        if len(sub) > 1:
+            splits += 1
+
+    blind = [
+        edge
+        for edge in dictionary.suspects
+        if float(np.abs(dictionary.signatures[edge]).sum()) <= tolerance
+        and logic[edge].any()
+    ]
+
+    total = len(dictionary.suspects)
+    logic_expected = (
+        float(sum(len(g) ** 2 for g in logic_classes)) / total if total else 0.0
+    )
+    timing_expected = (
+        float(sum(len(g) ** 2 for g in timing_classes)) / total if total else 0.0
+    )
+    return {
+        "n_suspects": total,
+        "logic_classes": len(logic_classes),
+        "timing_classes": len(timing_classes),
+        "logic_expected_resolution": logic_expected,
+        "timing_expected_resolution": timing_expected,
+        "logic_classes_split_by_timing": splits,
+        "timing_blind_suspects": len(blind),
+    }

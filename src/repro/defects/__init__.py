@@ -1,0 +1,34 @@
+"""Defect models, statistical injection and delay fault simulation."""
+
+from .model import DefectSizeModel, SingleDefectModel, InjectedDefect
+from .injection import DiagnosisTrial, draw_trial, draw_failing_trial
+from .faultsim import behavior_matrix, population_error_matrix, escape_probability
+from .quality import ClockSweepQuality, clock_quality_sweep
+from .coupling import (
+    CouplingDefect,
+    coupling_active,
+    coupling_behavior_matrix,
+    coupling_population_matrix,
+    structural_aggressor_candidates,
+    classify_defect_type,
+)
+
+__all__ = [
+    "DefectSizeModel",
+    "SingleDefectModel",
+    "InjectedDefect",
+    "DiagnosisTrial",
+    "draw_trial",
+    "draw_failing_trial",
+    "behavior_matrix",
+    "population_error_matrix",
+    "escape_probability",
+    "ClockSweepQuality",
+    "clock_quality_sweep",
+    "CouplingDefect",
+    "coupling_active",
+    "coupling_behavior_matrix",
+    "coupling_population_matrix",
+    "structural_aggressor_candidates",
+    "classify_defect_type",
+]

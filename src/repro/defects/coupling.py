@@ -1,0 +1,263 @@
+"""Crosstalk-style coupling defects — pattern-dependent delay faults.
+
+The paper motivates small-delay defects with "crosstalk, bridging faults or
+resistive opens or shorts" (Section H-3) and builds on the authors'
+crosstalk delay-test work [11, 12].  A resistive open adds a *fixed* delay;
+a coupling fault adds delay **only when the aggressor net switches in the
+opposite direction to the victim within the same test** — so its failing
+signature is pattern-dependent in a way no segment-oriented ``D_s`` can
+express.
+
+This module provides:
+
+* :class:`CouplingDefect` — victim edge + aggressor net + size; active per
+  pattern iff both toggle in opposite directions,
+* :func:`coupling_behavior_matrix` / :func:`coupling_population_matrix` —
+  tester and population views (drop-ins for the plain fault simulator),
+* :func:`classify_defect_type` — given a *located* defect, decide between
+  the "resistive open" (always-on) and "coupling" (gated) hypotheses by
+  maximum likelihood, also recovering the most plausible aggressor.  This
+  answers the failure-analysis question the paper's future work points at:
+  not just *where*, but *what kind*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..atpg.patterns import PatternPairSet
+from ..circuits.netlist import Circuit, Edge
+from ..timing.critical import simulate_pattern_set
+from ..timing.dynamic import TransitionSimResult, resimulate_with_extra, simulate_transition
+from ..timing.instance import CircuitTiming
+
+__all__ = [
+    "CouplingDefect",
+    "coupling_active",
+    "coupling_behavior_matrix",
+    "coupling_population_matrix",
+    "structural_aggressor_candidates",
+    "classify_defect_type",
+]
+
+_EPS = 1e-9
+
+
+@dataclass
+class CouplingDefect:
+    """A coupling fault: the victim edge slows when the aggressor opposes.
+
+    ``size_samples`` is the per-chip delta population (as for
+    :class:`~repro.defects.model.InjectedDefect`); the delta applies to a
+    pattern only when :func:`coupling_active` holds for it.
+    """
+
+    victim: Edge
+    victim_index: int
+    aggressor: str
+    size_mean: float
+    size_samples: np.ndarray
+
+    def size_on_instance(self, sample_index: int) -> float:
+        return float(self.size_samples[sample_index])
+
+    def __str__(self) -> str:
+        return (
+            f"coupling@{self.victim} aggressor {self.aggressor} "
+            f"(mean size {self.size_mean:.3g})"
+        )
+
+
+def coupling_active(
+    sim: TransitionSimResult, victim_source: str, aggressor: str
+) -> bool:
+    """Does this pattern activate the coupling?
+
+    Active iff the victim's source net and the aggressor both transition,
+    in opposite directions — the worst-case Miller coupling condition the
+    crosstalk literature (and [12]'s test generation) targets.
+    """
+    if not sim.transitioned(victim_source) or not sim.transitioned(aggressor):
+        return False
+    victim_rising = sim.val2[victim_source] == 1
+    aggressor_rising = sim.val2[aggressor] == 1
+    return victim_rising != aggressor_rising
+
+
+def coupling_behavior_matrix(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    clk: float,
+    defect: CouplingDefect,
+    sample_index: int,
+) -> np.ndarray:
+    """Tester view of a chip carrying a coupling defect."""
+    circuit = timing.circuit
+    matrix = np.zeros((len(circuit.outputs), len(patterns)), dtype=np.int8)
+    delta = defect.size_on_instance(sample_index)
+    for column, (v1, v2) in enumerate(patterns):
+        sim = simulate_transition(timing, v1, v2, sample_index=sample_index)
+        if coupling_active(sim, defect.victim.source, defect.aggressor):
+            sim = resimulate_with_extra(sim, {defect.victim_index: delta})
+        matrix[:, column] = sim.output_failures(clk)[:, 0]
+    return matrix
+
+
+def coupling_population_matrix(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    clk: float,
+    defect: CouplingDefect,
+    base_simulations: Optional[Sequence[TransitionSimResult]] = None,
+) -> np.ndarray:
+    """Population failing probabilities under a coupling defect."""
+    if base_simulations is None:
+        base_simulations = simulate_pattern_set(timing, list(patterns))
+    columns = []
+    for sim in base_simulations:
+        if coupling_active(sim, defect.victim.source, defect.aggressor):
+            patched = resimulate_with_extra(
+                sim, {defect.victim_index: defect.size_samples}
+            )
+            columns.append(patched.error_vector(clk))
+        else:
+            columns.append(sim.error_vector(clk))
+    if not columns:
+        return np.zeros((len(timing.circuit.outputs), 0))
+    return np.stack(columns, axis=1)
+
+
+def structural_aggressor_candidates(
+    circuit: Circuit, victim: Edge, limit: int = 12
+) -> List[str]:
+    """Plausible aggressors without layout: structural neighbours.
+
+    Pre-layout proxy for routing adjacency: nets feeding the same gate as
+    the victim, other fanout branches of the victim's source's drivers,
+    and nets one gate away.  Deterministic order, capped at ``limit``.
+    """
+    neighbours: List[str] = []
+    seen = {victim.source}
+
+    def add(net: str) -> None:
+        if net not in seen:
+            seen.add(net)
+            neighbours.append(net)
+
+    for fanin in circuit.gates[victim.sink].fanins:
+        add(fanin)
+    source_gate = circuit.gates[victim.source]
+    for fanin in source_gate.fanins:
+        add(fanin)
+        for edge in circuit.fanouts[fanin]:
+            add(edge.sink)
+    for edge in circuit.fanouts[victim.sink]:
+        add(edge.sink)
+    return neighbours[:limit]
+
+
+def classify_defect_type(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    clk: float,
+    behavior: np.ndarray,
+    edge: Edge,
+    size_samples: Optional[np.ndarray] = None,
+    aggressor_candidates: Optional[Sequence[str]] = None,
+    base_simulations: Optional[Sequence[TransitionSimResult]] = None,
+    size_grid: Optional[Sequence[float]] = None,
+) -> Dict[str, object]:
+    """Fixed-delay vs coupling hypothesis test for a located defect.
+
+    Computes the observed behavior's Bernoulli log-likelihood under (a) the
+    always-on segment defect at ``edge`` and (b) a coupling defect at
+    ``edge`` for each candidate aggressor.  The defect size is a nuisance
+    parameter: each hypothesis is scored at its best size over ``size_grid``
+    (joint maximum likelihood), unless an explicit ``size_samples``
+    population is supplied, in which case only that size is used.  Returns
+    the verdict, the best aggressor (if coupling wins) and per-hypothesis
+    log-likelihoods (maximized over size).
+    """
+    circuit = timing.circuit
+    if base_simulations is None:
+        base_simulations = simulate_pattern_set(timing, list(patterns))
+    if aggressor_candidates is None:
+        aggressor_candidates = structural_aggressor_candidates(circuit, edge)
+    behavior = np.asarray(behavior).astype(bool)
+    edge_index = timing.edge_index[edge]
+
+    if size_samples is not None:
+        size_populations = [np.asarray(size_samples, dtype=float)]
+    else:
+        if size_grid is None:
+            cell = timing.library.mean_cell_delay(circuit)
+            size_grid = [cell * factor for factor in (0.5, 1.0, 2.0, 4.0)]
+        rng = np.random.default_rng(timing.space.seed + 23)
+        from .model import DefectSizeModel
+
+        size_model = DefectSizeModel()
+        size_populations = [
+            size_model.size_variable(float(size), timing.space, rng=rng).samples
+            for size in size_grid
+        ]
+
+    def log_likelihood(matrix: np.ndarray) -> float:
+        probabilities = np.clip(matrix, _EPS, 1.0 - _EPS)
+        return float(
+            np.log(probabilities[behavior]).sum()
+            + np.log(1.0 - probabilities[~behavior]).sum()
+        )
+
+    base_matrix = np.stack(
+        [sim.error_vector(clk) for sim in base_simulations], axis=1
+    )
+    scores: Dict[str, float] = {"fixed": float("-inf")}
+    coupling_scores: Dict[str, float] = {
+        aggressor: float("-inf") for aggressor in aggressor_candidates
+    }
+
+    for population in size_populations:
+        patched_cache: List[Optional[np.ndarray]] = []
+        fixed_columns = []
+        for sim in base_simulations:
+            if sim.transitioned(edge.sink):
+                patched = resimulate_with_extra(sim, {edge_index: population})
+                column = patched.error_vector(clk)
+                fixed_columns.append(column)
+                patched_cache.append(column)
+            else:
+                fixed_columns.append(sim.error_vector(clk))
+                patched_cache.append(None)
+        scores["fixed"] = max(
+            scores["fixed"], log_likelihood(np.stack(fixed_columns, axis=1))
+        )
+        for aggressor in aggressor_candidates:
+            columns = []
+            for index, sim in enumerate(base_simulations):
+                active = coupling_active(sim, edge.source, aggressor)
+                if active and patched_cache[index] is not None:
+                    columns.append(patched_cache[index])
+                else:
+                    columns.append(base_matrix[:, index])
+            coupling_scores[aggressor] = max(
+                coupling_scores[aggressor],
+                log_likelihood(np.stack(columns, axis=1)),
+            )
+
+    best_aggressor = (
+        max(coupling_scores, key=coupling_scores.get) if coupling_scores else None
+    )
+    for aggressor, score in coupling_scores.items():
+        scores[f"coupling:{aggressor}"] = score
+    coupling_best = (
+        coupling_scores[best_aggressor] if best_aggressor else float("-inf")
+    )
+    verdict = "fixed" if scores["fixed"] >= coupling_best else "coupling"
+    return {
+        "verdict": verdict,
+        "best_aggressor": best_aggressor if verdict == "coupling" else None,
+        "log_likelihoods": scores,
+    }

@@ -1,0 +1,87 @@
+"""Statistical delay fault simulation (paper Section H-3).
+
+Simulates what the *tester* observes: a specific chip (one Monte-Carlo
+sample) carrying a specific defect, measured at cut-off period ``clk``
+against a two-vector pattern set.  Also provides the population view —
+per-pattern failure probabilities under an injected defect — used by the
+evaluation harness and the figure experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..atpg.patterns import PatternPairSet
+from ..timing.dynamic import simulate_transition
+from ..timing.instance import CircuitTiming
+from .model import InjectedDefect
+
+__all__ = ["behavior_matrix", "population_error_matrix", "escape_probability"]
+
+
+def behavior_matrix(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    clk: float,
+    defect: Optional[InjectedDefect],
+    sample_index: int,
+) -> np.ndarray:
+    """The 0-1 failing behavior matrix ``B`` for one chip (Algorithm E.1).
+
+    ``B[i, j] = 1`` iff primary output ``i`` fails pattern ``j``: the output
+    has a sensitized transition whose settle time exceeds ``clk`` on this
+    instance.  ``defect=None`` simulates the healthy chip.
+    """
+    circuit = timing.circuit
+    extra = None
+    if defect is not None:
+        extra = {defect.edge_index: defect.size_on_instance(sample_index)}
+    rows = len(circuit.outputs)
+    matrix = np.zeros((rows, len(patterns)), dtype=np.int8)
+    for column, (v1, v2) in enumerate(patterns):
+        sim = simulate_transition(
+            timing, v1, v2, extra_delay=extra, sample_index=sample_index
+        )
+        matrix[:, column] = sim.output_failures(clk)[:, 0]
+    return matrix
+
+
+def population_error_matrix(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    clk: float,
+    defect: Optional[InjectedDefect] = None,
+) -> np.ndarray:
+    """``Err_M(D_s(C), TP, clk)``: per-output/pattern critical probabilities
+    over the whole chip population carrying ``defect`` (or none)."""
+    extra = {defect.edge_index: defect.size_samples} if defect is not None else None
+    columns = []
+    for v1, v2 in patterns:
+        sim = simulate_transition(timing, v1, v2, extra_delay=extra)
+        columns.append(sim.error_vector(clk))
+    if not columns:
+        return np.zeros((len(timing.circuit.outputs), 0))
+    return np.stack(columns, axis=1)
+
+
+def escape_probability(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    clk: float,
+    defect: InjectedDefect,
+) -> float:
+    """Fraction of defective chips that pass every pattern (test escapes).
+
+    Quantifies Figure 1's point: a defect detected only through short paths
+    escapes when its size is small relative to the slack.
+    """
+    extra = {defect.edge_index: defect.size_samples}
+    escaped = np.ones(timing.space.n_samples, dtype=bool)
+    for v1, v2 in patterns:
+        sim = simulate_transition(timing, v1, v2, extra_delay=extra)
+        escaped &= ~sim.output_failures(clk).any(axis=0)
+        if not escaped.any():
+            return 0.0
+    return float(escaped.mean())

@@ -1,0 +1,99 @@
+"""Statistical defect injection (paper Sections H-3, I).
+
+A diagnosis *trial* is: pick a circuit instance (one Monte-Carlo sample =
+one chip), inject a defect drawn from the single-defect model, apply the
+pattern set on the tester at cut-off ``clk``, and record the failing
+behavior matrix ``B``.  This module produces such trials; the observed
+matrices then feed the diagnosis algorithms.
+
+A trial whose behavior matrix is all-zero is not a *failing* chip — there
+is nothing to diagnose and the paper's success-rate protocol implicitly
+conditions on observed failures.  :func:`draw_failing_trial` redraws
+(instance, defect) pairs until at least one failure is observed, recording
+how many draws were needed (the escape rate is itself reported by the
+ablation benches: small defects through short paths escape — Figure 1's
+argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..atpg.patterns import PatternPairSet
+from ..timing.instance import CircuitTiming
+from .faultsim import behavior_matrix
+from .model import InjectedDefect, SingleDefectModel
+
+__all__ = ["DiagnosisTrial", "draw_trial", "draw_failing_trial"]
+
+
+@dataclass
+class DiagnosisTrial:
+    """One injected-defect experiment: the ground truth plus the observation.
+
+    ``behavior`` is the 0-1 failing behavior matrix ``B`` of Algorithm E.1
+    (rows = primary outputs, columns = patterns).  ``defect`` and
+    ``sample_index`` are the hidden ground truth the diagnosis must recover.
+    """
+
+    timing: CircuitTiming
+    patterns: PatternPairSet
+    clk: float
+    defect: InjectedDefect
+    sample_index: int
+    behavior: np.ndarray
+
+    @property
+    def failing(self) -> bool:
+        return bool(self.behavior.any())
+
+    @property
+    def n_failing_observations(self) -> int:
+        return int(self.behavior.sum())
+
+
+def draw_trial(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    clk: float,
+    defect_model: SingleDefectModel,
+    rng: np.random.Generator,
+    defect: Optional[InjectedDefect] = None,
+    sample_index: Optional[int] = None,
+) -> DiagnosisTrial:
+    """One injection trial; defect/instance drawn unless supplied."""
+    if defect is None:
+        defect = defect_model.draw(rng)
+    if sample_index is None:
+        sample_index = int(rng.integers(timing.space.n_samples))
+    behavior = behavior_matrix(timing, patterns, clk, defect, sample_index)
+    return DiagnosisTrial(timing, patterns, clk, defect, sample_index, behavior)
+
+
+def draw_failing_trial(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    clk: float,
+    defect_model: SingleDefectModel,
+    rng: np.random.Generator,
+    max_attempts: int = 50,
+    defect: Optional[InjectedDefect] = None,
+) -> Tuple[DiagnosisTrial, int]:
+    """Redraw until the chip actually fails; returns (trial, attempts).
+
+    With a fixed ``defect`` only the chip instance and the per-instance
+    size realization are redrawn.  Raises ``RuntimeError`` when no failing
+    trial is found within ``max_attempts`` — the defect is effectively
+    untestable by this pattern set at this clock.
+    """
+    for attempt in range(1, max_attempts + 1):
+        trial = draw_trial(timing, patterns, clk, defect_model, rng, defect=defect)
+        if trial.failing:
+            return trial, attempt
+    raise RuntimeError(
+        f"no failing behavior in {max_attempts} injection attempts; "
+        "the pattern set cannot expose this defect population at this clk"
+    )

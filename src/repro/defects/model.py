@@ -1,0 +1,157 @@
+"""Defect distribution models (paper Definitions D.9, D.10).
+
+The paper's *segment-oriented* defect function attaches to every edge a pair
+``D(e_i) = (delta_i, rho_i)``: a size random variable and an occurrence
+probability.  The single-defect model restricts ``rho`` to an indicator
+vector — exactly one edge carries the defect.  Section I fixes the size
+population used in the experiments:
+
+    "The random variable corresponding to the injected defect size has a
+    mean that is in the range of 50% to 100% of a cell delay and we assume
+    3-sigma is 50% of the mean."
+
+:class:`DefectSizeModel` encodes that recipe (parameterized, so ablations
+can sweep it); :class:`SingleDefectModel` draws (location, size) pairs and
+materializes the per-sample delta vectors that the dictionary builder and
+the defect injector consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.netlist import Circuit, Edge
+from ..timing.instance import CircuitTiming
+from ..timing.randvars import RandomVariable, SampleSpace
+
+__all__ = ["DefectSizeModel", "SingleDefectModel", "InjectedDefect"]
+
+
+@dataclass(frozen=True)
+class DefectSizeModel:
+    """Size distribution ``delta`` relative to the mean cell delay.
+
+    A concrete defect's size RV is ``Normal(mean, (mean/6)^2)`` truncated at
+    zero, with ``mean = u * cell_delay`` and ``u`` drawn uniformly from
+    ``[mean_low, mean_high]`` — the paper's 50%-100% recipe with
+    ``3*sigma = mean/2``.
+    """
+
+    mean_low: float = 0.5
+    mean_high: float = 1.0
+    sigma_over_mean: float = 1.0 / 6.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mean_low <= self.mean_high:
+            raise ValueError("need 0 <= mean_low <= mean_high")
+        if self.sigma_over_mean < 0:
+            raise ValueError("sigma_over_mean must be non-negative")
+
+    def draw_mean(self, cell_delay: float, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.mean_low, self.mean_high) * cell_delay)
+
+    def size_variable(
+        self,
+        mean: float,
+        space: SampleSpace,
+        rng: Optional[np.random.Generator] = None,
+    ) -> RandomVariable:
+        """The size RV for a defect of the given mean, over the sample space.
+
+        With an explicit ``rng`` the draw is reproducible regardless of what
+        else has consumed the space's own stream.
+        """
+        return space.normal(mean, self.sigma_over_mean * mean, floor=0.0, rng=rng)
+
+
+@dataclass
+class InjectedDefect:
+    """One concrete injected defect: a located, sized delay fault.
+
+    ``size_mean`` parameterizes the size RV; ``size_samples`` holds its
+    Monte-Carlo materialization (used by dictionary construction), while the
+    *actual* size on a given chip instance ``s`` is ``size_samples[s]``.
+    """
+
+    edge: Edge
+    edge_index: int
+    size_mean: float
+    size_samples: np.ndarray
+
+    def size_on_instance(self, sample_index: int) -> float:
+        return float(self.size_samples[sample_index])
+
+    def __str__(self) -> str:
+        return f"defect@{self.edge} (mean size {self.size_mean:.3g})"
+
+
+class SingleDefectModel:
+    """The paper's single-defect model ``D_s`` (Definition D.10).
+
+    Draws defect locations uniformly over the circuit's edges (or a caller
+    supplied candidate subset — e.g. only observable edges) and sizes from a
+    :class:`DefectSizeModel` scaled by the circuit's mean cell delay.
+    """
+
+    def __init__(
+        self,
+        timing: CircuitTiming,
+        size_model: Optional[DefectSizeModel] = None,
+        candidate_edges: Optional[Sequence[Edge]] = None,
+    ) -> None:
+        self.timing = timing
+        self.size_model = size_model or DefectSizeModel()
+        self.cell_delay = timing.library.mean_cell_delay(timing.circuit)
+        circuit = timing.circuit
+        if candidate_edges is None:
+            candidate_edges = circuit.edges
+        self.candidate_edges: List[Edge] = list(candidate_edges)
+        if not self.candidate_edges:
+            raise ValueError("no candidate edges to inject defects on")
+
+    def draw(self, rng: np.random.Generator) -> InjectedDefect:
+        """Sample one (location, size) defect."""
+        edge = self.candidate_edges[int(rng.integers(len(self.candidate_edges)))]
+        return self.defect_at(edge, rng)
+
+    def defect_at(
+        self, edge: Edge, rng: Optional[np.random.Generator] = None, size_mean: Optional[float] = None
+    ) -> InjectedDefect:
+        """A defect at a chosen edge (size drawn unless ``size_mean`` given).
+
+        The per-instance size realizations come from ``rng`` when given
+        (keeping trials reproducible in the caller's seed) and otherwise
+        from a generator derived from the sample-space seed.
+        """
+        if size_mean is None:
+            if rng is None:
+                raise ValueError("need an rng or an explicit size_mean")
+            size_mean = self.size_model.draw_mean(self.cell_delay, rng)
+        if rng is None:
+            rng = np.random.default_rng(self.timing.space.seed)
+        size = self.size_model.size_variable(size_mean, self.timing.space, rng=rng)
+        return InjectedDefect(
+            edge=edge,
+            edge_index=self.timing.edge_index[edge],
+            size_mean=size_mean,
+            size_samples=size.samples,
+        )
+
+    def dictionary_size_variable(self) -> RandomVariable:
+        """The *suspect* size RV used when building the fault dictionary.
+
+        During diagnosis the true size is unknown; the dictionary assumes
+        the nominal mid-range size population (mean at the centre of the
+        configured band).  Using one shared RV for every suspect keeps the
+        comparison fair (common random numbers).
+        """
+        mean = (
+            0.5
+            * (self.size_model.mean_low + self.size_model.mean_high)
+            * self.cell_delay
+        )
+        rng = np.random.default_rng(self.timing.space.seed + 1)
+        return self.size_model.size_variable(mean, self.timing.space, rng=rng)

@@ -1,0 +1,121 @@
+"""Test-quality analysis: yield loss vs defect escapes over the clock.
+
+The paper's statistical framework descends from performance-sensitivity
+work aimed at *delay testing* quality [5, 16]; diagnosis and test quality
+are two uses of the same population view.  Given a pattern set, this
+module sweeps the capture clock and reports, over the Monte-Carlo chip
+population:
+
+* **yield loss** — healthy chips failing at least one pattern (overkill),
+* **escape rate** — defective chips (per a defect population) passing every
+  pattern (test escapes / DPPM driver),
+* **detection rate** — defective chips caught.
+
+The resulting trade-off curve is how a test engineer actually chooses the
+capture clock; the diagnosis flow's tight-clock choice sits deliberately on
+the high-yield-loss side because diagnosis *wants* failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..atpg.patterns import PatternPairSet
+from ..timing.critical import pattern_set_delay, simulate_pattern_set
+from ..timing.dynamic import TransitionSimResult, resimulate_with_extra
+from ..timing.instance import CircuitTiming
+from .model import SingleDefectModel
+
+__all__ = ["ClockSweepQuality", "clock_quality_sweep"]
+
+
+@dataclass
+class ClockSweepQuality:
+    """Per-clock population quality numbers for one pattern set."""
+
+    clks: List[float]
+    yield_loss: List[float]
+    escape_rate: List[float]
+    detection_rate: List[float]
+    n_defects: int
+
+    def best_clock(self, max_yield_loss: float = 0.05) -> Optional[float]:
+        """Loosest clock maximizing detection under a yield-loss budget."""
+        best = None
+        best_detection = -1.0
+        for clk, loss, detection in zip(
+            self.clks, self.yield_loss, self.detection_rate
+        ):
+            if loss <= max_yield_loss and detection >= best_detection:
+                best, best_detection = clk, detection
+        return best
+
+
+def clock_quality_sweep(
+    timing: CircuitTiming,
+    patterns: PatternPairSet,
+    defect_model: SingleDefectModel,
+    clks: Optional[Sequence[float]] = None,
+    n_defects: int = 20,
+    seed: int = 0,
+    base_simulations: Optional[Sequence[TransitionSimResult]] = None,
+) -> ClockSweepQuality:
+    """Sweep the capture clock; report yield loss vs escapes/detection.
+
+    The defect population is ``n_defects`` draws from ``defect_model``
+    (location + size), each simulated against the full chip population
+    with one cone re-simulation per (defect, pattern).  A "defective chip"
+    is any (chip, defect) pair; detection means failing at least one
+    pattern at the given clock.
+    """
+    if base_simulations is None:
+        base_simulations = simulate_pattern_set(timing, list(patterns))
+    if clks is None:
+        healthy_delay = pattern_set_delay(base_simulations)
+        clks = [
+            float(np.quantile(healthy_delay, quantile))
+            for quantile in (0.5, 0.7, 0.85, 0.95, 0.99)
+        ]
+    clks = sorted(float(clk) for clk in clks)
+    rng = np.random.default_rng(seed)
+    n_samples = timing.space.n_samples
+    outputs = timing.circuit.outputs
+
+    # healthy per-chip pattern-set delay: yield loss per clk in one pass
+    healthy_delay = pattern_set_delay(base_simulations)
+    yield_loss = [float(np.mean(healthy_delay > clk)) for clk in clks]
+
+    # defective population: per clk, fraction of (chip, defect) pairs caught
+    detected = np.zeros(len(clks))
+    total = 0
+    for _ in range(n_defects):
+        defect = defect_model.draw(rng)
+        worst = np.zeros(n_samples)
+        for sim in base_simulations:
+            if not sim.transitioned(defect.edge.sink):
+                for net in outputs:
+                    if sim.transitioned(net):
+                        np.maximum(worst, sim.stable[net], out=worst)
+                continue
+            patched = resimulate_with_extra(
+                sim, {defect.edge_index: defect.size_samples}
+            )
+            for net in outputs:
+                if patched.transitioned(net):
+                    np.maximum(worst, patched.stable[net], out=worst)
+        total += n_samples
+        for index, clk in enumerate(clks):
+            detected[index] += float(np.count_nonzero(worst > clk))
+
+    detection_rate = [float(d) / total for d in detected]
+    escape_rate = [1.0 - rate for rate in detection_rate]
+    return ClockSweepQuality(
+        clks=list(clks),
+        yield_loss=yield_loss,
+        escape_rate=escape_rate,
+        detection_rate=detection_rate,
+        n_defects=n_defects,
+    )

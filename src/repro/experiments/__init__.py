@@ -1,0 +1,63 @@
+"""Experiment harnesses: Table I, Figures 1-3, ablations, reporting."""
+
+from .workloads import (
+    Table1Row,
+    TABLE1_PUBLISHED,
+    table1_circuits,
+    published_k_values,
+    published_rates,
+)
+from .table1 import (
+    Table1CircuitResult,
+    Table1Result,
+    run_table1_circuit,
+    run_table1,
+)
+from .figures import (
+    build_two_path_circuit,
+    figure1_case_a,
+    figure1_case_b,
+    figure2_data,
+    figure3_data,
+)
+from .ablations import (
+    ablation_error_functions,
+    ablation_sample_count,
+    ablation_defect_size,
+    ablation_k_sweep,
+    ablation_tester_noise,
+    ablation_multi_defect,
+)
+from .report import (
+    render_table1,
+    render_shape_checks,
+    render_simple_table,
+    render_diagnosis_report,
+)
+
+__all__ = [
+    "Table1Row",
+    "TABLE1_PUBLISHED",
+    "table1_circuits",
+    "published_k_values",
+    "published_rates",
+    "Table1CircuitResult",
+    "Table1Result",
+    "run_table1_circuit",
+    "run_table1",
+    "build_two_path_circuit",
+    "figure1_case_a",
+    "figure1_case_b",
+    "figure2_data",
+    "figure3_data",
+    "ablation_error_functions",
+    "ablation_sample_count",
+    "ablation_defect_size",
+    "ablation_k_sweep",
+    "ablation_tester_noise",
+    "ablation_multi_defect",
+    "render_table1",
+    "render_shape_checks",
+    "render_simple_table",
+    "render_diagnosis_report",
+]

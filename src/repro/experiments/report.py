@@ -1,0 +1,148 @@
+"""Plain-text report rendering for the experiment harnesses.
+
+Produces the paper-vs-measured tables that EXPERIMENTS.md records and the
+benchmarks print.  Pure formatting — no computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .table1 import Table1Result
+
+__all__ = [
+    "render_table1",
+    "render_shape_checks",
+    "render_simple_table",
+    "render_diagnosis_report",
+]
+
+
+def render_simple_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+    lines = [fmt(list(headers)), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def render_table1(result: Table1Result) -> str:
+    """Table I, paper vs measured, in the paper's layout."""
+    headers = [
+        "circuit",
+        "K",
+        "I paper",
+        "I ours",
+        "II paper",
+        "II ours",
+        "rev paper",
+        "rev ours",
+    ]
+    rows: List[List[object]] = []
+    for circuit_result in result.circuits:
+        for row in circuit_result.rows():
+            rows.append(
+                [
+                    circuit_result.circuit,
+                    row["k"],
+                    f"{row['paper_method_I']:.0f}",
+                    f"{row['measured_method_I']:.0f}",
+                    f"{row['paper_method_II']:.0f}",
+                    f"{row['measured_method_II']:.0f}",
+                    f"{row['paper_alg_rev']:.0f}",
+                    f"{row['measured_alg_rev']:.0f}",
+                ]
+            )
+    table = render_simple_table(headers, rows)
+    extra = [
+        "",
+        "per-circuit context (means over trials):",
+    ]
+    for circuit_result in result.circuits:
+        evaluation = circuit_result.evaluation
+        extra.append(
+            f"  {circuit_result.circuit}: patterns {evaluation.mean_patterns():.1f}, "
+            f"suspects {evaluation.mean_suspects():.0f}, "
+            f"trials {len(evaluation.records)}, {circuit_result.seconds:.1f}s"
+        )
+    return table + "\n" + "\n".join(extra)
+
+
+def render_diagnosis_report(
+    circuit_name: str,
+    clk: float,
+    behavior,
+    results: Dict[str, object],
+    dictionary,
+    size_estimate=None,
+    type_verdict=None,
+    top_k: int = 5,
+) -> str:
+    """Markdown report for one diagnosed chip (the CLI's ``--report``).
+
+    ``results`` maps method name to
+    :class:`~repro.core.diagnosis.DiagnosisResult`; the optional size
+    estimate and type verdict come from the characterization extensions.
+    """
+    import numpy as np
+
+    behavior = np.asarray(behavior)
+    lines = [
+        f"# Diagnosis report — {circuit_name}",
+        "",
+        "## Observation",
+        "",
+        f"* capture clock: `{clk:.4f}` delay units",
+        f"* failing entries: {int(behavior.sum())} of {behavior.size} "
+        f"(outputs x patterns = {behavior.shape[0]} x {behavior.shape[1]})",
+        f"* suspects after cause-effect pruning: {len(dictionary)}",
+        "",
+        "## Ranked candidates",
+        "",
+    ]
+    for name, result in results.items():
+        lines.append(f"### {name}")
+        lines.append("")
+        lines.append("| rank | segment | score |")
+        lines.append("|---|---|---|")
+        for rank, (edge, score) in enumerate(result.ranking[:top_k], start=1):
+            lines.append(f"| {rank} | `{edge}` | {score:.5g} |")
+        lines.append("")
+    if size_estimate is not None:
+        lines.extend(
+            [
+                "## Size estimate",
+                "",
+                f"* location: `{size_estimate.edge}`",
+                f"* maximum-likelihood mean size: "
+                f"`{size_estimate.best_size:.3f}` delay units",
+                f"* confidence ratio vs runner-up: "
+                f"{size_estimate.confidence_ratio():.2f}",
+                "",
+            ]
+        )
+    if type_verdict is not None:
+        lines.extend(["## Defect type", ""])
+        lines.append(f"* verdict: **{type_verdict['verdict']}**")
+        if type_verdict.get("best_aggressor"):
+            lines.append(
+                f"* most plausible aggressor: `{type_verdict['best_aggressor']}`"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_shape_checks(result: Table1Result) -> str:
+    checks = result.shape_checks()
+    lines = ["Table I qualitative shape checks:"]
+    for name, passed in checks.items():
+        lines.append(f"  {name}: {'PASS' if passed else 'FAIL'}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Logic-domain simulation and fault models."""
+
+from .simulator import (
+    LogicSimResult,
+    pack_patterns,
+    unpack_words,
+    simulate,
+    simulate_cone,
+)
+from .testability import ScoapMeasures, compute_scoap, INFINITY
+from .faults import (
+    StuckAtFault,
+    TransitionFault,
+    all_stuck_at_faults,
+    all_transition_faults,
+    collapse_stuck_at_faults,
+    detection_matrix,
+    stuck_at_response,
+    transition_detection_matrix,
+    fault_resolution_classes,
+)
+
+__all__ = [
+    "LogicSimResult",
+    "pack_patterns",
+    "unpack_words",
+    "simulate",
+    "simulate_cone",
+    "StuckAtFault",
+    "TransitionFault",
+    "all_stuck_at_faults",
+    "all_transition_faults",
+    "collapse_stuck_at_faults",
+    "ScoapMeasures",
+    "compute_scoap",
+    "INFINITY",
+    "detection_matrix",
+    "stuck_at_response",
+    "transition_detection_matrix",
+    "fault_resolution_classes",
+]

@@ -1,0 +1,133 @@
+"""Bit-parallel gate-level logic simulation.
+
+Evaluates a frozen combinational :class:`~repro.circuits.netlist.Circuit` on
+many patterns at once by packing 64 patterns per ``uint64`` word — the
+classic parallel-pattern single-fault technique.  This simulator provides:
+
+* :func:`simulate` — full-circuit pattern-parallel simulation,
+* :func:`simulate_cone` — resimulation of a fanout cone with a value
+  override (used for stuck-at fault simulation and critical path tracing),
+* :class:`LogicSimResult` — net values as boolean matrices.
+
+Timing-aware simulation lives in :mod:`repro.timing.dynamic`; this module is
+pure logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.library import GateType, eval_gate_bits
+from ..circuits.netlist import Circuit
+
+__all__ = ["LogicSimResult", "pack_patterns", "unpack_words", "simulate", "simulate_cone"]
+
+
+def pack_patterns(patterns: np.ndarray) -> np.ndarray:
+    """Pack an ``(n_patterns, n_inputs)`` 0/1 matrix into uint64 words.
+
+    Returns shape ``(n_inputs, n_words)`` with pattern ``p`` stored in bit
+    ``p % 64`` of word ``p // 64`` — i.e. one packed row per input.
+    """
+    patterns = np.asarray(patterns, dtype=np.uint8)
+    if patterns.ndim != 2:
+        raise ValueError("patterns must be a 2-D (n_patterns, n_inputs) array")
+    bits = np.packbits(patterns.T, axis=1, bitorder="little")
+    n_words = (bits.shape[1] + 7) // 8
+    padded = np.zeros((bits.shape[0], n_words * 8), dtype=np.uint8)
+    padded[:, : bits.shape[1]] = bits
+    return padded.view(np.uint64).reshape(bits.shape[0], n_words)
+
+
+def unpack_words(words: np.ndarray, n_patterns: int) -> np.ndarray:
+    """Inverse of :func:`pack_patterns` for a single net's word row."""
+    as_bytes = words.astype(np.uint64).tobytes()
+    bits = np.unpackbits(np.frombuffer(as_bytes, dtype=np.uint8), bitorder="little")
+    return bits[:n_patterns].astype(bool)
+
+
+@dataclass
+class LogicSimResult:
+    """Values of every net for every pattern.
+
+    ``words[net]`` is the packed uint64 row; :meth:`values` unpacks to a
+    boolean vector, :meth:`output_matrix` builds the ``(|O|, n_patterns)``
+    response matrix the diagnosis flow consumes.
+    """
+
+    circuit: Circuit
+    n_patterns: int
+    words: Dict[str, np.ndarray]
+
+    def values(self, net: str) -> np.ndarray:
+        return unpack_words(self.words[net], self.n_patterns)
+
+    def value(self, net: str, pattern_index: int) -> int:
+        word = int(self.words[net][pattern_index // 64])
+        return (word >> (pattern_index % 64)) & 1
+
+    def output_matrix(self) -> np.ndarray:
+        return np.stack([self.values(net) for net in self.circuit.outputs])
+
+
+def simulate(circuit: Circuit, patterns: np.ndarray) -> LogicSimResult:
+    """Simulate all patterns; ``patterns`` is ``(n_patterns, n_inputs)`` 0/1.
+
+    Pattern column order follows ``circuit.inputs``.
+    """
+    patterns = np.asarray(patterns)
+    if patterns.ndim == 1:
+        patterns = patterns.reshape(1, -1)
+    if patterns.shape[1] != len(circuit.inputs):
+        raise ValueError(
+            f"pattern width {patterns.shape[1]} != number of inputs "
+            f"{len(circuit.inputs)}"
+        )
+    packed = pack_patterns(patterns)
+    words: Dict[str, np.ndarray] = {}
+    for index, net in enumerate(circuit.inputs):
+        words[net] = packed[index]
+    for name in circuit.topological_order:
+        gate = circuit.gates[name]
+        if gate.gate_type is GateType.INPUT:
+            continue
+        words[name] = eval_gate_bits(
+            gate.gate_type, [words[fanin] for fanin in gate.fanins]
+        )
+    return LogicSimResult(circuit, patterns.shape[0], words)
+
+
+def simulate_cone(
+    result: LogicSimResult,
+    override_net: str,
+    override_words: np.ndarray,
+    observe: Optional[Sequence[str]] = None,
+) -> Dict[str, np.ndarray]:
+    """Resimulate the fanout cone of ``override_net`` with its value replaced.
+
+    Returns packed words for every net in the cone (others are unchanged and
+    can be read from ``result``).  ``observe`` restricts the returned dict to
+    the listed nets (they must lie in the cone or be unchanged; unchanged
+    nets are returned from the base result).  This is the workhorse for
+    bit-parallel stuck-at fault simulation.
+    """
+    circuit = result.circuit
+    cone = set(circuit.fanout_cone(override_net))
+    patched: Dict[str, np.ndarray] = {override_net: np.asarray(override_words)}
+
+    def read(net: str) -> np.ndarray:
+        return patched.get(net, result.words[net])
+
+    for name in circuit.topological_order:
+        if name not in cone or name == override_net:
+            continue
+        gate = circuit.gates[name]
+        patched[name] = eval_gate_bits(
+            gate.gate_type, [read(fanin) for fanin in gate.fanins]
+        )
+    if observe is None:
+        return patched
+    return {net: read(net) for net in observe}

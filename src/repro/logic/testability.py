@@ -1,0 +1,147 @@
+"""SCOAP testability measures (Goldstein 1979).
+
+The classic static controllability/observability metrics:
+
+* ``CC0(net)`` / ``CC1(net)`` — the minimum "effort" (number of primary
+  input assignments, roughly) to set the net to 0 / 1,
+* ``CO(net)`` — the effort to propagate the net's value to an output.
+
+Three uses inside this repository:
+
+* ATPG guidance: the justifier's backtrace can pick the *easiest* X-input
+  (lowest relevant CC) rather than the first one, cutting backtracks on
+  hard instances (:class:`repro.atpg.justify.Justifier` accepts the scores
+  via ``backtrace_guidance``),
+* testability profiling of generated circuits (the test-suite asserts the
+  synthetic benchmarks stay in a healthy SCOAP range, guarding the
+  generator against regressions toward untestable structures),
+* diagnosis priors: hard-to-observe segments are structurally less likely
+  to have produced the observed failures.
+
+Conventions: inputs have CC0 = CC1 = 1; a gate adds 1 per level; CO of an
+output is 0.  Values are capped at ``INFINITY`` (redundant/unreachable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..circuits.library import CONTROLLING_VALUE, GateType
+from ..circuits.netlist import Circuit
+
+__all__ = ["ScoapMeasures", "compute_scoap", "INFINITY"]
+
+#: Sentinel for "effectively uncontrollable/unobservable".
+INFINITY = 10**9
+
+
+@dataclass
+class ScoapMeasures:
+    """Per-net SCOAP numbers for one circuit."""
+
+    cc0: Dict[str, int]
+    cc1: Dict[str, int]
+    co: Dict[str, int]
+
+    def controllability(self, net: str, value: int) -> int:
+        return self.cc1[net] if value else self.cc0[net]
+
+    def hardest_nets(self, count: int = 10) -> List[Tuple[str, int]]:
+        """Nets ranked by combined testability effort (hardest first)."""
+        scored = [
+            (net, min(self.cc0[net], INFINITY) + min(self.cc1[net], INFINITY)
+             + min(self.co[net], INFINITY))
+            for net in self.cc0
+        ]
+        return sorted(scored, key=lambda item: -item[1])[:count]
+
+
+def _gate_controllability(
+    gate_type: GateType, fanin_cc0: List[int], fanin_cc1: List[int]
+) -> Tuple[int, int]:
+    """(CC0, CC1) of a gate output from its fanin controllabilities."""
+    if gate_type in (GateType.BUF, GateType.OUTPUT):
+        return fanin_cc0[0] + 1, fanin_cc1[0] + 1
+    if gate_type is GateType.NOT:
+        return fanin_cc1[0] + 1, fanin_cc0[0] + 1
+    controlling = CONTROLLING_VALUE[gate_type]
+    if controlling is not None:
+        if controlling == 0:  # AND / NAND
+            controlled = min(fanin_cc0) + 1          # one input at 0
+            non_controlled = sum(fanin_cc1) + 1      # all inputs at 1
+        else:  # OR / NOR
+            controlled = min(fanin_cc1) + 1
+            non_controlled = sum(fanin_cc0) + 1
+        if gate_type in (GateType.AND, GateType.OR):
+            base0, base1 = (
+                (controlled, non_controlled)
+                if controlling == 0
+                else (non_controlled, controlled)
+            )
+        else:  # NAND / NOR invert
+            base0, base1 = (
+                (non_controlled, controlled)
+                if controlling == 0
+                else (controlled, non_controlled)
+            )
+        return min(base0, INFINITY), min(base1, INFINITY)
+    # XOR / XNOR (2+ inputs): parity — enumerate cheapest parity assignment
+    even = 0  # cost of cheapest even-parity assignment
+    odd = INFINITY
+    for cc0, cc1 in zip(fanin_cc0, fanin_cc1):
+        new_even = min(even + cc0, odd + cc1)
+        new_odd = min(even + cc1, odd + cc0)
+        even, odd = min(new_even, INFINITY), min(new_odd, INFINITY)
+    if gate_type is GateType.XOR:
+        return even + 1, odd + 1
+    return odd + 1, even + 1
+
+
+def compute_scoap(circuit: Circuit) -> ScoapMeasures:
+    """Compute SCOAP CC0/CC1/CO for every net of a combinational circuit."""
+    cc0: Dict[str, int] = {}
+    cc1: Dict[str, int] = {}
+    for name in circuit.topological_order:
+        gate = circuit.gates[name]
+        if gate.gate_type is GateType.INPUT:
+            cc0[name] = 1
+            cc1[name] = 1
+            continue
+        cc0[name], cc1[name] = _gate_controllability(
+            gate.gate_type,
+            [cc0[f] for f in gate.fanins],
+            [cc1[f] for f in gate.fanins],
+        )
+
+    co: Dict[str, int] = {name: INFINITY for name in circuit.gates}
+    for output in circuit.outputs:
+        co[output] = 0
+    for name in reversed(circuit.topological_order):
+        gate = circuit.gates[name]
+        if gate.gate_type is GateType.INPUT:
+            continue
+        out_co = co[name]
+        if out_co >= INFINITY:
+            continue
+        controlling = CONTROLLING_VALUE[gate.gate_type]
+        for pin, fanin in enumerate(gate.fanins):
+            if gate.gate_type in (GateType.BUF, GateType.OUTPUT, GateType.NOT):
+                side_cost = 0
+            elif controlling is not None:
+                # other inputs must hold non-controlling values
+                side_cost = sum(
+                    (cc1 if controlling == 0 else cc0)[other]
+                    for other_pin, other in enumerate(gate.fanins)
+                    if other_pin != pin
+                )
+            else:  # XOR family: side inputs at any known value (pick cheaper)
+                side_cost = sum(
+                    min(cc0[other], cc1[other])
+                    for other_pin, other in enumerate(gate.fanins)
+                    if other_pin != pin
+                )
+            candidate = min(out_co + side_cost + 1, INFINITY)
+            if candidate < co[fanin]:
+                co[fanin] = candidate
+    return ScoapMeasures(cc0, cc1, co)

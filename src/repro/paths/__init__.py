@@ -1,0 +1,32 @@
+"""Path machinery: path objects, longest-path selection, sensitization."""
+
+from .model import Path
+from .enumerate import (
+    k_longest_paths_through,
+    k_longest_paths,
+    rank_statistically,
+    longest_delay_tables,
+    sample_path_through,
+)
+from .criticality import path_criticality, select_covering_paths
+from .sensitization import (
+    Sensitization,
+    classify_path_sensitization,
+    path_transition_values,
+    sensitized_input_pins,
+)
+
+__all__ = [
+    "Path",
+    "k_longest_paths_through",
+    "k_longest_paths",
+    "rank_statistically",
+    "longest_delay_tables",
+    "sample_path_through",
+    "path_criticality",
+    "select_covering_paths",
+    "Sensitization",
+    "classify_path_sensitization",
+    "path_transition_values",
+    "sensitized_input_pins",
+]

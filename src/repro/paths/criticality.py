@@ -1,0 +1,89 @@
+"""Statistical path criticality and coverage-driven path selection.
+
+The paper's path selection leans on the authors' earlier work [16]
+("Path Selection for Delay Testing of Deep Sub-Micron Devices Using
+Statistical Performance Sensitivity Analysis"): under process variation
+there is no single critical path — each path is critical on some fraction
+of manufactured chips, and a delay-test path set should *cover* that
+probability mass.
+
+With the sample-based timing model this is computable exactly:
+
+* :func:`path_criticality` — the fraction of chips on which a path's
+  timing length reaches the circuit delay (the path is among the critical
+  ones on that chip),
+* :func:`select_covering_paths` — greedy selection of candidate paths
+  until the chosen set contains a critical path on at least ``coverage``
+  of the chips (the [16] objective), with each path's *marginal* coverage
+  reported.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..timing.instance import CircuitTiming
+from ..timing.sta import analyze
+from .model import Path
+
+__all__ = ["path_criticality", "select_covering_paths"]
+
+
+def path_criticality(
+    path: Path,
+    timing: CircuitTiming,
+    tolerance: float = 1e-9,
+    circuit_delay_samples: Optional[np.ndarray] = None,
+) -> float:
+    """``Prob(TL(p) >= Delta(C) - tolerance)`` over the chip population.
+
+    The probability that, on a manufactured chip, this path *is* (one of)
+    the critical paths.  ``tolerance`` absorbs floating-point noise; pass a
+    positive slack margin to compute near-criticality instead.
+    """
+    if circuit_delay_samples is None:
+        circuit_delay_samples = analyze(timing).circuit_delay().samples
+    lengths = path.timing_length(timing).samples
+    return float(np.mean(lengths >= circuit_delay_samples - tolerance))
+
+
+def select_covering_paths(
+    candidates: Sequence[Path],
+    timing: CircuitTiming,
+    coverage: float = 0.95,
+    tolerance: float = 1e-9,
+) -> List[Tuple[Path, float]]:
+    """Greedy minimum set of paths covering the critical-path mass.
+
+    Each returned pair is (path, marginal coverage): the fraction of chips
+    whose critical behaviour this path newly accounts for.  Selection stops
+    when cumulative coverage reaches ``coverage`` or candidates run out —
+    the remainder is the (reported) uncovered tail, which in [16]'s setting
+    is the test-escape exposure of the path set.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0, 1]")
+    circuit_delay = analyze(timing).circuit_delay().samples
+    n_samples = timing.space.n_samples
+
+    critical_masks: List[np.ndarray] = []
+    for path in candidates:
+        lengths = path.timing_length(timing).samples
+        critical_masks.append(lengths >= circuit_delay - tolerance)
+
+    uncovered = np.ones(n_samples, dtype=bool)
+    chosen: List[Tuple[Path, float]] = []
+    remaining = list(range(len(candidates)))
+    while remaining and uncovered.mean() > 1.0 - coverage:
+        best_index = max(
+            remaining, key=lambda i: np.count_nonzero(critical_masks[i] & uncovered)
+        )
+        gain = np.count_nonzero(critical_masks[best_index] & uncovered)
+        if gain == 0:
+            break
+        chosen.append((candidates[best_index], gain / n_samples))
+        uncovered &= ~critical_masks[best_index]
+        remaining.remove(best_index)
+    return chosen

@@ -1,0 +1,267 @@
+"""Longest-path selection through a fault site (paper Section H-4).
+
+The experiments select the "longest" paths through the injected fault site
+using false-path-aware statistical STA [17]; the tests for those paths are
+then what the diagnosis observes.  We implement:
+
+* :func:`k_longest_paths_through` — exact K-longest (by mean delay) paths
+  through a given edge or net, via top-K dynamic programming on prefixes
+  (PI -> site) and suffixes (site -> PO) and a best-combination merge,
+* :func:`k_longest_paths` — K-longest paths overall (used for clock-path
+  studies and the pattern-quality example),
+* :func:`rank_statistically` — re-rank candidate paths by statistical
+  criticality ``Prob(TL(p) > clk)`` instead of mean length, the [16]-style
+  refinement.
+
+"False-path awareness" in the paper means selected paths are checked for
+sensitizability; callers get that by attempting ATPG on each returned path
+and discarding untestable ones — exactly what
+:func:`repro.atpg.patterns.generate_path_tests` does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.library import GateType
+from ..circuits.netlist import Circuit, Edge
+from ..timing.instance import CircuitTiming
+from .model import Path
+
+__all__ = ["k_longest_paths_through", "k_longest_paths", "rank_statistically"]
+
+#: A scored partial path: (delay, nets tuple).
+_Scored = Tuple[float, Tuple[str, ...]]
+
+
+def _mean_edge_delays(timing: CircuitTiming) -> np.ndarray:
+    return timing.delays.mean(axis=1)
+
+
+def _edge_index_map(circuit: Circuit) -> Dict[Tuple[str, str, int], int]:
+    return {(e.source, e.sink, e.pin): i for i, e in enumerate(circuit.edges)}
+
+
+def _merge_top_k(candidates: List[_Scored], k: int) -> List[_Scored]:
+    """Keep the k best-scoring entries, deduplicating identical net tuples."""
+    seen = set()
+    unique: List[_Scored] = []
+    for score, nets in sorted(candidates, key=lambda item: -item[0]):
+        if nets not in seen:
+            seen.add(nets)
+            unique.append((score, nets))
+        if len(unique) == k:
+            break
+    return unique
+
+
+def _top_k_prefixes(
+    circuit: Circuit, delays: np.ndarray, k: int
+) -> Dict[str, List[_Scored]]:
+    """Top-k longest PI->net partial paths for every net (forward DP)."""
+    offsets: Dict[str, int] = {}
+    offset = 0
+    for name in circuit.topological_order:
+        offsets[name] = offset
+        offset += len(circuit.gates[name].fanins)
+
+    prefixes: Dict[str, List[_Scored]] = {}
+    for name in circuit.topological_order:
+        gate = circuit.gates[name]
+        if gate.gate_type is GateType.INPUT:
+            prefixes[name] = [(0.0, (name,))]
+            continue
+        candidates: List[_Scored] = []
+        base = offsets[name]
+        for pin, fanin in enumerate(gate.fanins):
+            delay = float(delays[base + pin])
+            for score, nets in prefixes[fanin]:
+                candidates.append((score + delay, nets + (name,)))
+        prefixes[name] = _merge_top_k(candidates, k)
+    return prefixes
+
+
+def _top_k_suffixes(
+    circuit: Circuit, delays: np.ndarray, k: int
+) -> Dict[str, List[_Scored]]:
+    """Top-k longest net->PO partial paths for every net (backward DP)."""
+    index_of = _edge_index_map(circuit)
+    output_set = set(circuit.outputs)
+    suffixes: Dict[str, List[_Scored]] = {}
+    for name in reversed(circuit.topological_order):
+        candidates: List[_Scored] = []
+        if name in output_set:
+            candidates.append((0.0, (name,)))
+        for edge in circuit.fanouts[name]:
+            delay = float(delays[index_of[(edge.source, edge.sink, edge.pin)]])
+            for score, nets in suffixes.get(edge.sink, []):
+                # stored suffixes start at edge.sink; prepend this net
+                candidates.append((score + delay, (name,) + nets))
+        suffixes[name] = _merge_top_k(candidates, k)
+    return suffixes
+
+
+def k_longest_paths_through(
+    timing: CircuitTiming,
+    site: Union[Edge, str],
+    k: int = 5,
+) -> List[Path]:
+    """The ``k`` longest (mean-delay) complete paths through ``site``.
+
+    ``site`` may be an :class:`Edge` (segment defect site, Definition D.9)
+    or a net name (all paths through the net).  Exact: combines top-k
+    prefixes of the site's source with top-k suffixes of its sink.
+    """
+    circuit = timing.circuit
+    delays = _mean_edge_delays(timing)
+    prefixes = _top_k_prefixes(circuit, delays, k)
+    suffixes = _top_k_suffixes(circuit, delays, k)
+    index_of = _edge_index_map(circuit)
+
+    combos: List[_Scored] = []
+    if isinstance(site, Edge):
+        edge_delay = float(delays[index_of[(site.source, site.sink, site.pin)]])
+        for pre_score, pre in prefixes.get(site.source, []):
+            for suf_score, suf in suffixes.get(site.sink, []):
+                combos.append(
+                    (pre_score + edge_delay + suf_score, pre + suf)
+                )
+    else:
+        # Through a net: prefix ends at the net, suffix starts at it.
+        for pre_score, pre in prefixes.get(site, []):
+            for suf_score, suf in suffixes.get(site, []):
+                combos.append((pre_score + suf_score, pre + suf[1:]))
+    best = _merge_top_k(combos, k)
+    return [Path(nets) for _, nets in best if len(nets) >= 2]
+
+
+def k_longest_paths(timing: CircuitTiming, k: int = 5) -> List[Path]:
+    """The ``k`` longest (mean-delay) input-to-output paths in the circuit."""
+    circuit = timing.circuit
+    delays = _mean_edge_delays(timing)
+    prefixes = _top_k_prefixes(circuit, delays, k)
+    combos: List[_Scored] = []
+    for output in circuit.outputs:
+        combos.extend(prefixes.get(output, []))
+    best = _merge_top_k(combos, k)
+    return [Path(nets) for _, nets in best if len(nets) >= 2]
+
+
+def longest_delay_tables(
+    timing: CircuitTiming,
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Per-net longest mean-delay from any PI / to any PO.
+
+    Guidance tables for the randomized path sampler: ``prefix[net]`` is the
+    longest mean delay of any PI->net partial path, ``suffix[net]`` of any
+    net->PO partial path (``-inf`` for nets that reach no output).
+    """
+    circuit = timing.circuit
+    delays = _mean_edge_delays(timing)
+    index_of = _edge_index_map(circuit)
+    offsets: Dict[str, int] = {}
+    offset = 0
+    for name in circuit.topological_order:
+        offsets[name] = offset
+        offset += len(circuit.gates[name].fanins)
+
+    prefix: Dict[str, float] = {}
+    for name in circuit.topological_order:
+        gate = circuit.gates[name]
+        if gate.gate_type is GateType.INPUT:
+            prefix[name] = 0.0
+            continue
+        base = offsets[name]
+        prefix[name] = max(
+            prefix[fanin] + float(delays[base + pin])
+            for pin, fanin in enumerate(gate.fanins)
+        )
+    suffix: Dict[str, float] = {}
+    output_set = set(circuit.outputs)
+    for name in reversed(circuit.topological_order):
+        best = 0.0 if name in output_set else float("-inf")
+        for edge in circuit.fanouts[name]:
+            delay = float(delays[index_of[(edge.source, edge.sink, edge.pin)]])
+            candidate = suffix.get(edge.sink, float("-inf")) + delay
+            if candidate > best:
+                best = candidate
+        suffix[name] = best
+    return prefix, suffix
+
+
+def sample_path_through(
+    timing: CircuitTiming,
+    site: Union[Edge, str],
+    rng,
+    bias: float = 0.8,
+    tables: Optional[Tuple[Dict[str, float], Dict[str, float]]] = None,
+) -> Path:
+    """One random complete path through ``site``, biased toward long paths.
+
+    With probability ``bias`` each backward/forward step takes the
+    longest-scoring continuation, otherwise a uniform random one.  ``bias=1``
+    reproduces *the* longest path; ``bias=0`` is a uniform random walk —
+    lowering the bias is how the ATPG escapes clusters of false long paths
+    while keeping tests as long as it can (Section G's "select long paths to
+    sensitize the faults").
+    """
+    circuit = timing.circuit
+    prefix, suffix = tables if tables is not None else longest_delay_tables(timing)
+
+    if isinstance(site, Edge):
+        back_start, forward_start = site.source, site.sink
+        middle = [site.source, site.sink]
+    else:
+        back_start = forward_start = site
+        middle = [site]
+
+    nets_backward: List[str] = []
+    current = back_start
+    while circuit.gates[current].gate_type is not GateType.INPUT:
+        fanins = circuit.gates[current].fanins
+        if rng.random() < bias:
+            chosen = max(fanins, key=lambda f: prefix[f])
+        else:
+            chosen = fanins[int(rng.random() * len(fanins))]
+        nets_backward.append(chosen)
+        current = chosen
+
+    nets_forward: List[str] = []
+    current = forward_start
+    output_set = set(circuit.outputs)
+    while True:
+        candidates = [
+            e.sink for e in circuit.fanouts[current] if suffix[e.sink] > float("-inf")
+        ]
+        if current in output_set and (not candidates or rng.random() < 0.5):
+            break
+        if not candidates:
+            break
+        if rng.random() < bias:
+            chosen = max(candidates, key=lambda s: suffix[s])
+        else:
+            chosen = candidates[int(rng.random() * len(candidates))]
+        nets_forward.append(chosen)
+        current = chosen
+
+    return Path(tuple(reversed(nets_backward)) + tuple(middle) + tuple(nets_forward))
+
+
+def rank_statistically(
+    paths: Sequence[Path], timing: CircuitTiming, clk: Optional[float] = None
+) -> List[Tuple[Path, float]]:
+    """Rank paths by statistical criticality.
+
+    With ``clk`` given, the score is ``Prob(TL(p) > clk)`` (the critical
+    probability of Definition D.6 applied to the path's timing length);
+    otherwise the mean timing length.  Returns (path, score) pairs sorted
+    by decreasing score.
+    """
+    scored = []
+    for path in paths:
+        length = path.timing_length(timing)
+        score = length.critical_probability(clk) if clk is not None else length.mean
+        scored.append((path, float(score)))
+    return sorted(scored, key=lambda item: -item[1])

@@ -1,0 +1,77 @@
+"""Path objects and their statistical timing length (Section D-1).
+
+A path runs from a primary input to a primary output through consecutive
+pin-to-pin edges.  Its *timing length* ``TL(p)`` is the sum of the edge
+delay random variables along it — under common random numbers this is exact
+including all correlations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Circuit, Edge
+from ..timing.instance import CircuitTiming
+from ..timing.randvars import RandomVariable
+
+__all__ = ["Path"]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A structural path, stored as the tuple of nets it traverses.
+
+    ``nets[0]`` must be a primary input and ``nets[-1]`` a primary output of
+    the circuit the path is used with.  Pin indices are recovered on demand
+    (the first fanin pin connecting consecutive nets; parallel arcs between
+    the same nets are timing-equivalent for our library, so this loses no
+    generality).
+    """
+
+    nets: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nets) < 2:
+            raise ValueError("a path needs at least two nets")
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def __str__(self) -> str:
+        return " -> ".join(self.nets)
+
+    def edges(self, circuit: Circuit) -> List[Edge]:
+        """The pin-to-pin edges along the path."""
+        result = []
+        for source, sink in zip(self.nets, self.nets[1:]):
+            gate = circuit.gates[sink]
+            try:
+                pin = gate.fanins.index(source)
+            except ValueError:
+                raise ValueError(
+                    f"{source!r} does not drive {sink!r}; not a circuit path"
+                ) from None
+            result.append(Edge(source, sink, pin))
+        return result
+
+    def contains_edge(self, circuit: Circuit, edge: Edge) -> bool:
+        return edge in self.edges(circuit)
+
+    def timing_length(self, timing: CircuitTiming) -> RandomVariable:
+        """``TL(p) = f(e_1) + ... + f(e_k)`` (Section D-1)."""
+        indices = [timing.edge_index[edge] for edge in self.edges(timing.circuit)]
+        return RandomVariable(timing.delays[indices].sum(axis=0), timing.space)
+
+    def nominal_length(self, timing: CircuitTiming) -> float:
+        return self.timing_length(timing).mean
+
+    def validate(self, circuit: Circuit) -> None:
+        """Raise unless the path runs from a primary input to a primary output."""
+        if self.nets[0] not in circuit.inputs:
+            raise ValueError(f"path must start at a primary input, got {self.nets[0]!r}")
+        if self.nets[-1] not in circuit.outputs:
+            raise ValueError(f"path must end at a primary output, got {self.nets[-1]!r}")
+        self.edges(circuit)  # raises if any hop is not an arc

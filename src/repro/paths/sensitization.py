@@ -1,0 +1,168 @@
+"""Path sensitization criteria (paper Sections C, D.4, G).
+
+Given a two-vector test, classifies how a path is sensitized:
+
+* **robust** — the path's transition propagates to the output regardless of
+  delays elsewhere in the circuit (Lin-Reddy conditions),
+* **non-robust** — propagates provided the rest of the circuit is timely
+  (off-path inputs settle to non-controlling final values),
+* **functional** — the weakest useful notion here: every on-path net
+  actually transitions under the test (checked by logic values).
+
+These checks drive the ATPG constraint builder, the false-path filtering of
+selected longest paths, and :func:`sensitized_input_pins`, the per-gate rule
+the cause-effect suspect-pruning step (Algorithm E.1, step 1) traces
+backwards through.
+
+Conventions: "steady" is approximated as *equal settled values in both
+vectors*; reconvergence hazards on steady side-inputs are ignored, matching
+the transition-mode timed simulator (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Sequence, Tuple
+
+from ..circuits.library import CONTROLLING_VALUE, GateType
+from ..circuits.netlist import Circuit
+from .model import Path
+
+__all__ = [
+    "Sensitization",
+    "classify_path_sensitization",
+    "path_transition_values",
+    "sensitized_input_pins",
+]
+
+
+class Sensitization(enum.Enum):
+    """Strength of sensitization of a path by a two-vector test."""
+
+    ROBUST = "robust"
+    NON_ROBUST = "non_robust"
+    FUNCTIONAL = "functional"
+    NONE = "none"
+
+    def at_least(self, other: "Sensitization") -> bool:
+        order = [
+            Sensitization.NONE,
+            Sensitization.FUNCTIONAL,
+            Sensitization.NON_ROBUST,
+            Sensitization.ROBUST,
+        ]
+        return order.index(self) >= order.index(other)
+
+
+def path_transition_values(
+    circuit: Circuit, path: Path, rising_at_input: bool
+) -> List[Tuple[str, int, int]]:
+    """(net, v1, v2) along the path for a launch transition at the path input.
+
+    The transition direction flips at every inverting gate (NOT, NAND, NOR,
+    XNOR are treated as inverting for the on-path polarity; XOR polarity
+    additionally depends on side inputs and is resolved during ATPG, here we
+    assume the non-inverting side-input phase).
+    """
+    from ..circuits.library import INVERTING
+
+    value = 1 if rising_at_input else 0
+    values = [(path.nets[0], 1 - value, value)]
+    for net in path.nets[1:]:
+        gate = circuit.gates[net]
+        if gate.gate_type in INVERTING:
+            value = 1 - value
+        values.append((net, 1 - value, value))
+    return values
+
+
+def _gate_off_input_check(
+    gate_type: GateType,
+    on_final: int,
+    off_values: Sequence[Tuple[int, int]],
+) -> Sensitization:
+    """Classify propagation through one gate given settled (v1, v2) values.
+
+    ``on_final`` is the on-path input's final value; ``off_values`` are the
+    (v1, v2) pairs of the off-path inputs.
+    """
+    controlling = CONTROLLING_VALUE[gate_type]
+    if gate_type in (GateType.NOT, GateType.BUF, GateType.OUTPUT):
+        return Sensitization.ROBUST
+    if controlling is None:
+        # XOR family: propagation requires steady side inputs (any toggle
+        # re-polarizes the path); steady = robust under our conventions.
+        if all(v1 == v2 for v1, v2 in off_values):
+            return Sensitization.ROBUST
+        return Sensitization.NONE
+    non_controlling = 1 - controlling
+    if any(v2 != non_controlling for _, v2 in off_values):
+        return Sensitization.NONE
+    if on_final == controlling:
+        # Transition into the controlling value: final nc on side inputs is
+        # enough for robustness (Lin-Reddy X->nc rule).
+        return Sensitization.ROBUST
+    # Transition into the non-controlling value: robust needs steady nc.
+    if all(v1 == non_controlling for v1, _ in off_values):
+        return Sensitization.ROBUST
+    return Sensitization.NON_ROBUST
+
+
+def classify_path_sensitization(
+    circuit: Circuit,
+    path: Path,
+    val1: Dict[str, int],
+    val2: Dict[str, int],
+) -> Sensitization:
+    """Classify how a settled two-vector value assignment sensitizes ``path``.
+
+    ``val1``/``val2`` map every net to its settled logic value in each frame
+    (from :meth:`Circuit.evaluate` or a transition simulation).  The path
+    must actually transition at every net to qualify at all (functional
+    floor); gate-level off-input conditions then refine the class.
+    """
+    for net in path.nets:
+        if val1[net] == val2[net]:
+            return Sensitization.NONE
+    strength = Sensitization.ROBUST
+    for on_net, sink in zip(path.nets, path.nets[1:]):
+        gate = circuit.gates[sink]
+        off_values = [
+            (val1[fanin], val2[fanin])
+            for fanin in gate.fanins
+            if fanin != on_net
+        ]
+        level = _gate_off_input_check(gate.gate_type, val2[on_net], off_values)
+        if level is Sensitization.NONE:
+            # Values still produced a transition chain, so the path is at
+            # least functionally sensitized even if a side input toggles.
+            return Sensitization.FUNCTIONAL
+        if not level.at_least(strength):
+            strength = level
+    return strength
+
+
+def sensitized_input_pins(
+    gate_type: GateType,
+    fanin_values1: Sequence[int],
+    fanin_values2: Sequence[int],
+) -> List[int]:
+    """Which input pins' transitions can be driving the output's behaviour.
+
+    Used by backward critical-path tracing: for a controlled final output,
+    the controlling-final inputs; otherwise, the transitioning inputs.
+    Mirrors the settle-time rule of the timed simulator, so tracing follows
+    exactly the pins that can determine the output's arrival time.
+    """
+    controlling = CONTROLLING_VALUE[gate_type]
+    n = len(fanin_values1)
+    if controlling is not None:
+        controlled_pins = [
+            pin for pin in range(n) if fanin_values2[pin] == controlling
+        ]
+        if controlled_pins:
+            return controlled_pins
+    transitioning = [
+        pin for pin in range(n) if fanin_values1[pin] != fanin_values2[pin]
+    ]
+    return transitioning if transitioning else list(range(n))

@@ -1,0 +1,113 @@
+"""Statistical cell delay library.
+
+The paper pre-characterizes cells with a Monte-Carlo SPICE (ELDO) flow for a
+0.25um/2.5V CMOS process: pin-to-pin delay random variables indexed by input
+transition time and output load (Section H-1).  Without SPICE we substitute a
+parametric library (see DESIGN.md): each pin-to-pin arc gets a nominal delay
+
+    nominal = base(cell type) + fanin_penalty * (n_fanins - 1)
+              + load_factor * (fanout count of the driving net)
+
+and the statistical population around the nominal mixes a shared global
+process factor with a per-arc local factor (sigma/mean of 5-15%, typical of
+the era's DSM variation folklore).  All downstream tools consume only the
+per-edge sample vectors, so any positive correlated family exercises the
+same code paths as the SPICE-characterized library.
+
+Delays are in normalized *delay units* (a nominal 2-input NAND pin-to-pin
+delay is 1.0); the paper reports no absolute scale, only probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits.library import GateType
+from ..circuits.netlist import Circuit, Edge
+from .randvars import SampleSpace
+
+__all__ = ["CellLibrary", "DEFAULT_BASE_DELAYS", "nominal_edge_delay"]
+
+#: Nominal pin-to-pin base delays per cell type, in delay units.
+DEFAULT_BASE_DELAYS: Dict[GateType, float] = {
+    GateType.BUF: 0.6,
+    GateType.OUTPUT: 0.0,
+    GateType.NOT: 0.5,
+    GateType.NAND: 1.0,
+    GateType.AND: 1.3,
+    GateType.NOR: 1.1,
+    GateType.OR: 1.4,
+    GateType.XOR: 1.8,
+    GateType.XNOR: 1.8,
+    GateType.DFF: 0.0,
+}
+
+
+@dataclass
+class CellLibrary:
+    """Parametric statistical cell library (Monte-Carlo-SPICE substitute).
+
+    ``sigma_global``/``sigma_local`` are relative standard deviations of the
+    chip-wide and per-arc variation components.  ``fanin_penalty`` models the
+    stack-depth cost of wide gates; ``load_factor`` models output loading by
+    the driving net's fanout count (the library index the paper mentions).
+    """
+
+    base_delays: Dict[GateType, float] = field(
+        default_factory=lambda: dict(DEFAULT_BASE_DELAYS)
+    )
+    fanin_penalty: float = 0.15
+    load_factor: float = 0.08
+    sigma_global: float = 0.03
+    sigma_local: float = 0.04
+
+    def nominal_pin_delay(self, circuit: Circuit, edge: Edge) -> float:
+        """Nominal pin-to-pin delay of ``edge`` (no variation)."""
+        gate = circuit.gates[edge.sink]
+        base = self.base_delays.get(gate.gate_type)
+        if base is None:
+            raise KeyError(f"no delay characterization for {gate.gate_type}")
+        fanins = max(len(gate.fanins), 1)
+        load = len(circuit.fanouts[edge.source])
+        return base + self.fanin_penalty * (fanins - 1) + self.load_factor * load
+
+    def mean_cell_delay(self, circuit: Circuit) -> float:
+        """Average nominal pin-to-pin delay over all edges.
+
+        The paper sizes injected defects relative to "a cell delay"
+        (Section I); this is the reference value the defect models use.
+        """
+        nominals = [self.nominal_pin_delay(circuit, edge) for edge in circuit.edges]
+        return float(np.mean(nominals)) if nominals else 0.0
+
+    def sample_edge_delays(
+        self, circuit: Circuit, space: SampleSpace
+    ) -> np.ndarray:
+        """Draw the full ``(n_edges, n_samples)`` delay matrix for a circuit.
+
+        Row order follows ``circuit.edges``.  Column ``s`` is the delay
+        assignment of circuit instance ``s`` (Definition D.2): globally
+        shifted by the shared process factor, locally jittered per arc.
+        """
+        edges = circuit.edges
+        nominal = np.array(
+            [self.nominal_pin_delay(circuit, edge) for edge in edges]
+        )
+        local = space.rng.standard_normal((len(edges), space.n_samples))
+        delays = nominal[:, None] * (
+            1.0
+            + self.sigma_global * space.global_factor[None, :]
+            + self.sigma_local * local
+        )
+        np.maximum(delays, 0.05 * nominal[:, None], out=delays)
+        return delays
+
+
+def nominal_edge_delay(
+    circuit: Circuit, edge: Edge, library: Optional[CellLibrary] = None
+) -> float:
+    """Convenience wrapper: nominal delay of one edge under a library."""
+    return (library or CellLibrary()).nominal_pin_delay(circuit, edge)

@@ -1,0 +1,134 @@
+"""Critical probabilities, error vectors and error matrices (D.6, D.7).
+
+Thin, well-named wrappers over the dynamic simulator that produce the
+objects the paper's algorithms are phrased in:
+
+* ``Err(C, v, clk)`` — per-output critical-probability vector for one test,
+* ``Err_M(C, TP, clk)`` — the ``|O| x |TP|`` error (probability) matrix.
+
+The probabilistic fault dictionary (error matrices under injected suspect
+defects) lives in :mod:`repro.core.dictionary`, which reuses the per-pattern
+base simulations produced here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dynamic import TransitionSimResult, simulate_transition
+from .instance import CircuitTiming
+
+__all__ = [
+    "error_vector",
+    "error_matrix",
+    "simulate_pattern_set",
+    "pattern_set_delay",
+    "diagnosis_clock",
+    "PatternPair",
+]
+
+#: A two-vector delay test: (v1, v2) arrays over the primary inputs.
+PatternPair = Tuple[np.ndarray, np.ndarray]
+
+
+def error_vector(timing: CircuitTiming, pattern: PatternPair, clk: float) -> np.ndarray:
+    """``Err(C, v, clk)``: critical probability per primary output."""
+    v1, v2 = pattern
+    return simulate_transition(timing, v1, v2).error_vector(clk)
+
+
+def simulate_pattern_set(
+    timing: CircuitTiming, patterns: Sequence[PatternPair]
+) -> List[TransitionSimResult]:
+    """Full-width dynamic simulations, one per two-vector test."""
+    return [simulate_transition(timing, v1, v2) for v1, v2 in patterns]
+
+
+def pattern_set_delay(
+    simulations: Sequence[TransitionSimResult],
+    targets: Optional[Sequence[Tuple[int, str]]] = None,
+) -> np.ndarray:
+    """Per-sample delay of a pattern set: ``Delta(Induced(Path_TP))``.
+
+    For each Monte-Carlo sample (chip), the latest settle time over every
+    sensitized output transition of every pattern — the dynamic analogue of
+    the circuit delay, restricted to what the tests actually exercise
+    (Definition D.5's ``Delta(Induced(Path_TP))``).
+
+    ``targets`` optionally restricts the maximum to specific
+    (pattern index, output net) observation points — e.g. the endpoints of
+    the paths the tests were generated for.
+    """
+    if not simulations:
+        raise ValueError("need at least one simulation")
+    width = simulations[0].width
+    delay = np.zeros(width)
+    if targets is None:
+        for sim in simulations:
+            for net in sim.timing.circuit.outputs:
+                if sim.transitioned(net):
+                    np.maximum(delay, sim.stable[net], out=delay)
+        return delay
+    for index, net in targets:
+        sim = simulations[index]
+        if sim.transitioned(net):
+            np.maximum(delay, sim.stable[net], out=delay)
+    return delay
+
+
+def diagnosis_clock(
+    timing: CircuitTiming,
+    patterns: Sequence[PatternPair],
+    quantile: float = 0.9,
+    simulations: Optional[Sequence[TransitionSimResult]] = None,
+    targets: Optional[Sequence[Tuple[int, str]]] = None,
+) -> float:
+    """Cut-off ``clk`` placed tight against the tested paths.
+
+    Delay *diagnosis* observes failures, so the cut-off must sit where the
+    sensitized paths of the pattern set actually live — a quantile of the
+    healthy population's pattern-set delay.  Healthy chips then pass those
+    observation points with probability ~``quantile`` while a segment defect
+    on a tested path has a real chance of crossing the cut-off (the paper's
+    example explicitly works with nonzero healthy critical probabilities,
+    Section E).  On a tester this corresponds to the standard
+    clock-sweeping practice of tightening the capture clock until failures
+    appear.
+
+    ``targets`` restricts the calibration to specific (pattern, output)
+    observation points — normally the endpoints of the targeted paths.
+    Without it the cut-off is set by the longest *incidentally* sensitized
+    path in the whole set, which in circuits with dispersed path lengths
+    can sit far above every path through the defect site, making small
+    defects invisible.  With it, incidental longer paths simply fail on
+    every chip: those observations carry no per-suspect information (their
+    signature entries are ~0 for all suspects) and the error functions
+    absorb them — this is exactly why the paper builds the diagnosis on
+    ``M_crt``-relative signatures instead of raw failures.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    if simulations is None:
+        simulations = simulate_pattern_set(timing, patterns)
+    return float(np.quantile(pattern_set_delay(simulations, targets), quantile))
+
+
+def error_matrix(
+    timing: CircuitTiming,
+    patterns: Sequence[PatternPair],
+    clk: float,
+    simulations: Optional[Sequence[TransitionSimResult]] = None,
+) -> np.ndarray:
+    """``Err_M(C, TP, clk)``: the ``|O| x |TP|`` error probability matrix.
+
+    Pass precomputed ``simulations`` (from :func:`simulate_pattern_set`) to
+    evaluate several clock periods without re-simulating.
+    """
+    if simulations is None:
+        simulations = simulate_pattern_set(timing, patterns)
+    columns = [sim.error_vector(clk) for sim in simulations]
+    if not columns:
+        return np.zeros((len(timing.circuit.outputs), 0))
+    return np.stack(columns, axis=1)

@@ -1,0 +1,251 @@
+"""Statistical *dynamic* timing simulation (Definition D.5, dynamic half).
+
+Given a two-vector delay test ``(v1, v2)`` this module computes, for every
+net, the time at which the net settles to its final value — simultaneously
+for all Monte-Carlo samples (all circuit instances).  The per-output settle
+times of transitioning outputs are exactly the arrival-time random variables
+``Ar(o_i)`` on the induced circuit ``Induced(Path_v)`` of Definition D.7:
+outputs without a sensitized transition are never at risk and get critical
+probability 0, matching the paper's convention.
+
+Model (standard transition-mode timed simulation):
+
+* every net makes at most one transition between the settled ``v1`` state
+  and the settled ``v2`` state; static hazards/glitches on nets whose two
+  logic values coincide are ignored (documented simplification),
+* a gate whose final output value is *controlled* settles when its earliest
+  controlling-final input settles: ``min`` over those inputs of
+  (input settle time + pin-to-pin delay),
+* otherwise the gate settles with its latest *transitioning* input:
+  ``max`` over transitioning inputs of (settle + delay); if no input
+  transitions the output cannot transition either and is stable from t=0.
+
+Because logic values are sample-independent, a delay defect (extra delay on
+one edge) changes settle times only inside the defect's fanout cone —
+:func:`resimulate_with_extra` exploits this to make probabilistic fault
+dictionary construction (hundreds of suspects) cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuits.library import CONTROLLING_VALUE, GateType
+from ..circuits.netlist import Circuit
+from .instance import CircuitTiming
+from .randvars import RandomVariable
+
+__all__ = [
+    "TransitionSimResult",
+    "simulate_transition",
+    "resimulate_with_extra",
+    "edge_offsets",
+]
+
+ExtraDelay = Mapping[int, Union[float, np.ndarray]]
+
+
+def edge_offsets(circuit: Circuit) -> Dict[str, int]:
+    """First edge index of each gate's fanin block in ``circuit.edges`` order."""
+    offsets: Dict[str, int] = {}
+    offset = 0
+    for name in circuit.topological_order:
+        offsets[name] = offset
+        offset += len(circuit.gates[name].fanins)
+    return offsets
+
+
+@dataclass
+class TransitionSimResult:
+    """Settle times and logic values for one two-vector test.
+
+    ``stable[net]`` has shape ``(width,)`` where ``width`` is the number of
+    simulated samples (the full sample space, or 1 for an instance-level
+    simulation).  ``val1``/``val2`` are the settled logic values — identical
+    across samples since delays never change logic.
+    """
+
+    timing: CircuitTiming
+    v1: np.ndarray
+    v2: np.ndarray
+    val1: Dict[str, int]
+    val2: Dict[str, int]
+    stable: Dict[str, np.ndarray]
+    width: int
+    sample_index: Optional[int] = None
+
+    def transitioned(self, net: str) -> bool:
+        """True iff the test launches a transition onto ``net``."""
+        return self.val1[net] != self.val2[net]
+
+    def arrival(self, net: str) -> RandomVariable:
+        """``Ar(net)`` on the induced circuit (full-width results only)."""
+        if self.width != self.timing.space.n_samples:
+            raise ValueError("arrival() requires a full-sample-space simulation")
+        return RandomVariable(self.stable[net], self.timing.space)
+
+    def error_vector(self, clk: float) -> np.ndarray:
+        """``Err(C, v, clk)`` of Definition D.7: per-output critical probability."""
+        outputs = self.timing.circuit.outputs
+        vector = np.zeros(len(outputs))
+        for index, net in enumerate(outputs):
+            if self.transitioned(net):
+                vector[index] = float(np.mean(self.stable[net] > clk))
+        return vector
+
+    def output_failures(self, clk: float) -> np.ndarray:
+        """Boolean ``(|O|, width)``: which outputs fail on which sample."""
+        outputs = self.timing.circuit.outputs
+        failures = np.zeros((len(outputs), self.width), dtype=bool)
+        for index, net in enumerate(outputs):
+            if self.transitioned(net):
+                failures[index] = self.stable[net] > clk
+        return failures
+
+
+def _gate_settle_time(
+    gate_type: GateType,
+    fanins: Sequence[str],
+    val1: Dict[str, int],
+    val2: Dict[str, int],
+    stable_of,
+    delay_of,
+) -> np.ndarray:
+    """Apply the controlled-min / transitioning-max settle rule for one gate."""
+    controlling = CONTROLLING_VALUE[gate_type]
+    if controlling is not None:
+        controlled = [
+            (fanin, pin)
+            for pin, fanin in enumerate(fanins)
+            if val2[fanin] == controlling
+        ]
+        if controlled:
+            candidates = [stable_of(f) + delay_of(p) for f, p in controlled]
+            return np.minimum.reduce(candidates)
+    transitioning = [
+        (fanin, pin)
+        for pin, fanin in enumerate(fanins)
+        if val1[fanin] != val2[fanin]
+    ]
+    if not transitioning:
+        # The output transition must then come from nowhere — callers only
+        # invoke this for transitioning outputs, which implies at least one
+        # transitioning input except in degenerate const-redundant cases.
+        transitioning = list((fanin, pin) for pin, fanin in enumerate(fanins))
+    candidates = [stable_of(f) + delay_of(p) for f, p in transitioning]
+    return np.maximum.reduce(candidates)
+
+
+def simulate_transition(
+    timing: CircuitTiming,
+    v1: np.ndarray,
+    v2: np.ndarray,
+    extra_delay: Optional[ExtraDelay] = None,
+    sample_index: Optional[int] = None,
+) -> TransitionSimResult:
+    """Timed simulation of the two-vector test ``(v1, v2)``.
+
+    ``extra_delay`` maps edge indices to additional delay (scalar or
+    per-sample vector) — the defect-injection hook.  ``sample_index``
+    restricts the simulation to one Monte-Carlo sample, i.e. simulates a
+    single :class:`CircuitInstance`; the result then has ``width == 1``.
+    """
+    circuit = timing.circuit
+    v1 = np.asarray(v1).astype(int).ravel()
+    v2 = np.asarray(v2).astype(int).ravel()
+    if v1.shape[0] != len(circuit.inputs) or v2.shape[0] != len(circuit.inputs):
+        raise ValueError("test vectors must cover every primary input")
+
+    val1 = circuit.evaluate({net: int(v1[i]) for i, net in enumerate(circuit.inputs)})
+    val2 = circuit.evaluate({net: int(v2[i]) for i, net in enumerate(circuit.inputs)})
+
+    if sample_index is None:
+        delays = timing.delays
+        width = timing.space.n_samples
+    else:
+        delays = timing.delays[:, sample_index : sample_index + 1]
+        width = 1
+
+    extra = dict(extra_delay or {})
+    offsets = edge_offsets(circuit)
+    zeros = np.zeros(width)
+    stable: Dict[str, np.ndarray] = {}
+
+    for name in circuit.topological_order:
+        gate = circuit.gates[name]
+        if gate.gate_type is GateType.INPUT or val1[name] == val2[name]:
+            stable[name] = zeros
+            continue
+        base = offsets[name]
+
+        def delay_of(pin: int, _base: int = base) -> np.ndarray:
+            edge_index = _base + pin
+            d = delays[edge_index]
+            if edge_index in extra:
+                d = d + np.asarray(extra[edge_index])
+            return d
+
+        stable[name] = _gate_settle_time(
+            gate.gate_type, gate.fanins, val1, val2, stable.__getitem__, delay_of
+        )
+    return TransitionSimResult(
+        timing, v1, v2, val1, val2, stable, width, sample_index
+    )
+
+
+def resimulate_with_extra(
+    base: TransitionSimResult, extra_delay: ExtraDelay
+) -> TransitionSimResult:
+    """Re-evaluate settle times after adding delay to a few edges.
+
+    Only the union of the affected edges' sink fanout cones is recomputed;
+    every other net shares the base result's arrays.  Logic values are
+    reused verbatim (a delay defect never changes settled logic).  The base
+    must be a full-width simulation of the same timing model.
+    """
+    timing = base.timing
+    circuit = timing.circuit
+    edges = circuit.edges
+
+    affected = set()
+    for edge_index in extra_delay:
+        affected.update(circuit.fanout_cone(edges[edge_index].sink))
+    if not affected:
+        return base
+
+    delays = (
+        timing.delays
+        if base.sample_index is None
+        else timing.delays[:, base.sample_index : base.sample_index + 1]
+    )
+    offsets = edge_offsets(circuit)
+    zeros = np.zeros(base.width)
+    stable = dict(base.stable)
+
+    for name in circuit.topological_order:
+        if name not in affected:
+            continue
+        gate = circuit.gates[name]
+        if gate.gate_type is GateType.INPUT or base.val1[name] == base.val2[name]:
+            stable[name] = zeros
+            continue
+        base_offset = offsets[name]
+
+        def delay_of(pin: int, _base: int = base_offset) -> np.ndarray:
+            edge_index = _base + pin
+            d = delays[edge_index]
+            if edge_index in extra_delay:
+                d = d + np.asarray(extra_delay[edge_index])
+            return d
+
+        stable[name] = _gate_settle_time(
+            gate.gate_type, gate.fanins, base.val1, base.val2,
+            stable.__getitem__, delay_of,
+        )
+    return TransitionSimResult(
+        timing, base.v1, base.v2, base.val1, base.val2, stable, base.width,
+        base.sample_index,
+    )

@@ -1,0 +1,296 @@
+"""Event-driven waveform-accurate timed simulation (future work item 1).
+
+The vectorized transition-mode simulator (:mod:`repro.timing.dynamic`)
+assumes every net transitions at most once and ignores hazards — the
+standard, fast approximation.  The paper's future-work list asks to
+"improve the dynamic statistical timing simulator for more accurate delay
+fault simulation"; this module is that improvement: a classic event-driven
+gate-level simulator with pin-to-pin transport delays that computes the
+*full waveform* of every net for one circuit instance:
+
+* static and dynamic hazards propagate (a glitch latched at the capture
+  clock is a real silicon failure the transition-mode model cannot see),
+* multi-transition inputs are handled exactly,
+* per-net waveforms expose settle times, glitch counts and the sampled
+  value at any capture time.
+
+It is scalar per (instance, pattern) — orders of magnitude slower than the
+vectorized simulator — so the main flow uses it for validation
+(:func:`compare_with_transition_mode`) and for waveform-accurate behavior
+matrices on demand (:func:`event_behavior_matrix`).
+
+Transport-delay semantics: every scheduled output change is delivered;
+pulses narrower than a gate delay are *not* swallowed (pessimistic glitch
+accounting).  An optional inertial filter removes pulses below a
+configurable width as a post-process.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.library import eval_gate
+from ..circuits.netlist import Circuit
+from .dynamic import edge_offsets, simulate_transition
+from .instance import CircuitTiming
+
+__all__ = [
+    "Waveform",
+    "EventSimResult",
+    "simulate_events",
+    "event_behavior_matrix",
+    "compare_with_transition_mode",
+]
+
+
+@dataclass
+class Waveform:
+    """A net's value over time: initial value plus (time, value) changes."""
+
+    initial: int
+    changes: List[Tuple[float, int]] = field(default_factory=list)
+
+    def value_at(self, time: float) -> int:
+        """Sampled value at ``time`` (changes at exactly ``time`` included)."""
+        value = self.initial
+        for change_time, new_value in self.changes:
+            if change_time > time:
+                break
+            value = new_value
+        return value
+
+    @property
+    def final(self) -> int:
+        return self.changes[-1][1] if self.changes else self.initial
+
+    @property
+    def settle_time(self) -> float:
+        """Time of the last change (0.0 when the net never changes)."""
+        return self.changes[-1][0] if self.changes else 0.0
+
+    @property
+    def n_transitions(self) -> int:
+        return len(self.changes)
+
+    @property
+    def has_glitch(self) -> bool:
+        """More than one change, or changes that end at the initial value."""
+        if len(self.changes) > 1:
+            return True
+        return len(self.changes) == 1 and self.final == self.initial
+
+    def filtered(self, min_pulse: float) -> "Waveform":
+        """Inertial post-filter: drop pulses narrower than ``min_pulse``."""
+        if min_pulse <= 0 or not self.changes:
+            return self
+        kept: List[Tuple[float, int]] = []
+        value = self.initial
+        for index, (time, new_value) in enumerate(self.changes):
+            next_time = (
+                self.changes[index + 1][0]
+                if index + 1 < len(self.changes)
+                else float("inf")
+            )
+            if new_value == value:
+                continue
+            if next_time - time >= min_pulse:
+                kept.append((time, new_value))
+                value = new_value
+        return Waveform(self.initial, kept)
+
+
+@dataclass
+class EventSimResult:
+    """Waveforms for every net under one two-vector test on one instance."""
+
+    circuit: Circuit
+    waveforms: Dict[str, Waveform]
+    sample_index: int
+
+    def settle_time(self, net: str) -> float:
+        return self.waveforms[net].settle_time
+
+    def sampled_outputs(self, clk: float) -> Dict[str, int]:
+        return {net: self.waveforms[net].value_at(clk) for net in self.circuit.outputs}
+
+    def output_failures(self, clk: float) -> np.ndarray:
+        """Which outputs read a wrong value at the capture time ``clk``.
+
+        "Wrong" = different from the settled second-vector value; this
+        catches both late final transitions *and* glitches still in flight
+        at the capture edge.
+        """
+        failures = np.zeros(len(self.circuit.outputs), dtype=bool)
+        for row, net in enumerate(self.circuit.outputs):
+            waveform = self.waveforms[net]
+            failures[row] = waveform.value_at(clk) != waveform.final
+        return failures
+
+    def glitchy_nets(self) -> List[str]:
+        return [
+            net for net, waveform in self.waveforms.items() if waveform.has_glitch
+        ]
+
+
+def simulate_events(
+    timing: CircuitTiming,
+    v1: Sequence[int],
+    v2: Sequence[int],
+    sample_index: int,
+    extra_delay: Optional[Dict[int, float]] = None,
+    max_events: int = 1_000_000,
+) -> EventSimResult:
+    """Event-driven simulation of ``(v1, v2)`` on instance ``sample_index``.
+
+    The circuit starts settled at ``v1``; at t=0 the inputs switch to
+    ``v2``.  Transport-delay semantics per pin-to-pin arc; ``extra_delay``
+    adds defect delay to specific edges (by index in ``circuit.edges``).
+    """
+    circuit = timing.circuit
+    v1 = [int(v) for v in v1]
+    v2 = [int(v) for v in v2]
+    if len(v1) != len(circuit.inputs) or len(v2) != len(circuit.inputs):
+        raise ValueError("test vectors must cover every primary input")
+    extra = extra_delay or {}
+
+    settled = circuit.evaluate(dict(zip(circuit.inputs, v1)))
+    current = dict(settled)
+    waveforms = {net: Waveform(settled[net]) for net in circuit.gates}
+
+    delays = timing.delays[:, sample_index]
+    offsets = edge_offsets(circuit)
+
+    # Pin-accurate model: every edge is a pure delay line.  A net change at
+    # time t arrives at each fanout *pin* at t + d(edge); the sink gate then
+    # re-evaluates from its pin values with zero delay.  (Evaluating at
+    # delivery from net values instead would let a change through a fast pin
+    # be overwritten by a stale value computed before it — the classic
+    # pin-to-pin overtaking bug.)
+    pin_value: Dict[int, int] = {}
+    for name in circuit.topological_order:
+        gate = circuit.gates[name]
+        base = offsets[name]
+        for pin, fanin in enumerate(gate.fanins):
+            pin_value[base + pin] = settled[fanin]
+
+    def edge_delay(edge_index: int) -> float:
+        return float(delays[edge_index]) + float(extra.get(edge_index, 0.0))
+
+    counter = itertools.count()
+    # heap entries: (arrival time, tiebreak, sink net, edge index, value)
+    heap: List[Tuple[float, int, str, int, int]] = []
+
+    def emit(net: str, time: float, value: int) -> None:
+        """Record a net change and launch its pin arrivals."""
+        current[net] = value
+        waveforms[net].changes.append((time, value))
+        for edge in circuit.fanouts[net]:
+            edge_index = offsets[edge.sink] + edge.pin
+            heapq.heappush(
+                heap,
+                (
+                    time + edge_delay(edge_index),
+                    next(counter),
+                    edge.sink,
+                    edge_index,
+                    value,
+                ),
+            )
+
+    for position, net in enumerate(circuit.inputs):
+        if v2[position] != v1[position]:
+            emit(net, 0.0, v2[position])
+
+    processed = 0
+    while heap:
+        time = heap[0][0]
+        # Batch all pin arrivals at this instant, then re-evaluate each
+        # touched gate once — avoids artificial zero-width pulses when two
+        # pins of one gate switch simultaneously.
+        touched: List[str] = []
+        while heap and heap[0][0] == time:
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    "event budget exhausted; the circuit is oscillating "
+                    "(combinational loop?) or max_events is too small"
+                )
+            _t, _tie, sink, edge_index, value = heapq.heappop(heap)
+            if pin_value[edge_index] != value:
+                pin_value[edge_index] = value
+                touched.append(sink)
+        for sink in touched:
+            gate = circuit.gates[sink]
+            base = offsets[sink]
+            new_output = eval_gate(
+                gate.gate_type,
+                [pin_value[base + pin] for pin in range(len(gate.fanins))],
+            )
+            if new_output != current[sink]:
+                emit(sink, time, new_output)
+    return EventSimResult(circuit, waveforms, sample_index)
+
+
+def event_behavior_matrix(
+    timing: CircuitTiming,
+    patterns,
+    clk: float,
+    defect,
+    sample_index: int,
+) -> np.ndarray:
+    """Waveform-accurate behavior matrix (drop-in for
+    :func:`repro.defects.faultsim.behavior_matrix`).
+
+    Differences from the transition-mode matrix are exactly the capture-time
+    glitch effects the fast model ignores.
+    """
+    circuit = timing.circuit
+    extra = None
+    if defect is not None:
+        extra = {defect.edge_index: defect.size_on_instance(sample_index)}
+    matrix = np.zeros((len(circuit.outputs), len(patterns)), dtype=np.int8)
+    for column, (v1, v2) in enumerate(patterns):
+        result = simulate_events(timing, v1, v2, sample_index, extra_delay=extra)
+        matrix[:, column] = result.output_failures(clk)
+    return matrix
+
+
+def compare_with_transition_mode(
+    timing: CircuitTiming,
+    v1: Sequence[int],
+    v2: Sequence[int],
+    sample_index: int,
+) -> Dict[str, Tuple[float, float]]:
+    """Per-net settle-time disagreement between the two simulators.
+
+    Returns ``{net: (event_settle, transition_settle)}`` for nets where the
+    models disagree by more than 1e-9.  Two systematic relations hold:
+
+    * on hazard-free fanin cones the transition-mode settle is a
+      *conservative upper bound*: its ``max`` rule charges the slowest
+      (arrival + pin delay) combination, while physically the output rises
+      with the last-arriving input through *that* input's pin delay —
+      equality whenever pin delays are equal or the last arrival also has
+      the largest sum (the common case);
+    * glitchy nets can settle *later* than the transition-mode value (a
+      hazard can re-toggle the output after the "final" transition) — these
+      are the cases future-work item 1 is about.
+
+    The test-suite asserts both directions.
+    """
+    events = simulate_events(timing, v1, v2, sample_index)
+    transition = simulate_transition(
+        timing, np.asarray(v1), np.asarray(v2), sample_index=sample_index
+    )
+    disagreements: Dict[str, Tuple[float, float]] = {}
+    for net in timing.circuit.gates:
+        event_settle = events.waveforms[net].settle_time
+        transition_settle = float(transition.stable[net][0])
+        if abs(event_settle - transition_settle) > 1e-9:
+            disagreements[net] = (event_settle, transition_settle)
+    return disagreements

@@ -1,0 +1,116 @@
+"""The statistical circuit model ``C`` and circuit instances ``C_in``.
+
+:class:`CircuitTiming` binds a structural :class:`Circuit` to its delay
+function ``f``: one random variable per pin-to-pin edge, materialized as an
+``(n_edges, n_samples)`` sample matrix under common random numbers.  This is
+the CAD-side predictor of Definition D.1.
+
+:class:`CircuitInstance` is Definition D.2: a single manufactured chip, i.e.
+one fixed delay value per edge.  Under common random numbers, instance ``s``
+is exactly column ``s`` of the sample matrix — the statistical model and the
+population of chips it predicts are two views of the same array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits.netlist import Circuit, Edge
+from .celllib import CellLibrary
+from .randvars import RandomVariable, SampleSpace
+
+__all__ = ["CircuitTiming", "CircuitInstance"]
+
+
+class CircuitTiming:
+    """Statistical timing view of a circuit: the 5-tuple ``(V,E,I,O,f)``.
+
+    ``delays[e, s]`` is the delay of edge ``e`` (in ``circuit.edges`` order)
+    on circuit instance ``s``.  Construction draws the matrix from a
+    :class:`CellLibrary`; tests may pass an explicit matrix instead.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        space: SampleSpace,
+        library: Optional[CellLibrary] = None,
+        delays: Optional[np.ndarray] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.space = space
+        self.library = library or CellLibrary()
+        if delays is None:
+            delays = self.library.sample_edge_delays(circuit, space)
+        delays = np.asarray(delays, dtype=float)
+        expected = (len(circuit.edges), space.n_samples)
+        if delays.shape != expected:
+            raise ValueError(f"delays shape {delays.shape} != {expected}")
+        self.delays = delays
+        self.edge_index: Dict[Edge, int] = {
+            edge: index for index, edge in enumerate(circuit.edges)
+        }
+
+    # ------------------------------------------------------------------
+    def edge_delay(self, edge: Edge) -> RandomVariable:
+        """The pin-to-pin delay random variable ``f(edge)``."""
+        return RandomVariable(self.delays[self.edge_index[edge]], self.space)
+
+    def mean_cell_delay(self) -> float:
+        """Reference "cell delay" for defect sizing (Section I)."""
+        return float(self.delays.mean())
+
+    def instance(self, sample_index: int) -> "CircuitInstance":
+        """Circuit instance ``C_in`` = column ``sample_index`` of the model."""
+        if not 0 <= sample_index < self.space.n_samples:
+            raise IndexError("sample index out of range")
+        return CircuitInstance(self, sample_index)
+
+    def nominal_delays(self) -> np.ndarray:
+        """Per-edge nominal (library) delays, in ``circuit.edges`` order."""
+        return np.array(
+            [
+                self.library.nominal_pin_delay(self.circuit, edge)
+                for edge in self.circuit.edges
+            ]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitTiming({self.circuit.name!r}, edges={self.delays.shape[0]}, "
+            f"samples={self.delays.shape[1]})"
+        )
+
+
+class CircuitInstance:
+    """A single chip: fixed pin-to-pin delays (Definition D.2).
+
+    Wraps a (timing model, sample index) pair rather than copying the delay
+    column; the defect-injection flow adds the defect delta on top when it
+    simulates the instance (:mod:`repro.defects.faultsim`).
+    """
+
+    def __init__(self, timing: CircuitTiming, sample_index: int) -> None:
+        self.timing = timing
+        self.sample_index = int(sample_index)
+
+    @property
+    def circuit(self) -> Circuit:
+        return self.timing.circuit
+
+    def delay_vector(self) -> np.ndarray:
+        """Per-edge fixed delays ``f_in``, in ``circuit.edges`` order."""
+        return self.timing.delays[:, self.sample_index].copy()
+
+    def edge_delay(self, edge: Edge) -> float:
+        return float(
+            self.timing.delays[self.timing.edge_index[edge], self.sample_index]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitInstance({self.circuit.name!r}, "
+            f"sample={self.sample_index})"
+        )

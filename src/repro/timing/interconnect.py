@@ -1,0 +1,97 @@
+"""Interconnect (RC) delay modeling — the wire half of the paper's library.
+
+Section H-1: "Each interconnect delay is also modeled as a random variable
+and is pre-characterized once the RCs are extracted."  Without layout we
+synthesize RCs from structure (a standard pre-layout estimation): each net
+is a star — the driver's output resistance feeding one wire segment per
+fanout pin — and the pin-specific interconnect delay is the Elmore delay of
+that sink's branch:
+
+    ``t_pin = R_driver * (C_wire_total + C_pins_total) + R_branch * (C_branch/2 + C_pin)``
+
+:class:`RCAwareCellLibrary` folds the Elmore term into the nominal
+pin-to-pin delay, so the whole timing/diagnosis stack picks up
+interconnect effects with no further change — wires on high-fanout nets get
+slower, and defects on those edges get correspondingly easier to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..circuits.library import GateType
+from ..circuits.netlist import Circuit, Edge
+from .celllib import CellLibrary
+
+__all__ = ["RCParameters", "RCAwareCellLibrary", "elmore_pin_delay"]
+
+
+@dataclass(frozen=True)
+class RCParameters:
+    """Synthetic pre-layout RC constants (normalized units).
+
+    * ``driver_resistance`` — output resistance per driving cell; inverters
+      and buffers drive harder (scaled by ``drive_scale``),
+    * ``branch_resistance``/``branch_capacitance`` — one wire segment per
+      fanout pin,
+    * ``pin_capacitance`` — input load per sink pin.
+    """
+
+    driver_resistance: float = 0.12
+    branch_resistance: float = 0.05
+    branch_capacitance: float = 0.06
+    pin_capacitance: float = 0.10
+    drive_scale: Dict[GateType, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.drive_scale is None:
+            object.__setattr__(
+                self,
+                "drive_scale",
+                {GateType.BUF: 0.6, GateType.NOT: 0.7, GateType.INPUT: 0.8},
+            )
+
+    def resistance_of(self, gate_type: GateType) -> float:
+        return self.driver_resistance * self.drive_scale.get(gate_type, 1.0)
+
+
+def elmore_pin_delay(
+    circuit: Circuit, edge: Edge, params: RCParameters
+) -> float:
+    """Elmore delay from the driver of ``edge.source`` to ``edge``'s pin.
+
+    Star topology: the driver resistance sees every branch's wire and pin
+    capacitance; the sink's own branch resistance additionally sees half of
+    its wire capacitance (distributed) plus the pin load.
+    """
+    fanout = len(circuit.fanouts[edge.source])
+    if fanout == 0:
+        return 0.0
+    driver_type = circuit.gates[edge.source].gate_type
+    r_driver = params.resistance_of(driver_type)
+    total_cap = fanout * (params.branch_capacitance + params.pin_capacitance)
+    shared = r_driver * total_cap
+    branch = params.branch_resistance * (
+        0.5 * params.branch_capacitance + params.pin_capacitance
+    )
+    return shared + branch
+
+
+class RCAwareCellLibrary(CellLibrary):
+    """A cell library whose nominal pin delays include Elmore wire delay.
+
+    Replaces the base class's linear ``load_factor`` fanout term with the
+    physical RC estimate (``load_factor`` is zeroed to avoid double
+    counting); everything else — statistical sampling, variation model —
+    is inherited unchanged.
+    """
+
+    def __init__(self, rc: RCParameters = None, **kwargs) -> None:  # type: ignore[assignment]
+        kwargs.setdefault("load_factor", 0.0)
+        super().__init__(**kwargs)
+        self.rc = rc or RCParameters()
+
+    def nominal_pin_delay(self, circuit: Circuit, edge: Edge) -> float:
+        gate_delay = super().nominal_pin_delay(circuit, edge)
+        return gate_delay + elmore_pin_delay(circuit, edge, self.rc)

@@ -1,0 +1,124 @@
+"""Persistence for timing models and fault dictionaries.
+
+An industrial flow characterizes once and diagnoses many failing chips; the
+paper's framing ("assume computing and storing the fault dictionary is not
+an issue") presumes exactly this separation.  This module stores
+
+* a :class:`~repro.timing.instance.CircuitTiming` — netlist (as ``.bench``
+  text), sample-space metadata and the delay matrix,
+* a :class:`~repro.core.dictionary.ProbabilisticFaultDictionary` — baseline
+  matrix, suspect list and stacked signatures,
+
+in single compressed ``.npz`` files, round-trip exact.  Loading a timing
+model rebuilds the identical object (delays are stored, not re-drawn, so
+the sample space's RNG state is irrelevant to equality).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..circuits.bench_parser import parse_bench, write_bench
+from ..circuits.netlist import Edge
+from .instance import CircuitTiming
+from .randvars import SampleSpace
+
+__all__ = ["save_timing", "load_timing", "save_dictionary", "load_dictionary"]
+
+PathLike = Union[str, Path]
+
+
+def save_timing(timing: CircuitTiming, path: PathLike) -> None:
+    """Write a timing model to ``path`` (``.npz``).
+
+    Delay rows are stored together with their edge identities: the edge
+    *order* of a circuit depends on gate insertion order, which a
+    ``.bench`` round-trip does not preserve, so loading re-maps rows by
+    (source, sink, pin).
+    """
+    edges = timing.circuit.edges
+    np.savez_compressed(
+        path,
+        bench=np.array(write_bench(timing.circuit)),
+        name=np.array(timing.circuit.name),
+        n_samples=np.array(timing.space.n_samples),
+        seed=np.array(timing.space.seed),
+        delays=timing.delays,
+        edge_sources=np.array([e.source for e in edges]),
+        edge_sinks=np.array([e.sink for e in edges]),
+        edge_pins=np.array([e.pin for e in edges], dtype=np.int64),
+        scan_ppis=np.array([p for p, _q in timing.circuit.scan_pairs]),
+        scan_ppos=np.array([q for _p, q in timing.circuit.scan_pairs]),
+    )
+
+
+def load_timing(path: PathLike) -> CircuitTiming:
+    """Rebuild a timing model saved by :func:`save_timing`."""
+    with np.load(path, allow_pickle=False) as data:
+        circuit = parse_bench(str(data["bench"]), name=str(data["name"]))
+        circuit.scan_pairs = list(
+            zip((str(x) for x in data["scan_ppis"]), (str(x) for x in data["scan_ppos"]))
+        )
+        space = SampleSpace(int(data["n_samples"]), int(data["seed"]))
+        saved_row = {
+            Edge(str(source), str(sink), int(pin)): index
+            for index, (source, sink, pin) in enumerate(
+                zip(data["edge_sources"], data["edge_sinks"], data["edge_pins"])
+            )
+        }
+        saved_delays = data["delays"]
+        rows = [saved_row[edge] for edge in circuit.edges]
+        return CircuitTiming(circuit, space, delays=saved_delays[rows])
+
+
+def save_dictionary(dictionary, path: PathLike) -> None:
+    """Write a probabilistic fault dictionary to ``path`` (``.npz``).
+
+    The timing model is not embedded — store it separately with
+    :func:`save_timing`; loading takes the timing model as an argument so
+    several dictionaries (pattern sets, clocks) can share one model.
+    """
+    suspects = dictionary.suspects
+    signatures = (
+        np.stack([dictionary.signatures[edge] for edge in suspects])
+        if suspects
+        else np.zeros((0,) + dictionary.m_crt.shape)
+    )
+    np.savez_compressed(
+        path,
+        clk=np.array(dictionary.clk),
+        m_crt=dictionary.m_crt,
+        size_samples=dictionary.size_samples,
+        signatures=signatures,
+        suspect_sources=np.array([e.source for e in suspects]),
+        suspect_sinks=np.array([e.sink for e in suspects]),
+        suspect_pins=np.array([e.pin for e in suspects], dtype=np.int64),
+    )
+
+
+def load_dictionary(path: PathLike, timing: CircuitTiming):
+    """Rebuild a dictionary saved by :func:`save_dictionary`."""
+    from ..core.dictionary import ProbabilisticFaultDictionary
+
+    with np.load(path, allow_pickle=False) as data:
+        suspects = [
+            Edge(str(source), str(sink), int(pin))
+            for source, sink, pin in zip(
+                data["suspect_sources"], data["suspect_sinks"], data["suspect_pins"]
+            )
+        ]
+        signatures = {
+            edge: data["signatures"][index]
+            for index, edge in enumerate(suspects)
+        }
+        return ProbabilisticFaultDictionary(
+            timing=timing,
+            clk=float(data["clk"]),
+            m_crt=data["m_crt"],
+            suspects=suspects,
+            signatures=signatures,
+            size_samples=data["size_samples"],
+        )

@@ -1,0 +1,218 @@
+"""Sample-based random variables for statistical timing.
+
+The paper's timing model (Definition D.1) attaches a delay random variable to
+every pin-to-pin arc, explicitly allowing correlation between arcs, and the
+statistical framework of [5]/[17] evaluates ``Sum`` and ``Max`` of such
+variables by Monte-Carlo simulation.  We represent a random variable as a
+vector of ``n_samples`` Monte-Carlo samples drawn under **common random
+numbers**: sample ``s`` across *all* variables corresponds to one
+manufactured chip — one *circuit instance* in the sense of Definition D.2.
+
+With this representation the paper's algebra is exact and trivially
+correlation-preserving:
+
+* ``TL(p) = f(e_1) + ... + f(e_k)`` is elementwise addition,
+* ``Ar(o) = max(p_1, ..., p_j)`` is elementwise maximum,
+* the critical probability ``Prob(A > clk)`` (Definition D.6) is the sample
+  fraction exceeding ``clk``.
+
+:class:`SampleSpace` owns the sample count, the RNG and the shared *global*
+process-variation factor; :class:`RandomVariable` wraps one sample vector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["SampleSpace", "RandomVariable"]
+
+Number = Union[int, float]
+
+
+class SampleSpace:
+    """The Monte-Carlo sample space shared by all timing random variables.
+
+    Holds ``n_samples`` and a seeded generator, plus one standard-normal
+    *global factor* per sample.  Cell delays built through
+    :meth:`correlated_delay` mix the global factor (chip-to-chip process
+    shift, identical for every cell of a given sample/chip) with a fresh
+    *local* factor (within-die random variation), yielding the correlated
+    delay population the paper's Definition D.1 calls for.
+    """
+
+    def __init__(self, n_samples: int = 500, seed: int = 0) -> None:
+        if n_samples < 1:
+            raise ValueError("n_samples must be positive")
+        self.n_samples = int(n_samples)
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+        self.global_factor = self.rng.standard_normal(self.n_samples)
+
+    def correlated_delay(
+        self,
+        nominal: float,
+        sigma_global: float = 0.08,
+        sigma_local: float = 0.05,
+        floor_fraction: float = 0.05,
+    ) -> "RandomVariable":
+        """Draw a positive delay RV: ``nominal * (1 + sg*G + sl*L)``.
+
+        ``G`` is the shared global factor; ``L`` is an independent local
+        standard normal.  Samples are floored at ``floor_fraction * nominal``
+        so delays stay strictly positive (Definition D.1 requires support in
+        ``[0, +inf]``).
+        """
+        if nominal < 0:
+            raise ValueError("nominal delay must be non-negative")
+        local = self.rng.standard_normal(self.n_samples)
+        samples = nominal * (
+            1.0 + sigma_global * self.global_factor + sigma_local * local
+        )
+        np.maximum(samples, floor_fraction * nominal, out=samples)
+        return RandomVariable(samples, self)
+
+    def normal(
+        self,
+        mean: float,
+        std: float,
+        floor: Optional[float] = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "RandomVariable":
+        """Independent (local-only) normal RV, optionally floored.
+
+        The paper's defect sizes use this family: "mean in 50%-100% of a cell
+        delay and 3-sigma is 50% of the mean" (Section I).  Pass an explicit
+        ``rng`` to keep the draw out of the space's own stream — callers that
+        need run-to-run reproducibility independent of call order do this.
+        """
+        generator = rng if rng is not None else self.rng
+        samples = generator.normal(mean, std, self.n_samples)
+        if floor is not None:
+            np.maximum(samples, floor, out=samples)
+        return RandomVariable(samples, self)
+
+    def uniform(self, low: float, high: float) -> "RandomVariable":
+        return RandomVariable(self.rng.uniform(low, high, self.n_samples), self)
+
+    def constant(self, value: float) -> "RandomVariable":
+        return RandomVariable(np.full(self.n_samples, float(value)), self)
+
+    def from_samples(self, samples: np.ndarray) -> "RandomVariable":
+        return RandomVariable(samples, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SampleSpace(n_samples={self.n_samples}, seed={self.seed})"
+
+
+class RandomVariable:
+    """One timing random variable: a vector of Monte-Carlo samples.
+
+    Supports the sum/max algebra of statistical timing analysis plus the
+    summary statistics the diagnosis flow needs.  Binary operations require
+    both operands to share a :class:`SampleSpace` (common random numbers);
+    scalars broadcast.
+    """
+
+    __slots__ = ("samples", "space")
+
+    def __init__(self, samples: np.ndarray, space: SampleSpace) -> None:
+        samples = np.asarray(samples, dtype=float)
+        if samples.shape != (space.n_samples,):
+            raise ValueError(
+                f"samples shape {samples.shape} != ({space.n_samples},)"
+            )
+        self.samples = samples
+        self.space = space
+
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["RandomVariable", Number]) -> np.ndarray:
+        if isinstance(other, RandomVariable):
+            if other.space is not self.space:
+                raise ValueError("random variables live in different sample spaces")
+            return other.samples
+        return np.full(self.space.n_samples, float(other))
+
+    def __add__(self, other: Union["RandomVariable", Number]) -> "RandomVariable":
+        return RandomVariable(self.samples + self._coerce(other), self.space)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["RandomVariable", Number]) -> "RandomVariable":
+        return RandomVariable(self.samples - self._coerce(other), self.space)
+
+    def __mul__(self, scalar: Number) -> "RandomVariable":
+        return RandomVariable(self.samples * float(scalar), self.space)
+
+    __rmul__ = __mul__
+
+    def maximum(self, other: Union["RandomVariable", Number]) -> "RandomVariable":
+        """The ``max`` of statistical STA — elementwise, correlation-exact."""
+        return RandomVariable(np.maximum(self.samples, self._coerce(other)), self.space)
+
+    def minimum(self, other: Union["RandomVariable", Number]) -> "RandomVariable":
+        return RandomVariable(np.minimum(self.samples, self._coerce(other)), self.space)
+
+    @staticmethod
+    def max_of(variables: Sequence["RandomVariable"]) -> "RandomVariable":
+        if not variables:
+            raise ValueError("max_of needs at least one variable")
+        space = variables[0].space
+        for v in variables:
+            if v.space is not space:
+                raise ValueError("random variables live in different sample spaces")
+        stacked = np.stack([v.samples for v in variables])
+        return RandomVariable(stacked.max(axis=0), space)
+
+    @staticmethod
+    def sum_of(variables: Sequence["RandomVariable"]) -> "RandomVariable":
+        if not variables:
+            raise ValueError("sum_of needs at least one variable")
+        space = variables[0].space
+        for v in variables:
+            if v.space is not space:
+                raise ValueError("random variables live in different sample spaces")
+        return RandomVariable(
+            np.sum([v.samples for v in variables], axis=0), space
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    @property
+    def std(self) -> float:
+        return float(self.samples.std())
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.samples, q))
+
+    def critical_probability(self, clk: float) -> float:
+        """``Prob(self > clk)`` — Definition D.6."""
+        return float(np.mean(self.samples > clk))
+
+    def cdf(self, value: float) -> float:
+        return float(np.mean(self.samples <= value))
+
+    def prob_greater(self, other: Union["RandomVariable", Number]) -> float:
+        """``Prob(self > other)`` under common random numbers."""
+        return float(np.mean(self.samples > self._coerce(other)))
+
+    def histogram(self, bins: int = 30):
+        """(counts, bin_edges) — convenience for the figure experiments."""
+        return np.histogram(self.samples, bins=bins)
+
+    def sample(self, index: int) -> float:
+        """The value this RV takes on circuit instance ``index``."""
+        return float(self.samples[index])
+
+    def __len__(self) -> int:
+        return self.space.n_samples
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RandomVariable(mean={self.mean:.4g}, std={self.std:.4g}, "
+            f"n={self.space.n_samples})"
+        )

@@ -1,0 +1,209 @@
+"""Tests for adaptive diagnosis, persistence and test-quality analysis."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import generate_path_tests
+from repro.core import (
+    ALG_REV,
+    build_dictionary,
+    diagnose,
+    make_instance_tester,
+    refine_diagnosis,
+    suspect_edges,
+)
+from repro.defects import (
+    SingleDefectModel,
+    draw_failing_trial,
+    clock_quality_sweep,
+)
+from repro.timing import (
+    diagnosis_clock,
+    load_dictionary,
+    load_timing,
+    save_dictionary,
+    save_timing,
+    simulate_pattern_set,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(bench_timing):
+    """A complete failing-chip pipeline shared by this module's tests."""
+    rng = np.random.default_rng(4)
+    model = SingleDefectModel(bench_timing)
+    for _ in range(20):
+        defect = model.draw(rng)
+        patterns, _ = generate_path_tests(
+            bench_timing, defect.edge, n_paths=8, rng_seed=4
+        )
+        if not len(patterns):
+            continue
+        sims = simulate_pattern_set(bench_timing, list(patterns))
+        clk = diagnosis_clock(
+            bench_timing, list(patterns), 0.85,
+            simulations=sims, targets=patterns.target_observations(),
+        )
+        try:
+            trial, _ = draw_failing_trial(
+                bench_timing, patterns, clk, model, rng, defect=defect
+            )
+        except RuntimeError:
+            continue
+        suspects = suspect_edges(sims, trial.behavior)
+        if defect.edge not in suspects:
+            continue
+        dictionary = build_dictionary(
+            bench_timing, patterns, clk, suspects,
+            model.dictionary_size_variable().samples, base_simulations=sims,
+        )
+        return model, defect, patterns, sims, clk, trial, dictionary
+    pytest.fail("no usable pipeline found")
+
+
+class TestAdaptive:
+    def test_refinement_extends_consistently(self, bench_timing, pipeline):
+        model, defect, patterns, sims, clk, trial, dictionary = pipeline
+        tester = make_instance_tester(
+            bench_timing, defect, trial.sample_index, clk
+        )
+        refined = refine_diagnosis(
+            bench_timing, patterns, dictionary, trial.behavior, tester,
+            truth_edge=defect.edge, max_new_patterns=3,
+        )
+        n_added = refined.patterns_added
+        assert refined.behavior.shape[1] == trial.behavior.shape[1] + n_added
+        assert refined.dictionary.m_crt.shape[1] == dictionary.m_crt.shape[1] + n_added
+        for edge in dictionary.suspects:
+            assert refined.dictionary.signatures[edge].shape[1] == (
+                dictionary.signatures[edge].shape[1] + n_added
+            )
+        assert len(refined.rank_trajectory) == n_added + 1
+
+    def test_inputs_not_mutated(self, bench_timing, pipeline):
+        model, defect, patterns, sims, clk, trial, dictionary = pipeline
+        before_behavior = trial.behavior.copy()
+        before_m = dictionary.m_crt.copy()
+        tester = make_instance_tester(
+            bench_timing, defect, trial.sample_index, clk
+        )
+        refine_diagnosis(
+            bench_timing, patterns, dictionary, trial.behavior, tester,
+            max_new_patterns=2,
+        )
+        assert (trial.behavior == before_behavior).all()
+        assert (dictionary.m_crt == before_m).all()
+
+    def test_tester_matches_faultsim(self, bench_timing, pipeline):
+        from repro.defects import behavior_matrix
+
+        model, defect, patterns, sims, clk, trial, dictionary = pipeline
+        tester = make_instance_tester(
+            bench_timing, defect, trial.sample_index, clk
+        )
+        for index in range(min(3, len(patterns))):
+            v1, v2 = patterns.pair(index)
+            column = tester(v1, v2)
+            assert (column == trial.behavior[:, index]).all()
+
+    def test_zero_budget_is_noop(self, bench_timing, pipeline):
+        model, defect, patterns, sims, clk, trial, dictionary = pipeline
+        tester = make_instance_tester(
+            bench_timing, defect, trial.sample_index, clk
+        )
+        refined = refine_diagnosis(
+            bench_timing, patterns, dictionary, trial.behavior, tester,
+            max_new_patterns=0,
+        )
+        assert refined.patterns_added == 0
+        baseline = diagnose(dictionary, trial.behavior, ALG_REV)
+        assert [e for e, _ in refined.result.ranking] == [
+            e for e, _ in baseline.ranking
+        ]
+
+
+class TestPersistence:
+    def test_timing_roundtrip(self, bench_timing, tmp_path):
+        path = tmp_path / "timing.npz"
+        save_timing(bench_timing, path)
+        loaded = load_timing(path)
+        assert loaded.circuit.name == bench_timing.circuit.name
+        assert loaded.circuit.inputs == bench_timing.circuit.inputs
+        assert loaded.circuit.outputs == bench_timing.circuit.outputs
+        assert loaded.circuit.scan_pairs == bench_timing.circuit.scan_pairs
+        # edge order is not canonical across a .bench round-trip; compare
+        # delays per edge identity
+        for edge in bench_timing.circuit.edges:
+            assert np.allclose(
+                loaded.delays[loaded.edge_index[edge]],
+                bench_timing.delays[bench_timing.edge_index[edge]],
+            )
+        assert loaded.space.n_samples == bench_timing.space.n_samples
+
+    def test_timing_roundtrip_preserves_simulation(self, bench_timing, tmp_path):
+        from repro.timing import analyze
+
+        path = tmp_path / "timing.npz"
+        save_timing(bench_timing, path)
+        loaded = load_timing(path)
+        a = analyze(bench_timing).circuit_delay().samples
+        b = analyze(loaded).circuit_delay().samples
+        assert np.allclose(a, b)
+
+    def test_dictionary_roundtrip(self, bench_timing, pipeline, tmp_path):
+        model, defect, patterns, sims, clk, trial, dictionary = pipeline
+        path = tmp_path / "dictionary.npz"
+        save_dictionary(dictionary, path)
+        loaded = load_dictionary(path, bench_timing)
+        assert loaded.clk == dictionary.clk
+        assert loaded.suspects == dictionary.suspects
+        assert np.allclose(loaded.m_crt, dictionary.m_crt)
+        for edge in dictionary.suspects:
+            assert np.allclose(loaded.signatures[edge], dictionary.signatures[edge])
+
+    def test_loaded_dictionary_diagnoses_identically(
+        self, bench_timing, pipeline, tmp_path
+    ):
+        model, defect, patterns, sims, clk, trial, dictionary = pipeline
+        path = tmp_path / "dictionary.npz"
+        save_dictionary(dictionary, path)
+        loaded = load_dictionary(path, bench_timing)
+        a = diagnose(dictionary, trial.behavior, ALG_REV)
+        b = diagnose(loaded, trial.behavior, ALG_REV)
+        assert [e for e, _ in a.ranking] == [e for e, _ in b.ranking]
+
+
+class TestQualitySweep:
+    def test_tradeoff_monotonicity(self, bench_timing, pipeline):
+        model, defect, patterns, sims, clk, trial, dictionary = pipeline
+        quality = clock_quality_sweep(
+            bench_timing, patterns, model, n_defects=5, seed=0,
+            base_simulations=sims,
+        )
+        # tighter clock: more yield loss, fewer escapes
+        assert quality.yield_loss == sorted(quality.yield_loss, reverse=True)
+        assert quality.escape_rate == sorted(quality.escape_rate)
+        for loss, escape, detection in zip(
+            quality.yield_loss, quality.escape_rate, quality.detection_rate
+        ):
+            assert 0.0 <= loss <= 1.0
+            assert escape + detection == pytest.approx(1.0)
+
+    def test_explicit_clks_sorted(self, bench_timing, pipeline):
+        model, defect, patterns, sims, clk, trial, dictionary = pipeline
+        quality = clock_quality_sweep(
+            bench_timing, patterns, model, clks=[30.0, 10.0, 20.0],
+            n_defects=3, seed=1, base_simulations=sims,
+        )
+        assert quality.clks == [10.0, 20.0, 30.0]
+
+    def test_best_clock_respects_budget(self, bench_timing, pipeline):
+        model, defect, patterns, sims, clk, trial, dictionary = pipeline
+        quality = clock_quality_sweep(
+            bench_timing, patterns, model, n_defects=4, seed=2,
+            base_simulations=sims,
+        )
+        best = quality.best_clock(max_yield_loss=0.10)
+        if best is not None:
+            index = quality.clks.index(best)
+            assert quality.yield_loss[index] <= 0.10

@@ -1,0 +1,149 @@
+"""Unit tests for the analytic (Clark) statistical STA backend."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, GateType
+from repro.timing import (
+    CircuitTiming,
+    GaussianDelay,
+    SampleSpace,
+    analyze,
+    analyze_analytic,
+    clark_max,
+    compare_with_monte_carlo,
+)
+
+
+class TestGaussianDelay:
+    def test_add(self):
+        total = GaussianDelay(1.0, 0.04) + GaussianDelay(2.0, 0.09)
+        assert total.mean == pytest.approx(3.0)
+        assert total.variance == pytest.approx(0.13)
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianDelay(0.0, -1.0)
+
+    def test_std(self):
+        assert GaussianDelay(0.0, 4.0).std == pytest.approx(2.0)
+
+    def test_critical_probability_median(self):
+        delay = GaussianDelay(5.0, 1.0)
+        assert delay.critical_probability(5.0) == pytest.approx(0.5)
+        assert delay.critical_probability(-100.0) == pytest.approx(1.0)
+        assert delay.critical_probability(100.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_degenerate_critical_probability(self):
+        delay = GaussianDelay(5.0, 0.0)
+        assert delay.critical_probability(4.0) == 1.0
+        assert delay.critical_probability(6.0) == 0.0
+
+    def test_quantile_inverts_cdf(self):
+        delay = GaussianDelay(3.0, 4.0)
+        for q in (0.1, 0.5, 0.9):
+            x = delay.quantile(q)
+            assert 1.0 - delay.critical_probability(x) == pytest.approx(q, abs=1e-6)
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            GaussianDelay(0.0, 1.0).quantile(0.0)
+
+    def test_shifted(self):
+        assert GaussianDelay(1.0, 2.0).shifted(3.0).mean == pytest.approx(4.0)
+
+
+class TestClarkMax:
+    def test_well_separated_operands(self):
+        a = GaussianDelay(10.0, 0.01)
+        b = GaussianDelay(0.0, 0.01)
+        result = clark_max(a, b)
+        assert result.mean == pytest.approx(10.0, abs=1e-6)
+        assert result.variance == pytest.approx(0.01, rel=1e-3)
+
+    def test_identical_operands(self):
+        a = GaussianDelay(5.0, 1.0)
+        result = clark_max(a, a)
+        # E[max(X,Y)] = mu + sigma/sqrt(pi) for iid normals
+        assert result.mean == pytest.approx(5.0 + 1.0 / math.sqrt(math.pi), rel=1e-6)
+
+    def test_perfectly_correlated(self):
+        a = GaussianDelay(5.0, 1.0)
+        b = GaussianDelay(4.0, 1.0)
+        result = clark_max(a, b, correlation=1.0)
+        assert result.mean == pytest.approx(5.0)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(2.0, 1.5, 200_000)
+        y = rng.normal(2.5, 0.5, 200_000)
+        samples = np.maximum(x, y)
+        result = clark_max(GaussianDelay(2.0, 1.5**2), GaussianDelay(2.5, 0.25))
+        assert result.mean == pytest.approx(samples.mean(), rel=0.01)
+        assert result.std == pytest.approx(samples.std(), rel=0.02)
+
+    def test_correlation_validation(self):
+        a = GaussianDelay(0.0, 1.0)
+        with pytest.raises(ValueError):
+            clark_max(a, a, correlation=2.0)
+
+    @given(
+        st.floats(-5, 5), st.floats(0.01, 4),
+        st.floats(-5, 5), st.floats(0.01, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_max_mean_bounds(self, ma, va, mb, vb):
+        """E[max] >= max of means; variance non-negative."""
+        result = clark_max(GaussianDelay(ma, va), GaussianDelay(mb, vb))
+        assert result.mean >= max(ma, mb) - 1e-9
+        assert result.variance >= 0.0
+
+
+class TestAnalyticSta:
+    def test_chain_exact(self):
+        """On a pure chain (no max) the analytic result is exact."""
+        c = Circuit("chain")
+        c.add_input("a")
+        previous = "a"
+        for i in range(4):
+            net = f"n{i}"
+            c.add_gate(net, GateType.BUF, [previous])
+            previous = net
+        c.mark_output(previous)
+        c.freeze()
+        timing = CircuitTiming(c, SampleSpace(4000, seed=0))
+        analytic = analyze_analytic(timing)
+        mc = analyze(timing)
+        samples = mc.arrivals[previous]
+        assert analytic[previous].mean == pytest.approx(samples.mean(), rel=1e-9)
+        # local variances add exactly; global correlation makes the true
+        # variance LARGER than the independence-assuming analytic one
+        assert analytic[previous].std <= samples.std() + 1e-9
+
+    def test_mean_tracks_monte_carlo(self, bench_timing):
+        comparison = compare_with_monte_carlo(bench_timing)
+        mean_error, _std_error = comparison["__circuit__"]
+        delay_mean = analyze(bench_timing).circuit_delay().mean
+        assert abs(mean_error) / delay_mean < 0.05
+
+    def test_analytic_understates_correlated_spread(self, bench_timing):
+        """The documented analytic bias: with a shared global process
+        factor, assumed independence understates the true std."""
+        comparison = compare_with_monte_carlo(bench_timing)
+        _mean_error, std_error = comparison["__circuit__"]
+        assert std_error < 0.0
+
+    def test_inputs_are_zero(self, c17_timing):
+        analytic = analyze_analytic(c17_timing)
+        for net in c17_timing.circuit.inputs:
+            assert analytic[net].mean == 0.0
+            assert analytic[net].variance == 0.0
+
+    def test_all_outputs_summarized(self, c17_timing):
+        analytic = analyze_analytic(c17_timing)
+        for net in c17_timing.circuit.outputs:
+            assert analytic[net].mean > 0
+        assert "__circuit__" in analytic

@@ -1,0 +1,114 @@
+"""Unit tests for the .bench parser/writer."""
+
+import pytest
+
+from repro.circuits import (
+    BenchParseError,
+    GateType,
+    load_benchmark,
+    parse_bench,
+    write_bench,
+)
+
+
+class TestParse:
+    def test_c17(self, c17):
+        assert len(c17.inputs) == 5
+        assert len(c17.outputs) == 2
+        assert c17.num_gates() == 6
+        assert all(
+            g.gate_type is GateType.NAND
+            for g in c17
+            if g.gate_type is not GateType.INPUT
+        )
+
+    def test_c17_known_response(self, c17):
+        # all-ones input: 10=NAND(1,3)=0, 11=NAND(3,6)=0, 16=NAND(2,11)=1,
+        # 19=NAND(11,7)=1 -> 22=NAND(0,1)=1, 23=NAND(1,1)=0
+        values = c17.evaluate({net: 1 for net in c17.inputs})
+        assert values["22"] == 1
+        assert values["23"] == 0
+
+    def test_comments_and_blank_lines(self):
+        text = """
+        # a comment
+
+        INPUT(x)  # trailing comment
+        OUTPUT(y)
+        y = NOT(x)
+        """
+        c = parse_bench(text)
+        assert c.inputs == ["x"]
+        assert c.evaluate({"x": 0})["y"] == 1
+
+    def test_gate_aliases(self):
+        text = """
+        INPUT(a)
+        OUTPUT(b)
+        OUTPUT(c)
+        b = INV(a)
+        c = BUFF(a)
+        """
+        c = parse_bench(text)
+        assert c.gates["b"].gate_type is GateType.NOT
+        assert c.gates["c"].gate_type is GateType.BUF
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(b)\nb = nand(a, a)\n"
+        c = parse_bench(text)
+        assert c.inputs == ["a"]
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(BenchParseError, match="unknown gate type"):
+            parse_bench("INPUT(a)\nb = FROB(a)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(BenchParseError, match="cannot parse"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_no_operands(self):
+        with pytest.raises(BenchParseError, match="no operands"):
+            parse_bench("INPUT(a)\nb = AND()\n")
+
+    def test_gate_before_inputs_is_fine(self):
+        text = "b = NOT(a)\nINPUT(a)\nOUTPUT(b)\n"
+        c = parse_bench(text)
+        assert c.evaluate({"a": 1})["b"] == 0
+
+    def test_undefined_net_rejected(self):
+        with pytest.raises(BenchParseError, match="undefined"):
+            parse_bench("INPUT(a)\nb = NOT(zzz)\n")
+
+    def test_error_includes_line_number_for_bad_type(self):
+        with pytest.raises(BenchParseError, match="line 3"):
+            parse_bench("INPUT(a)\nOUTPUT(b)\nb = WAT(a)\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["c17", "s27"])
+    def test_embedded_roundtrip(self, name):
+        original = load_benchmark(name, scan=False)
+        text = write_bench(original)
+        parsed = parse_bench(text, name=name)
+        assert parsed.inputs == original.inputs
+        assert parsed.outputs == original.outputs
+        assert set(parsed.gates) == set(original.gates)
+        for gate_name in original.gates:
+            assert (
+                parsed.gates[gate_name].gate_type
+                == original.gates[gate_name].gate_type
+            )
+            assert parsed.gates[gate_name].fanins == original.gates[gate_name].fanins
+
+    def test_synthetic_roundtrip_preserves_behaviour(self, small_synth):
+        import numpy as np
+
+        from repro.logic import simulate
+
+        text = write_bench(small_synth)
+        parsed = parse_bench(text)
+        rng = np.random.default_rng(0)
+        patterns = rng.integers(0, 2, size=(32, len(small_synth.inputs)))
+        original = simulate(small_synth, patterns).output_matrix()
+        reparsed = simulate(parsed, patterns).output_matrix()
+        assert (original == reparsed).all()

@@ -1,0 +1,88 @@
+"""Unit tests for the benchmark registry."""
+
+import pytest
+
+from repro.circuits import PROFILES, benchmark_names, load_benchmark
+from repro.circuits.benchmarks import BenchmarkProfile
+
+
+class TestRegistry:
+    def test_all_table1_circuits_present(self):
+        for name in ("s1196", "s1238", "s1423", "s1488",
+                     "s5378", "s9234", "s13207", "s15850"):
+            assert name in PROFILES
+
+    def test_benchmark_names_order(self):
+        names = benchmark_names()
+        assert names[0] == "c17"
+        assert names[1] == "s27"
+        assert "s1196" in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("s9999")
+
+    def test_scan_view_dimensions(self):
+        profile = PROFILES["s1196"]
+        c = load_benchmark("s1196")
+        assert len(c.inputs) == profile.scan_inputs == 14 + 18
+        assert len(c.outputs) == profile.scan_outputs == 14 + 18
+
+    def test_published_gate_counts(self):
+        assert PROFILES["s1196"].published_gates == 529
+        assert PROFILES["s15850"].published_gates == 10369
+
+    def test_scaling_applied_to_large_circuits(self):
+        c = load_benchmark("s13207")
+        profile = PROFILES["s13207"]
+        assert c.num_gates() < profile.published_gates
+        assert c.num_gates() >= profile.published_gates * profile.default_scale * 0.9
+
+    def test_explicit_scale_override(self):
+        small = load_benchmark("s1196", scale=0.3)
+        full = load_benchmark("s1196", scale=1.0)
+        assert small.num_gates() < full.num_gates()
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_benchmark("s1196", scale=0.0)
+        with pytest.raises(ValueError):
+            load_benchmark("s1196", scale=1.5)
+
+    def test_seed_changes_structure(self):
+        a = load_benchmark("s1196", seed=0)
+        b = load_benchmark("s1196", seed=1)
+        assert any(
+            a.gates[n].fanins != b.gates[n].fanins
+            for n in a.gates
+            if n in b.gates and a.gates[n].fanins
+        )
+
+    def test_embedded_ignore_seed(self):
+        a = load_benchmark("c17", seed=0)
+        b = load_benchmark("c17", seed=99)
+        assert list(a.gates) == list(b.gates)
+
+    def test_s27_scan_flag(self):
+        sequential = load_benchmark("s27", scan=False)
+        from repro.circuits.library import GateType
+
+        assert any(g.gate_type is GateType.DFF for g in sequential)
+
+    def test_generator_config_name(self):
+        profile = PROFILES["s1238"]
+        config = profile.generator_config(seed=4)
+        assert config.name == "s1238"
+        assert config.seed == 4
+
+
+class TestProfileDataclass:
+    def test_scan_properties(self):
+        p = BenchmarkProfile("x", 3, 4, 5, 100, target_depth=10)
+        assert p.scan_inputs == 8
+        assert p.scan_outputs == 9
+
+    def test_minimum_gate_floor(self):
+        p = BenchmarkProfile("x", 3, 4, 5, 100, target_depth=10)
+        config = p.generator_config(scale=0.01)
+        assert config.n_gates >= p.scan_outputs + 4

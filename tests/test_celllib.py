@@ -1,0 +1,91 @@
+"""Unit tests for the statistical cell library."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Edge, GateType
+from repro.timing import CellLibrary, SampleSpace, nominal_edge_delay
+
+
+@pytest.fixture()
+def tiny():
+    c = Circuit("tiny")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g1", GateType.NAND, ["a", "b"])
+    c.add_gate("g2", GateType.NAND, ["a", "g1"])
+    c.add_gate("g3", GateType.NOT, ["g1"])
+    c.mark_output("g2")
+    c.mark_output("g3")
+    return c.freeze()
+
+
+class TestNominalDelay:
+    def test_base_plus_fanin_plus_load(self, tiny):
+        lib = CellLibrary(fanin_penalty=0.1, load_factor=0.05)
+        # edge a->g1: NAND base 1.0, 2 fanins -> +0.1, 'a' drives 2 sinks -> +0.1
+        delay = lib.nominal_pin_delay(tiny, Edge("a", "g1", 0))
+        assert delay == pytest.approx(1.0 + 0.1 + 0.05 * 2)
+
+    def test_load_counts_fanout_of_source(self, tiny):
+        lib = CellLibrary(fanin_penalty=0.0, load_factor=1.0)
+        # g1 drives g2 and g3 -> load 2
+        delay = lib.nominal_pin_delay(tiny, Edge("g1", "g2", 1))
+        assert delay == pytest.approx(1.0 + 2.0)
+
+    def test_inverter_cheaper_than_nand(self, tiny):
+        lib = CellLibrary()
+        nand_delay = lib.nominal_pin_delay(tiny, Edge("a", "g1", 0))
+        not_delay = lib.nominal_pin_delay(tiny, Edge("g1", "g3", 0))
+        assert not_delay < nand_delay
+
+    def test_wrapper(self, tiny):
+        assert nominal_edge_delay(tiny, Edge("a", "g1", 0)) == CellLibrary().nominal_pin_delay(
+            tiny, Edge("a", "g1", 0)
+        )
+
+    def test_mean_cell_delay_is_edge_average(self, tiny):
+        lib = CellLibrary()
+        expected = np.mean([lib.nominal_pin_delay(tiny, e) for e in tiny.edges])
+        assert lib.mean_cell_delay(tiny) == pytest.approx(expected)
+
+
+class TestSampling:
+    def test_shape_and_positivity(self, tiny):
+        lib = CellLibrary()
+        space = SampleSpace(200, seed=1)
+        delays = lib.sample_edge_delays(tiny, space)
+        assert delays.shape == (len(tiny.edges), 200)
+        assert (delays > 0).all()
+
+    def test_mean_tracks_nominal(self, tiny):
+        lib = CellLibrary()
+        space = SampleSpace(4000, seed=2)
+        delays = lib.sample_edge_delays(tiny, space)
+        for index, edge in enumerate(tiny.edges):
+            nominal = lib.nominal_pin_delay(tiny, edge)
+            assert delays[index].mean() == pytest.approx(nominal, rel=0.05)
+
+    def test_global_factor_induces_correlation(self, tiny):
+        lib = CellLibrary(sigma_global=0.2, sigma_local=0.0)
+        space = SampleSpace(2000, seed=3)
+        delays = lib.sample_edge_delays(tiny, space)
+        corr = np.corrcoef(delays[0], delays[1])[0, 1]
+        assert corr > 0.99
+
+    def test_local_only_roughly_independent(self, tiny):
+        lib = CellLibrary(sigma_global=0.0, sigma_local=0.2)
+        space = SampleSpace(4000, seed=4)
+        delays = lib.sample_edge_delays(tiny, space)
+        corr = np.corrcoef(delays[0], delays[1])[0, 1]
+        assert abs(corr) < 0.1
+
+    def test_uncharacterized_type_raises(self):
+        c = Circuit("x")
+        c.add_input("a")
+        c.add_gate("g", GateType.NOT, ["a"])
+        c.mark_output("g")
+        c.freeze()
+        lib = CellLibrary(base_delays={GateType.NAND: 1.0})
+        with pytest.raises(KeyError):
+            lib.nominal_pin_delay(c, Edge("a", "g", 0))

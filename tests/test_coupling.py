@@ -1,0 +1,199 @@
+"""Unit tests for the crosstalk coupling defect model and type classifier."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import generate_path_tests
+from repro.circuits import Circuit, Edge, GateType
+from repro.defects import (
+    CouplingDefect,
+    SingleDefectModel,
+    behavior_matrix,
+    classify_defect_type,
+    coupling_active,
+    coupling_behavior_matrix,
+    coupling_population_matrix,
+    structural_aggressor_candidates,
+)
+from repro.timing import (
+    CircuitTiming,
+    SampleSpace,
+    diagnosis_clock,
+    simulate_pattern_set,
+    simulate_transition,
+)
+
+
+@pytest.fixture()
+def coupled_circuit():
+    """Victim chain plus an independent aggressor input feeding one output."""
+    c = Circuit("coupled")
+    c.add_input("v")   # drives the victim
+    c.add_input("agg")  # the aggressor
+    c.add_gate("n0", GateType.BUF, ["v"])
+    c.add_gate("n1", GateType.BUF, ["n0"])
+    c.add_gate("vic_o", GateType.BUF, ["n1"])
+    c.add_gate("agg_o", GateType.BUF, ["agg"])
+    c.mark_output("vic_o")
+    c.mark_output("agg_o")
+    return c.freeze()
+
+
+@pytest.fixture()
+def coupled_timing(coupled_circuit):
+    return CircuitTiming(coupled_circuit, SampleSpace(200, 0))
+
+
+def make_defect(timing, size=3.0):
+    edge = Edge("n0", "n1", 0)
+    return CouplingDefect(
+        victim=edge,
+        victim_index=timing.edge_index[edge],
+        aggressor="agg",
+        size_mean=size,
+        size_samples=np.full(timing.space.n_samples, size),
+    )
+
+
+class TestActivation:
+    def test_opposite_transitions_activate(self, coupled_timing):
+        sim = simulate_transition(coupled_timing, [0, 1], [1, 0])
+        assert coupling_active(sim, "n0", "agg")
+
+    def test_same_direction_inactive(self, coupled_timing):
+        sim = simulate_transition(coupled_timing, [0, 0], [1, 1])
+        assert not coupling_active(sim, "n0", "agg")
+
+    def test_quiet_aggressor_inactive(self, coupled_timing):
+        sim = simulate_transition(coupled_timing, [0, 1], [1, 1])
+        assert not coupling_active(sim, "n0", "agg")
+
+    def test_quiet_victim_inactive(self, coupled_timing):
+        sim = simulate_transition(coupled_timing, [1, 0], [1, 1])
+        assert not coupling_active(sim, "n0", "agg")
+
+
+class TestCouplingSimulation:
+    def _patterns(self, circuit):
+        from repro.atpg import PatternPairSet
+
+        ps = PatternPairSet(circuit)
+        ps.append([0, 1], [1, 0])  # opposite: coupling ACTIVE
+        ps.append([0, 0], [1, 1])  # same direction: inactive
+        ps.append([0, 1], [1, 1])  # aggressor quiet: inactive
+        return ps
+
+    def test_only_active_patterns_slow_down(self, coupled_circuit, coupled_timing):
+        patterns = self._patterns(coupled_circuit)
+        defect = make_defect(coupled_timing)
+        base = simulate_transition(coupled_timing, *patterns.pair(1))
+        clk = float(np.quantile(base.stable["vic_o"], 0.99)) + 0.1
+        matrix = coupling_behavior_matrix(
+            coupled_timing, patterns, clk, defect, sample_index=3
+        )
+        vic_row = coupled_circuit.outputs.index("vic_o")
+        assert matrix[vic_row, 0] == 1  # active pattern fails
+        assert matrix[vic_row, 1] == 0  # inactive passes
+        assert matrix[vic_row, 2] == 0
+
+    def test_population_matrix_gated(self, coupled_circuit, coupled_timing):
+        patterns = self._patterns(coupled_circuit)
+        defect = make_defect(coupled_timing)
+        sims = simulate_pattern_set(coupled_timing, list(patterns))
+        clk = float(np.quantile(sims[1].stable["vic_o"], 0.99)) + 0.1
+        matrix = coupling_population_matrix(
+            coupled_timing, patterns, clk, defect, base_simulations=sims
+        )
+        vic_row = coupled_circuit.outputs.index("vic_o")
+        assert matrix[vic_row, 0] > 0.9
+        assert matrix[vic_row, 1] == 0.0
+        assert matrix[vic_row, 2] == 0.0
+
+
+class TestAggressorCandidates:
+    def test_structural_neighbours(self, bench_timing):
+        circuit = bench_timing.circuit
+        edge = circuit.edges[100]
+        candidates = structural_aggressor_candidates(circuit, edge, limit=8)
+        assert 0 < len(candidates) <= 8
+        assert edge.source not in candidates
+        assert len(set(candidates)) == len(candidates)
+
+
+class TestTypeClassification:
+    def test_recovers_coupling(self, coupled_circuit, coupled_timing):
+        from repro.atpg import PatternPairSet
+
+        patterns = PatternPairSet(coupled_circuit)
+        patterns.append([0, 1], [1, 0])  # active
+        patterns.append([0, 0], [1, 1])  # inactive -> passes: the telltale
+        patterns.append([1, 0], [0, 1])  # active (falling victim)
+        defect = make_defect(coupled_timing)
+        sims = simulate_pattern_set(coupled_timing, list(patterns))
+        clk = float(np.quantile(sims[1].stable["vic_o"], 0.99)) + 0.1
+        behavior = coupling_behavior_matrix(
+            coupled_timing, patterns, clk, defect, sample_index=3
+        )
+        verdict = classify_defect_type(
+            coupled_timing, patterns, clk, behavior, defect.victim,
+            defect.size_samples, aggressor_candidates=["agg"],
+            base_simulations=sims,
+        )
+        assert verdict["verdict"] == "coupling"
+        assert verdict["best_aggressor"] == "agg"
+
+    def test_recovers_fixed(self, coupled_circuit, coupled_timing):
+        from repro.atpg import PatternPairSet
+        from repro.defects.model import InjectedDefect
+
+        patterns = PatternPairSet(coupled_circuit)
+        patterns.append([0, 1], [1, 0])
+        patterns.append([0, 0], [1, 1])
+        patterns.append([1, 0], [0, 1])
+        edge = Edge("n0", "n1", 0)
+        fixed = InjectedDefect(
+            edge, coupled_timing.edge_index[edge], 3.0,
+            np.full(coupled_timing.space.n_samples, 3.0),
+        )
+        sims = simulate_pattern_set(coupled_timing, list(patterns))
+        clk = float(np.quantile(sims[1].stable["vic_o"], 0.99)) + 0.1
+        behavior = behavior_matrix(coupled_timing, patterns, clk, fixed, 3)
+        verdict = classify_defect_type(
+            coupled_timing, patterns, clk, behavior, edge,
+            fixed.size_samples, aggressor_candidates=["agg"],
+            base_simulations=sims,
+        )
+        assert verdict["verdict"] == "fixed"
+        assert verdict["best_aggressor"] is None
+
+    def test_benchmark_integration(self, bench_timing):
+        """End-to-end on a benchmark: a fixed defect classifies as fixed."""
+        rng = np.random.default_rng(5)
+        model = SingleDefectModel(bench_timing)
+        for _ in range(20):
+            cand = model.draw(rng)
+            patterns, _ = generate_path_tests(
+                bench_timing, cand.edge, n_paths=8, rng_seed=5
+            )
+            if not len(patterns):
+                continue
+            sims = simulate_pattern_set(bench_timing, list(patterns))
+            clk = diagnosis_clock(
+                bench_timing, list(patterns), 0.85,
+                simulations=sims, targets=patterns.target_observations(),
+            )
+            defect = model.defect_at(cand.edge, size_mean=4.0)
+            behavior = behavior_matrix(bench_timing, patterns, clk, defect, 7)
+            healthy = behavior_matrix(bench_timing, patterns, clk, None, 7)
+            if not (behavior & ~healthy).any():
+                continue
+            verdict = classify_defect_type(
+                bench_timing, patterns, clk, behavior, cand.edge,
+                defect.size_samples, base_simulations=sims,
+            )
+            assert "verdict" in verdict
+            assert verdict["log_likelihoods"]["fixed"] == max(
+                v for k, v in verdict["log_likelihoods"].items()
+            ) or verdict["verdict"] == "coupling"
+            return
+        pytest.skip("no firing defect found")

@@ -1,0 +1,100 @@
+"""Unit tests for error vectors/matrices and diagnosis clock selection."""
+
+import numpy as np
+import pytest
+
+from repro.timing import (
+    diagnosis_clock,
+    error_matrix,
+    error_vector,
+    pattern_set_delay,
+    simulate_pattern_set,
+    simulate_transition,
+)
+
+
+@pytest.fixture()
+def patterns(c17_timing):
+    rng = np.random.default_rng(0)
+    return [
+        (rng.integers(0, 2, 5), rng.integers(0, 2, 5))
+        for _ in range(6)
+    ]
+
+
+class TestErrorMatrix:
+    def test_shape(self, c17_timing, patterns):
+        matrix = error_matrix(c17_timing, patterns, clk=2.0)
+        assert matrix.shape == (2, 6)
+
+    def test_columns_match_error_vectors(self, c17_timing, patterns):
+        clk = 2.0
+        matrix = error_matrix(c17_timing, patterns, clk)
+        for j, pattern in enumerate(patterns):
+            assert np.allclose(matrix[:, j], error_vector(c17_timing, pattern, clk))
+
+    def test_reuses_simulations(self, c17_timing, patterns):
+        sims = simulate_pattern_set(c17_timing, patterns)
+        a = error_matrix(c17_timing, patterns, 2.0, simulations=sims)
+        b = error_matrix(c17_timing, patterns, 2.0)
+        assert np.allclose(a, b)
+
+    def test_monotone_in_clk(self, c17_timing, patterns):
+        lo = error_matrix(c17_timing, patterns, 1.0)
+        hi = error_matrix(c17_timing, patterns, 5.0)
+        assert (hi <= lo + 1e-12).all()
+
+    def test_empty_patterns(self, c17_timing):
+        matrix = error_matrix(c17_timing, [], 1.0)
+        assert matrix.shape == (2, 0)
+
+    def test_probabilities_in_unit_interval(self, c17_timing, patterns):
+        matrix = error_matrix(c17_timing, patterns, 2.0)
+        assert (matrix >= 0).all() and (matrix <= 1).all()
+
+
+class TestPatternSetDelay:
+    def test_equals_max_over_transitioning_outputs(self, c17_timing, patterns):
+        sims = simulate_pattern_set(c17_timing, patterns)
+        delay = pattern_set_delay(sims)
+        expected = np.zeros(c17_timing.space.n_samples)
+        for sim in sims:
+            for net in c17_timing.circuit.outputs:
+                if sim.transitioned(net):
+                    expected = np.maximum(expected, sim.stable[net])
+        assert np.allclose(delay, expected)
+
+    def test_targets_restrict(self, c17_timing, patterns):
+        sims = simulate_pattern_set(c17_timing, patterns)
+        full = pattern_set_delay(sims)
+        restricted = pattern_set_delay(sims, targets=[(0, "22")])
+        assert (restricted <= full + 1e-12).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_set_delay([])
+
+
+class TestDiagnosisClock:
+    def test_monotone_in_quantile(self, c17_timing, patterns):
+        clks = [diagnosis_clock(c17_timing, patterns, q) for q in (0.5, 0.8, 0.95)]
+        assert clks[0] <= clks[1] <= clks[2]
+
+    def test_bad_quantile(self, c17_timing, patterns):
+        with pytest.raises(ValueError):
+            diagnosis_clock(c17_timing, patterns, 1.0)
+
+    def test_healthy_pass_rate_near_quantile(self, c17_timing, patterns):
+        quantile = 0.8
+        sims = simulate_pattern_set(c17_timing, patterns)
+        clk = diagnosis_clock(c17_timing, patterns, quantile, simulations=sims)
+        passes = (pattern_set_delay(sims) <= clk).mean()
+        assert passes == pytest.approx(quantile, abs=0.05)
+
+    def test_targeted_clock_no_higher_than_global(self, c17_timing, patterns):
+        sims = simulate_pattern_set(c17_timing, patterns)
+        global_clk = diagnosis_clock(c17_timing, patterns, 0.9, simulations=sims)
+        targeted = diagnosis_clock(
+            c17_timing, patterns, 0.9, simulations=sims, targets=[(0, "22")]
+        )
+        assert targeted <= global_clk + 1e-12

@@ -1,0 +1,187 @@
+"""Unit tests for path criticality selection and defect size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, GateType
+from repro.paths import Path, k_longest_paths, path_criticality, select_covering_paths
+from repro.timing import CircuitTiming, SampleSpace, analyze
+
+
+def two_branch_circuit():
+    """Two disjoint chains to separate outputs — clean criticality split."""
+    c = Circuit("branch")
+    c.add_input("a")
+    c.add_input("b")
+    previous = "a"
+    for index in range(4):
+        net = f"p{index}"
+        c.add_gate(net, GateType.BUF, [previous])
+        previous = net
+    c.mark_output(previous)
+    previous = "b"
+    for index in range(4):
+        net = f"q{index}"
+        c.add_gate(net, GateType.BUF, [previous])
+        previous = net
+    c.mark_output(previous)
+    return c.freeze()
+
+
+class TestPathCriticality:
+    def test_criticalities_partition_symmetric_branches(self):
+        circuit = two_branch_circuit()
+        timing = CircuitTiming(circuit, SampleSpace(2000, 0))
+        path_a = Path(("a", "p0", "p1", "p2", "p3"))
+        path_b = Path(("b", "q0", "q1", "q2", "q3"))
+        crit_a = path_criticality(path_a, timing)
+        crit_b = path_criticality(path_b, timing)
+        # two identical chains: each critical on ~half the chips, and they
+        # exactly partition (no chip has neither chain critical)
+        assert crit_a + crit_b == pytest.approx(1.0, abs=1e-9)
+        assert 0.3 < crit_a < 0.7
+
+    def test_single_path_circuit_always_critical(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        c.add_gate("n0", GateType.BUF, ["a"])
+        c.mark_output("n0")
+        c.freeze()
+        timing = CircuitTiming(c, SampleSpace(100, 0))
+        assert path_criticality(Path(("a", "n0")), timing) == 1.0
+
+    def test_reuses_precomputed_delay_samples(self, bench_timing):
+        samples = analyze(bench_timing).circuit_delay().samples
+        path = k_longest_paths(bench_timing, 1)[0]
+        a = path_criticality(path, bench_timing)
+        b = path_criticality(path, bench_timing, circuit_delay_samples=samples)
+        assert a == b
+
+    def test_bounds(self, bench_timing):
+        for path in k_longest_paths(bench_timing, 5):
+            crit = path_criticality(path, bench_timing)
+            assert 0.0 <= crit <= 1.0
+
+
+class TestCoveringSelection:
+    def test_symmetric_branches_need_both(self):
+        circuit = two_branch_circuit()
+        timing = CircuitTiming(circuit, SampleSpace(2000, 0))
+        candidates = [
+            Path(("a", "p0", "p1", "p2", "p3")),
+            Path(("b", "q0", "q1", "q2", "q3")),
+        ]
+        chosen = select_covering_paths(candidates, timing, coverage=0.99)
+        assert len(chosen) == 2
+        total = sum(marginal for _p, marginal in chosen)
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_marginals_decreasing(self, bench_timing):
+        candidates = k_longest_paths(bench_timing, 10)
+        chosen = select_covering_paths(candidates, bench_timing, coverage=0.99)
+        marginals = [m for _p, m in chosen]
+        assert marginals == sorted(marginals, reverse=True)
+
+    def test_stops_at_coverage(self, bench_timing):
+        candidates = k_longest_paths(bench_timing, 10)
+        chosen = select_covering_paths(candidates, bench_timing, coverage=0.5)
+        covered = sum(m for _p, m in chosen)
+        # the last pick may overshoot, but before it coverage was below 0.5
+        assert covered >= 0.5 or len(chosen) == len(candidates)
+
+    def test_coverage_validation(self, bench_timing):
+        with pytest.raises(ValueError):
+            select_covering_paths([], bench_timing, coverage=0.0)
+
+
+class TestSizeEstimation:
+    @pytest.fixture(scope="class")
+    def firing(self, bench_timing):
+        from repro.atpg import generate_path_tests
+        from repro.defects import SingleDefectModel, behavior_matrix
+        from repro.timing import diagnosis_clock, simulate_pattern_set
+
+        rng = np.random.default_rng(3)
+        model = SingleDefectModel(bench_timing)
+        for _ in range(30):
+            cand = model.draw(rng)
+            patterns, _ = generate_path_tests(
+                bench_timing, cand.edge, n_paths=8, rng_seed=3
+            )
+            if not len(patterns):
+                continue
+            sims = simulate_pattern_set(bench_timing, list(patterns))
+            clk = diagnosis_clock(
+                bench_timing, list(patterns), 0.85,
+                simulations=sims, targets=patterns.target_observations(),
+            )
+            defect = model.defect_at(cand.edge, size_mean=3.0)
+            behavior = behavior_matrix(bench_timing, patterns, clk, defect, 7)
+            healthy = behavior_matrix(bench_timing, patterns, clk, None, 7)
+            if (behavior & ~healthy).any():
+                return model, cand.edge, patterns, sims, clk, behavior
+        pytest.fail("no firing defect")
+
+    def test_estimate_in_plausible_band(self, bench_timing, firing):
+        from repro.core import estimate_defect_size
+
+        _model, edge, patterns, sims, clk, behavior = firing
+        estimate = estimate_defect_size(
+            bench_timing, patterns, clk, behavior, edge, base_simulations=sims
+        )
+        # true mean size 3.0; estimate within a half-decade of it
+        assert 1.0 <= estimate.best_size <= 8.0
+        assert estimate.edge == edge
+
+    def test_custom_grid_and_plateau_tiebreak(self, bench_timing, firing):
+        from repro.core import estimate_defect_size
+
+        _model, edge, patterns, sims, clk, behavior = firing
+        estimate = estimate_defect_size(
+            bench_timing, patterns, clk, behavior, edge,
+            size_grid=[50.0, 100.0],  # both saturate: smallest must win
+            base_simulations=sims,
+        )
+        assert estimate.best_size == 50.0
+
+    def test_likelihoods_recorded_per_grid_point(self, bench_timing, firing):
+        from repro.core import estimate_defect_size
+
+        _model, edge, patterns, sims, clk, behavior = firing
+        estimate = estimate_defect_size(
+            bench_timing, patterns, clk, behavior, edge,
+            size_grid=[0.5, 2.0, 8.0], base_simulations=sims,
+        )
+        assert set(estimate.log_likelihoods) == {0.5, 2.0, 8.0}
+        assert estimate.confidence_ratio() >= 1.0
+
+    def test_validation(self, bench_timing, firing):
+        from repro.core import estimate_defect_size
+
+        _model, edge, patterns, sims, clk, behavior = firing
+        with pytest.raises(ValueError):
+            estimate_defect_size(
+                bench_timing, patterns, clk, behavior, edge, size_grid=[],
+                base_simulations=sims,
+            )
+        with pytest.raises(ValueError):
+            estimate_defect_size(
+                bench_timing, patterns, clk, behavior[:, :1], edge,
+                base_simulations=sims,
+            )
+
+
+class TestTesterNoiseAblation:
+    def test_runs_and_bounds(self):
+        from repro.experiments import ablation_tester_noise
+
+        rates = ablation_tester_noise(
+            circuit_name="s1196",
+            flip_probabilities=(0.0, 0.1),
+            n_trials=3,
+            n_samples=120,
+            seed=1,
+        )
+        assert set(rates) == {0.0, 0.1}
+        for rate in rates.values():
+            assert 0.0 <= rate <= 1.0

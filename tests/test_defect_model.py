@@ -1,0 +1,97 @@
+"""Unit tests for defect size/location models."""
+
+import numpy as np
+import pytest
+
+from repro.defects import DefectSizeModel, SingleDefectModel
+from repro.timing import SampleSpace
+
+
+class TestDefectSizeModel:
+    def test_paper_defaults(self):
+        model = DefectSizeModel()
+        assert model.mean_low == 0.5
+        assert model.mean_high == 1.0
+        # 3-sigma = 50% of mean  <=>  sigma/mean = 1/6
+        assert model.sigma_over_mean == pytest.approx(1.0 / 6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DefectSizeModel(mean_low=0.8, mean_high=0.5)
+        with pytest.raises(ValueError):
+            DefectSizeModel(sigma_over_mean=-0.1)
+
+    def test_draw_mean_in_band(self):
+        model = DefectSizeModel(mean_low=0.5, mean_high=1.0)
+        rng = np.random.default_rng(0)
+        cell_delay = 2.0
+        means = [model.draw_mean(cell_delay, rng) for _ in range(200)]
+        assert min(means) >= 0.5 * cell_delay
+        assert max(means) <= 1.0 * cell_delay
+
+    def test_size_variable_stats(self):
+        model = DefectSizeModel()
+        space = SampleSpace(20_000, seed=1)
+        rv = model.size_variable(1.2, space)
+        assert rv.mean == pytest.approx(1.2, rel=0.02)
+        assert rv.std == pytest.approx(1.2 / 6.0, rel=0.05)
+        assert (rv.samples >= 0).all()
+
+
+class TestSingleDefectModel:
+    def test_draw_location_uniform_over_candidates(self, bench_timing):
+        model = SingleDefectModel(bench_timing)
+        rng = np.random.default_rng(2)
+        drawn = {model.draw(rng).edge for _ in range(50)}
+        assert len(drawn) > 30  # spread over many distinct edges
+
+    def test_candidate_restriction(self, bench_timing):
+        candidates = bench_timing.circuit.edges[:5]
+        model = SingleDefectModel(bench_timing, candidate_edges=candidates)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            assert model.draw(rng).edge in candidates
+
+    def test_empty_candidates_rejected(self, bench_timing):
+        with pytest.raises(ValueError):
+            SingleDefectModel(bench_timing, candidate_edges=[])
+
+    def test_defect_at_explicit_size(self, bench_timing):
+        model = SingleDefectModel(bench_timing)
+        edge = bench_timing.circuit.edges[10]
+        defect = model.defect_at(edge, size_mean=0.7)
+        assert defect.edge == edge
+        assert defect.size_mean == 0.7
+        assert defect.edge_index == bench_timing.edge_index[edge]
+        assert defect.size_samples.shape == (bench_timing.space.n_samples,)
+
+    def test_defect_at_needs_rng_or_size(self, bench_timing):
+        model = SingleDefectModel(bench_timing)
+        with pytest.raises(ValueError):
+            model.defect_at(bench_timing.circuit.edges[0])
+
+    def test_size_scaled_by_cell_delay(self, bench_timing):
+        model = SingleDefectModel(bench_timing)
+        rng = np.random.default_rng(4)
+        sizes = [model.draw(rng).size_mean for _ in range(100)]
+        cell = model.cell_delay
+        assert min(sizes) >= 0.5 * cell - 1e-9
+        assert max(sizes) <= 1.0 * cell + 1e-9
+
+    def test_size_on_instance(self, bench_timing):
+        model = SingleDefectModel(bench_timing)
+        defect = model.defect_at(bench_timing.circuit.edges[0], size_mean=1.0)
+        assert defect.size_on_instance(7) == pytest.approx(
+            float(defect.size_samples[7])
+        )
+
+    def test_dictionary_size_variable_midband(self, bench_timing):
+        model = SingleDefectModel(bench_timing)
+        rv = model.dictionary_size_variable()
+        expected_mean = 0.75 * model.cell_delay
+        assert rv.mean == pytest.approx(expected_mean, rel=0.1)
+
+    def test_str(self, bench_timing):
+        model = SingleDefectModel(bench_timing)
+        defect = model.defect_at(bench_timing.circuit.edges[0], size_mean=1.0)
+        assert "defect@" in str(defect)

@@ -1,0 +1,265 @@
+"""Unit and property tests for the timed two-vector transition simulator.
+
+The reference oracle re-implements the settle-time rules scalar-per-sample,
+independently of the vectorized production code, and both are checked
+against hand-computed chains.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, Edge, GateType
+from repro.circuits.library import CONTROLLING_VALUE, eval_gate
+from repro.timing import (
+    CircuitTiming,
+    SampleSpace,
+    resimulate_with_extra,
+    simulate_transition,
+)
+from repro.timing.dynamic import edge_offsets
+
+
+def reference_settle(circuit, delays_column, v1, v2, extra=None):
+    """Scalar reference implementation of the settle-time rules."""
+    extra = extra or {}
+    val1 = circuit.evaluate(dict(zip(circuit.inputs, v1)))
+    val2 = circuit.evaluate(dict(zip(circuit.inputs, v2)))
+    offsets = edge_offsets(circuit)
+    stable = {}
+    for name in circuit.topological_order:
+        gate = circuit.gates[name]
+        if gate.gate_type is GateType.INPUT or val1[name] == val2[name]:
+            stable[name] = 0.0
+            continue
+        base = offsets[name]
+
+        def delay(pin):
+            index = base + pin
+            return float(delays_column[index]) + float(extra.get(index, 0.0))
+
+        controlling = CONTROLLING_VALUE[gate.gate_type]
+        if controlling is not None and any(
+            val2[f] == controlling for f in gate.fanins
+        ):
+            stable[name] = min(
+                stable[f] + delay(p)
+                for p, f in enumerate(gate.fanins)
+                if val2[f] == controlling
+            )
+            continue
+        transitioning = [
+            (p, f) for p, f in enumerate(gate.fanins) if val1[f] != val2[f]
+        ]
+        if not transitioning:
+            transitioning = list(enumerate(gate.fanins))
+        stable[name] = max(stable[f] + delay(p) for p, f in transitioning)
+    return val1, val2, stable
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_c17_matches_reference(self, c17_timing, seed):
+        circuit = c17_timing.circuit
+        rng = np.random.default_rng(seed)
+        v1 = rng.integers(0, 2, len(circuit.inputs))
+        v2 = rng.integers(0, 2, len(circuit.inputs))
+        sim = simulate_transition(c17_timing, v1, v2)
+        for s in (0, 7, 42):
+            _, _, expected = reference_settle(
+                circuit, c17_timing.delays[:, s], v1, v2
+            )
+            for net in circuit.gates:
+                assert sim.stable[net][s] == pytest.approx(expected[net])
+
+    def test_synthetic_matches_reference(self, small_timing):
+        circuit = small_timing.circuit
+        rng = np.random.default_rng(9)
+        for _ in range(4):
+            v1 = rng.integers(0, 2, len(circuit.inputs))
+            v2 = rng.integers(0, 2, len(circuit.inputs))
+            sim = simulate_transition(small_timing, v1, v2)
+            _, _, expected = reference_settle(
+                circuit, small_timing.delays[:, 13], v1, v2
+            )
+            for net in circuit.gates:
+                assert sim.stable[net][13] == pytest.approx(expected[net])
+
+    def test_with_extra_delay_matches_reference(self, small_timing):
+        circuit = small_timing.circuit
+        rng = np.random.default_rng(10)
+        v1 = rng.integers(0, 2, len(circuit.inputs))
+        v2 = rng.integers(0, 2, len(circuit.inputs))
+        extra = {4: 3.5}
+        sim = simulate_transition(small_timing, v1, v2, extra_delay=extra)
+        _, _, expected = reference_settle(
+            circuit, small_timing.delays[:, 0], v1, v2, extra
+        )
+        for net in circuit.gates:
+            assert sim.stable[net][0] == pytest.approx(expected[net])
+
+
+class TestHandComputedChain:
+    def test_buffer_chain_sums_delays(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        c.add_gate("n0", GateType.BUF, ["a"])
+        c.add_gate("n1", GateType.NOT, ["n0"])
+        c.mark_output("n1")
+        c.freeze()
+        timing = CircuitTiming(c, SampleSpace(50, 0))
+        sim = simulate_transition(timing, [0], [1])
+        assert sim.transitioned("n1")
+        expected = timing.delays[0] + timing.delays[1]
+        assert np.allclose(sim.stable["n1"], expected)
+
+    def test_and_gate_controlled_min_rule(self):
+        # Both AND inputs fall 1->0: output settles with the EARLIER one.
+        c = Circuit("andc")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("slow", GateType.BUF, ["a"])
+        c.add_gate("slow2", GateType.BUF, ["slow"])
+        c.add_gate("g", GateType.AND, ["slow2", "b"])
+        c.mark_output("g")
+        c.freeze()
+        timing = CircuitTiming(c, SampleSpace(50, 0))
+        sim = simulate_transition(timing, [1, 1], [0, 0])
+        offsets = edge_offsets(c)
+        slow_arrival = (
+            timing.delays[offsets["slow"]]
+            + timing.delays[offsets["slow2"]]
+            + timing.delays[offsets["g"] + 0]
+        )
+        fast_arrival = timing.delays[offsets["g"] + 1]
+        assert np.allclose(sim.stable["g"], np.minimum(slow_arrival, fast_arrival))
+
+    def test_and_gate_noncontrolled_max_rule(self):
+        # Both inputs rise 0->1: output rises when the LATER one arrives.
+        c = Circuit("andm")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("slow", GateType.BUF, ["a"])
+        c.add_gate("g", GateType.AND, ["slow", "b"])
+        c.mark_output("g")
+        c.freeze()
+        timing = CircuitTiming(c, SampleSpace(50, 0))
+        sim = simulate_transition(timing, [0, 0], [1, 1])
+        offsets = edge_offsets(c)
+        slow_arrival = timing.delays[offsets["slow"]] + timing.delays[offsets["g"] + 0]
+        fast_arrival = timing.delays[offsets["g"] + 1]
+        assert np.allclose(sim.stable["g"], np.maximum(slow_arrival, fast_arrival))
+
+    def test_steady_side_input_excluded_from_max(self):
+        # a rises, b steady 1: AND output follows a only.
+        c = Circuit("ands")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", GateType.AND, ["a", "b"])
+        c.mark_output("g")
+        c.freeze()
+        timing = CircuitTiming(c, SampleSpace(50, 0))
+        sim = simulate_transition(timing, [0, 1], [1, 1])
+        assert np.allclose(sim.stable["g"], timing.delays[0])
+
+    def test_no_transition_means_stable_at_zero(self, c17_timing):
+        v = np.ones(len(c17_timing.circuit.inputs), dtype=int)
+        sim = simulate_transition(c17_timing, v, v)
+        for net in c17_timing.circuit.gates:
+            assert not sim.transitioned(net)
+            assert (sim.stable[net] == 0).all()
+
+
+class TestResult:
+    def test_error_vector_zero_without_transition(self, c17_timing):
+        v = np.zeros(len(c17_timing.circuit.inputs), dtype=int)
+        sim = simulate_transition(c17_timing, v, v)
+        assert (sim.error_vector(0.0) == 0).all()
+
+    def test_error_vector_matches_output_failures(self, c17_timing):
+        rng = np.random.default_rng(3)
+        v1 = rng.integers(0, 2, 5)
+        v2 = rng.integers(0, 2, 5)
+        sim = simulate_transition(c17_timing, v1, v2)
+        clk = 2.0
+        vector = sim.error_vector(clk)
+        failures = sim.output_failures(clk)
+        assert np.allclose(vector, failures.mean(axis=1))
+
+    def test_arrival_requires_full_width(self, c17_timing):
+        sim = simulate_transition(
+            c17_timing, np.zeros(5, int), np.ones(5, int), sample_index=3
+        )
+        with pytest.raises(ValueError):
+            sim.arrival(c17_timing.circuit.outputs[0])
+
+    def test_wrong_vector_width_rejected(self, c17_timing):
+        with pytest.raises(ValueError):
+            simulate_transition(c17_timing, [0, 1], [1, 0])
+
+    def test_instance_sim_equals_sample_column(self, small_timing):
+        circuit = small_timing.circuit
+        rng = np.random.default_rng(4)
+        v1 = rng.integers(0, 2, len(circuit.inputs))
+        v2 = rng.integers(0, 2, len(circuit.inputs))
+        full = simulate_transition(small_timing, v1, v2)
+        for s in (0, 9, 77):
+            inst = simulate_transition(small_timing, v1, v2, sample_index=s)
+            assert inst.width == 1
+            for net in circuit.outputs:
+                assert inst.stable[net][0] == pytest.approx(full.stable[net][s])
+
+
+class TestConeResimulation:
+    @pytest.mark.parametrize("edge_index", [0, 5, 17, 40])
+    def test_matches_full_resimulation(self, small_timing, edge_index):
+        circuit = small_timing.circuit
+        rng = np.random.default_rng(5)
+        v1 = rng.integers(0, 2, len(circuit.inputs))
+        v2 = rng.integers(0, 2, len(circuit.inputs))
+        base = simulate_transition(small_timing, v1, v2)
+        delta = np.full(small_timing.space.n_samples, 2.5)
+        patched = resimulate_with_extra(base, {edge_index: delta})
+        fresh = simulate_transition(
+            small_timing, v1, v2, extra_delay={edge_index: delta}
+        )
+        for net in circuit.gates:
+            assert np.allclose(patched.stable[net], fresh.stable[net])
+
+    def test_base_untouched(self, small_timing):
+        circuit = small_timing.circuit
+        rng = np.random.default_rng(6)
+        v1 = rng.integers(0, 2, len(circuit.inputs))
+        v2 = rng.integers(0, 2, len(circuit.inputs))
+        base = simulate_transition(small_timing, v1, v2)
+        snapshot = {net: base.stable[net].copy() for net in circuit.outputs}
+        resimulate_with_extra(base, {3: 10.0})
+        for net in circuit.outputs:
+            assert np.allclose(base.stable[net], snapshot[net])
+
+    def test_empty_extra_returns_base(self, small_timing):
+        circuit = small_timing.circuit
+        v1 = np.zeros(len(circuit.inputs), int)
+        v2 = np.ones(len(circuit.inputs), int)
+        base = simulate_transition(small_timing, v1, v2)
+        assert resimulate_with_extra(base, {}) is base
+
+
+@given(st.integers(0, 2**31 - 1), st.floats(0.1, 8.0))
+@settings(max_examples=15, deadline=None)
+def test_extra_delay_never_decreases_settle_times(seed, delta):
+    """Monotonicity: adding delay can only increase settle times."""
+    from repro.circuits import GeneratorConfig, generate_circuit
+
+    circuit = generate_circuit(
+        GeneratorConfig(n_inputs=5, n_outputs=2, n_gates=25, target_depth=5, seed=3)
+    )
+    timing = CircuitTiming(circuit, SampleSpace(40, seed=1))
+    rng = np.random.default_rng(seed)
+    v1 = rng.integers(0, 2, len(circuit.inputs))
+    v2 = rng.integers(0, 2, len(circuit.inputs))
+    edge_index = int(rng.integers(len(circuit.edges)))
+    base = simulate_transition(timing, v1, v2)
+    patched = resimulate_with_extra(base, {edge_index: delta})
+    for net in circuit.outputs:
+        assert (patched.stable[net] >= base.stable[net] - 1e-9).all()

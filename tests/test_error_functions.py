@@ -1,0 +1,145 @@
+"""Unit tests for the diagnosis error functions, incl. the paper's examples."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ALG_REV,
+    ALL_ERROR_FUNCTIONS,
+    EUCLIDEAN_SB,
+    LOG_LIKELIHOOD,
+    METHOD_I,
+    METHOD_II,
+    METHOD_III,
+    by_name,
+    match_probabilities,
+    pattern_match_probability,
+)
+
+
+class TestPaperExampleE1:
+    """Example E.1: B_j = [0,1,1], S_j = [0.4,0.3,0.1] -> phi_j = 0.018."""
+
+    def test_match_probabilities(self):
+        behavior = np.array([[0], [1], [1]])
+        signature = np.array([[0.4], [0.3], [0.1]])
+        p = match_probabilities(signature, behavior)
+        assert np.allclose(p[:, 0], [0.6, 0.3, 0.1])
+
+    def test_phi(self):
+        behavior = np.array([[0], [1], [1]])
+        signature = np.array([[0.4], [0.3], [0.1]])
+        phi = pattern_match_probability(signature, behavior)
+        assert phi[0] == pytest.approx(0.018)
+
+
+class TestMethodFormulas:
+    behavior = np.array([[1, 0], [0, 1]])
+    signature = np.array([[0.8, 0.5], [0.4, 0.6]])
+
+    def phi(self):
+        return pattern_match_probability(self.signature, self.behavior)
+
+    def test_method_i_noisy_or(self):
+        phi = self.phi()
+        assert METHOD_I(self.signature, self.behavior) == pytest.approx(
+            1 - (1 - phi[0]) * (1 - phi[1])
+        )
+
+    def test_method_ii_average(self):
+        phi = self.phi()
+        assert METHOD_II(self.signature, self.behavior) == pytest.approx(phi.mean())
+
+    def test_method_iii_product(self):
+        phi = self.phi()
+        assert METHOD_III(self.signature, self.behavior) == pytest.approx(
+            phi[0] * phi[1]
+        )
+
+    def test_alg_rev_euclidean(self):
+        phi = self.phi()
+        assert ALG_REV(self.signature, self.behavior) == pytest.approx(
+            (1 - phi[0]) ** 2 + (1 - phi[1]) ** 2
+        )
+
+    def test_log_likelihood(self):
+        p = match_probabilities(self.signature, self.behavior)
+        assert LOG_LIKELIHOOD(self.signature, self.behavior) == pytest.approx(
+            np.log(p).sum()
+        )
+
+    def test_euclidean_sb(self):
+        assert EUCLIDEAN_SB(self.signature, self.behavior) == pytest.approx(
+            ((self.signature - self.behavior) ** 2).sum()
+        )
+
+
+class TestOrientation:
+    def test_directions(self):
+        assert METHOD_I.higher_is_better
+        assert METHOD_II.higher_is_better
+        assert METHOD_III.higher_is_better
+        assert not ALG_REV.higher_is_better
+        assert LOG_LIKELIHOOD.higher_is_better
+        assert not EUCLIDEAN_SB.higher_is_better
+
+    def test_perfect_match_is_optimal(self):
+        """A signature equal to the behavior scores best possible."""
+        behavior = np.array([[1, 0], [0, 1]])
+        perfect = behavior.astype(float)
+        wrong = 1.0 - perfect
+        for function in ALL_ERROR_FUNCTIONS:
+            good = function(perfect, behavior)
+            bad = function(wrong, behavior)
+            if function.higher_is_better:
+                assert good >= bad
+            else:
+                assert good <= bad
+
+    def test_method_iii_collapses_on_single_zero_pattern(self):
+        """One impossible pattern annihilates Method III but not Method II."""
+        behavior = np.array([[1, 1]])
+        signature = np.array([[0.0, 0.9]])  # first pattern: s=0 yet b=1
+        assert METHOD_III(signature, behavior) == 0.0
+        assert METHOD_II(signature, behavior) > 0.0
+        assert METHOD_I(signature, behavior) > 0.0
+
+
+class TestRegistry:
+    def test_by_name(self):
+        for function in ALL_ERROR_FUNCTIONS:
+            assert by_name(function.name) is function
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown error function"):
+            by_name("nope")
+
+    def test_names_unique(self):
+        names = [f.name for f in ALL_ERROR_FUNCTIONS]
+        assert len(set(names)) == len(names)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            match_probabilities(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+@given(
+    st.integers(1, 4),
+    st.integers(1, 5),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_probability_bounds(n_outputs, n_patterns, seed):
+    """phi and the probability-valued methods stay inside [0, 1]."""
+    rng = np.random.default_rng(seed)
+    signature = rng.uniform(0, 1, size=(n_outputs, n_patterns))
+    behavior = rng.integers(0, 2, size=(n_outputs, n_patterns))
+    phi = pattern_match_probability(signature, behavior)
+    assert ((phi >= 0) & (phi <= 1)).all()
+    for function in (METHOD_I, METHOD_II, METHOD_III):
+        assert 0.0 <= function(signature, behavior) <= 1.0
+    assert ALG_REV(signature, behavior) >= 0.0
+    assert EUCLIDEAN_SB(signature, behavior) >= 0.0

@@ -1,0 +1,108 @@
+"""Unit tests for the Section I evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALG_REV,
+    METHOD_I,
+    METHOD_II,
+    EvaluationConfig,
+    TrialRecord,
+    evaluate_circuit,
+)
+from repro.defects import DefectSizeModel
+
+
+@pytest.fixture(scope="module")
+def small_eval(bench_timing):
+    config = EvaluationConfig(
+        n_trials=4,
+        n_paths=6,
+        k_values=(1, 3, 7),
+        seed=3,
+    )
+    return evaluate_circuit(bench_timing, config), config
+
+
+class TestEvaluateCircuit:
+    def test_record_count(self, small_eval):
+        result, config = small_eval
+        assert len(result.records) == config.n_trials
+
+    def test_rates_in_unit_interval(self, small_eval):
+        result, config = small_eval
+        for (method, k), rate in result.table().items():
+            assert 0.0 <= rate <= 1.0
+
+    def test_success_monotone_in_k(self, small_eval):
+        """Top-K success is monotone in K by construction."""
+        result, config = small_eval
+        for function in config.error_functions:
+            rates = [result.success_rate(function.name, k) for k in (1, 3, 7)]
+            assert rates == sorted(rates)
+
+    def test_table_keys(self, small_eval):
+        result, config = small_eval
+        table = result.table()
+        assert set(table) == {
+            (f.name, k) for f in config.error_functions for k in config.k_values
+        }
+
+    def test_record_fields(self, small_eval):
+        result, _config = small_eval
+        for record in result.records:
+            assert record.n_patterns >= 1
+            assert record.n_suspects >= 0
+            assert record.n_failing_observations >= 1  # failing trials only
+            assert record.seconds > 0
+            assert set(record.ranks) == {"method_I", "method_II", "alg_rev"}
+            for rank in record.ranks.values():
+                assert rank is None or 1 <= rank <= max(record.n_suspects, 1)
+
+    def test_hit_consistency(self, small_eval):
+        result, _config = small_eval
+        for record in result.records:
+            for method, rank in record.ranks.items():
+                if rank is not None:
+                    assert record.hit(method, rank)
+                    assert not record.hit(method, rank - 1)
+                else:
+                    assert not record.hit(method, 10_000)
+
+    def test_mean_helpers(self, small_eval):
+        result, _config = small_eval
+        assert result.mean_patterns() > 0
+        assert result.mean_suspects() >= 0
+
+    def test_deterministic_in_seed(self, bench_timing):
+        config = EvaluationConfig(n_trials=2, n_paths=4, k_values=(3,), seed=11)
+        a = evaluate_circuit(bench_timing, config)
+        b = evaluate_circuit(bench_timing, config)
+        assert [r.defect_edge for r in a.records] == [
+            r.defect_edge for r in b.records
+        ]
+        assert [r.ranks for r in a.records] == [r.ranks for r in b.records]
+
+    def test_custom_size_model_respected(self, bench_timing):
+        config = EvaluationConfig(
+            n_trials=2,
+            n_paths=4,
+            k_values=(3,),
+            seed=5,
+            size_model=DefectSizeModel(mean_low=2.0, mean_high=3.0),
+        )
+        result = evaluate_circuit(bench_timing, config)
+        cell = bench_timing.library.mean_cell_delay(bench_timing.circuit)
+        for record in result.records:
+            assert record.defect_size_mean >= 2.0 * cell - 1e-9
+
+
+class TestEmptyResult:
+    def test_zero_rates(self):
+        from repro.core.evaluation import EvaluationResult
+
+        result = EvaluationResult("x", EvaluationConfig(), [])
+        assert result.success_rate("alg_rev", 1) == 0.0
+        assert result.mean_patterns() == 0.0
+        assert result.mean_suspects() == 0.0

@@ -1,0 +1,156 @@
+"""Tests for the experiment harnesses (Table I, figures, ablations, report)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    TABLE1_PUBLISHED,
+    Table1Result,
+    figure1_case_a,
+    figure1_case_b,
+    figure2_data,
+    figure3_data,
+    published_k_values,
+    published_rates,
+    render_shape_checks,
+    render_simple_table,
+    render_table1,
+    run_table1_circuit,
+    table1_circuits,
+)
+
+
+class TestWorkloads:
+    def test_eight_circuits(self):
+        assert len(table1_circuits()) == 8
+        assert table1_circuits()[0] == "s1196"
+
+    def test_three_k_values_each(self):
+        for circuit in table1_circuits():
+            assert len(published_k_values(circuit)) == 3
+
+    def test_published_rates_lookup(self):
+        rates = published_rates("s1196", 7)
+        assert rates == {"method_I": 5, "method_II": 35, "alg_rev": 60}
+
+    def test_unknown_lookups(self):
+        with pytest.raises(KeyError):
+            published_k_values("c880")
+        with pytest.raises(KeyError):
+            published_rates("s1196", 4)
+
+    def test_published_success_monotone_in_k(self):
+        """Sanity of the transcription: the paper's own rates rise with K."""
+        for circuit in table1_circuits():
+            for method in ("method_i", "method_ii", "alg_rev"):
+                rates = [
+                    getattr(row, method)
+                    for row in TABLE1_PUBLISHED
+                    if row.circuit == circuit
+                ]
+                assert rates == sorted(rates), (circuit, method)
+
+
+class TestFigure1:
+    def test_case_a_claims(self):
+        data = figure1_case_a(n_samples=800, seed=0)
+        crt_long = data["crt_long"]
+        crt_short = data["crt_short"]
+        # long-path detection rises with defect size...
+        assert crt_long == sorted(crt_long)
+        assert crt_long[-1] > 0.9
+        # ...while the short path misses small defects entirely
+        assert crt_short[0] < 0.05
+        assert crt_short[1] < 0.05
+        # and the long path always dominates
+        assert all(a >= b for a, b in zip(crt_long, crt_short))
+
+    def test_case_b_claims(self):
+        data = figure1_case_b(n_samples=800, seed=0)
+        assert data["prob_long_dominates"] == 1.0
+        assert data["crt_defect_on_long"] > 0.9
+        # the defect on the dominated (short) branch is absorbed
+        assert data["crt_defect_on_short"] == pytest.approx(
+            data["crt_healthy"], abs=0.02
+        )
+
+
+class TestFigure2:
+    def test_paper_ambiguity(self):
+        data = figure2_data()
+        assert data["ones_matching"]["winner"] == "fault1"
+        assert data["zeros_matching"]["winner"] == "fault2"
+
+    def test_all_error_functions_give_verdicts(self):
+        data = figure2_data()
+        verdicts = data["error_function_verdicts"]
+        assert set(verdicts.values()).issubset({"fault1", "fault2"})
+        assert len(verdicts) == 6
+
+
+class TestFigure3:
+    def test_best_matches_alg_rev_minimizer(self):
+        rng = np.random.default_rng(0)
+        behavior = rng.integers(0, 2, (3, 4))
+        signatures = {
+            f"d{i}": rng.uniform(0, 1, (3, 4)) for i in range(5)
+        }
+        data = figure3_data(signatures, behavior)
+        errors = {
+            name: entry["euclidean_error"]
+            for name, entry in data["candidates"].items()
+        }
+        assert data["best"] == min(errors, key=errors.get)
+        # the Euclidean error IS the Alg_rev score
+        for entry in data["candidates"].values():
+            assert entry["euclidean_error"] == pytest.approx(
+                entry["alg_rev_score"]
+            )
+
+    def test_mismatch_probabilities_in_unit_interval(self):
+        behavior = np.array([[1, 0]])
+        signatures = {"d": np.array([[0.7, 0.2]])}
+        data = figure3_data(signatures, behavior)
+        mism = data["candidates"]["d"]["mismatch_probabilities"]
+        assert all(0.0 <= m <= 1.0 for m in mism)
+
+
+class TestTable1Harness:
+    @pytest.fixture(scope="class")
+    def quick(self):
+        return run_table1_circuit("s1196", n_trials=3, n_samples=120, seed=2)
+
+    def test_rows_structure(self, quick):
+        rows = quick.rows()
+        assert [row["k"] for row in rows] == [1, 3, 7]
+        for row in rows:
+            assert 0 <= row["measured_alg_rev"] <= 100
+            assert row["paper_alg_rev"] == published_rates("s1196", row["k"])["alg_rev"]
+
+    def test_custom_k_values(self):
+        result = run_table1_circuit(
+            "s1196", n_trials=2, n_samples=100, seed=1, k_values=(2, 4)
+        )
+        assert result.k_values == (2, 4)
+
+    def test_render(self, quick):
+        table = Table1Result([quick])
+        text = render_table1(table)
+        assert "s1196" in text
+        assert "rev ours" in text
+        checks = render_shape_checks(table)
+        assert "success_monotone_in_K" in checks
+
+    def test_shape_checks_monotone_always(self, quick):
+        # top-K success is monotone by construction, so this check passes
+        table = Table1Result([quick])
+        assert table.shape_checks()["success_monotone_in_K"]
+
+
+class TestRenderHelpers:
+    def test_simple_table_alignment(self):
+        text = render_simple_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].split() == ["a", "bb"]
+        assert lines[2].split() == ["1", "2"]

@@ -1,0 +1,278 @@
+"""Tests for the extension systems: clock sweep, fill optimization,
+dictionary compaction, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import generate_path_tests, optimize_fill
+from repro.core import (
+    ALG_REV,
+    build_dictionary,
+    build_sweep_dictionary,
+    compact_dictionary,
+    compaction_report,
+    diagnose,
+    multi_clock_behavior,
+    suspect_edges,
+    sweep_clocks,
+)
+from repro.defects import SingleDefectModel, behavior_matrix
+from repro.paths import Sensitization
+from repro.timing import diagnosis_clock, simulate_pattern_set
+
+
+@pytest.fixture(scope="module")
+def sweep_setup(bench_timing):
+    """A firing defect with patterns, sims and a clock sweep."""
+    rng = np.random.default_rng(9)
+    model = SingleDefectModel(bench_timing)
+    for _ in range(30):
+        candidate = model.draw(rng)
+        patterns, _ = generate_path_tests(
+            bench_timing, candidate.edge, n_paths=6, rng_seed=4
+        )
+        if not len(patterns):
+            continue
+        sims = simulate_pattern_set(bench_timing, list(patterns))
+        clks = sweep_clocks(
+            bench_timing, patterns, quantiles=(0.7, 0.9), simulations=sims
+        )
+        defect = model.defect_at(candidate.edge, size_mean=4.0)
+        behavior = multi_clock_behavior(bench_timing, patterns, clks, defect, 5)
+        healthy = multi_clock_behavior(bench_timing, patterns, clks, None, 5)
+        if (behavior & ~healthy).any():
+            return model, defect, patterns, sims, clks, behavior
+    pytest.fail("no firing defect found for sweep tests")
+
+
+class TestClockSweep:
+    def test_clocks_sorted_by_quantile(self, bench_timing, sweep_setup):
+        _m, _d, patterns, sims, _c, _b = sweep_setup
+        clks = sweep_clocks(
+            bench_timing, patterns, quantiles=(0.5, 0.8, 0.95), simulations=sims
+        )
+        assert clks == sorted(clks)
+
+    def test_bad_quantile(self, bench_timing, sweep_setup):
+        _m, _d, patterns, sims, _c, _b = sweep_setup
+        with pytest.raises(ValueError):
+            sweep_clocks(bench_timing, patterns, quantiles=(1.2,), simulations=sims)
+
+    def test_behavior_block_layout(self, bench_timing, sweep_setup):
+        model, defect, patterns, _sims, clks, behavior = sweep_setup
+        n_outputs = len(bench_timing.circuit.outputs)
+        assert behavior.shape == (n_outputs, len(patterns) * len(clks))
+        # each block is the single-clock behavior matrix
+        for index, clk in enumerate(clks):
+            block = behavior[:, index * len(patterns) : (index + 1) * len(patterns)]
+            single = behavior_matrix(bench_timing, patterns, clk, defect, 5)
+            assert (block == single).all()
+
+    def test_tighter_clock_fails_more(self, bench_timing, sweep_setup):
+        _m, defect, patterns, _sims, clks, behavior = sweep_setup
+        n = len(patterns)
+        tight = behavior[:, :n]  # clks[0] is the tightest (lowest quantile)
+        loose = behavior[:, n : 2 * n]
+        assert tight.sum() >= loose.sum()
+
+    def test_sweep_dictionary_blocks_match_single(self, bench_timing, sweep_setup):
+        model, defect, patterns, sims, clks, behavior = sweep_setup
+        suspects = suspect_edges(sims, behavior[:, : len(patterns)])[:8]
+        if defect.edge not in suspects:
+            suspects = suspects + [defect.edge]
+        size = model.dictionary_size_variable().samples
+        sweep = build_sweep_dictionary(
+            bench_timing, patterns, clks, suspects, size, base_simulations=sims
+        )
+        for index, clk in enumerate(clks):
+            single = build_dictionary(
+                bench_timing, patterns, clk, suspects, size, base_simulations=sims
+            )
+            block = slice(index * len(patterns), (index + 1) * len(patterns))
+            assert np.allclose(sweep.m_crt[:, block], single.m_crt)
+            for edge in suspects:
+                assert np.allclose(
+                    sweep.signatures[edge][:, block], single.signatures[edge]
+                )
+
+    def test_sweep_diagnosis_runs(self, bench_timing, sweep_setup):
+        model, defect, patterns, sims, clks, behavior = sweep_setup
+        suspects = suspect_edges(sims, behavior[:, : len(patterns)])
+        if defect.edge not in suspects:
+            suspects = suspects + [defect.edge]
+        sweep = build_sweep_dictionary(
+            bench_timing, patterns, clks, suspects,
+            model.dictionary_size_variable().samples, base_simulations=sims,
+        )
+        result = diagnose(sweep, behavior, ALG_REV)
+        assert len(result) == len(suspects)
+        assert result.rank_of(defect.edge) is not None
+
+    def test_empty_clks_rejected(self, bench_timing, sweep_setup):
+        model, _d, patterns, sims, _c, _b = sweep_setup
+        with pytest.raises(ValueError):
+            build_sweep_dictionary(
+                bench_timing, patterns, [], [],
+                model.dictionary_size_variable().samples, base_simulations=sims,
+            )
+
+
+class TestFillOptimization:
+    @pytest.fixture(scope="class")
+    def base_test(self, bench_timing):
+        for start in (120, 300, 500):
+            _patterns, tests = generate_path_tests(
+                bench_timing, bench_timing.circuit.edges[start],
+                n_paths=3, rng_seed=0,
+            )
+            if tests:
+                return tests[0]
+        pytest.fail("no base test")
+
+    def test_never_worse_than_baseline(self, bench_timing, base_test):
+        import random
+
+        result = optimize_fill(
+            bench_timing, base_test, population=6, generations=3,
+            rng=random.Random(0),
+        )
+        assert result.optimized_visibility >= result.baseline_visibility - 1e-9
+        assert result.improvement >= -1e-9
+        # visibility of a delta is at most the delta itself
+        assert result.optimized_visibility <= result.delta + 1e-9
+
+    def test_result_still_sensitizes(self, bench_timing, base_test):
+        import random
+
+        result = optimize_fill(
+            bench_timing, base_test, population=6, generations=3,
+            rng=random.Random(1),
+        )
+        circuit = bench_timing.circuit
+        val1 = circuit.evaluate(dict(zip(circuit.inputs, result.test.v1)))
+        val2 = circuit.evaluate(dict(zip(circuit.inputs, result.test.v2)))
+        from repro.paths import classify_path_sensitization
+
+        achieved = classify_path_sensitization(
+            circuit, result.test.path, val1, val2
+        )
+        assert achieved.at_least(Sensitization.NON_ROBUST)
+
+    def test_parameter_validation(self, bench_timing, base_test):
+        with pytest.raises(ValueError):
+            optimize_fill(bench_timing, base_test, population=1)
+        with pytest.raises(ValueError):
+            optimize_fill(bench_timing, base_test, generations=0)
+        with pytest.raises(ValueError):
+            optimize_fill(bench_timing, base_test, delta=0.0)
+
+
+class TestCompaction:
+    @pytest.fixture(scope="class")
+    def dictionary(self, bench_timing):
+        rng = np.random.default_rng(10)
+        model = SingleDefectModel(bench_timing)
+        for _ in range(20):
+            defect = model.draw(rng)
+            patterns, _ = generate_path_tests(
+                bench_timing, defect.edge, n_paths=6, rng_seed=5
+            )
+            if not len(patterns):
+                continue
+            sims = simulate_pattern_set(bench_timing, list(patterns))
+            clk = diagnosis_clock(
+                bench_timing, list(patterns), 0.85,
+                simulations=sims, targets=patterns.target_observations(),
+            )
+            big = model.defect_at(defect.edge, size_mean=4.0)
+            behavior = behavior_matrix(bench_timing, patterns, clk, big, 3)
+            if not behavior.any():
+                continue
+            suspects = suspect_edges(sims, behavior)
+            if len(suspects) < 5:
+                continue
+            d = build_dictionary(
+                bench_timing, patterns, clk, suspects,
+                model.dictionary_size_variable().samples, base_simulations=sims,
+            )
+            return d, behavior
+        pytest.fail("no dictionary built")
+
+    def test_compaction_shrinks(self, dictionary):
+        from repro.core.compaction import dense_nbytes
+
+        d, _behavior = dictionary
+        compact = compact_dictionary(d, threshold=0.01)
+        assert compact.nbytes < dense_nbytes(d)
+        assert len(compact) == len(d)
+
+    def test_reconstruction_error_bounded(self, dictionary):
+        d, _behavior = dictionary
+        threshold = 0.02
+        compact = compact_dictionary(d, threshold=threshold)
+        for edge in d.suspects:
+            dense = d.signatures[edge]
+            rebuilt = compact.signature(edge)
+            # kept entries accurate to quantization; dropped ones < threshold
+            assert np.abs(rebuilt - dense).max() <= threshold + 1 / 255.0 + 1e-9
+
+    def test_report_fields(self, dictionary):
+        d, behavior = dictionary
+        report = compaction_report(d, behavior, threshold=0.01)
+        assert report["bytes_compact"] < report["bytes_dense"]
+        assert report["compression_ratio"] > 1.0
+        assert report["max_rank_drift_topk"] >= 0
+        assert isinstance(report["top1_preserved"], bool)
+
+    def test_mild_threshold_preserves_top1(self, dictionary):
+        d, behavior = dictionary
+        report = compaction_report(d, behavior, threshold=0.005)
+        assert report["top1_preserved"]
+
+    def test_threshold_validation(self, dictionary):
+        d, _behavior = dictionary
+        with pytest.raises(ValueError):
+            compact_dictionary(d, threshold=1.0)
+
+
+class TestCli:
+    def test_benchmarks_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "s1196" in out and "c17" in out
+
+    def test_info_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["info", "c17", "--samples", "50"]) == 0
+        assert "mean cell delay" in capsys.readouterr().out
+
+    def test_sta_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sta", "c17", "--samples", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "circuit delay" in out and "analytic" in out
+
+    def test_atpg_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["atpg", "c17", "4", "--samples", "50"]) == 0
+        assert "tests" in capsys.readouterr().out
+
+    def test_atpg_bad_edge(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["atpg", "c17", "999", "--samples", "50"]) == 2
+
+    def test_table1_command(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["table1", "s1196", "--trials", "2", "--samples", "100", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rev ours" in out and "shape checks" in out

@@ -1,0 +1,128 @@
+"""Unit tests for logic-domain fault models and fault simulation."""
+
+import numpy as np
+import pytest
+
+from repro.logic import (
+    StuckAtFault,
+    TransitionFault,
+    all_stuck_at_faults,
+    all_transition_faults,
+    detection_matrix,
+    fault_resolution_classes,
+    simulate,
+    stuck_at_response,
+    transition_detection_matrix,
+)
+
+
+class TestFaultObjects:
+    def test_stuck_at_validation(self):
+        with pytest.raises(ValueError):
+            StuckAtFault("x", 2)
+
+    def test_str(self):
+        assert str(StuckAtFault("n1", 0)) == "n1/sa0"
+        assert str(TransitionFault("n1", rising=True)) == "n1/str"
+        assert str(TransitionFault("n1", rising=False)) == "n1/stf"
+
+    def test_transition_fault_values(self):
+        str_fault = TransitionFault("n", True)
+        assert str_fault.initial_value == 0 and str_fault.final_value == 1
+        stf = TransitionFault("n", False)
+        assert stf.initial_value == 1 and stf.final_value == 0
+
+    def test_enumerators(self, c17):
+        sa = all_stuck_at_faults(c17)
+        tf = all_transition_faults(c17)
+        assert len(sa) == 2 * len(c17.gates)
+        assert len(tf) == 2 * len(c17.gates)
+
+
+class TestStuckAtSimulation:
+    def test_known_detection_on_c17(self, c17):
+        # Input vector 1,1,1,1,1: net 10 = NAND(1,3) = 0.
+        # Fault 10/sa1 flips 22 = NAND(10,16).
+        patterns = np.ones((1, 5), dtype=int)
+        good = simulate(c17, patterns)
+        faulty = stuck_at_response(good, StuckAtFault("10", 1))
+        good_outputs = good.output_matrix()
+        assert (faulty != good_outputs).any()
+
+    def test_fault_on_value_it_already_has_is_silent(self, c17):
+        patterns = np.ones((1, 5), dtype=int)
+        good = simulate(c17, patterns)
+        # net 10 is already 0 under all-ones
+        faulty = stuck_at_response(good, StuckAtFault("10", 0))
+        assert (faulty == good.output_matrix()).all()
+
+    def test_detection_matrix_consistency(self, c17):
+        rng = np.random.default_rng(5)
+        patterns = rng.integers(0, 2, size=(64, 5))
+        detection, good = detection_matrix(c17, patterns)
+        faults = all_stuck_at_faults(c17)
+        assert detection.shape == (len(faults), 64)
+        # spot-check a few rows against direct simulation
+        for index in (0, 7, 13):
+            response = stuck_at_response(good, faults[index])
+            expected = (response != good.output_matrix()).any(axis=0)
+            assert (detection[index] == expected).all()
+
+    def test_c17_fully_testable(self, c17):
+        rng = np.random.default_rng(6)
+        patterns = rng.integers(0, 2, size=(64, 5))
+        detection, _ = detection_matrix(c17, patterns)
+        assert detection.any(axis=1).all()  # every c17 fault random-testable
+
+    def test_restricted_fault_list(self, c17):
+        patterns = np.ones((2, 5), dtype=int)
+        faults = [StuckAtFault("10", 1)]
+        detection, _ = detection_matrix(c17, patterns, faults)
+        assert detection.shape == (1, 2)
+
+
+class TestTransitionFaults:
+    def test_launch_condition_required(self, c17):
+        # v1 == v2: no transitions anywhere -> nothing detected
+        vector = np.ones((1, 5), dtype=int)
+        pairs = np.stack([vector, vector], axis=1)
+        detection = transition_detection_matrix(c17, pairs)
+        assert not detection.any()
+
+    def test_detects_with_proper_pair(self, c17):
+        rng = np.random.default_rng(7)
+        pairs = rng.integers(0, 2, size=(64, 2, 5))
+        detection = transition_detection_matrix(c17, pairs)
+        assert detection.any()
+
+    def test_detection_implies_launch(self, c17):
+        rng = np.random.default_rng(8)
+        pairs = rng.integers(0, 2, size=(32, 2, 5))
+        faults = all_transition_faults(c17)
+        detection = transition_detection_matrix(c17, pairs, faults)
+        first = simulate(c17, pairs[:, 0, :])
+        second = simulate(c17, pairs[:, 1, :])
+        for row, fault in enumerate(faults):
+            detected_at = np.nonzero(detection[row])[0]
+            for t in detected_at:
+                assert first.value(fault.net, int(t)) == fault.initial_value
+                assert second.value(fault.net, int(t)) == fault.final_value
+
+    def test_bad_shape_rejected(self, c17):
+        with pytest.raises(ValueError):
+            transition_detection_matrix(c17, np.zeros((3, 5)))
+
+
+class TestResolution:
+    def test_identical_rows_grouped(self):
+        detection = np.array(
+            [[1, 0, 1], [1, 0, 1], [0, 1, 0], [0, 0, 0]], dtype=bool
+        )
+        classes = fault_resolution_classes(detection)
+        as_sets = sorted(tuple(sorted(c)) for c in classes)
+        assert as_sets == [(0, 1), (2,), (3,)]
+
+    def test_maximal_resolution_means_singletons(self):
+        detection = np.eye(4, dtype=bool)
+        classes = fault_resolution_classes(detection)
+        assert all(len(c) == 1 for c in classes)

@@ -1,0 +1,195 @@
+"""Unit tests for the gate library (logic functions in all three styles)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits.library import (
+    CONTROLLING_VALUE,
+    GateType,
+    INVERTING,
+    X,
+    eval_gate,
+    eval_gate_bits,
+    eval_gate_ternary,
+)
+
+MULTI_INPUT = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+def reference(gate_type, inputs):
+    if gate_type in (GateType.BUF, GateType.OUTPUT, GateType.DFF):
+        return inputs[0]
+    if gate_type is GateType.NOT:
+        return 1 - inputs[0]
+    if gate_type is GateType.AND:
+        return int(all(inputs))
+    if gate_type is GateType.NAND:
+        return 1 - int(all(inputs))
+    if gate_type is GateType.OR:
+        return int(any(inputs))
+    if gate_type is GateType.NOR:
+        return 1 - int(any(inputs))
+    parity = sum(inputs) % 2
+    return parity if gate_type is GateType.XOR else 1 - parity
+
+
+class TestEvalGate:
+    @pytest.mark.parametrize("gate_type", MULTI_INPUT)
+    @pytest.mark.parametrize("arity", [1, 2, 3, 4])
+    def test_matches_reference_truth_table(self, gate_type, arity):
+        for inputs in itertools.product((0, 1), repeat=arity):
+            assert eval_gate(gate_type, list(inputs)) == reference(
+                gate_type, list(inputs)
+            )
+
+    def test_not_and_buf(self):
+        assert eval_gate(GateType.NOT, [0]) == 1
+        assert eval_gate(GateType.NOT, [1]) == 0
+        assert eval_gate(GateType.BUF, [0]) == 0
+        assert eval_gate(GateType.BUF, [1]) == 1
+
+    def test_input_gate_rejects_evaluation(self):
+        with pytest.raises(ValueError):
+            eval_gate(GateType.INPUT, [])
+
+    def test_output_and_dff_behave_as_buffers(self):
+        assert eval_gate(GateType.OUTPUT, [1]) == 1
+        assert eval_gate(GateType.DFF, [0]) == 0
+
+
+class TestControllingValues:
+    def test_and_family_controlled_by_zero(self):
+        assert CONTROLLING_VALUE[GateType.AND] == 0
+        assert CONTROLLING_VALUE[GateType.NAND] == 0
+
+    def test_or_family_controlled_by_one(self):
+        assert CONTROLLING_VALUE[GateType.OR] == 1
+        assert CONTROLLING_VALUE[GateType.NOR] == 1
+
+    def test_xor_family_has_no_controlling_value(self):
+        assert CONTROLLING_VALUE[GateType.XOR] is None
+        assert CONTROLLING_VALUE[GateType.XNOR] is None
+        assert CONTROLLING_VALUE[GateType.NOT] is None
+
+    def test_controlling_value_semantics(self):
+        """A controlling input fixes the output regardless of the others."""
+        for gate_type, c in ((GateType.AND, 0), (GateType.OR, 1),
+                             (GateType.NAND, 0), (GateType.NOR, 1)):
+            for other in (0, 1):
+                controlled = eval_gate(gate_type, [c, other])
+                assert controlled == eval_gate(gate_type, [c, 1 - other])
+
+    def test_inverting_set(self):
+        assert GateType.NAND in INVERTING
+        assert GateType.NOR in INVERTING
+        assert GateType.NOT in INVERTING
+        assert GateType.XNOR in INVERTING
+        assert GateType.AND not in INVERTING
+        assert GateType.BUF not in INVERTING
+
+
+class TestEvalGateBits:
+    @pytest.mark.parametrize("gate_type", MULTI_INPUT)
+    def test_bit_parallel_matches_scalar(self, gate_type):
+        rng = np.random.default_rng(0)
+        words = [rng.integers(0, 2**64, 2, dtype=np.uint64) for _ in range(3)]
+        out = eval_gate_bits(gate_type, words)
+        for bit in range(64):
+            for word in range(2):
+                ins = [int(w[word] >> bit) & 1 for w in words]
+                expected = eval_gate(gate_type, ins)
+                assert (int(out[word]) >> bit) & 1 == expected
+
+    def test_not_bits(self):
+        word = np.array([0b1010], dtype=np.uint64)
+        out = eval_gate_bits(GateType.NOT, [word])
+        assert int(out[0]) & 0b1111 == 0b0101
+
+    def test_buf_copies(self):
+        word = np.array([42], dtype=np.uint64)
+        out = eval_gate_bits(GateType.BUF, [word])
+        assert out[0] == 42
+        out[0] = 0
+        assert word[0] == 42  # no aliasing
+
+    def test_input_rejected(self):
+        with pytest.raises(ValueError):
+            eval_gate_bits(GateType.INPUT, [np.zeros(1, dtype=np.uint64)])
+
+
+class TestEvalGateTernary:
+    @pytest.mark.parametrize("gate_type", MULTI_INPUT)
+    @pytest.mark.parametrize("arity", [2, 3])
+    def test_agrees_with_binary_when_fully_specified(self, gate_type, arity):
+        for inputs in itertools.product((0, 1), repeat=arity):
+            assert eval_gate_ternary(gate_type, list(inputs)) == eval_gate(
+                gate_type, list(inputs)
+            )
+
+    @pytest.mark.parametrize("gate_type", MULTI_INPUT)
+    @pytest.mark.parametrize("arity", [2, 3])
+    def test_x_propagation_is_sound(self, gate_type, arity):
+        """A ternary output of 0/1 must match every completion of the Xs."""
+        for inputs in itertools.product((0, 1, X), repeat=arity):
+            out = eval_gate_ternary(gate_type, list(inputs))
+            if out == X:
+                continue
+            x_positions = [i for i, v in enumerate(inputs) if v == X]
+            for completion in itertools.product((0, 1), repeat=len(x_positions)):
+                full = list(inputs)
+                for pos, val in zip(x_positions, completion):
+                    full[pos] = val
+                assert eval_gate(gate_type, full) == out
+
+    @pytest.mark.parametrize("gate_type", MULTI_INPUT)
+    def test_x_output_really_is_ambiguous(self, gate_type):
+        """A ternary X output must have both completions achievable."""
+        for inputs in itertools.product((0, 1, X), repeat=2):
+            out = eval_gate_ternary(gate_type, list(inputs))
+            if out != X:
+                continue
+            x_positions = [i for i, v in enumerate(inputs) if v == X]
+            outcomes = set()
+            import itertools as it
+
+            for completion in it.product((0, 1), repeat=len(x_positions)):
+                full = list(inputs)
+                for pos, val in zip(x_positions, completion):
+                    full[pos] = val
+                outcomes.add(eval_gate(gate_type, full))
+            assert outcomes == {0, 1}
+
+    def test_not_with_x(self):
+        assert eval_gate_ternary(GateType.NOT, [X]) == X
+        assert eval_gate_ternary(GateType.NOT, [0]) == 1
+
+    def test_controlled_output_despite_x(self):
+        assert eval_gate_ternary(GateType.AND, [0, X]) == 0
+        assert eval_gate_ternary(GateType.NAND, [0, X]) == 1
+        assert eval_gate_ternary(GateType.OR, [1, X]) == 1
+        assert eval_gate_ternary(GateType.NOR, [1, X]) == 0
+
+    def test_xor_poisoned_by_x(self):
+        assert eval_gate_ternary(GateType.XOR, [1, X]) == X
+        assert eval_gate_ternary(GateType.XNOR, [X, 0]) == X
+
+
+@given(
+    st.sampled_from(MULTI_INPUT),
+    st.lists(st.integers(0, 1), min_size=1, max_size=5),
+)
+def test_scalar_and_bits_agree_on_random_inputs(gate_type, inputs):
+    words = [np.array([np.uint64(v)], dtype=np.uint64) for v in inputs]
+    scalar = eval_gate(gate_type, inputs)
+    packed = int(eval_gate_bits(gate_type, words)[0]) & 1
+    assert packed == scalar

@@ -1,0 +1,125 @@
+"""Unit tests for defect injection and statistical delay fault simulation."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import generate_path_tests
+from repro.defects import (
+    SingleDefectModel,
+    behavior_matrix,
+    draw_failing_trial,
+    draw_trial,
+    escape_probability,
+    population_error_matrix,
+)
+from repro.timing import diagnosis_clock, simulate_pattern_set
+
+
+@pytest.fixture(scope="module")
+def setup(bench_timing):
+    """Shared: a defect with tests through its site and a tight clock."""
+    rng = np.random.default_rng(5)
+    model = SingleDefectModel(bench_timing)
+    for _ in range(10):
+        defect = model.draw(rng)
+        patterns, _ = generate_path_tests(
+            bench_timing, defect.edge, n_paths=6, rng_seed=1
+        )
+        if len(patterns) >= 3:
+            break
+    sims = simulate_pattern_set(bench_timing, list(patterns))
+    clk = diagnosis_clock(
+        bench_timing, list(patterns), 0.85,
+        simulations=sims, targets=patterns.target_observations(),
+    )
+    return model, defect, patterns, sims, clk
+
+
+class TestBehaviorMatrix:
+    def test_shape_and_dtype(self, bench_timing, setup):
+        model, defect, patterns, _sims, clk = setup
+        matrix = behavior_matrix(bench_timing, patterns, clk, defect, 3)
+        assert matrix.shape == (len(bench_timing.circuit.outputs), len(patterns))
+        assert matrix.dtype == np.int8
+        assert set(np.unique(matrix)).issubset({0, 1})
+
+    def test_defect_only_adds_failures(self, bench_timing, setup):
+        model, defect, patterns, _sims, clk = setup
+        for sample in (0, 11, 47):
+            healthy = behavior_matrix(bench_timing, patterns, clk, None, sample)
+            defective = behavior_matrix(bench_timing, patterns, clk, defect, sample)
+            assert (defective >= healthy).all()
+
+    def test_huge_defect_fails_targeted_pattern(self, bench_timing, setup):
+        model, _defect, patterns, _sims, clk = setup
+        source_path = next(s for s in patterns.sources if s is not None)
+        edge = source_path.edges(bench_timing.circuit)[0]
+        big = model.defect_at(edge, size_mean=50.0)
+        matrix = behavior_matrix(bench_timing, patterns, clk, big, 0)
+        assert matrix.any()
+
+
+class TestPopulationView:
+    def test_population_matrix_bounds(self, bench_timing, setup):
+        model, defect, patterns, _sims, clk = setup
+        matrix = population_error_matrix(bench_timing, patterns, clk, defect)
+        assert (matrix >= 0).all() and (matrix <= 1).all()
+
+    def test_defect_dominates_healthy(self, bench_timing, setup):
+        model, defect, patterns, _sims, clk = setup
+        healthy = population_error_matrix(bench_timing, patterns, clk, None)
+        defective = population_error_matrix(bench_timing, patterns, clk, defect)
+        assert (defective >= healthy - 1e-12).all()
+
+    def test_escape_probability_bounds_and_monotone(self, bench_timing, setup):
+        model, _defect, patterns, _sims, clk = setup
+        source_path = next(s for s in patterns.sources if s is not None)
+        edge = source_path.edges(bench_timing.circuit)[0]
+        small = model.defect_at(edge, size_mean=0.01)
+        large = model.defect_at(edge, size_mean=20.0)
+        p_small = escape_probability(bench_timing, patterns, clk, small)
+        p_large = escape_probability(bench_timing, patterns, clk, large)
+        assert 0.0 <= p_large <= p_small <= 1.0
+
+
+class TestTrials:
+    def test_draw_trial_fields(self, bench_timing, setup):
+        model, defect, patterns, _sims, clk = setup
+        rng = np.random.default_rng(0)
+        trial = draw_trial(bench_timing, patterns, clk, model, rng, defect=defect)
+        assert trial.defect is defect
+        assert 0 <= trial.sample_index < bench_timing.space.n_samples
+        assert trial.behavior.shape == (
+            len(bench_timing.circuit.outputs),
+            len(patterns),
+        )
+        assert trial.n_failing_observations == int(trial.behavior.sum())
+        assert trial.failing == bool(trial.behavior.any())
+
+    def test_draw_failing_trial_fails(self, bench_timing, setup):
+        model, defect, patterns, _sims, clk = setup
+        rng = np.random.default_rng(1)
+        trial, attempts = draw_failing_trial(
+            bench_timing, patterns, clk, model, rng, defect=defect
+        )
+        assert trial.failing
+        assert attempts >= 1
+
+    def test_draw_failing_trial_raises_when_impossible(self, bench_timing, setup):
+        model, defect, patterns, _sims, _clk = setup
+        rng = np.random.default_rng(2)
+        huge_clk = 1e9  # nothing can fail
+        with pytest.raises(RuntimeError, match="no failing behavior"):
+            draw_failing_trial(
+                bench_timing, patterns, huge_clk, model, rng,
+                max_attempts=5, defect=defect,
+            )
+
+    def test_trial_behavior_matches_direct_simulation(self, bench_timing, setup):
+        model, defect, patterns, _sims, clk = setup
+        rng = np.random.default_rng(3)
+        trial = draw_trial(bench_timing, patterns, clk, model, rng, defect=defect)
+        direct = behavior_matrix(
+            bench_timing, patterns, clk, defect, trial.sample_index
+        )
+        assert (trial.behavior == direct).all()

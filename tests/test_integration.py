@@ -1,0 +1,156 @@
+"""Integration tests: the complete diagnosis flow, cross-module invariants."""
+
+import numpy as np
+import pytest
+
+from repro import quick_diagnosis_demo
+from repro.atpg import generate_path_tests
+from repro.circuits import load_benchmark
+from repro.core import (
+    ALG_REV,
+    build_dictionary,
+    diagnose,
+    run_diagnosis,
+    suspect_edges,
+)
+from repro.defects import SingleDefectModel, behavior_matrix, draw_failing_trial
+from repro.timing import (
+    CircuitTiming,
+    SampleSpace,
+    diagnosis_clock,
+    simulate_pattern_set,
+)
+
+
+class TestQuickDemo:
+    def test_returns_complete_report(self):
+        report = quick_diagnosis_demo("s1196", seed=8, n_samples=150)
+        assert report["patterns"] >= 1
+        assert report["suspects"] >= 1
+        assert report["failing_observations"] >= 1
+        assert set(report["rank_by_method"]) == {
+            "method_I",
+            "method_II",
+            "alg_rev",
+        }
+
+
+class TestObviousDefectDiagnosis:
+    """A huge defect with targeted tests must be diagnosed at rank ~1."""
+
+    def test_huge_defect_ranks_first(self):
+        circuit = load_benchmark("s1196", seed=4)
+        timing = CircuitTiming(circuit, SampleSpace(200, 4))
+        rng = np.random.default_rng(4)
+        model = SingleDefectModel(timing)
+        for attempt in range(15):
+            location = model.draw(rng)
+            patterns, _ = generate_path_tests(
+                timing, location.edge, n_paths=8, rng_seed=attempt
+            )
+            if len(patterns) >= 4:
+                break
+        defect = model.defect_at(location.edge, size_mean=8.0)
+        sims = simulate_pattern_set(timing, list(patterns))
+        clk = diagnosis_clock(
+            timing, list(patterns), 0.9,
+            simulations=sims, targets=patterns.target_observations(),
+        )
+        behavior = behavior_matrix(timing, patterns, clk, defect, 17)
+        assert behavior.any()
+        suspects = suspect_edges(sims, behavior)
+        assert defect.edge in suspects
+        dictionary = build_dictionary(
+            timing, patterns, clk, suspects,
+            # the dictionary assumes the same (large) size class
+            model.size_model.size_variable(8.0, timing.space).samples,
+            base_simulations=sims,
+        )
+        result = diagnose(dictionary, behavior, ALG_REV)
+        rank = result.rank_of(defect.edge)
+        assert rank is not None and rank <= 3
+
+
+class TestEndToEndConsistency:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        circuit = load_benchmark("s1238", seed=2)
+        timing = CircuitTiming(circuit, SampleSpace(150, 2))
+        rng = np.random.default_rng(2)
+        model = SingleDefectModel(timing)
+        for _ in range(15):
+            defect = model.draw(rng)
+            patterns, _ = generate_path_tests(
+                timing, defect.edge, n_paths=8, rng_seed=3
+            )
+            if len(patterns) >= 3:
+                break
+        sims = simulate_pattern_set(timing, list(patterns))
+        clk = diagnosis_clock(
+            timing, list(patterns), 0.85,
+            simulations=sims, targets=patterns.target_observations(),
+        )
+        trial, _ = draw_failing_trial(
+            timing, patterns, clk, model, rng, defect=defect
+        )
+        results, dictionary = run_diagnosis(
+            timing, patterns, clk, trial.behavior,
+            model.dictionary_size_variable().samples,
+            base_simulations=sims,
+        )
+        return timing, patterns, clk, trial, results, dictionary
+
+    def test_all_methods_rank_all_suspects(self, pipeline):
+        _t, _p, _clk, _trial, results, dictionary = pipeline
+        for result in results.values():
+            assert len(result) == len(dictionary)
+            edges = [edge for edge, _s in result.ranking]
+            assert set(edges) == set(dictionary.suspects)
+
+    def test_suspects_include_every_failing_trace(self, pipeline):
+        timing, patterns, clk, trial, _results, dictionary = pipeline
+        # re-derive suspects independently and compare
+        sims = simulate_pattern_set(timing, list(patterns))
+        expected = suspect_edges(sims, trial.behavior)
+        assert dictionary.suspects == expected
+
+    def test_dictionary_consistent_with_observation_space(self, pipeline):
+        _t, patterns, _clk, trial, _results, dictionary = pipeline
+        assert dictionary.m_crt.shape == trial.behavior.shape
+
+    def test_methods_disagree_only_in_order(self, pipeline):
+        _t, _p, _clk, _trial, results, _d = pipeline
+        rankings = {
+            name: [edge for edge, _s in result.ranking]
+            for name, result in results.items()
+        }
+        reference = set(next(iter(rankings.values())))
+        for edges in rankings.values():
+            assert set(edges) == reference
+
+
+class TestEmbeddedCircuitFlow:
+    def test_c17_flow_runs(self):
+        """The tiny genuine netlist supports the full flow end to end."""
+        circuit = load_benchmark("c17")
+        timing = CircuitTiming(circuit, SampleSpace(300, 0))
+        model = SingleDefectModel(timing)
+        edge = circuit.edges[4]
+        patterns, tests = generate_path_tests(timing, edge, n_paths=4, rng_seed=0)
+        assert len(patterns) >= 1
+        sims = simulate_pattern_set(timing, list(patterns))
+        clk = diagnosis_clock(
+            timing, list(patterns), 0.8,
+            simulations=sims, targets=patterns.target_observations(),
+        )
+        defect = model.defect_at(edge, size_mean=3.0)
+        behavior = behavior_matrix(timing, patterns, clk, defect, 5)
+        results, dictionary = run_diagnosis(
+            timing, patterns, clk, behavior,
+            model.size_model.size_variable(3.0, timing.space).samples,
+            base_simulations=sims,
+        )
+        if behavior.any():
+            assert len(dictionary) >= 1
+            rank = results["alg_rev"].rank_of(edge)
+            assert rank is None or rank <= len(dictionary)

@@ -1,0 +1,111 @@
+"""Unit tests for the RC interconnect delay model."""
+
+import pytest
+
+from repro.circuits import Circuit, Edge, GateType
+from repro.timing import (
+    CellLibrary,
+    CircuitTiming,
+    RCAwareCellLibrary,
+    RCParameters,
+    SampleSpace,
+    elmore_pin_delay,
+)
+
+
+@pytest.fixture()
+def fanout_circuit():
+    """One driver feeding 1, 2 and 4-sink nets."""
+    c = Circuit("fanout")
+    c.add_input("a")
+    c.add_gate("drv", GateType.BUF, ["a"])
+    for index in range(4):
+        c.add_gate(f"sink{index}", GateType.NOT, ["drv"])
+    c.add_gate("single", GateType.NOT, ["sink0"])
+    c.mark_output("single")
+    for index in range(1, 4):
+        c.mark_output(f"sink{index}")
+    return c.freeze()
+
+
+class TestElmore:
+    def test_zero_without_fanout(self):
+        c = Circuit("x")
+        c.add_input("a")
+        c.add_gate("g", GateType.NOT, ["a"])
+        c.mark_output("g")
+        c.freeze()
+        params = RCParameters()
+        # 'g' drives nothing; an edge out of it cannot exist, but the edge
+        # from 'a' (fanout 1) must be positive
+        assert elmore_pin_delay(c, Edge("a", "g", 0), params) > 0
+
+    def test_grows_with_fanout(self, fanout_circuit):
+        params = RCParameters()
+        high_fanout = elmore_pin_delay(
+            fanout_circuit, Edge("drv", "sink0", 0), params
+        )
+        low_fanout = elmore_pin_delay(
+            fanout_circuit, Edge("sink0", "single", 0), params
+        )
+        assert high_fanout > low_fanout
+
+    def test_formula(self, fanout_circuit):
+        params = RCParameters(
+            driver_resistance=1.0,
+            branch_resistance=0.5,
+            branch_capacitance=0.2,
+            pin_capacitance=0.3,
+            drive_scale={},
+        )
+        # drv (BUF, scale defaults absent -> 1.0) drives 4 sinks
+        delay = elmore_pin_delay(fanout_circuit, Edge("drv", "sink0", 0), params)
+        expected = 1.0 * 4 * (0.2 + 0.3) + 0.5 * (0.1 + 0.3)
+        assert delay == pytest.approx(expected)
+
+    def test_strong_drivers_are_faster(self, fanout_circuit):
+        params = RCParameters()
+        # 'a' is an INPUT (drive scale 0.8) vs 'sink0' a NOT (0.7): compare
+        # two single-fanout nets driven by different cell types
+        not_driven = elmore_pin_delay(
+            fanout_circuit, Edge("sink0", "single", 0), params
+        )
+        params_weak = RCParameters(drive_scale={GateType.NOT: 2.0})
+        weaker = elmore_pin_delay(
+            fanout_circuit, Edge("sink0", "single", 0), params_weak
+        )
+        assert weaker > not_driven
+
+
+class TestRCAwareLibrary:
+    def test_includes_wire_delay(self, fanout_circuit):
+        base = CellLibrary(load_factor=0.0)
+        rc = RCAwareCellLibrary()
+        edge = Edge("drv", "sink0", 0)
+        assert rc.nominal_pin_delay(fanout_circuit, edge) > base.nominal_pin_delay(
+            fanout_circuit, edge
+        )
+
+    def test_no_double_counting_of_load(self):
+        # load_factor forced to zero even if caller passes one
+        library = RCAwareCellLibrary()
+        assert library.load_factor == 0.0
+
+    def test_full_stack_integration(self, fanout_circuit):
+        timing = CircuitTiming(
+            fanout_circuit, SampleSpace(100, 0), library=RCAwareCellLibrary()
+        )
+        assert (timing.delays > 0).all()
+        from repro.timing import analyze
+
+        delay = analyze(timing).circuit_delay()
+        assert delay.mean > 0
+
+    def test_high_fanout_nets_slower_end_to_end(self, fanout_circuit):
+        rc = RCAwareCellLibrary()
+        fanout_edge = Edge("drv", "sink0", 0)      # drv has fanout 4
+        single_edge = Edge("sink0", "single", 0)   # sink0 has fanout 1
+        # same sink cell type (NOT), so the difference is wire + load only
+        assert rc.nominal_pin_delay(fanout_circuit, fanout_edge) > rc.nominal_pin_delay(
+            fanout_circuit, single_edge
+        )

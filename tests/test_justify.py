@@ -1,0 +1,145 @@
+"""Unit tests for the two-frame justification engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg import Justifier
+from repro.circuits import Circuit, GateType
+
+
+def check_assignment(circuit, constraints, assignment):
+    """Verify a justified assignment actually satisfies the constraints."""
+    for frame in (0, 1):
+        pins = {
+            net: assignment.get((net, frame), 0) for net in circuit.inputs
+        }
+        values = circuit.evaluate(pins)
+        for (net, cons_frame), required in constraints.items():
+            if cons_frame != frame:
+                continue
+            # constraints on nets fully determined by assigned PIs must hold;
+            # re-evaluate with both completions of unassigned PIs
+            import itertools
+
+            free = [n for n in circuit.inputs if (n, frame) not in assignment]
+            for completion in itertools.product((0, 1), repeat=len(free)):
+                pins2 = dict(pins)
+                pins2.update(dict(zip(free, completion)))
+                assert circuit.evaluate(pins2)[net] == required
+
+
+class TestBasicJustification:
+    def test_single_output_value(self, c17):
+        justifier = Justifier(c17)
+        result = justifier.justify({("22", 1): 0})
+        assert result.success
+        check_assignment(c17, {("22", 1): 0}, result.assignment)
+
+    def test_two_frame_transition(self, c17):
+        justifier = Justifier(c17)
+        constraints = {("22", 0): 0, ("22", 1): 1}
+        result = justifier.justify(constraints)
+        assert result.success
+        check_assignment(c17, constraints, result.assignment)
+
+    def test_direct_input_constraint(self, c17):
+        justifier = Justifier(c17)
+        result = justifier.justify({("1", 0): 1, ("1", 1): 0})
+        assert result.success
+        assert result.assignment[("1", 0)] == 1
+        assert result.assignment[("1", 1)] == 0
+
+    def test_multiple_nets_both_frames(self, c17):
+        justifier = Justifier(c17)
+        constraints = {("10", 1): 0, ("11", 1): 1, ("16", 0): 1}
+        result = justifier.justify(constraints)
+        assert result.success
+        check_assignment(c17, constraints, result.assignment)
+
+    def test_unknown_net_raises(self, c17):
+        with pytest.raises(KeyError):
+            Justifier(c17).justify({("nope", 0): 1})
+
+    def test_bad_frame_or_value(self, c17):
+        with pytest.raises(ValueError):
+            Justifier(c17).justify({("22", 2): 1})
+        with pytest.raises(ValueError):
+            Justifier(c17).justify({("22", 0): 5})
+
+
+class TestUnsat:
+    def test_contradictory_structure(self):
+        # g = AND(a, na) with na = NOT(a): g can never be 1
+        c = Circuit("contra")
+        c.add_input("a")
+        c.add_gate("na", GateType.NOT, ["a"])
+        c.add_gate("g", GateType.AND, ["a", "na"])
+        c.mark_output("g")
+        c.freeze()
+        result = Justifier(c).justify({("g", 1): 1})
+        assert not result.success
+
+    def test_satisfiable_complement(self):
+        c = Circuit("contra")
+        c.add_input("a")
+        c.add_gate("na", GateType.NOT, ["a"])
+        c.add_gate("g", GateType.AND, ["a", "na"])
+        c.mark_output("g")
+        c.freeze()
+        result = Justifier(c).justify({("g", 1): 0})
+        assert result.success
+
+    def test_backtrack_limit_gives_up(self, bench_synth):
+        # an (arbitrarily) hard constraint set with limit 0 must not succeed
+        # by luck more than trivially; here we just check the limit plumbing
+        justifier = Justifier(bench_synth, backtrack_limit=0)
+        # xor-of-everything style deep net constraint: pick a deep gate
+        deep = max(bench_synth.levels, key=bench_synth.levels.get)
+        result = justifier.justify({(deep, 1): 1, (deep, 0): 0})
+        # success is allowed (no backtracks needed) but if it failed, it must
+        # report within the limit
+        if not result.success:
+            assert result.backtracks <= 1
+
+
+class TestVectors:
+    def test_quiet_fill_copies_frames(self, c17):
+        justifier = Justifier(c17)
+        result = justifier.justify({("1", 0): 1})
+        v1, v2 = result.vectors(c17, fill="quiet")
+        for index, net in enumerate(c17.inputs):
+            if (net, 0) not in result.assignment and (net, 1) not in result.assignment:
+                assert v1[index] == v2[index]
+
+    def test_random_fill_respects_assignment(self, c17):
+        justifier = Justifier(c17)
+        constraints = {("1", 0): 1, ("2", 1): 0}
+        result = justifier.justify(constraints)
+        v1, v2 = result.vectors(c17, fill="random")
+        assert v1[c17.inputs.index("1")] == 1
+        assert v2[c17.inputs.index("2")] == 0
+
+    def test_bad_fill_rejected(self, c17):
+        result = Justifier(c17).justify({("1", 0): 1})
+        with pytest.raises(ValueError):
+            result.vectors(c17, fill="chaotic")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 1_000_000))
+def test_justified_constraints_hold_under_any_fill(seed):
+    """Property: whatever the engine pins is sufficient — all completions
+    of the free inputs satisfy the constraints (c17, random targets)."""
+    import random
+
+    from repro.circuits import load_benchmark
+
+    c17 = load_benchmark("c17")
+    rng = random.Random(seed)
+    nets = rng.sample(list(c17.gates), 3)
+    constraints = {
+        (net, rng.randint(0, 1)): rng.randint(0, 1) for net in nets
+    }
+    result = Justifier(c17).justify(constraints)
+    if result.success:
+        check_assignment(c17, constraints, result.assignment)

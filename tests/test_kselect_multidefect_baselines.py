@@ -1,0 +1,155 @@
+"""Unit tests for K-selection heuristics, multi-defect diagnosis and the
+logic-only baseline."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Edge
+from repro.core import (
+    ALG_REV,
+    METHOD_II,
+    DiagnosisResult,
+    ProbabilisticFaultDictionary,
+    diagnose_logic_only,
+    diagnose_multi,
+    k_by_mass,
+    k_by_score_gap,
+    logic_signatures,
+)
+
+
+def make_result(scores, higher_is_better=True):
+    edges = [Edge(f"n{i}", f"m{i}", 0) for i in range(len(scores))]
+    ranking = sorted(
+        zip(edges, scores), key=lambda t: -t[1] if higher_is_better else t[1]
+    )
+    return DiagnosisResult("test", ranking)
+
+
+class TestKSelect:
+    def test_sharp_gap_detected(self):
+        result = make_result([0.9, 0.88, 0.86, 0.1, 0.09, 0.08])
+        assert k_by_score_gap(result) == 3
+
+    def test_no_gap_falls_back(self):
+        result = make_result([0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6])
+        assert k_by_score_gap(result, fallback=5) == 5
+
+    def test_single_candidate(self):
+        assert k_by_score_gap(make_result([0.5])) == 1
+
+    def test_empty_ranking(self):
+        assert k_by_score_gap(DiagnosisResult("x", [])) == 0
+        assert k_by_mass(DiagnosisResult("x", [])) == 0
+
+    def test_mass_captures_concentration(self):
+        result = make_result([0.97, 0.02, 0.005, 0.005])
+        assert k_by_mass(result, mass=0.9) == 1
+
+    def test_mass_spreads_with_flat_scores(self):
+        result = make_result([0.2] * 10)
+        assert k_by_mass(result, mass=0.9) >= 9
+
+    def test_mass_validation(self):
+        with pytest.raises(ValueError):
+            k_by_mass(make_result([0.5]), mass=0.0)
+
+    def test_error_oriented_scores_handled(self):
+        # ascending errors (alg_rev style): best first = smallest
+        result = make_result([0.1, 0.12, 0.9, 0.95], higher_is_better=False)
+        assert k_by_score_gap(result) == 2
+
+    def test_max_k_respected(self):
+        result = make_result(list(np.linspace(1, 0.5, 30)))
+        assert k_by_mass(result, mass=0.99, max_k=7) <= 7
+
+
+class TestMultiDefect:
+    def make_dictionary(self, bench_timing, signatures):
+        some = next(iter(signatures.values()))
+        return ProbabilisticFaultDictionary(
+            timing=bench_timing,
+            clk=1.0,
+            m_crt=np.zeros_like(some, dtype=float),
+            suspects=list(signatures),
+            signatures={k: np.asarray(v, float) for k, v in signatures.items()},
+            size_samples=np.ones(bench_timing.space.n_samples),
+        )
+
+    def test_two_disjoint_defects_both_found(self, bench_timing):
+        e = bench_timing.circuit.edges
+        behavior = np.array([[1, 0], [0, 1]])
+        signatures = {
+            e[0]: np.array([[0.95, 0.0], [0.0, 0.0]]),  # explains entry (0,0)
+            e[1]: np.array([[0.0, 0.0], [0.0, 0.95]]),  # explains entry (1,1)
+            e[2]: np.zeros((2, 2)),
+        }
+        dictionary = self.make_dictionary(bench_timing, signatures)
+        result = diagnose_multi(dictionary, behavior, ALG_REV, max_defects=2)
+        assert set(result.candidates) == {e[0], e[1]}
+        assert result.hit_all([e[0], e[1]])
+        assert result.hit_any([e[0]])
+        assert len(result.stages) == 2
+
+    def test_stops_when_explained(self, bench_timing):
+        e = bench_timing.circuit.edges
+        behavior = np.array([[1, 0], [0, 0]])
+        signatures = {
+            e[0]: np.array([[0.95, 0.0], [0.0, 0.0]]),
+            e[1]: np.array([[0.0, 0.0], [0.9, 0.0]]),
+        }
+        dictionary = self.make_dictionary(bench_timing, signatures)
+        result = diagnose_multi(dictionary, behavior, ALG_REV, max_defects=3)
+        assert result.candidates[0] == e[0]
+        assert len(result.candidates) == 1  # residual empty after stage 1
+
+    def test_max_defects_validation(self, bench_timing):
+        e = bench_timing.circuit.edges
+        dictionary = self.make_dictionary(bench_timing, {e[0]: np.zeros((1, 1))})
+        with pytest.raises(ValueError):
+            diagnose_multi(dictionary, np.zeros((1, 1)), max_defects=0)
+
+    def test_no_failures_no_candidates(self, bench_timing):
+        e = bench_timing.circuit.edges
+        dictionary = self.make_dictionary(bench_timing, {e[0]: np.zeros((2, 2))})
+        result = diagnose_multi(dictionary, np.zeros((2, 2), dtype=int))
+        assert result.candidates == []
+
+
+class TestLogicBaseline:
+    @pytest.fixture(scope="class")
+    def sims(self, bench_timing):
+        from repro.timing import simulate_pattern_set
+
+        rng = np.random.default_rng(0)
+        n = len(bench_timing.circuit.inputs)
+        patterns = [
+            (rng.integers(0, 2, n), rng.integers(0, 2, n)) for _ in range(4)
+        ]
+        return simulate_pattern_set(bench_timing, patterns)
+
+    def test_signatures_binary(self, bench_timing, sims):
+        suspects = bench_timing.circuit.edges[:20]
+        signatures = logic_signatures(sims, suspects)
+        for edge in suspects:
+            assert set(np.unique(signatures[edge])).issubset({0, 1})
+            assert signatures[edge].shape == (
+                len(bench_timing.circuit.outputs),
+                4,
+            )
+
+    def test_ranking_explains_failures(self, bench_timing, sims):
+        suspects = bench_timing.circuit.edges[:30]
+        signatures = logic_signatures(sims, suspects)
+        # fabricate behavior = exactly one suspect's logic signature
+        chosen = max(suspects, key=lambda e: signatures[e].sum())
+        if signatures[chosen].sum() == 0:
+            pytest.skip("no sensitized suspect under these random patterns")
+        behavior = signatures[chosen]
+        result = diagnose_logic_only(sims, behavior, suspects)
+        # the chosen suspect must be among the best scores
+        best_score = result.ranking[0][1]
+        assert result.score_of(chosen) == pytest.approx(best_score)
+
+    def test_empty_simulations(self):
+        assert logic_signatures([], []) == {}

@@ -1,0 +1,210 @@
+"""Unit tests for the circuit data structure."""
+
+import pytest
+
+from repro.circuits import Circuit, CircuitError, Edge, GateType
+from repro.circuits.bench_parser import parse_bench
+
+
+def build_simple():
+    c = Circuit("simple")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g1", GateType.AND, ["a", "b"])
+    c.add_gate("g2", GateType.NOT, ["g1"])
+    c.mark_output("g2")
+    return c.freeze()
+
+
+class TestConstruction:
+    def test_simple_circuit(self):
+        c = build_simple()
+        assert c.inputs == ["a", "b"]
+        assert c.outputs == ["g2"]
+        assert c.num_gates() == 2
+        assert len(c) == 4
+
+    def test_duplicate_gate_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError):
+            c.add_input("a")
+
+    def test_undefined_fanin_rejected_at_freeze(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", GateType.NOT, ["missing"])
+        with pytest.raises(CircuitError, match="undefined"):
+            c.freeze()
+
+    def test_undefined_output_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.mark_output("nope")
+        with pytest.raises(CircuitError, match="undefined"):
+            c.freeze()
+
+    def test_cycle_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g1", GateType.AND, ["a", "g2"])
+        c.add_gate("g2", GateType.NOT, ["g1"])
+        with pytest.raises(CircuitError, match="cycle"):
+            c.freeze()
+
+    def test_frozen_circuit_rejects_new_gates(self):
+        c = build_simple()
+        with pytest.raises(CircuitError, match="frozen"):
+            c.add_input("z")
+
+    def test_arity_validation(self):
+        with pytest.raises(CircuitError):
+            Circuit().add_gate("g", GateType.NOT, ["a", "b"])
+        with pytest.raises(CircuitError):
+            Circuit().add_gate("g", GateType.BUF, [])
+
+    def test_input_with_fanins_rejected(self):
+        from repro.circuits.netlist import Gate
+
+        with pytest.raises(CircuitError):
+            Gate("a", GateType.INPUT, ["b"])
+
+    def test_mark_output_idempotent(self):
+        c = Circuit()
+        c.add_input("a")
+        c.mark_output("a")
+        c.mark_output("a")
+        assert c.outputs == ["a"]
+        c.freeze()
+
+
+class TestTopology:
+    def test_topological_order_respects_dependencies(self):
+        c = build_simple()
+        order = c.topological_order
+        assert order.index("a") < order.index("g1") < order.index("g2")
+
+    def test_topological_order_requires_freeze(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError):
+            _ = c.topological_order
+
+    def test_edges_order_matches_sink_pin(self):
+        c = build_simple()
+        edges = c.edges
+        assert Edge("a", "g1", 0) in edges
+        assert Edge("b", "g1", 1) in edges
+        assert Edge("g1", "g2", 0) in edges
+        # ordered by topological sink then pin
+        g1_edges = [e for e in edges if e.sink == "g1"]
+        assert g1_edges == [Edge("a", "g1", 0), Edge("b", "g1", 1)]
+
+    def test_fanouts(self):
+        c = build_simple()
+        assert c.fanouts["a"] == [Edge("a", "g1", 0)]
+        assert c.fanouts["g2"] == []
+
+    def test_levels_and_depth(self):
+        c = build_simple()
+        assert c.levels == {"a": 0, "b": 0, "g1": 1, "g2": 2}
+        assert c.depth == 2
+
+    def test_fanin_cone(self):
+        c = build_simple()
+        assert set(c.fanin_cone("g2")) == {"a", "b", "g1", "g2"}
+        assert c.fanin_cone("a") == ["a"]
+
+    def test_fanout_cone(self):
+        c = build_simple()
+        assert set(c.fanout_cone("a")) == {"a", "g1", "g2"}
+        assert set(c.fanout_cone("g2")) == {"g2"}
+
+    def test_fanout_cone_topo_sorted(self, small_synth):
+        order = {n: i for i, n in enumerate(small_synth.topological_order)}
+        cone = small_synth.fanout_cone(small_synth.inputs[0])
+        assert all(order[a] < order[b] for a, b in zip(cone, cone[1:]))
+
+    def test_outputs_reachable_from(self):
+        c = build_simple()
+        assert c.outputs_reachable_from("a") == ["g2"]
+
+    def test_stats(self):
+        stats = build_simple().stats()
+        assert stats == {
+            "inputs": 2,
+            "outputs": 1,
+            "gates": 2,
+            "edges": 3,
+            "depth": 2,
+        }
+
+    def test_parallel_edges_between_same_nets(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", GateType.AND, ["a", "a"])
+        c.mark_output("g")
+        c.freeze()
+        assert c.edges == [Edge("a", "g", 0), Edge("a", "g", 1)]
+
+
+class TestEvaluate:
+    def test_matches_truth_table(self):
+        c = build_simple()
+        for a in (0, 1):
+            for b in (0, 1):
+                values = c.evaluate({"a": a, "b": b})
+                assert values["g1"] == (a & b)
+                assert values["g2"] == 1 - (a & b)
+
+    def test_missing_input_raises(self):
+        c = build_simple()
+        with pytest.raises(CircuitError, match="missing"):
+            c.evaluate({"a": 1})
+
+    def test_sequential_circuit_rejected(self):
+        text = """
+        INPUT(a)
+        OUTPUT(q)
+        q = DFF(a)
+        """
+        c = parse_bench(text)
+        with pytest.raises(CircuitError, match="unroll_scan"):
+            c.evaluate({"a": 1})
+
+
+class TestScanUnroll:
+    def test_combinational_circuit_unchanged(self):
+        c = build_simple()
+        assert c.unroll_scan() is c
+
+    def test_dff_becomes_pi_and_po(self):
+        text = """
+        INPUT(a)
+        OUTPUT(o)
+        q = DFF(d)
+        d = AND(a, q)
+        o = NOT(q)
+        """
+        c = parse_bench(text)
+        u = c.unroll_scan()
+        assert "q" in u.inputs
+        assert "d" in u.outputs and "o" in u.outputs
+        assert u.gates["q"].gate_type is GateType.INPUT
+
+    def test_s27_unroll(self, s27):
+        # 4 PIs + 3 DFFs; 1 PO + 3 next-state functions
+        assert len(s27.inputs) == 7
+        assert len(s27.outputs) == 4
+        assert all(g.gate_type is not GateType.DFF for g in s27)
+
+    def test_sequential_cycle_through_dff_allowed(self):
+        text = """
+        INPUT(a)
+        OUTPUT(o)
+        q = DFF(o)
+        o = AND(a, q)
+        """
+        c = parse_bench(text)  # must not raise despite the q <-> o loop
+        u = c.unroll_scan()
+        assert "q" in u.inputs

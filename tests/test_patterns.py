@@ -1,0 +1,128 @@
+"""Unit tests for pattern-set containers and diagnostic pattern generation."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import PatternPairSet, generate_path_tests, random_pattern_pairs
+from repro.paths import Sensitization, classify_path_sensitization
+
+
+class TestPatternPairSet:
+    def test_empty_construction(self, c17):
+        ps = PatternPairSet(c17)
+        assert len(ps) == 0
+        assert ps.pairs.shape == (0, 2, 5)
+
+    def test_append_and_iterate(self, c17):
+        ps = PatternPairSet(c17)
+        assert ps.append([0] * 5, [1] * 5)
+        assert len(ps) == 1
+        v1, v2 = next(iter(ps))
+        assert (v1 == 0).all() and (v2 == 1).all()
+
+    def test_duplicate_rejected(self, c17):
+        ps = PatternPairSet(c17)
+        assert ps.append([0] * 5, [1] * 5)
+        assert not ps.append([0] * 5, [1] * 5)
+        assert len(ps) == 1
+
+    def test_same_v1_different_v2_kept(self, c17):
+        ps = PatternPairSet(c17)
+        ps.append([0] * 5, [1] * 5)
+        assert ps.append([0] * 5, [0, 1, 1, 1, 1])
+        assert len(ps) == 2
+
+    def test_width_validated(self, c17):
+        ps = PatternPairSet(c17)
+        with pytest.raises(ValueError):
+            ps.append([0, 1], [1, 0])
+
+    def test_bad_shape_rejected(self, c17):
+        with pytest.raises(ValueError):
+            PatternPairSet(c17, pairs=np.zeros((3, 5)))
+
+    def test_extend_random_dedupes(self, c17):
+        ps = PatternPairSet(c17)
+        added = ps.extend_random(10, np.random.default_rng(0))
+        assert added == 10
+        assert len(ps) == 10
+        unique = {ps.pairs[i].tobytes() for i in range(10)}
+        assert len(unique) == 10
+
+    def test_target_observations(self, c17):
+        from repro.paths import Path
+
+        ps = PatternPairSet(c17)
+        ps.append([0] * 5, [1] * 5, source=Path(("1", "10", "22")))
+        ps.append([1] * 5, [0] * 5)  # no source
+        assert ps.target_observations() == [(0, "22")]
+
+    def test_pair_accessor(self, c17):
+        ps = random_pattern_pairs(c17, 4, seed=1)
+        v1, v2 = ps.pair(2)
+        assert v1.shape == (5,)
+
+
+class TestGeneratePathTests:
+    def test_generates_verified_tests(self, bench_timing):
+        circuit = bench_timing.circuit
+        edge = circuit.edges[120]
+        patterns, tests = generate_path_tests(
+            bench_timing, edge, n_paths=5, rng_seed=0
+        )
+        assert len(patterns) == len(tests)
+        assert len(tests) >= 1
+        for test in tests:
+            assert edge in test.path.edges(circuit)
+            val1 = circuit.evaluate(dict(zip(circuit.inputs, test.v1)))
+            val2 = circuit.evaluate(dict(zip(circuit.inputs, test.v2)))
+            achieved = classify_path_sensitization(circuit, test.path, val1, val2)
+            assert achieved.at_least(Sensitization.NON_ROBUST)
+
+    def _testable_edge(self, bench_timing, start=0):
+        """First edge (from ``start``) that admits at least one path test."""
+        for offset in range(0, 600, 40):
+            edge = bench_timing.circuit.edges[start + offset]
+            patterns, _ = generate_path_tests(bench_timing, edge, n_paths=2)
+            if len(patterns):
+                return edge
+        pytest.fail("no testable edge found")
+
+    def test_sources_recorded(self, bench_timing):
+        edge = self._testable_edge(bench_timing, start=200)
+        patterns, tests = generate_path_tests(bench_timing, edge, n_paths=4)
+        assert all(source is not None for source in patterns.sources)
+        assert patterns.target_observations()
+
+    def test_pad_random(self, bench_timing):
+        edge = self._testable_edge(bench_timing, start=200)
+        padded, _ = generate_path_tests(
+            bench_timing, edge, n_paths=2, pad_random=3
+        )
+        bare, _ = generate_path_tests(bench_timing, edge, n_paths=2)
+        assert len(padded) == len(bare) + 3
+
+    def test_through_net_site(self, bench_timing):
+        net = bench_timing.circuit.topological_order[150]
+        patterns, tests = generate_path_tests(bench_timing, net, n_paths=3)
+        for test in tests:
+            assert net in test.path.nets
+
+    def test_deterministic_in_seed(self, bench_timing):
+        edge = bench_timing.circuit.edges[300]
+        a, _ = generate_path_tests(bench_timing, edge, n_paths=4, rng_seed=7)
+        b, _ = generate_path_tests(bench_timing, edge, n_paths=4, rng_seed=7)
+        assert (a.pairs == b.pairs).all()
+
+
+class TestRandomPairs:
+    def test_count_and_shape(self, c17):
+        ps = random_pattern_pairs(c17, 12, seed=3)
+        assert len(ps) == 12
+        assert ps.pairs.shape == (12, 2, 5)
+        assert all(source is None for source in ps.sources)
+
+    def test_seeded(self, c17):
+        a = random_pattern_pairs(c17, 6, seed=4)
+        b = random_pattern_pairs(c17, 6, seed=4)
+        assert (a.pairs == b.pairs).all()

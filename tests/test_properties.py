@@ -1,0 +1,203 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These exercise the system-level invariants that tie the subsystems
+together — the statements the reproduction's correctness actually rests
+on, checked over randomized circuits, patterns and defects.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuits import GeneratorConfig, generate_circuit
+from repro.timing import CircuitTiming, SampleSpace, analyze, simulate_transition
+
+
+def small_circuit(seed):
+    return generate_circuit(
+        GeneratorConfig(
+            n_inputs=5, n_outputs=3, n_gates=30, target_depth=5, seed=seed % 50
+        )
+    )
+
+
+common = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@common
+@given(st.integers(0, 10_000), st.integers(0, 2**31 - 1))
+def test_dynamic_settle_bounded_by_static_arrival(circuit_seed, vector_seed):
+    """Sensitized (dynamic) settle times never exceed topological (static)
+    arrival times: the induced circuit is a subcircuit."""
+    circuit = small_circuit(circuit_seed)
+    timing = CircuitTiming(circuit, SampleSpace(30, 1))
+    sta = analyze(timing)
+    rng = np.random.default_rng(vector_seed)
+    v1 = rng.integers(0, 2, len(circuit.inputs))
+    v2 = rng.integers(0, 2, len(circuit.inputs))
+    sim = simulate_transition(timing, v1, v2)
+    for net in circuit.gates:
+        assert (sim.stable[net] <= sta.arrivals[net] + 1e-9).all(), net
+
+
+@common
+@given(st.integers(0, 10_000), st.integers(0, 2**31 - 1))
+def test_error_vector_monotone_in_clk_and_defect(circuit_seed, seed):
+    """crt(clk) is non-increasing in clk and non-decreasing in defect size."""
+    circuit = small_circuit(circuit_seed)
+    timing = CircuitTiming(circuit, SampleSpace(40, 2))
+    rng = np.random.default_rng(seed)
+    v1 = rng.integers(0, 2, len(circuit.inputs))
+    v2 = rng.integers(0, 2, len(circuit.inputs))
+    edge_index = int(rng.integers(len(circuit.edges)))
+
+    base = simulate_transition(timing, v1, v2)
+    clks = sorted(rng.uniform(0.0, 10.0, size=3))
+    vectors = [base.error_vector(clk) for clk in clks]
+    for earlier, later in zip(vectors, vectors[1:]):
+        assert (later <= earlier + 1e-12).all()
+
+    small = simulate_transition(timing, v1, v2, extra_delay={edge_index: 0.5})
+    large = simulate_transition(timing, v1, v2, extra_delay={edge_index: 2.5})
+    clk = float(clks[1])
+    assert (small.error_vector(clk) >= base.error_vector(clk) - 1e-12).all()
+    assert (large.error_vector(clk) >= small.error_vector(clk) - 1e-12).all()
+
+
+@common
+@given(st.integers(0, 10_000), st.integers(0, 2**31 - 1))
+def test_signature_consistency_between_builders(circuit_seed, seed):
+    """The dictionary's E_crt equals a from-scratch population simulation."""
+    from repro.core import build_dictionary
+    from repro.defects.faultsim import population_error_matrix
+    from repro.defects.model import InjectedDefect
+    from repro.atpg import PatternPairSet
+    from repro.timing import simulate_pattern_set
+
+    circuit = small_circuit(circuit_seed)
+    timing = CircuitTiming(circuit, SampleSpace(30, 3))
+    rng = np.random.default_rng(seed)
+    patterns = PatternPairSet(circuit)
+    patterns.extend_random(3, rng)
+    sims = simulate_pattern_set(timing, list(patterns))
+    edge = circuit.edges[int(rng.integers(len(circuit.edges)))]
+    size = np.full(30, float(rng.uniform(0.5, 3.0)))
+    clk = float(rng.uniform(1.0, 8.0))
+
+    dictionary = build_dictionary(
+        timing, patterns, clk, [edge], size, base_simulations=sims
+    )
+    defect = InjectedDefect(edge, timing.edge_index[edge], float(size[0]), size)
+    direct = population_error_matrix(timing, patterns, clk, defect)
+    assert np.allclose(dictionary.e_crt(edge), direct, atol=1e-12)
+
+
+@common
+@given(st.integers(0, 10_000), st.integers(0, 2**31 - 1))
+def test_suspect_tracing_covers_firing_defects(circuit_seed, seed):
+    """Any edge whose injected defect changes the behavior matrix must be
+    found by the cause-effect tracing of that behavior."""
+    from repro.core import suspect_edges
+    from repro.defects import behavior_matrix
+    from repro.defects.model import InjectedDefect
+    from repro.atpg import PatternPairSet
+    from repro.timing import simulate_pattern_set
+
+    circuit = small_circuit(circuit_seed)
+    timing = CircuitTiming(circuit, SampleSpace(25, 4))
+    rng = np.random.default_rng(seed)
+    patterns = PatternPairSet(circuit)
+    patterns.extend_random(4, rng)
+    sims = simulate_pattern_set(timing, list(patterns))
+    edge = circuit.edges[int(rng.integers(len(circuit.edges)))]
+    size = np.full(25, 25.0)  # huge: fires wherever it is sensitized
+    defect = InjectedDefect(edge, timing.edge_index[edge], 25.0, size)
+    sample = int(rng.integers(25))
+    clk = 6.0
+    with_defect = behavior_matrix(timing, patterns, clk, defect, sample)
+    healthy = behavior_matrix(timing, patterns, clk, None, sample)
+    caused = with_defect & ~healthy
+    if not caused.any():
+        return  # defect never surfaced; nothing to assert
+    suspects = suspect_edges(sims, caused)
+    assert edge in suspects
+
+
+@common
+@given(st.integers(0, 10_000))
+def test_scoap_finite_iff_reachable(circuit_seed):
+    """SCOAP observability is finite exactly for output-reaching nets."""
+    from repro.logic import INFINITY, compute_scoap
+
+    circuit = small_circuit(circuit_seed)
+    scoap = compute_scoap(circuit)
+    observable = set()
+    for output in circuit.outputs:
+        observable.update(circuit.fanin_cone(output))
+    for net in circuit.gates:
+        if net in observable:
+            assert scoap.co[net] < INFINITY
+        else:
+            assert scoap.co[net] >= INFINITY
+
+
+@common
+@given(st.integers(0, 10_000), st.integers(0, 2**31 - 1))
+def test_collapsed_fault_classes_share_detection(circuit_seed, seed):
+    """Faults merged by structural collapsing have identical detection rows."""
+    from repro.logic import (
+        StuckAtFault,
+        all_stuck_at_faults,
+        collapse_stuck_at_faults,
+        detection_matrix,
+    )
+
+    circuit = small_circuit(circuit_seed)
+    rng = np.random.default_rng(seed)
+    patterns = rng.integers(0, 2, size=(48, len(circuit.inputs)))
+    full_faults = all_stuck_at_faults(circuit)
+    full, _ = detection_matrix(circuit, patterns, full_faults)
+    full_rows = {row.tobytes() for row in full}
+    collapsed_faults = collapse_stuck_at_faults(circuit)
+    collapsed, _ = detection_matrix(circuit, patterns, collapsed_faults)
+    assert {row.tobytes() for row in collapsed} == full_rows
+
+
+@common
+@given(st.integers(0, 10_000), st.integers(0, 2**31 - 1))
+def test_event_and_transition_agree_on_final_values(circuit_seed, seed):
+    """Both simulators settle every net to the second vector's logic value."""
+    from repro.timing import simulate_events
+
+    circuit = small_circuit(circuit_seed)
+    timing = CircuitTiming(circuit, SampleSpace(10, 5))
+    rng = np.random.default_rng(seed)
+    v1 = rng.integers(0, 2, len(circuit.inputs))
+    v2 = rng.integers(0, 2, len(circuit.inputs))
+    events = simulate_events(timing, v1, v2, 3)
+    transition = simulate_transition(timing, v1, v2, sample_index=3)
+    for net in circuit.gates:
+        assert events.waveforms[net].final == transition.val2[net]
+
+
+@common
+@given(st.integers(0, 10_000), st.integers(1, 10))
+def test_pattern_pair_roundtrip_through_bench_and_verilog(circuit_seed, n):
+    """Netlist serialization never changes simulated behavior."""
+    from repro.circuits import parse_bench, parse_verilog, write_bench, write_verilog
+    from repro.logic import simulate
+
+    circuit = small_circuit(circuit_seed)
+    rng = np.random.default_rng(circuit_seed)
+    patterns = rng.integers(0, 2, size=(n, len(circuit.inputs)))
+    reference = simulate(circuit, patterns).output_matrix()
+    via_bench = simulate(parse_bench(write_bench(circuit)), patterns).output_matrix()
+    via_verilog = simulate(
+        parse_verilog(write_verilog(circuit)), patterns
+    ).output_matrix()
+    assert (reference == via_bench).all()
+    assert (reference == via_verilog).all()

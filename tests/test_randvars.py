@@ -1,0 +1,167 @@
+"""Unit and property tests for sample-based random variables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.timing import RandomVariable, SampleSpace
+
+
+class TestSampleSpace:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SampleSpace(0)
+
+    def test_deterministic_in_seed(self):
+        a = SampleSpace(50, seed=3)
+        b = SampleSpace(50, seed=3)
+        assert (a.global_factor == b.global_factor).all()
+
+    def test_global_factor_shared_across_draws(self):
+        space = SampleSpace(2000, seed=1)
+        x = space.correlated_delay(1.0, sigma_global=0.2, sigma_local=0.0)
+        y = space.correlated_delay(1.0, sigma_global=0.2, sigma_local=0.0)
+        # with zero local sigma both are exact functions of the global factor
+        assert np.corrcoef(x.samples, y.samples)[0, 1] > 0.999
+
+    def test_local_variation_decorrelates(self):
+        space = SampleSpace(4000, seed=1)
+        x = space.correlated_delay(1.0, sigma_global=0.0, sigma_local=0.2)
+        y = space.correlated_delay(1.0, sigma_global=0.0, sigma_local=0.2)
+        assert abs(np.corrcoef(x.samples, y.samples)[0, 1]) < 0.1
+
+    def test_correlated_delay_positive(self):
+        space = SampleSpace(5000, seed=2)
+        rv = space.correlated_delay(1.0, sigma_global=0.5, sigma_local=0.5)
+        assert (rv.samples > 0).all()
+
+    def test_negative_nominal_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSpace(10).correlated_delay(-1.0)
+
+    def test_normal_floor(self):
+        space = SampleSpace(5000, seed=0)
+        rv = space.normal(0.1, 1.0, floor=0.0)
+        assert (rv.samples >= 0).all()
+
+    def test_normal_no_floor(self):
+        space = SampleSpace(5000, seed=0)
+        rv = space.normal(0.0, 1.0, floor=None)
+        assert (rv.samples < 0).any()
+
+    def test_constant(self):
+        rv = SampleSpace(10).constant(2.5)
+        assert rv.mean == pytest.approx(2.5)
+        assert rv.std == pytest.approx(0.0)
+
+    def test_uniform_bounds(self):
+        rv = SampleSpace(1000, seed=4).uniform(1.0, 2.0)
+        assert rv.samples.min() >= 1.0
+        assert rv.samples.max() <= 2.0
+
+
+class TestRandomVariableAlgebra:
+    def test_shape_mismatch_rejected(self, space):
+        with pytest.raises(ValueError):
+            RandomVariable(np.zeros(3), space)
+
+    def test_cross_space_operations_rejected(self):
+        a = SampleSpace(10).constant(1.0)
+        b = SampleSpace(10).constant(1.0)
+        with pytest.raises(ValueError, match="sample spaces"):
+            _ = a + b
+        with pytest.raises(ValueError, match="sample spaces"):
+            a.maximum(b)
+
+    def test_add_scalar_and_rv(self, space):
+        a = space.constant(1.0)
+        b = space.constant(2.0)
+        assert (a + b).mean == pytest.approx(3.0)
+        assert (a + 4).mean == pytest.approx(5.0)
+        assert (4 + a).mean == pytest.approx(5.0)
+
+    def test_sub_and_mul(self, space):
+        a = space.constant(3.0)
+        assert (a - 1).mean == pytest.approx(2.0)
+        assert (a * 2).mean == pytest.approx(6.0)
+        assert (2 * a).mean == pytest.approx(6.0)
+
+    def test_max_min(self, space):
+        a = space.uniform(0, 1)
+        b = space.uniform(0, 1)
+        mx = a.maximum(b)
+        mn = a.minimum(b)
+        assert (mx.samples >= a.samples).all()
+        assert (mx.samples >= b.samples).all()
+        assert (mn.samples <= a.samples).all()
+
+    def test_max_of_and_sum_of(self, space):
+        rvs = [space.uniform(0, 1) for _ in range(4)]
+        mx = RandomVariable.max_of(rvs)
+        total = RandomVariable.sum_of(rvs)
+        stacked = np.stack([rv.samples for rv in rvs])
+        assert np.allclose(mx.samples, stacked.max(axis=0))
+        assert np.allclose(total.samples, stacked.sum(axis=0))
+
+    def test_max_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomVariable.max_of([])
+        with pytest.raises(ValueError):
+            RandomVariable.sum_of([])
+
+    def test_sum_mean_additivity(self, space):
+        a = space.uniform(0, 1)
+        b = space.uniform(2, 3)
+        assert (a + b).mean == pytest.approx(a.mean + b.mean)
+
+
+class TestStatistics:
+    def test_critical_probability_monotone_in_clk(self, space):
+        rv = space.uniform(0, 10)
+        probs = [rv.critical_probability(clk) for clk in (1, 3, 5, 7, 9)]
+        assert all(x >= y for x, y in zip(probs, probs[1:]))
+
+    def test_critical_probability_extremes(self, space):
+        rv = space.uniform(1, 2)
+        assert rv.critical_probability(0.0) == 1.0
+        assert rv.critical_probability(3.0) == 0.0
+
+    def test_cdf_complements_critical(self, space):
+        rv = space.uniform(0, 10)
+        clk = 4.2
+        assert rv.cdf(clk) + rv.critical_probability(clk) == pytest.approx(1.0)
+
+    def test_quantile(self, space):
+        rv = space.uniform(0, 1)
+        assert 0 <= rv.quantile(0.5) <= 1
+
+    def test_prob_greater_common_random_numbers(self, space):
+        a = space.uniform(0, 1)
+        b = a + 0.5
+        assert b.prob_greater(a) == 1.0
+        assert a.prob_greater(b) == 0.0
+
+    def test_histogram(self, space):
+        counts, edges = space.uniform(0, 1).histogram(bins=5)
+        assert counts.sum() == space.n_samples
+        assert len(edges) == 6
+
+    def test_sample_indexing(self, space):
+        rv = space.uniform(0, 1)
+        assert rv.sample(3) == pytest.approx(float(rv.samples[3]))
+
+    def test_len(self, space):
+        assert len(space.constant(0.0)) == space.n_samples
+
+
+@given(st.floats(0.1, 10), st.floats(0.1, 10))
+@settings(max_examples=25, deadline=None)
+def test_max_upper_bounds_and_sum_exceeds(a_mean, b_mean):
+    """max(a,b) >= both; a+b >= max(a,b) for non-negative delays."""
+    space = SampleSpace(200, seed=0)
+    a = space.correlated_delay(a_mean)
+    b = space.correlated_delay(b_mean)
+    mx = a.maximum(b)
+    assert (mx.samples >= a.samples - 1e-12).all()
+    assert (mx.samples >= b.samples - 1e-12).all()
+    assert ((a + b).samples >= mx.samples - 1e-12).all()

@@ -1,0 +1,148 @@
+"""Tests for the diagnosis report renderer, new CLI commands and the
+ISCAS85 profile additions."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import PROFILES, load_benchmark, validate_circuit
+from repro.experiments import render_diagnosis_report
+
+
+ISCAS85 = [
+    "c432", "c499", "c880", "c1355", "c1908",
+    "c2670", "c3540", "c5315", "c6288", "c7552",
+]
+
+
+class TestIscas85Profiles:
+    def test_all_registered(self):
+        for name in ISCAS85:
+            assert name in PROFILES
+            assert PROFILES[name].published_dffs == 0
+
+    @pytest.mark.parametrize("name", ["c432", "c880", "c1355"])
+    def test_loadable_and_valid(self, name):
+        circuit = load_benchmark(name)
+        profile = PROFILES[name]
+        assert len(circuit.inputs) == profile.published_inputs
+        assert len(circuit.outputs) == profile.published_outputs
+        assert circuit.scan_pairs == []  # combinational: no flops
+        assert validate_circuit(circuit).ok
+
+    def test_c6288_multiplier_depth(self):
+        # the multiplier profile is much deeper than the control circuits
+        deep = load_benchmark("c6288")
+        shallow = load_benchmark("c499")
+        assert deep.depth > 2 * shallow.depth
+
+    def test_diagnosis_flow_runs_on_iscas85(self):
+        from repro.atpg import generate_path_tests
+        from repro.core import run_diagnosis
+        from repro.defects import SingleDefectModel, draw_failing_trial
+        from repro.timing import (
+            CircuitTiming,
+            SampleSpace,
+            diagnosis_clock,
+            simulate_pattern_set,
+        )
+
+        circuit = load_benchmark("c880")
+        timing = CircuitTiming(circuit, SampleSpace(120, 0))
+        rng = np.random.default_rng(0)
+        model = SingleDefectModel(timing)
+        for _ in range(10):
+            defect = model.draw(rng)
+            patterns, _ = generate_path_tests(
+                timing, defect.edge, n_paths=6, rng_seed=0
+            )
+            if len(patterns):
+                break
+        sims = simulate_pattern_set(timing, list(patterns))
+        clk = diagnosis_clock(
+            timing, list(patterns), 0.85,
+            simulations=sims, targets=patterns.target_observations(),
+        )
+        trial, _ = draw_failing_trial(
+            timing, patterns, clk, model, rng, defect=defect
+        )
+        results, dictionary = run_diagnosis(
+            timing, patterns, clk, trial.behavior,
+            model.dictionary_size_variable().samples, base_simulations=sims,
+        )
+        assert len(results["alg_rev"]) == len(dictionary)
+
+
+class TestDiagnosisReport:
+    def make_inputs(self, bench_timing):
+        from repro.circuits import Edge
+        from repro.core import DiagnosisResult, ProbabilisticFaultDictionary
+
+        edges = bench_timing.circuit.edges[:3]
+        behavior = np.zeros((len(bench_timing.circuit.outputs), 2), dtype=np.int8)
+        behavior[0, 0] = 1
+        dictionary = ProbabilisticFaultDictionary(
+            timing=bench_timing,
+            clk=10.0,
+            m_crt=np.zeros_like(behavior, dtype=float),
+            suspects=list(edges),
+            signatures={e: np.zeros_like(behavior, dtype=float) for e in edges},
+            size_samples=np.ones(bench_timing.space.n_samples),
+        )
+        results = {
+            "alg_rev": DiagnosisResult(
+                "alg_rev", [(edges[0], 0.1), (edges[1], 0.2), (edges[2], 0.4)]
+            )
+        }
+        return behavior, dictionary, results, edges
+
+    def test_basic_sections(self, bench_timing):
+        behavior, dictionary, results, edges = self.make_inputs(bench_timing)
+        report = render_diagnosis_report(
+            "s1196", 10.0, behavior, results, dictionary
+        )
+        assert "# Diagnosis report — s1196" in report
+        assert "failing entries: 1" in report
+        assert "### alg_rev" in report
+        assert f"`{edges[0]}`" in report
+
+    def test_optional_sections(self, bench_timing):
+        from repro.core.size_estimation import SizeEstimate
+
+        behavior, dictionary, results, edges = self.make_inputs(bench_timing)
+        estimate = SizeEstimate(edges[0], 2.5, {2.5: -1.0, 5.0: -3.0})
+        verdict = {"verdict": "coupling", "best_aggressor": "g42"}
+        report = render_diagnosis_report(
+            "s1196", 10.0, behavior, results, dictionary,
+            size_estimate=estimate, type_verdict=verdict,
+        )
+        assert "## Size estimate" in report
+        assert "`2.500` delay units" in report
+        assert "**coupling**" in report
+        assert "`g42`" in report
+
+
+class TestCharacterizeCli:
+    def test_prints_report(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            ["characterize", "s1196", "--seed", "8", "--samples", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Diagnosis report" in out
+        assert "hidden ground truth" in out
+
+    def test_writes_report_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        target = tmp_path / "report.md"
+        code = main(
+            [
+                "characterize", "s1196", "--seed", "8",
+                "--samples", "120", "--report", str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        assert "# Diagnosis report" in target.read_text()

