@@ -14,9 +14,40 @@ Python.  Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _apply_execution_flags(args) -> None:
+    """Export ``--parallel`` / ``--cache-dir`` flags into the environment.
+
+    Every dictionary construction resolves its executor and cache from the
+    ``REPRO_PARALLEL_*`` / ``REPRO_CACHE_DIR`` environment when not passed
+    explicitly, so setting the environment here configures the whole call
+    tree (table1 -> evaluate_circuit -> run_diagnosis -> build_dictionary)
+    without threading arguments through each layer.
+    """
+    backend = getattr(args, "parallel", None)
+    if backend:
+        os.environ["REPRO_PARALLEL_BACKEND"] = backend
+    workers = getattr(args, "workers", None)
+    if workers:
+        os.environ["REPRO_PARALLEL_WORKERS"] = str(workers)
+    chunk = getattr(args, "chunk_size", None)
+    if chunk:
+        os.environ["REPRO_PARALLEL_CHUNK"] = str(chunk)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
 
 
 def _load_timing(name: str, samples: int, seed: int):
@@ -200,6 +231,25 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p):
         p.add_argument("--samples", type=int, default=300)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--parallel",
+            choices=("serial", "process", "futures", "thread"),
+            default="",
+            help="dictionary-construction backend (default: serial)",
+        )
+        p.add_argument(
+            "--workers", type=_positive_int, default=None,
+            help="worker count for parallel backends (default: all CPUs)",
+        )
+        p.add_argument(
+            "--chunk-size", type=_positive_int, default=None,
+            dest="chunk_size",
+            help="suspects per worker task (default: auto)",
+        )
+        p.add_argument(
+            "--cache-dir", type=str, default="", dest="cache_dir",
+            help="enable the on-disk dictionary cache in this directory",
+        )
 
     sub.add_parser("benchmarks").set_defaults(func=cmd_benchmarks)
 
@@ -241,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_execution_flags(args)
     try:
         return args.func(args)
     except BrokenPipeError:  # output piped into head/less that closed early

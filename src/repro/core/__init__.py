@@ -1,7 +1,20 @@
 """Core diagnosis library: the paper's primary contribution."""
 
 from .suspects import trace_sensitized_edges, suspect_edges
-from .dictionary import ProbabilisticFaultDictionary, build_dictionary
+from .parallel import ParallelConfig, resolve_parallel, chunk_indices, map_chunked
+from .cache import (
+    DictionaryCache,
+    resolve_cache,
+    circuit_fingerprint,
+    timing_fingerprint,
+    patterns_fingerprint,
+    dictionary_cache_key,
+)
+from .dictionary import (
+    ProbabilisticFaultDictionary,
+    build_dictionary,
+    build_multi_clock_dictionary,
+)
 from .error_functions import (
     ErrorFunction,
     match_probabilities,
@@ -40,8 +53,19 @@ from .resolution import (
 __all__ = [
     "trace_sensitized_edges",
     "suspect_edges",
+    "ParallelConfig",
+    "resolve_parallel",
+    "chunk_indices",
+    "map_chunked",
+    "DictionaryCache",
+    "resolve_cache",
+    "circuit_fingerprint",
+    "timing_fingerprint",
+    "patterns_fingerprint",
+    "dictionary_cache_key",
     "ProbabilisticFaultDictionary",
     "build_dictionary",
+    "build_multi_clock_dictionary",
     "ErrorFunction",
     "match_probabilities",
     "pattern_match_probability",

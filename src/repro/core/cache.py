@@ -1,0 +1,253 @@
+"""Content-addressed on-disk cache for probabilistic fault dictionaries.
+
+Clock sweeps re-observe the same pattern set, the Section I protocol
+re-runs diagnosis N=20 times per circuit, and interactive sessions repeat
+the same (circuit, patterns, clk) queries — all of which rebuild the same
+``M_crt`` and suspect signatures from scratch.  Those matrices are pure
+functions of their inputs, so they cache perfectly.
+
+The cache key is a SHA-256 digest over everything the dictionary content
+depends on: the circuit structure, the materialized delay matrix (which
+subsumes the library, the sample-space seed and ``n_samples``), the
+two-vector pattern set, the clock(s), the suspect list, and the
+defect-size sample vector.  Any change to any of them changes the key —
+stale hits are structurally impossible, no invalidation protocol needed.
+
+Entries are ``.npz`` files written atomically (temp file + rename) and
+carry an internal payload checksum; a truncated, corrupted or
+wrong-format file is detected on load, deleted, and treated as a miss so
+the caller simply rebuilds.  The cache is **off by default** and enabled
+by the ``REPRO_CACHE_DIR`` environment variable or an explicit
+:class:`DictionaryCache` / directory argument.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.netlist import Circuit, Edge
+from ..timing.instance import CircuitTiming
+
+__all__ = [
+    "DictionaryCache",
+    "resolve_cache",
+    "circuit_fingerprint",
+    "timing_fingerprint",
+    "patterns_fingerprint",
+    "dictionary_cache_key",
+]
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def _array_bytes(array: np.ndarray) -> bytes:
+    array = np.ascontiguousarray(array)
+    return str(array.dtype).encode() + str(array.shape).encode() + array.tobytes()
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Digest of the structural netlist (gates, connectivity, I/O)."""
+    hasher = hashlib.sha256()
+    hasher.update(circuit.name.encode())
+    hasher.update(json.dumps(circuit.inputs).encode())
+    hasher.update(json.dumps(circuit.outputs).encode())
+    for name in circuit.topological_order:
+        gate = circuit.gates[name]
+        hasher.update(
+            json.dumps([name, gate.gate_type.value, gate.fanins]).encode()
+        )
+    return hasher.hexdigest()
+
+
+def timing_fingerprint(timing: CircuitTiming) -> str:
+    """Digest of the full statistical timing model.
+
+    Hashing the materialized delay matrix (rather than the library
+    parameters) makes the fingerprint exact: it subsumes the RNG seed,
+    ``n_samples`` and every library knob that shaped the samples.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(circuit_fingerprint(timing.circuit).encode())
+    hasher.update(_array_bytes(timing.delays))
+    hasher.update(f"{timing.space.n_samples}:{timing.space.seed}".encode())
+    return hasher.hexdigest()
+
+
+def patterns_fingerprint(
+    patterns: Sequence[Tuple[np.ndarray, np.ndarray]]
+) -> str:
+    """Digest of an ordered two-vector pattern set."""
+    hasher = hashlib.sha256()
+    hasher.update(str(len(patterns)).encode())
+    for v1, v2 in patterns:
+        hasher.update(_array_bytes(np.asarray(v1, dtype=np.int8)))
+        hasher.update(_array_bytes(np.asarray(v2, dtype=np.int8)))
+    return hasher.hexdigest()
+
+
+def dictionary_cache_key(
+    timing: CircuitTiming,
+    patterns: Sequence[Tuple[np.ndarray, np.ndarray]],
+    clks: Sequence[float],
+    suspects: Sequence[Edge],
+    size_samples: np.ndarray,
+) -> str:
+    """The content address of one dictionary build."""
+    hasher = hashlib.sha256()
+    hasher.update(timing_fingerprint(timing).encode())
+    hasher.update(patterns_fingerprint(patterns).encode())
+    hasher.update(json.dumps([float(clk) for clk in clks]).encode())
+    hasher.update(
+        json.dumps([[e.source, e.sink, e.pin] for e in suspects]).encode()
+    )
+    hasher.update(_array_bytes(np.asarray(size_samples, dtype=float)))
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the cache proper
+# ----------------------------------------------------------------------
+def _payload_checksum(m_crt: np.ndarray, signatures: Sequence[np.ndarray]) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(_array_bytes(m_crt))
+    for signature in signatures:
+        hasher.update(_array_bytes(signature))
+    return hasher.hexdigest()
+
+
+class DictionaryCache:
+    """Directory of content-addressed dictionary payloads.
+
+    ``hits`` / ``misses`` / ``rejected`` counters make cache behavior
+    observable in tests and benchmarks; ``rejected`` counts files that
+    existed but failed integrity checks (and were removed).
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike]) -> None:
+        self.directory = os.fspath(directory)
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.directory, f"dict_{key}.npz")
+
+    # -- load -----------------------------------------------------------
+    def load(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """Return ``{"m_crt": ..., "signatures": [...]}`` or ``None``.
+
+        Every failure mode — missing file, unreadable zip, missing
+        arrays, checksum mismatch — is a miss; corrupt files are deleted
+        so the subsequent store can rewrite them cleanly.
+        """
+        path = self.path_for(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                meta = json.loads(str(archive["meta"]))
+                if meta.get("key") != key:
+                    raise ValueError("key mismatch")
+                n_suspects = int(meta["n_suspects"])
+                m_crt = archive["m_crt"]
+                signatures = [
+                    archive[f"sig_{index:05d}"] for index in range(n_suspects)
+                ]
+            if _payload_checksum(m_crt, signatures) != meta["checksum"]:
+                raise ValueError("payload checksum mismatch")
+        except Exception:
+            # Truncated download, interrupted writer, zip damage, schema
+            # drift: never crash the diagnosis over a bad cache file.
+            self.rejected += 1
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return {"m_crt": m_crt, "signatures": signatures}
+
+    # -- store ----------------------------------------------------------
+    def store(
+        self, key: str, m_crt: np.ndarray, signatures: Sequence[np.ndarray]
+    ) -> str:
+        """Write one payload atomically; returns the file path."""
+        os.makedirs(self.directory, exist_ok=True)
+        meta = {
+            "format": "repro-dictionary-cache-v1",
+            "key": key,
+            "n_suspects": len(signatures),
+            "checksum": _payload_checksum(m_crt, signatures),
+        }
+        arrays = {
+            "meta": np.array(json.dumps(meta)),
+            "m_crt": np.asarray(m_crt, dtype=float),
+        }
+        for index, signature in enumerate(signatures):
+            arrays[f"sig_{index:05d}"] = np.asarray(signature, dtype=float)
+        path = self.path_for(key)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp_dict_", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.directory):
+            return removed
+        for name in os.listdir(self.directory):
+            if name.startswith("dict_") and name.endswith(".npz"):
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DictionaryCache({self.directory!r}, hits={self.hits}, "
+            f"misses={self.misses}, rejected={self.rejected})"
+        )
+
+
+def resolve_cache(
+    cache: Optional[Union[DictionaryCache, str, os.PathLike]] = None,
+) -> Optional[DictionaryCache]:
+    """Normalize a caller-supplied cache argument.
+
+    Explicit :class:`DictionaryCache` instances and paths win; ``None``
+    consults ``REPRO_CACHE_DIR`` and stays disabled when it is unset or
+    empty — so tests and library users never hit the filesystem unless
+    they opted in.
+    """
+    if isinstance(cache, DictionaryCache):
+        return cache
+    if cache is not None:
+        return DictionaryCache(cache)
+    directory = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if directory:
+        return DictionaryCache(directory)
+    return None

@@ -19,7 +19,7 @@ threshold passes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -27,9 +27,11 @@ from ..atpg.patterns import PatternPairSet
 from ..circuits.netlist import Edge
 from ..defects.model import InjectedDefect
 from ..timing.critical import pattern_set_delay, simulate_pattern_set
-from ..timing.dynamic import TransitionSimResult, resimulate_with_extra, simulate_transition
+from ..timing.dynamic import TransitionSimResult, simulate_transition
 from ..timing.instance import CircuitTiming
-from .dictionary import ProbabilisticFaultDictionary
+from .cache import DictionaryCache
+from .dictionary import ProbabilisticFaultDictionary, build_multi_clock_dictionary
+from .parallel import ParallelConfig
 
 __all__ = [
     "sweep_clocks",
@@ -103,6 +105,8 @@ def build_sweep_dictionary(
     suspects: Sequence[Edge],
     size_samples: np.ndarray,
     base_simulations: Optional[Sequence[TransitionSimResult]] = None,
+    parallel: Optional[Union[ParallelConfig, str]] = None,
+    cache: Optional[Union[DictionaryCache, str]] = None,
 ) -> ProbabilisticFaultDictionary:
     """One dictionary spanning all clocks (clock-major column blocks).
 
@@ -110,56 +114,18 @@ def build_sweep_dictionary(
     clock is just another threshold over the same settle times.  The
     resulting object is a normal
     :class:`~repro.core.dictionary.ProbabilisticFaultDictionary` whose
-    ``clk`` attribute holds the tightest clock (metadata only).
+    ``clk`` attribute holds the tightest clock (metadata only).  This is
+    a thin wrapper over the shared construction kernel
+    (:func:`~repro.core.dictionary.build_multi_clock_dictionary`), so the
+    parallel backend and the on-disk cache apply to sweeps unchanged.
     """
-    circuit = timing.circuit
-    size_samples = np.asarray(size_samples, dtype=float)
-    if size_samples.shape != (timing.space.n_samples,):
-        raise ValueError("size_samples must cover the full sample space")
-    if not clks:
-        raise ValueError("need at least one clock")
-    if base_simulations is None:
-        base_simulations = simulate_pattern_set(timing, list(patterns))
-
-    n_outputs = len(circuit.outputs)
-    n_patterns = len(patterns)
-    output_row = {net: row for row, net in enumerate(circuit.outputs)}
-
-    m_crt = np.zeros((n_outputs, n_patterns * len(clks)))
-    for block, clk in enumerate(clks):
-        for column, sim in enumerate(base_simulations):
-            m_crt[:, block * n_patterns + column] = sim.error_vector(clk)
-
-    signatures = {}
-    cone_cache = {}
-    for edge in suspects:
-        edge_index = timing.edge_index[edge]
-        if edge.sink not in cone_cache:
-            cone_cache[edge.sink] = [
-                net for net in circuit.fanout_cone(edge.sink) if net in output_row
-            ]
-        affected = cone_cache[edge.sink]
-        signature = np.zeros_like(m_crt)
-        for column, sim in enumerate(base_simulations):
-            if not affected or not sim.transitioned(edge.sink):
-                continue
-            patched = resimulate_with_extra(sim, {edge_index: size_samples})
-            for net in affected:
-                if not patched.transitioned(net):
-                    continue
-                row = output_row[net]
-                stable = patched.stable[net]
-                for block, clk in enumerate(clks):
-                    col = block * n_patterns + column
-                    err = float(np.mean(stable > clk))
-                    signature[row, col] = err - m_crt[row, col]
-        signatures[edge] = signature
-
-    return ProbabilisticFaultDictionary(
-        timing=timing,
-        clk=min(clks),
-        m_crt=m_crt,
-        suspects=list(suspects),
-        signatures=signatures,
-        size_samples=size_samples,
+    return build_multi_clock_dictionary(
+        timing,
+        patterns,
+        clks,
+        suspects,
+        size_samples,
+        base_simulations=base_simulations,
+        parallel=parallel,
+        cache=cache,
     )

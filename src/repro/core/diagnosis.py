@@ -20,7 +20,7 @@ signatures are all-zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -29,8 +29,10 @@ from ..circuits.netlist import Edge
 from ..timing.critical import simulate_pattern_set
 from ..timing.dynamic import TransitionSimResult
 from ..timing.instance import CircuitTiming
+from .cache import DictionaryCache
 from .dictionary import ProbabilisticFaultDictionary, build_dictionary
 from .error_functions import ALG_REV, ErrorFunction, METHOD_I, METHOD_II
+from .parallel import ParallelConfig
 from .suspects import suspect_edges
 
 __all__ = ["DiagnosisResult", "diagnose", "diagnose_all", "run_diagnosis"]
@@ -129,12 +131,15 @@ def run_diagnosis(
     error_functions: Sequence[ErrorFunction] = (METHOD_I, METHOD_II, ALG_REV),
     base_simulations: Optional[Sequence[TransitionSimResult]] = None,
     suspects: Optional[Sequence[Edge]] = None,
+    parallel: Optional[Union[ParallelConfig, str]] = None,
+    cache: Optional[Union[DictionaryCache, str]] = None,
 ) -> Tuple[Dict[str, DiagnosisResult], ProbabilisticFaultDictionary]:
     """End-to-end diagnosis of one failing chip.
 
     Returns the per-method results plus the dictionary (so callers can
     inspect signatures, rerun other error functions, or feed the automatic
-    K-selection heuristics).
+    K-selection heuristics).  ``parallel`` / ``cache`` flow into the
+    dictionary construction (bit-identical results either way).
     """
     if base_simulations is None:
         base_simulations = simulate_pattern_set(timing, list(patterns))
@@ -147,5 +152,7 @@ def run_diagnosis(
         suspects,
         size_samples,
         base_simulations=base_simulations,
+        parallel=parallel,
+        cache=cache,
     )
     return diagnose_all(dictionary, behavior, error_functions), dictionary

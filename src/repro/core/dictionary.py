@@ -16,6 +16,22 @@ re-simulations; two structural facts keep it tractable:
   edge, and only outputs in its fanout cone — other entries are copied
   from ``M_crt`` without simulation.
 
+On top of that, construction exploits three scaling levers (all
+preserving bit-exact results):
+
+* **cone batching** — suspects sharing a sink net share their fanout
+  cone, their affected-output set, and the per-pattern transition gating;
+  that per-sink activity plan is computed once and reused by every
+  suspect (and every clock of a sweep) on the cone,
+* **parallel fan-out** — suspects are independent, so signature chunks
+  fan out across worker processes (:mod:`repro.core.parallel`); results
+  reassemble in suspect order, making parallel builds bit-identical to
+  serial ones,
+* **content-addressed caching** — the finished ``M_crt`` + signatures
+  can be persisted keyed on everything they depend on
+  (:mod:`repro.core.cache`), so clock sweeps, repeated diagnoses and the
+  Section I protocol skip rebuilds entirely.
+
 The monotonicity ``err_ij >= crt_ij`` noted in the paper holds *exactly*
 per Monte-Carlo sample here (extra delay can only increase settle times),
 so signatures are non-negative by construction.
@@ -24,7 +40,7 @@ so signatures are non-negative by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,8 +49,14 @@ from ..timing.critical import simulate_pattern_set
 from ..timing.dynamic import TransitionSimResult, resimulate_with_extra
 from ..timing.instance import CircuitTiming
 from ..atpg.patterns import PatternPairSet
+from .cache import DictionaryCache, dictionary_cache_key, resolve_cache
+from .parallel import ParallelConfig, map_chunked, resolve_parallel
 
-__all__ = ["ProbabilisticFaultDictionary", "build_dictionary"]
+__all__ = [
+    "ProbabilisticFaultDictionary",
+    "build_dictionary",
+    "build_multi_clock_dictionary",
+]
 
 
 @dataclass
@@ -69,6 +91,177 @@ class ProbabilisticFaultDictionary:
         return len(self.suspects)
 
 
+# ----------------------------------------------------------------------
+# the signature kernel
+# ----------------------------------------------------------------------
+#: Per-sink activity plan: the fanout-cone net list plus, per pattern
+#: column that toggles the sink, the (output rows, output nets) that can
+#: carry the suspect's effect.  Shared by every suspect on the sink.
+_SinkPlan = Tuple[List[str], List[Tuple[int, np.ndarray, List[str]]]]
+
+
+@dataclass
+class _SignatureJob:
+    """Everything a worker needs to compute signature chunks.
+
+    Shipped to each worker process once (pool initializer), after which
+    task messages carry only suspect-index ranges.
+    """
+
+    base_simulations: Sequence[TransitionSimResult]
+    clks: Tuple[float, ...]
+    size_samples: np.ndarray
+    suspects: List[Edge]
+    edge_indices: List[int]
+    m_crt: np.ndarray
+    plan_by_sink: Dict[str, _SinkPlan]
+
+
+def _sink_plan(
+    circuit: Circuit,
+    base_simulations: Sequence[TransitionSimResult],
+    output_row: Dict[str, int],
+    sink: str,
+) -> _SinkPlan:
+    """Compute the shared activity plan for all suspects into ``sink``."""
+    cone = circuit.fanout_cone(sink)
+    affected = [(output_row[net], net) for net in cone if net in output_row]
+    activity: List[Tuple[int, np.ndarray, List[str]]] = []
+    if affected:
+        for column, sim in enumerate(base_simulations):
+            # The defect only matters when the test launches a transition
+            # through the defective segment's sink gate; extra delay never
+            # changes logic values, so an output that does not transition
+            # under the base simulation cannot transition under the defect.
+            if not sim.transitioned(sink):
+                continue
+            live = [(row, net) for row, net in affected if sim.transitioned(net)]
+            if live:
+                activity.append(
+                    (
+                        column,
+                        np.array([row for row, _net in live]),
+                        [net for _row, net in live],
+                    )
+                )
+    return cone, activity
+
+
+def _signatures_for_chunk(
+    job: _SignatureJob, indices: Sequence[int]
+) -> List[np.ndarray]:
+    """Signature matrices for one chunk of suspect indices (worker body)."""
+    n_patterns = len(job.base_simulations)
+    results: List[np.ndarray] = []
+    for index in indices:
+        edge = job.suspects[index]
+        edge_index = job.edge_indices[index]
+        cone, activity = job.plan_by_sink[edge.sink]
+        signature = np.zeros_like(job.m_crt)
+        for column, rows, nets in activity:
+            patched = resimulate_with_extra(
+                job.base_simulations[column],
+                {edge_index: job.size_samples},
+                affected=cone,
+            )
+            stacked = np.stack([patched.stable[net] for net in nets])
+            for block, clk in enumerate(job.clks):
+                col = block * n_patterns + column
+                errs = (stacked > clk).mean(axis=1)
+                signature[rows, col] = errs - job.m_crt[rows, col]
+        results.append(signature)
+    return results
+
+
+def build_multi_clock_dictionary(
+    timing: CircuitTiming,
+    patterns: Union[PatternPairSet, Sequence],
+    clks: Sequence[float],
+    suspects: Sequence[Edge],
+    size_samples: np.ndarray,
+    base_simulations: Optional[Sequence[TransitionSimResult]] = None,
+    parallel: Optional[Union[ParallelConfig, str]] = None,
+    cache: Optional[Union[DictionaryCache, str]] = None,
+    clk_attribute: Optional[float] = None,
+) -> ProbabilisticFaultDictionary:
+    """The shared construction kernel behind single-clock dictionaries and
+    clock sweeps.
+
+    ``m_crt`` and every signature are laid out clock-major: column block
+    ``b`` holds all patterns thresholded at ``clks[b]``.  ``clk_attribute``
+    sets the metadata ``clk`` field of the result (defaults to the
+    tightest clock).  ``parallel`` picks the execution backend
+    (:func:`repro.core.parallel.resolve_parallel` semantics) and ``cache``
+    an optional dictionary cache (:func:`repro.core.cache.resolve_cache`
+    semantics); both default to the ``REPRO_*`` environment.
+    """
+    circuit = timing.circuit
+    size_samples = np.asarray(size_samples, dtype=float)
+    if size_samples.shape != (timing.space.n_samples,):
+        raise ValueError("size_samples must cover the full sample space")
+    if not clks:
+        raise ValueError("need at least one clock")
+    clks = tuple(float(clk) for clk in clks)
+    if clk_attribute is None:
+        clk_attribute = min(clks)
+    suspects = list(suspects)
+    pattern_list = list(patterns)
+
+    def _assemble(
+        m_crt: np.ndarray, signature_list: Sequence[np.ndarray]
+    ) -> ProbabilisticFaultDictionary:
+        return ProbabilisticFaultDictionary(
+            timing=timing,
+            clk=clk_attribute,
+            m_crt=m_crt,
+            suspects=suspects,
+            signatures=dict(zip(suspects, signature_list)),
+            size_samples=size_samples,
+        )
+
+    store = resolve_cache(cache)
+    key = None
+    if store is not None:
+        key = dictionary_cache_key(
+            timing, pattern_list, clks, suspects, size_samples
+        )
+        payload = store.load(key)
+        if payload is not None:
+            return _assemble(payload["m_crt"], payload["signatures"])
+
+    if base_simulations is None:
+        base_simulations = simulate_pattern_set(timing, pattern_list)
+    if len(base_simulations) != len(pattern_list):
+        raise ValueError("one base simulation per pattern required")
+
+    n_patterns = len(pattern_list)
+    m_crt = np.zeros((len(circuit.outputs), n_patterns * len(clks)))
+    for block, clk in enumerate(clks):
+        for column, sim in enumerate(base_simulations):
+            m_crt[:, block * n_patterns + column] = sim.error_vector(clk)
+
+    output_row = {net: row for row, net in enumerate(circuit.outputs)}
+    plan_by_sink = {
+        sink: _sink_plan(circuit, base_simulations, output_row, sink)
+        for sink in {edge.sink for edge in suspects}
+    }
+    job = _SignatureJob(
+        base_simulations=base_simulations,
+        clks=clks,
+        size_samples=size_samples,
+        suspects=suspects,
+        edge_indices=[timing.edge_index[edge] for edge in suspects],
+        m_crt=m_crt,
+        plan_by_sink=plan_by_sink,
+    )
+    signature_list = map_chunked(
+        _signatures_for_chunk, job, len(suspects), resolve_parallel(parallel)
+    )
+    if store is not None and key is not None:
+        store.store(key, m_crt, signature_list)
+    return _assemble(m_crt, signature_list)
+
+
 def build_dictionary(
     timing: CircuitTiming,
     patterns: PatternPairSet,
@@ -76,6 +269,8 @@ def build_dictionary(
     suspects: Sequence[Edge],
     size_samples: np.ndarray,
     base_simulations: Optional[Sequence[TransitionSimResult]] = None,
+    parallel: Optional[Union[ParallelConfig, str]] = None,
+    cache: Optional[Union[DictionaryCache, str]] = None,
 ) -> ProbabilisticFaultDictionary:
     """Build the dictionary for the given suspect set.
 
@@ -83,56 +278,18 @@ def build_dictionary(
     defect-size random variable (shared across suspects: common random
     numbers keep the suspect comparison noise-free).  Pass precomputed
     ``base_simulations`` (from :func:`simulate_pattern_set`) to reuse the
-    defect-free runs.
+    defect-free runs.  ``parallel`` / ``cache`` opt into the worker-pool
+    and on-disk-cache layers; both produce bit-identical dictionaries to
+    a plain serial build.
     """
-    circuit = timing.circuit
-    size_samples = np.asarray(size_samples, dtype=float)
-    if size_samples.shape != (timing.space.n_samples,):
-        raise ValueError("size_samples must cover the full sample space")
-    if base_simulations is None:
-        base_simulations = simulate_pattern_set(timing, list(patterns))
-    if len(base_simulations) != len(patterns):
-        raise ValueError("one base simulation per pattern required")
-
-    m_columns = [sim.error_vector(clk) for sim in base_simulations]
-    m_crt = (
-        np.stack(m_columns, axis=1)
-        if m_columns
-        else np.zeros((len(circuit.outputs), 0))
-    )
-
-    output_row = {net: row for row, net in enumerate(circuit.outputs)}
-    # cache of fanout cones per suspect sink net
-    cone_cache: Dict[str, List[str]] = {}
-
-    signatures: Dict[Edge, np.ndarray] = {}
-    for edge in suspects:
-        edge_index = timing.edge_index[edge]
-        if edge.sink not in cone_cache:
-            cone_cache[edge.sink] = circuit.fanout_cone(edge.sink)
-        affected_outputs = [
-            net for net in cone_cache[edge.sink] if net in output_row
-        ]
-        signature = np.zeros_like(m_crt)
-        for column, sim in enumerate(base_simulations):
-            if not affected_outputs:
-                break
-            # The defect only matters when the test launches a transition
-            # through the defective segment's sink gate.
-            if not sim.transitioned(edge.sink):
-                continue
-            patched = resimulate_with_extra(sim, {edge_index: size_samples})
-            for net in affected_outputs:
-                if patched.transitioned(net):
-                    row = output_row[net]
-                    err = float(np.mean(patched.stable[net] > clk))
-                    signature[row, column] = err - m_crt[row, column]
-        signatures[edge] = signature
-    return ProbabilisticFaultDictionary(
-        timing=timing,
-        clk=clk,
-        m_crt=m_crt,
-        suspects=list(suspects),
-        signatures=signatures,
-        size_samples=size_samples,
+    return build_multi_clock_dictionary(
+        timing,
+        patterns,
+        [clk],
+        suspects,
+        size_samples,
+        base_simulations=base_simulations,
+        parallel=parallel,
+        cache=cache,
+        clk_attribute=clk,
     )

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -32,15 +32,25 @@ from ..defects.injection import draw_failing_trial
 from ..defects.model import DefectSizeModel, SingleDefectModel
 from ..timing.critical import diagnosis_clock, simulate_pattern_set
 from ..timing.instance import CircuitTiming
+from .cache import DictionaryCache, resolve_cache
 from .diagnosis import run_diagnosis
 from .error_functions import ALG_REV, ErrorFunction, METHOD_I, METHOD_II
+from .parallel import ParallelConfig, resolve_parallel
 
 __all__ = ["EvaluationConfig", "TrialRecord", "EvaluationResult", "evaluate_circuit"]
 
 
 @dataclass
 class EvaluationConfig:
-    """Knobs of the Section I protocol (defaults follow the paper)."""
+    """Knobs of the Section I protocol (defaults follow the paper).
+
+    ``parallel`` selects the dictionary-construction backend
+    (``None`` defers to the ``REPRO_PARALLEL_*`` environment, serial by
+    default) and ``cache`` an optional on-disk dictionary cache
+    (``None`` defers to ``REPRO_CACHE_DIR``); neither changes results —
+    parallel and cached builds are bit-identical to serial ones, so the
+    protocol stays reproducible in its seed alone.
+    """
 
     n_trials: int = 20
     n_paths: int = 10
@@ -51,6 +61,8 @@ class EvaluationConfig:
     seed: int = 0
     max_location_redraws: int = 10
     max_instance_redraws: int = 50
+    parallel: Optional[Union[ParallelConfig, str]] = None
+    cache: Optional[Union[DictionaryCache, str]] = None
 
 
 @dataclass
@@ -113,6 +125,10 @@ def evaluate_circuit(
     config = config or EvaluationConfig()
     rng = np.random.default_rng(config.seed)
     defect_model = SingleDefectModel(timing, size_model=config.size_model)
+    # Resolve once so all N trials share one executor config and one cache
+    # object (whose hit/miss counters then describe the whole protocol).
+    parallel = resolve_parallel(config.parallel)
+    cache = resolve_cache(config.cache)
     records: List[TrialRecord] = []
 
     for trial_index in range(config.n_trials):
@@ -163,6 +179,8 @@ def evaluate_circuit(
             defect_model.dictionary_size_variable().samples,
             error_functions=config.error_functions,
             base_simulations=simulations,
+            parallel=parallel,
+            cache=cache,
         )
         ranks = {
             name: result.rank_of(defect.edge) for name, result in results.items()

@@ -1,0 +1,199 @@
+"""Parallel execution substrate for the per-suspect simulation fan-out.
+
+Dictionary construction is embarrassingly parallel across suspects: each
+signature is a deterministic function of (timing model, base simulations,
+suspect edge, size samples) and no suspect reads another's result.  The
+same shape covers per-pattern base simulation.  This module provides the
+executor abstraction those loops fan out through:
+
+* ``serial`` — plain in-process loop (the default; zero overhead),
+* ``process`` — a ``multiprocessing.Pool`` of worker processes,
+* ``futures`` — ``concurrent.futures.ProcessPoolExecutor``,
+* ``thread`` — ``concurrent.futures.ThreadPoolExecutor`` (no pickling;
+  useful when the payload is huge and the work releases the GIL).
+
+Work is sharded into *chunks of item indices*; the (potentially large)
+shared payload — the timing model plus base simulations — is shipped to
+each worker **once** via the pool initializer, not once per task.  Results
+are reassembled in item order, so any reduction downstream sees exactly
+the serial ordering: a parallel build is bit-identical to a serial one by
+construction, never "close enough modulo float reduction order".
+
+Configuration resolves, in priority order: explicit ``ParallelConfig`` >
+``REPRO_PARALLEL_BACKEND`` / ``REPRO_PARALLEL_WORKERS`` /
+``REPRO_PARALLEL_CHUNK`` environment variables > serial default.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
+
+__all__ = [
+    "BACKENDS",
+    "ParallelConfig",
+    "resolve_parallel",
+    "chunk_indices",
+    "map_chunked",
+]
+
+T = TypeVar("T")
+
+#: Recognised backend names.
+BACKENDS = ("serial", "process", "futures", "thread")
+
+#: Environment knobs (also set by the CLI flags in ``repro.__main__``).
+ENV_BACKEND = "REPRO_PARALLEL_BACKEND"
+ENV_WORKERS = "REPRO_PARALLEL_WORKERS"
+ENV_CHUNK = "REPRO_PARALLEL_CHUNK"
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How to fan a per-item loop out.
+
+    ``n_workers`` ``None`` means "one per available CPU"; ``chunk_size``
+    ``None`` means "split the items evenly, ~4 chunks per worker" (small
+    chunks balance load, large chunks amortize dispatch).
+    """
+
+    backend: str = "serial"
+    n_workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {self.backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+
+    @property
+    def is_serial(self) -> bool:
+        return self.backend == "serial" or self.workers == 1
+
+    @property
+    def workers(self) -> int:
+        if self.backend == "serial":
+            return 1
+        if self.n_workers is not None:
+            return self.n_workers
+        return max(os.cpu_count() or 1, 1)
+
+
+def resolve_parallel(
+    config: Optional[Union[ParallelConfig, str]] = None,
+) -> ParallelConfig:
+    """Normalize a caller-supplied configuration.
+
+    ``None`` falls back to the ``REPRO_PARALLEL_*`` environment (serial
+    when unset); a bare string is shorthand for a backend name.
+    """
+    if isinstance(config, ParallelConfig):
+        return config
+    if isinstance(config, str):
+        return ParallelConfig(backend=config)
+    backend = os.environ.get(ENV_BACKEND, "").strip()
+    if not backend:
+        return ParallelConfig()
+    workers = os.environ.get(ENV_WORKERS, "").strip()
+    chunk = os.environ.get(ENV_CHUNK, "").strip()
+    return ParallelConfig(
+        backend=backend,
+        n_workers=int(workers) if workers else None,
+        chunk_size=int(chunk) if chunk else None,
+    )
+
+
+def chunk_indices(
+    n_items: int, chunk_size: Optional[int], n_workers: int
+) -> List[range]:
+    """Shard ``range(n_items)`` into contiguous chunks, order-preserving.
+
+    With ``chunk_size=None`` the items split into roughly ``4 * n_workers``
+    equal chunks.  Chunk sizes above ``n_items`` simply yield one chunk —
+    callers may pass any positive value.
+    """
+    if n_items <= 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, -(-n_items // max(4 * n_workers, 1)))
+    return [
+        range(start, min(start + chunk_size, n_items))
+        for start in range(0, n_items, chunk_size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# worker-side state: the shared payload is installed once per worker by
+# the pool initializer, so each task message carries only an index range.
+# ----------------------------------------------------------------------
+_WORKER_FN: Optional[Callable] = None
+_WORKER_PAYLOAD = None
+
+
+def _init_worker(fn: Callable, payload) -> None:
+    global _WORKER_FN, _WORKER_PAYLOAD
+    _WORKER_FN = fn
+    _WORKER_PAYLOAD = payload
+
+
+def _run_chunk(chunk: Sequence[int]):
+    assert _WORKER_FN is not None, "worker pool used before initialization"
+    return _WORKER_FN(_WORKER_PAYLOAD, list(chunk))
+
+
+def map_chunked(
+    fn: Callable,
+    payload,
+    n_items: int,
+    config: Optional[Union[ParallelConfig, str]] = None,
+) -> List:
+    """Run ``fn(payload, indices)`` over chunked indices; flatten in order.
+
+    ``fn`` must be a module-level function returning one result per index
+    in the chunk (in chunk order); ``payload`` must be picklable for the
+    process backends.  The flattened result list is aligned with
+    ``range(n_items)`` regardless of completion order, which is what makes
+    parallel runs reproduce serial runs exactly.
+    """
+    config = resolve_parallel(config)
+    chunks = chunk_indices(n_items, config.chunk_size, config.workers)
+    if not chunks:
+        return []
+    if config.is_serial or len(chunks) == 1:
+        results = [fn(payload, list(chunk)) for chunk in chunks]
+        return [item for chunk_result in results for item in chunk_result]
+
+    workers = min(config.workers, len(chunks))
+    if config.backend == "process":
+        import multiprocessing
+
+        with multiprocessing.Pool(
+            workers, initializer=_init_worker, initargs=(fn, payload)
+        ) as pool:
+            results = pool.map(_run_chunk, chunks)
+    elif config.backend == "futures":
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(fn, payload),
+        ) as executor:
+            results = list(executor.map(_run_chunk, chunks))
+    elif config.backend == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            results = list(
+                executor.map(lambda chunk: fn(payload, list(chunk)), chunks)
+            )
+    else:  # pragma: no cover - guarded by ParallelConfig validation
+        raise ValueError(f"unknown parallel backend {config.backend!r}")
+    return [item for chunk_result in results for item in chunk_result]

@@ -84,19 +84,26 @@ class CellLibrary:
         return float(np.mean(nominals)) if nominals else 0.0
 
     def sample_edge_delays(
-        self, circuit: Circuit, space: SampleSpace
+        self, circuit: Circuit, space: SampleSpace, rng=None
     ) -> np.ndarray:
         """Draw the full ``(n_edges, n_samples)`` delay matrix for a circuit.
 
         Row order follows ``circuit.edges``.  Column ``s`` is the delay
         assignment of circuit instance ``s`` (Definition D.2): globally
         shifted by the shared process factor, locally jittered per arc.
+
+        The local jitter comes from ``rng`` when given and from the
+        space's own stream otherwise.  Passing an explicit generator
+        (e.g. ``space.child_rng(...)``) makes the matrix independent of
+        how much of ``space.rng`` other callers have already consumed —
+        required when several workers materialize models concurrently.
         """
         edges = circuit.edges
         nominal = np.array(
             [self.nominal_pin_delay(circuit, edge) for edge in edges]
         )
-        local = space.rng.standard_normal((len(edges), space.n_samples))
+        generator = rng if rng is not None else space.rng
+        local = generator.standard_normal((len(edges), space.n_samples))
         delays = nominal[:, None] * (
             1.0
             + self.sigma_global * space.global_factor[None, :]

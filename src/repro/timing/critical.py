@@ -39,10 +39,41 @@ def error_vector(timing: CircuitTiming, pattern: PatternPair, clk: float) -> np.
     return simulate_transition(timing, v1, v2).error_vector(clk)
 
 
+def _simulate_chunk(payload, indices) -> List[TransitionSimResult]:
+    """Worker body for the parallel pattern fan-out (top-level: picklable)."""
+    timing, patterns = payload
+    return [
+        simulate_transition(timing, patterns[index][0], patterns[index][1])
+        for index in indices
+    ]
+
+
 def simulate_pattern_set(
-    timing: CircuitTiming, patterns: Sequence[PatternPair]
+    timing: CircuitTiming,
+    patterns: Sequence[PatternPair],
+    parallel=None,
 ) -> List[TransitionSimResult]:
-    """Full-width dynamic simulations, one per two-vector test."""
+    """Full-width dynamic simulations, one per two-vector test.
+
+    Patterns are independent, so the loop fans out through
+    :mod:`repro.core.parallel` when ``parallel`` (a ``ParallelConfig`` or
+    backend name) asks for it; results keep pattern order, so downstream
+    consumers are unaffected by worker scheduling.  The default stays
+    serial — per-pattern simulations are vectorized over samples already,
+    and the fan-out only pays off for large pattern sets.
+    """
+    patterns = list(patterns)
+    if parallel is not None:
+        # Imported lazily: repro.core packages import this module at load
+        # time, so a top-level import would be circular.
+        from ..core.parallel import map_chunked, resolve_parallel
+
+        return map_chunked(
+            _simulate_chunk,
+            (timing, patterns),
+            len(patterns),
+            resolve_parallel(parallel),
+        )
     return [simulate_transition(timing, v1, v2) for v1, v2 in patterns]
 
 

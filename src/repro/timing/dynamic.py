@@ -29,7 +29,7 @@ dictionary construction (hundreds of suspects) cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -197,7 +197,9 @@ def simulate_transition(
 
 
 def resimulate_with_extra(
-    base: TransitionSimResult, extra_delay: ExtraDelay
+    base: TransitionSimResult,
+    extra_delay: ExtraDelay,
+    affected: Optional[Iterable[str]] = None,
 ) -> TransitionSimResult:
     """Re-evaluate settle times after adding delay to a few edges.
 
@@ -205,14 +207,22 @@ def resimulate_with_extra(
     every other net shares the base result's arrays.  Logic values are
     reused verbatim (a delay defect never changes settled logic).  The base
     must be a full-width simulation of the same timing model.
+
+    ``affected`` optionally supplies that cone union precomputed — the
+    dictionary builder re-simulates every suspect of a sink against many
+    patterns and amortizes the cone traversal across all of them.  It must
+    cover (at least) the fanout cones of every edge in ``extra_delay``.
     """
     timing = base.timing
     circuit = timing.circuit
     edges = circuit.edges
 
-    affected = set()
-    for edge_index in extra_delay:
-        affected.update(circuit.fanout_cone(edges[edge_index].sink))
+    if affected is None:
+        affected = set()
+        for edge_index in extra_delay:
+            affected.update(circuit.fanout_cone(edges[edge_index].sink))
+    elif not isinstance(affected, set):
+        affected = set(affected)
     if not affected:
         return base
 

@@ -38,12 +38,16 @@ class CircuitTiming:
         space: SampleSpace,
         library: Optional[CellLibrary] = None,
         delays: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.circuit = circuit
         self.space = space
         self.library = library or CellLibrary()
         if delays is None:
-            delays = self.library.sample_edge_delays(circuit, space)
+            # ``rng`` (e.g. ``space.child_rng(...)``) decouples the draw
+            # from the space's shared stream: workers materializing timing
+            # models concurrently must not race over ``space.rng``'s state.
+            delays = self.library.sample_edge_delays(circuit, space, rng=rng)
         delays = np.asarray(delays, dtype=float)
         expected = (len(circuit.edges), space.n_samples)
         if delays.shape != expected:

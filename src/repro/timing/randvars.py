@@ -50,6 +50,30 @@ class SampleSpace:
         self.rng = np.random.default_rng(seed)
         self.global_factor = self.rng.standard_normal(self.n_samples)
 
+    def child_rng(self, *spawn_key: int) -> np.random.Generator:
+        """An independent generator derived from this space's seed.
+
+        Built on ``np.random.SeedSequence`` spawn keys, so distinct keys
+        yield provably independent streams and the *same* key always
+        yields the same stream — regardless of how much of ``self.rng``
+        has been consumed.  This is the generator parallel workers must
+        use for any private draws: worker ``w`` takes ``child_rng(w)``
+        and two workers can never see identical values (the classic
+        "every fork reuses the parent seed" parallel-MC bug).
+        """
+        if any(int(k) < 0 for k in spawn_key):
+            raise ValueError("spawn_key parts must be non-negative")
+        sequence = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=tuple(int(k) for k in spawn_key)
+        )
+        return np.random.default_rng(sequence)
+
+    def spawn(self, n_children: int) -> list:
+        """``n_children`` independent generators (``child_rng(0..n-1)``)."""
+        if n_children < 0:
+            raise ValueError("n_children must be non-negative")
+        return [self.child_rng(index) for index in range(n_children)]
+
     def correlated_delay(
         self,
         nominal: float,

@@ -76,3 +76,31 @@ def bench_timing(bench_synth):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_execution_env(monkeypatch):
+    """Keep every test hermetic w.r.t. the REPRO_* execution environment.
+
+    The dictionary builder resolves its parallel backend and on-disk cache
+    from ``REPRO_PARALLEL_*`` / ``REPRO_CACHE_DIR`` when not passed
+    explicitly; a developer's shell (or a previous test) must never leak
+    a cache directory or a process pool into unrelated tests.  This also
+    keeps the suite pytest-xdist-clean: no worker ever shares an implicit
+    cache directory with another.
+    """
+    for variable in (
+        "REPRO_CACHE_DIR",
+        "REPRO_PARALLEL_BACKEND",
+        "REPRO_PARALLEL_WORKERS",
+        "REPRO_PARALLEL_CHUNK",
+    ):
+        monkeypatch.delenv(variable, raising=False)
+
+
+@pytest.fixture()
+def tmp_cache(tmp_path):
+    """A per-test dictionary cache in a private tmp dir (xdist-safe)."""
+    from repro.core import DictionaryCache
+
+    return DictionaryCache(tmp_path / "dict-cache")

@@ -1,0 +1,240 @@
+"""The on-disk dictionary cache: hits, misses, invalidation, corruption.
+
+A stale cache hit would silently corrupt every diagnosis downstream, so
+the key must cover *everything* the dictionary content depends on —
+circuit structure, the materialized delay matrix (which subsumes the RNG
+seed and sample count), pattern set, clock, suspect list and defect-size
+samples.  And because cache files live on disk across runs, load must
+treat any damaged file as a miss, never as data and never as a crash.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.atpg import random_pattern_pairs
+from repro.circuits import GeneratorConfig, generate_circuit
+from repro.core import (
+    DictionaryCache,
+    build_dictionary,
+    circuit_fingerprint,
+    dictionary_cache_key,
+    patterns_fingerprint,
+    resolve_cache,
+    timing_fingerprint,
+)
+from repro.defects import DefectSizeModel
+from repro.timing import CircuitTiming, SampleSpace, diagnosis_clock, simulate_pattern_set
+
+
+@pytest.fixture()
+def case(small_timing):
+    timing = small_timing
+    patterns = random_pattern_pairs(timing.circuit, 4, seed=1)
+    sims = simulate_pattern_set(timing, list(patterns))
+    clk = diagnosis_clock(timing, list(patterns), 0.8, simulations=sims)
+    suspects = timing.circuit.edges[::5]
+    sizes = DefectSizeModel().size_variable(
+        2.0, timing.space, rng=np.random.default_rng(4)
+    ).samples
+    return timing, patterns, clk, suspects, sizes, sims
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return DictionaryCache(tmp_path / "dict-cache")
+
+
+class TestCacheHit:
+    def test_hit_returns_identical_arrays(self, case, cache):
+        timing, patterns, clk, suspects, sizes, sims = case
+        built = build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, cache=cache,
+        )
+        assert (cache.hits, cache.misses) == (0, 1)
+        loaded = build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, cache=cache,
+        )
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert np.array_equal(built.m_crt, loaded.m_crt)
+        assert built.suspects == loaded.suspects
+        for edge in suspects:
+            assert np.array_equal(built.signatures[edge], loaded.signatures[edge])
+
+    def test_hit_skips_base_simulations_entirely(self, case, cache):
+        timing, patterns, clk, suspects, sizes, sims = case
+        build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, cache=cache,
+        )
+        # A hit must not even need the base simulations: this is what lets
+        # repeated diagnoses skip the defect-free re-simulation too.
+        loaded = build_dictionary(
+            timing, patterns, clk, suspects, sizes, cache=cache
+        )
+        assert cache.hits == 1
+        for edge in suspects:
+            assert edge in loaded.signatures
+
+
+class TestCacheInvalidation:
+    def test_any_input_change_misses(self, case, cache):
+        timing, patterns, clk, suspects, sizes, sims = case
+        pattern_list = list(patterns)
+        base_key = dictionary_cache_key(timing, pattern_list, [clk], suspects, sizes)
+
+        # clock
+        assert dictionary_cache_key(
+            timing, pattern_list, [clk * 1.01], suspects, sizes
+        ) != base_key
+        # pattern set (flip one bit of one vector)
+        mutated = [(v1.copy(), v2.copy()) for v1, v2 in pattern_list]
+        mutated[0][0][0] ^= 1
+        assert dictionary_cache_key(
+            timing, mutated, [clk], suspects, sizes
+        ) != base_key
+        # suspect list
+        assert dictionary_cache_key(
+            timing, pattern_list, [clk], suspects[:-1], sizes
+        ) != base_key
+        # defect-size population
+        assert dictionary_cache_key(
+            timing, pattern_list, [clk], suspects, sizes + 1e-9
+        ) != base_key
+
+    def test_seed_and_sample_count_change_key(self, case):
+        timing, patterns, clk, suspects, sizes, _sims = case
+        circuit = timing.circuit
+        for space in (
+            SampleSpace(n_samples=timing.space.n_samples, seed=timing.space.seed + 1),
+            SampleSpace(n_samples=timing.space.n_samples + 10, seed=timing.space.seed),
+        ):
+            other = CircuitTiming(circuit, space)
+            other_sizes = DefectSizeModel().size_variable(
+                2.0, space, rng=np.random.default_rng(4)
+            ).samples
+            assert dictionary_cache_key(
+                other, list(patterns), [clk], suspects, other_sizes
+            ) != dictionary_cache_key(timing, list(patterns), [clk], suspects, sizes)
+
+    def test_circuit_change_changes_fingerprint(self):
+        a = generate_circuit(GeneratorConfig(n_inputs=4, n_outputs=2, n_gates=12, seed=0))
+        b = generate_circuit(GeneratorConfig(n_inputs=4, n_outputs=2, n_gates=12, seed=1))
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+        assert circuit_fingerprint(a) == circuit_fingerprint(a)
+
+    def test_fingerprints_deterministic(self, case):
+        timing, patterns, _clk, _suspects, _sizes, _sims = case
+        assert timing_fingerprint(timing) == timing_fingerprint(timing)
+        assert patterns_fingerprint(list(patterns)) == patterns_fingerprint(
+            list(patterns)
+        )
+
+    def test_changed_clock_rebuilds_not_reuses(self, case, cache):
+        timing, patterns, clk, suspects, sizes, sims = case
+        first = build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, cache=cache,
+        )
+        second = build_dictionary(
+            timing, patterns, clk * 0.9, suspects, sizes,
+            base_simulations=sims, cache=cache,
+        )
+        assert cache.hits == 0 and cache.misses == 2
+        reference = build_dictionary(
+            timing, patterns, clk * 0.9, suspects, sizes, base_simulations=sims
+        )
+        for edge in suspects:
+            assert np.array_equal(second.signatures[edge], reference.signatures[edge])
+        # a tighter clock must change the healthy error matrix — proving the
+        # second build really was a rebuild, not a stale reuse
+        assert not np.array_equal(first.m_crt, second.m_crt)
+
+
+class TestCorruption:
+    def _store_one(self, case, cache):
+        timing, patterns, clk, suspects, sizes, sims = case
+        build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, cache=cache,
+        )
+        key = dictionary_cache_key(timing, list(patterns), [clk], suspects, sizes)
+        return key, cache.path_for(key)
+
+    def test_truncated_file_detected_and_rebuilt(self, case, cache):
+        key, path = self._store_one(case, cache)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        assert cache.load(key) is None
+        assert cache.rejected == 1
+        assert not os.path.exists(path), "corrupt entry must be evicted"
+        # rebuild goes through cleanly and re-stores
+        timing, patterns, clk, suspects, sizes, sims = case
+        rebuilt = build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, cache=cache,
+        )
+        assert os.path.exists(path)
+        assert len(rebuilt) == len(suspects)
+
+    def test_garbage_file_is_a_miss_not_a_crash(self, case, cache):
+        key, path = self._store_one(case, cache)
+        with open(path, "wb") as handle:
+            handle.write(b"this is not an npz archive")
+        assert cache.load(key) is None
+
+    def test_payload_tamper_detected_by_checksum(self, case, cache):
+        key, path = self._store_one(case, cache)
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["m_crt"] = arrays["m_crt"] + 1e-6  # silent bit-rot stand-in
+        np.savez(path, **arrays)
+        assert cache.load(key) is None
+        assert cache.rejected == 1
+
+    def test_clear_removes_entries(self, case, cache):
+        _key, path = self._store_one(case, cache)
+        assert os.path.exists(path)
+        assert cache.clear() == 1
+        assert not os.path.exists(path)
+
+
+class TestResolution:
+    def test_default_off(self):
+        assert os.environ.get("REPRO_CACHE_DIR") is None
+        assert resolve_cache(None) is None
+
+    def test_env_var_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        store = resolve_cache(None)
+        assert store is not None
+        assert store.directory == str(tmp_path / "env-cache")
+
+    def test_env_var_reaches_build_dictionary(self, monkeypatch, tmp_path, case):
+        cache_dir = tmp_path / "env-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        timing, patterns, clk, suspects, sizes, sims = case
+        build_dictionary(
+            timing, patterns, clk, suspects, sizes, base_simulations=sims
+        )
+        entries = [
+            name for name in os.listdir(cache_dir) if name.endswith(".npz")
+        ]
+        assert len(entries) == 1
+
+    def test_explicit_path_and_instance(self, tmp_path, cache):
+        by_path = resolve_cache(tmp_path / "elsewhere")
+        assert by_path is not None
+        assert resolve_cache(cache) is cache
+
+    def test_no_files_written_when_disabled(self, case, tmp_path):
+        timing, patterns, clk, suspects, sizes, sims = case
+        build_dictionary(
+            timing, patterns, clk, suspects, sizes, base_simulations=sims
+        )
+        assert list(tmp_path.iterdir()) == []

@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 
+@pytest.mark.slow
 class TestHarnessDeterminism:
     def test_table1_circuit_bitwise_reproducible(self):
         from repro.experiments import run_table1_circuit
@@ -43,6 +44,56 @@ class TestHarnessDeterminism:
         a = quick_diagnosis_demo("s1238", seed=4, n_samples=100)
         b = quick_diagnosis_demo("s1238", seed=4, n_samples=100)
         assert a == b
+
+
+@pytest.mark.slow
+class TestParallelBackendDeterminism:
+    """The parallel dictionary backend must not perturb the protocol.
+
+    Worker-order float reductions are the classic way a parallel Monte-
+    Carlo run drifts from its serial twin; the builder sidesteps them by
+    assembling per-suspect results in suspect order, and this test pins
+    that guarantee at the highest level: a full Section I evaluation round
+    under the process backend produces the *identical* per-trial rankings
+    (hence identical top-K success rates) as the serial run.
+    """
+
+    def test_full_evaluate_round_matches_serial(self, bench_timing):
+        from repro.core import EvaluationConfig, ParallelConfig, evaluate_circuit
+
+        serial_config = EvaluationConfig(n_trials=2, n_paths=5, seed=9)
+        parallel_config = EvaluationConfig(
+            n_trials=2,
+            n_paths=5,
+            seed=9,
+            parallel=ParallelConfig(backend="process", n_workers=2, chunk_size=4),
+        )
+        serial = evaluate_circuit(bench_timing, serial_config)
+        parallel = evaluate_circuit(bench_timing, parallel_config)
+
+        assert [r.defect_edge for r in serial.records] == [
+            r.defect_edge for r in parallel.records
+        ]
+        assert [r.ranks for r in serial.records] == [
+            r.ranks for r in parallel.records
+        ]
+        for k in serial_config.k_values:
+            for function in serial_config.error_functions:
+                assert serial.success_rate(function.name, k) == parallel.success_rate(
+                    function.name, k
+                )
+
+    def test_cached_evaluate_round_matches_serial(self, bench_timing, tmp_cache):
+        """Second evaluation round served from the cache is bit-identical
+        (and actually hits: same seed -> same patterns -> same key)."""
+        from repro.core import EvaluationConfig, evaluate_circuit
+
+        config = EvaluationConfig(n_trials=2, n_paths=5, seed=9, cache=tmp_cache)
+        first = evaluate_circuit(bench_timing, config)
+        assert tmp_cache.hits == 0
+        second = evaluate_circuit(bench_timing, config)
+        assert tmp_cache.hits > 0
+        assert [r.ranks for r in first.records] == [r.ranks for r in second.records]
 
 
 class TestCrossSimulatorConsistency:

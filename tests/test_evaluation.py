@@ -3,6 +3,9 @@
 import numpy as np
 import pytest
 
+# Every test here runs the multi-trial injection protocol end to end.
+pytestmark = pytest.mark.slow
+
 from repro.core import (
     ALG_REV,
     METHOD_I,

@@ -115,6 +115,7 @@ class TestFigure3:
         assert all(0.0 <= m <= 1.0 for m in mism)
 
 
+@pytest.mark.slow
 class TestTable1Harness:
     @pytest.fixture(scope="class")
     def quick(self):
