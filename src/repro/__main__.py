@@ -9,6 +9,8 @@ Python.  Commands:
 * ``diagnose <benchmark>``       — inject a random defect and diagnose it
 * ``table1 [circuits...]``       — the Table I reproduction
 * ``benchmarks``                 — list known benchmark circuits
+* ``lint``                       — static analysis: determinism linter over
+  the codebase and/or semantic checks over the shipped benchmark models
 """
 
 from __future__ import annotations
@@ -206,6 +208,42 @@ def cmd_characterize(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the static-analysis subsystem (see :mod:`repro.lint`).
+
+    Exit status 0 when no error-severity findings remain, 1 otherwise —
+    warnings and infos never fail the gate.
+    """
+    from .lint import (
+        parse_suppressions,
+        render_report,
+        render_rule_catalog,
+        run_lint,
+    )
+
+    if args.rules:
+        print(render_rule_catalog())
+        return 0
+    if args.code and args.models:
+        mode = "all"
+    elif args.code:
+        mode = "code"
+    elif args.models:
+        mode = "models"
+    else:
+        mode = "all"
+    report = run_lint(
+        mode,
+        paths=args.paths or None,
+        circuits=args.circuits or None,
+        cache_dir=args.cache_dir or None,
+        seed=args.seed,
+        suppress=parse_suppressions(args.suppress),
+    )
+    print(render_report(report, args.format))
+    return report.exit_code
+
+
 def cmd_table1(args) -> int:
     from .experiments import render_shape_checks, render_table1, run_table1
 
@@ -286,6 +324,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=20)
     common(p)
     p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: determinism linter + semantic model checks",
+    )
+    p.add_argument(
+        "--code", action="store_true",
+        help="run the determinism linter over the package source",
+    )
+    p.add_argument(
+        "--models", action="store_true",
+        help="run the semantic checker over the shipped benchmark circuits",
+    )
+    p.add_argument(
+        "--all", action="store_true", dest="both",
+        help="run both engines (the default when neither flag is given)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json follows the documented report schema)",
+    )
+    p.add_argument(
+        "--path", action="append", dest="paths", metavar="PATH",
+        help="extra source file/tree for --code (repeatable; default: the "
+        "installed repro package)",
+    )
+    p.add_argument(
+        "--circuits", nargs="*", metavar="NAME",
+        help="benchmark subset for --models (default: all shipped)",
+    )
+    p.add_argument(
+        "--suppress", type=str, default="",
+        help="comma-separated rule IDs or globs to suppress (e.g. D105,C2*)",
+    )
+    p.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--cache-dir", type=str, default="", dest="cache_dir",
+        help="also audit this dictionary-cache directory (S4xx rules)",
+    )
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

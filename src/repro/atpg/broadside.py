@@ -19,12 +19,12 @@ functional-capture consistency ``v2[ppi] == F_next(v1)``.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..circuits.library import GateType
 from ..circuits.netlist import Circuit
+from ..rng import RngLike, coerce_rng
 from ..paths.model import Path
 from ..paths.sensitization import Sensitization, classify_path_sensitization
 from .justify import Justifier
@@ -104,7 +104,7 @@ def generate_broadside_test(
     path: Path,
     criterion: Sensitization = Sensitization.NON_ROBUST,
     model: Optional[BroadsideModel] = None,
-    rng: Optional[random.Random] = None,
+    rng: Optional[RngLike] = None,
     justifier: Optional[Justifier] = None,
     backtrack_limit: int = 150,
 ) -> Optional[BroadsideTest]:
@@ -116,7 +116,7 @@ def generate_broadside_test(
     frame 1 onto ``f1:`` — and justified *single-frame* there, so the
     capture relation is enforced structurally rather than by search.
     """
-    rng = rng or random.Random(0)
+    rng = coerce_rng(rng)
     if model is None:
         model = broadside_expand(circuit)
     expanded = model.expanded

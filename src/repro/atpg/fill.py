@@ -29,13 +29,13 @@ effect end to end.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..circuits.netlist import Circuit
+from ..rng import RngLike, coerce_rng
 from ..paths.sensitization import Sensitization, classify_path_sensitization
 from ..timing.dynamic import simulate_transition
 from ..timing.instance import CircuitTiming
@@ -104,7 +104,7 @@ def optimize_fill(
     generations: int = 6,
     mutation_rate: float = 0.15,
     delta: float = 1.0,
-    rng: Optional[random.Random] = None,
+    rng: Optional[RngLike] = None,
 ) -> FillResult:
     """Evolve the fill of ``test`` to maximize defect visibility.
 
@@ -119,7 +119,7 @@ def optimize_fill(
         raise ValueError("population >= 2 and generations >= 1 required")
     if delta <= 0:
         raise ValueError("delta must be positive")
-    rng = rng or random.Random(0)
+    rng = coerce_rng(rng)
     circuit = timing.circuit
     target = test.path.nets[-1]
     width = len(circuit.inputs)

@@ -92,9 +92,9 @@ class JustifyResult:
         * ``"random"`` — independent random values per frame; noisier tests
           that sensitize many incidental paths (used by ablations).
         """
-        import random
+        from ..rng import coerce_rng
 
-        rng = rng or random.Random(0)
+        rng = coerce_rng(rng)
         if fill not in ("quiet", "random"):
             raise ValueError("fill must be 'quiet' or 'random'")
         v1, v2 = [], []

@@ -27,12 +27,12 @@ non-robust as fallback.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..circuits.library import CONTROLLING_VALUE, GateType, INVERTING
 from ..circuits.netlist import Circuit
+from ..rng import RngLike, coerce_rng
 from ..paths.model import Path
 from ..paths.sensitization import Sensitization, classify_path_sensitization
 from .justify import Justifier, Key
@@ -172,7 +172,7 @@ def generate_test_for_path(
     circuit: Circuit,
     path: Path,
     criterion: Sensitization = Sensitization.ROBUST,
-    rng: Optional[random.Random] = None,
+    rng: Optional[RngLike] = None,
     justifier: Optional[Justifier] = None,
     fill_attempts: int = 4,
     backtrack_limit: Optional[int] = None,
@@ -186,7 +186,7 @@ def generate_test_for_path(
     break the constraints, but the check also guards the constraint builder
     itself — this is the "false-path-aware" filter of Section H-4).
     """
-    rng = rng or random.Random(0)
+    rng = coerce_rng(rng)
     justifier = justifier or Justifier(circuit)
     for rising in (True, False):
         for constraints in build_path_constraints(circuit, path, rising, criterion):

@@ -16,13 +16,13 @@ by the pattern-quality ablation).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..circuits.netlist import Circuit, Edge
+from ..rng import RngLike, coerce_rng
 from ..paths.enumerate import (
     k_longest_paths_through,
     longest_delay_tables,
@@ -115,6 +115,7 @@ def generate_path_tests(
     rng_seed: int = 0,
     pad_random: int = 0,
     justifier: Optional[Justifier] = None,
+    rng: Optional[RngLike] = None,
 ) -> Tuple[PatternPairSet, List[PathTest]]:
     """Pattern set for the ``n_paths`` longest paths through ``site``.
 
@@ -122,9 +123,18 @@ def generate_path_tests(
     (paper: "robust or non-robust patterns").  Untestable (false) paths are
     skipped — the false-path-aware selection of [17].  ``pad_random`` extra
     random pairs can be appended (used by ablations, not the main flow).
+
+    ``rng`` threads an explicit stream through the search — pass
+    ``space.child_rng(...)`` for parallel-safe generation; the default is
+    the legacy ``CompatRandom(rng_seed)`` stream (bit-identical to the
+    historical behavior).
     """
     circuit = timing.circuit
-    rng = random.Random(rng_seed)
+    pad_rng = (
+        rng if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng_seed)
+    )
+    rng = coerce_rng(rng, rng_seed)
     justifier = justifier or Justifier(circuit)
     pattern_set = PatternPairSet(circuit)
     tests: List[PathTest] = []
@@ -175,14 +185,15 @@ def generate_path_tests(
             try_path(path)
 
     if pad_random:
-        pattern_set.extend_random(pad_random, np.random.default_rng(rng_seed))
+        pattern_set.extend_random(pad_random, pad_rng)
     return pattern_set, tests
 
 
 def random_pattern_pairs(
-    circuit: Circuit, count: int, seed: int = 0
+    circuit: Circuit, count: int, seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> PatternPairSet:
     """A purely random two-vector pattern set (baseline / ablation)."""
     pattern_set = PatternPairSet(circuit)
-    pattern_set.extend_random(count, np.random.default_rng(seed))
+    pattern_set.extend_random(count, rng or np.random.default_rng(seed))
     return pattern_set

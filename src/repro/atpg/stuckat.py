@@ -12,13 +12,13 @@ simulation of the fault machine.  Used for:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..circuits.library import CONTROLLING_VALUE, GateType, INVERTING
 from ..circuits.netlist import Circuit
 from ..logic.faults import StuckAtFault
+from ..rng import RngLike, coerce_rng
 from .values import D, DB, ONE, XX, ZERO, d_and, d_not, d_or, d_xor
 
 __all__ = ["StuckAtAtpg", "StuckAtTest"]
@@ -64,10 +64,10 @@ class StuckAtAtpg:
 
     # ------------------------------------------------------------------
     def generate(
-        self, fault: StuckAtFault, rng: Optional[random.Random] = None
+        self, fault: StuckAtFault, rng: Optional[RngLike] = None
     ) -> Optional[StuckAtTest]:
         """Find a vector detecting ``fault``, or ``None`` (untestable/limit)."""
-        rng = rng or random.Random(0)
+        rng = coerce_rng(rng)
         assignment: Dict[str, int] = {}
         decisions: List[Tuple[str, int, bool]] = []
         backtracks = 0

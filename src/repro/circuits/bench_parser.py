@@ -51,11 +51,17 @@ _IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
 _GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*(.*?)\s*\)$")
 
 
-def parse_bench(text: str, name: str = "bench") -> Circuit:
+def parse_bench(text: str, name: str = "bench", validate: bool = False) -> Circuit:
     """Parse ``.bench`` text into a frozen :class:`Circuit`.
 
     The returned circuit may contain DFFs; callers targeting the delay-test
     flow should follow up with :meth:`Circuit.unroll_scan`.
+
+    With ``validate=True`` the parsed circuit is additionally run through the
+    semantic model checker (:func:`repro.lint.check_circuit`); any
+    error-severity structural finding — multiply-driven nets aside, which the
+    builder already rejects — raises :class:`BenchParseError`.  DFFs are
+    allowed at this stage since ``.bench`` netlists are sequential by nature.
     """
     circuit = Circuit(name)
     outputs: List[str] = []
@@ -99,15 +105,30 @@ def parse_bench(text: str, name: str = "bench") -> Circuit:
     for net in outputs:
         circuit.mark_output(net)
     try:
-        return circuit.freeze()
+        circuit = circuit.freeze()
     except CircuitError as exc:
         raise BenchParseError(str(exc)) from exc
+    if validate:
+        from ..lint.models import check_circuit
+
+        errors = [
+            finding.message
+            for finding in check_circuit(
+                circuit, require_observable=False, allow_dffs=True
+            )
+            if finding.severity.value == "error"
+        ]
+        if errors:
+            raise BenchParseError(
+                f"netlist {name!r} failed validation: " + "; ".join(errors)
+            )
+    return circuit
 
 
-def parse_bench_file(path: Union[str, Path]) -> Circuit:
+def parse_bench_file(path: Union[str, Path], validate: bool = False) -> Circuit:
     """Parse a ``.bench`` file; the circuit name is the file stem."""
     path = Path(path)
-    return parse_bench(path.read_text(), name=path.stem)
+    return parse_bench(path.read_text(), name=path.stem, validate=validate)
 
 
 def write_bench(circuit: Circuit) -> str:

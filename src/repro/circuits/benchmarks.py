@@ -140,6 +140,28 @@ PROFILES: Dict[str, BenchmarkProfile] = {
 _EMBEDDED = {"c17": C17_BENCH, "s27": S27_BENCH}
 
 
+def _generator_sanity_gate(circuit: Circuit) -> None:
+    """Reject a structurally broken synthetic circuit at generation time.
+
+    Runs the cheap (linear) subset of the ``C2xx`` model checks — the
+    full-observability cone analysis is left to the lint CLI and the
+    test-suite, which audit every profile once instead of on every load.
+    """
+    from ..lint.models import check_circuit
+    from .netlist import CircuitError
+
+    errors = [
+        finding.message
+        for finding in check_circuit(circuit, require_observable=False)
+        if finding.severity.value == "error"
+    ]
+    if errors:
+        raise CircuitError(
+            f"generated circuit {circuit.name!r} failed its sanity gate: "
+            + "; ".join(errors)
+        )
+
+
 def benchmark_names(include_embedded: bool = True) -> List[str]:
     """Names accepted by :func:`load_benchmark` (Table I order first)."""
     names = list(PROFILES)
@@ -167,6 +189,7 @@ def load_benchmark(
             f"unknown benchmark {name!r}; known: {benchmark_names()}"
         ) from None
     circuit = generate_circuit(profile.generator_config(seed=seed, scale=scale))
+    _generator_sanity_gate(circuit)
     # The synthetic circuit is generated directly in the full-scan view;
     # record which pseudo-PIs pair with which pseudo-POs (flop i's state
     # input with flop i's next-state output) for broadside test generation.

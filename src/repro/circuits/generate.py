@@ -24,10 +24,10 @@ Structural guarantees:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from ..rng import CompatRandom
 from .library import GateType
 from .netlist import Circuit
 
@@ -87,7 +87,7 @@ class GeneratorConfig:
             raise ValueError("target_depth must be >= 2")
 
 
-def _choose_type(rng: random.Random, weights: Dict[GateType, float]) -> GateType:
+def _choose_type(rng: CompatRandom, weights: Dict[GateType, float]) -> GateType:
     types = list(weights)
     cumulative = []
     total = 0.0
@@ -101,7 +101,7 @@ def _choose_type(rng: random.Random, weights: Dict[GateType, float]) -> GateType
     return types[-1]
 
 
-def _choose_fanin_count(rng: random.Random, gate_type: GateType) -> int:
+def _choose_fanin_count(rng: CompatRandom, gate_type: GateType) -> int:
     if gate_type in (GateType.NOT, GateType.BUF):
         return 1
     if gate_type in (GateType.XOR, GateType.XNOR):
@@ -139,7 +139,7 @@ def _signal_probability(gate_type: GateType, input_probs: Sequence[float]) -> fl
 
 
 def _pick_balanced_type(
-    rng: random.Random,
+    rng: CompatRandom,
     weights: Dict[GateType, float],
     fanin_probs: Sequence[float],
     attempts: int = 6,
@@ -180,7 +180,7 @@ def generate_circuit(config: GeneratorConfig) -> Circuit:
     output stage stays small.  A final output stage of ``n_outputs`` gates
     absorbs every remaining unconsumed net, guaranteeing full observability.
     """
-    rng = random.Random(config.seed)
+    rng = CompatRandom(config.seed)
     circuit = Circuit(config.name)
 
     level_nets: List[List[str]] = [[]]
@@ -238,7 +238,7 @@ def generate_circuit(config: GeneratorConfig) -> Circuit:
 
 def _build_output_stage(
     circuit: Circuit,
-    rng: random.Random,
+    rng: CompatRandom,
     config: GeneratorConfig,
     unconsumed: List[str],
     all_nets: List[str],

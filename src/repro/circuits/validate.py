@@ -1,16 +1,23 @@
-"""Structural validation of circuits.
+"""Deprecated structural-validation shim.
 
-Lightweight lint checks used by the test-suite, the generator's own sanity
-gates, and by users dropping in external ``.bench`` netlists.  All checks are
-pure structure; logic/timing semantic checks live with their tools.
+The flat, severity-less checks that used to live here were subsumed by the
+unified static-analysis subsystem: :func:`repro.lint.check_circuit` emits
+the same findings (and more — cycles, dangling fanins) as
+:class:`~repro.lint.diagnostics.Diagnostic` objects with stable ``C2xx``
+rule IDs and severities.  :func:`validate_circuit` survives as a thin
+wrapper so external callers keep working; new code should use
+``repro.lint`` directly::
+
+    from repro.lint import lint_circuit
+    assert lint_circuit(circuit).ok
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List
 
-from .library import GateType
 from .netlist import Circuit
 
 __all__ = ["ValidationReport", "validate_circuit"]
@@ -34,42 +41,19 @@ class ValidationReport:
 
 
 def validate_circuit(circuit: Circuit, require_observable: bool = True) -> ValidationReport:
-    """Check structural invariants.
+    """Check structural invariants (deprecated wrapper).
 
-    * frozen and acyclic (guaranteed by ``freeze``, revalidated here),
-    * at least one input and one output,
-    * no DFFs (delay-test flow expects the scan-unrolled view),
-    * no duplicated fanins on XOR-family gates feeding trivial constants,
-    * optionally: every gate reaches a primary output and every gate is
-      reachable from a primary input (full controllability/observability),
-      which the defect-injection experiments rely on.
+    Delegates to :func:`repro.lint.check_circuit`; every finding —
+    regardless of severity — becomes one flat issue string, matching the
+    historical report shape.
     """
-    report = ValidationReport()
-    if not circuit.frozen:
-        report.add("circuit is not frozen")
-        return report
-    if not circuit.inputs:
-        report.add("no primary inputs")
-    if not circuit.outputs:
-        report.add("no primary outputs")
-    for gate in circuit:
-        if gate.gate_type is GateType.DFF:
-            report.add(f"gate {gate.name!r} is a DFF; call unroll_scan() first")
-        if gate.gate_type in (GateType.XOR, GateType.XNOR):
-            if len(set(gate.fanins)) != len(gate.fanins):
-                report.add(f"XOR-family gate {gate.name!r} has duplicate fanins")
+    from ..lint.models import check_circuit
 
-    if require_observable and circuit.outputs and circuit.inputs:
-        observable = set()
-        for output in circuit.outputs:
-            observable.update(circuit.fanin_cone(output))
-        controllable = set()
-        for net in circuit.inputs:
-            controllable.update(circuit.fanout_cone(net))
-        for name in circuit.gates:
-            if name not in observable:
-                report.add(f"net {name!r} does not reach any primary output")
-            gate = circuit.gates[name]
-            if gate.gate_type is not GateType.INPUT and name not in controllable:
-                report.add(f"net {name!r} is not reachable from any primary input")
-    return report
+    warnings.warn(
+        "validate_circuit is deprecated; use repro.lint.check_circuit / "
+        "lint_circuit instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    findings = check_circuit(circuit, require_observable=require_observable)
+    return ValidationReport([finding.message for finding in findings])

@@ -105,13 +105,16 @@ def refine_diagnosis(
     candidates_per_round: int = 6,
     distinction_threshold: float = 0.05,
     rng_seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> AdaptiveResult:
     """Iteratively add distinguishing patterns until the leader separates.
 
     ``truth_edge`` (optional) is only used to record the rank trajectory
     for evaluation — the refinement itself never sees it.  The input
     ``patterns``/``dictionary``/``behavior`` are not modified; extended
-    copies are returned.
+    copies are returned.  Pass ``rng`` (e.g. ``space.child_rng(...)``) to
+    thread one explicit stream through every refinement round instead of
+    the per-round ``rng_seed`` derivation.
     """
     clk = dictionary.clk
     size_samples = dictionary.size_samples
@@ -154,6 +157,7 @@ def refine_diagnosis(
                     top_a,
                     n_paths=candidates_per_round,
                     rng_seed=rng_seed + 31 * added + a_index + 7 * b_index,
+                    rng=rng,
                 )
                 for v1, v2 in candidate_set:
                     if len(all_pairs) and (

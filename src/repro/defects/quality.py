@@ -62,6 +62,7 @@ def clock_quality_sweep(
     n_defects: int = 20,
     seed: int = 0,
     base_simulations: Optional[Sequence[TransitionSimResult]] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> ClockSweepQuality:
     """Sweep the capture clock; report yield loss vs escapes/detection.
 
@@ -80,7 +81,7 @@ def clock_quality_sweep(
             for quantile in (0.5, 0.7, 0.85, 0.95, 0.99)
         ]
     clks = sorted(float(clk) for clk in clks)
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     n_samples = timing.space.n_samples
     outputs = timing.circuit.outputs
 

@@ -1,0 +1,68 @@
+"""repro.lint — unified static analysis for code and models.
+
+Two engines under one diagnostics framework with stable rule IDs,
+severities and per-rule suppression:
+
+* the **determinism linter** (``D1xx``) walks the package's own AST for
+  RNG hazards that would break bit-identical parallel/cached dictionary
+  builds — stdlib ``random`` use, numpy global-state calls, unseeded or
+  time-seeded generators, seed parameters without Generator threading;
+* the **semantic model checker** (``C2xx``/``T3xx``/``S4xx``) audits the
+  artifacts the flow consumes — netlists, cell libraries, materialized
+  timing models, suspect sets and the on-disk dictionary cache.
+
+CLI: ``python -m repro lint [--code|--models|--all] [--format json]``.
+The JSON payload shape is pinned by
+:data:`~repro.lint.diagnostics.REPORT_SCHEMA`; the rule catalog lives in
+:mod:`repro.lint.rules` and is documented in ``docs/architecture.md`` §9.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    LintReport,
+    REPORT_SCHEMA,
+    SCHEMA_VERSION,
+    Severity,
+    parse_suppressions,
+    validate_report_payload,
+)
+from .determinism import lint_file, lint_paths, lint_source
+from .models import (
+    check_benchmark,
+    check_cache,
+    check_circuit,
+    check_library,
+    check_suspects,
+    check_timing,
+    lint_circuit,
+)
+from .rules import RULES, Rule, rule
+from .runner import lint_code, lint_models, render_report, render_rule_catalog, run_lint
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "REPORT_SCHEMA",
+    "RULES",
+    "Rule",
+    "SCHEMA_VERSION",
+    "Severity",
+    "check_benchmark",
+    "check_cache",
+    "check_circuit",
+    "check_library",
+    "check_suspects",
+    "check_timing",
+    "lint_circuit",
+    "lint_code",
+    "lint_file",
+    "lint_models",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "render_report",
+    "render_rule_catalog",
+    "rule",
+    "run_lint",
+    "validate_report_payload",
+]

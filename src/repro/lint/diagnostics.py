@@ -1,0 +1,274 @@
+"""Diagnostic primitives shared by both lint engines.
+
+A :class:`Diagnostic` is one finding: a stable rule ID (``D1xx``
+determinism / ``C2xx`` circuit / ``T3xx`` timing / ``S4xx``
+suspects-dictionary-cache), a severity, a human message and an anchor —
+``path``/``line`` for code findings, ``obj`` (e.g. ``"circuit:s1196"`` or
+``"edge:a->b[0]"``) for model findings.  :class:`LintReport` aggregates
+findings, applies per-rule suppression, and renders the two output formats:
+
+* text — ``path:line: [ID] severity: message`` (clickable in editors),
+* JSON — the machine-readable payload consumed by CI; its shape is pinned
+  by :data:`REPORT_SCHEMA` and enforced by :func:`validate_report_payload`
+  (hand-rolled so no third-party ``jsonschema`` dependency is needed).
+"""
+
+from __future__ import annotations
+
+import enum
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "LintReport",
+    "SCHEMA_VERSION",
+    "REPORT_SCHEMA",
+    "validate_report_payload",
+    "parse_suppressions",
+]
+
+#: Bumped whenever the JSON payload shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+_RULE_ID_RE = re.compile(r"^[DCTS][1-4]\d{2}$")
+
+
+class Severity(enum.Enum):
+    """Finding severity; only ``ERROR`` fails the lint gate."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding with a stable rule ID."""
+
+    rule: str
+    severity: Severity
+    message: str
+    path: Optional[str] = None
+    line: Optional[int] = None
+    obj: Optional[str] = None
+    engine: str = "code"  # "code" | "model"
+
+    def __post_init__(self) -> None:
+        if not _RULE_ID_RE.match(self.rule):
+            raise ValueError(f"malformed rule id {self.rule!r}")
+
+    def anchor(self) -> str:
+        if self.path is not None:
+            line = self.line if self.line is not None else 0
+            return f"{self.path}:{line}"
+        return self.obj or "<model>"
+
+    def format_text(self) -> str:
+        return (
+            f"{self.anchor()}: [{self.rule}] {self.severity.value}: "
+            f"{self.message}"
+        )
+
+    def to_payload(self) -> Dict:
+        payload = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "engine": self.engine,
+        }
+        if self.path is not None:
+            payload["path"] = self.path
+        if self.line is not None:
+            payload["line"] = int(self.line)
+        if self.obj is not None:
+            payload["object"] = self.obj
+        return payload
+
+
+def parse_suppressions(spec: Optional[str]) -> List[str]:
+    """Parse ``"D101,C2*"``-style suppression specs (IDs or glob patterns)."""
+    if not spec:
+        return []
+    return [part.strip() for part in spec.split(",") if part.strip()]
+
+
+def _suppressed(rule: str, patterns: Sequence[str]) -> bool:
+    return any(fnmatch.fnmatchcase(rule, pattern) for pattern in patterns)
+
+
+@dataclass
+class LintReport:
+    """Aggregated findings from one lint run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+
+    def extend(
+        self, findings: Iterable[Diagnostic], suppress: Sequence[str] = ()
+    ) -> None:
+        for diagnostic in findings:
+            if _suppressed(diagnostic.rule, suppress):
+                self.suppressed += 1
+            else:
+                self.diagnostics.append(diagnostic)
+
+    # -- summaries ------------------------------------------------------
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when the gate passes (warnings and infos do not fail it)."""
+        return self.errors == 0
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        return counts
+
+    # -- rendering ------------------------------------------------------
+    def sorted_diagnostics(self) -> List[Diagnostic]:
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.severity.rank, d.path or "~", d.line or 0,
+                           d.obj or "", d.rule),
+        )
+
+    def format_text(self) -> str:
+        lines = [d.format_text() for d in self.sorted_diagnostics()]
+        lines.append(
+            f"lint: {self.errors} error(s), {self.warnings} warning(s), "
+            f"{self.count(Severity.INFO)} info(s), "
+            f"{self.suppressed} suppressed"
+        )
+        return "\n".join(lines)
+
+    def to_payload(self) -> Dict:
+        return {
+            "version": SCHEMA_VERSION,
+            "ok": self.ok,
+            "summary": {
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "infos": self.count(Severity.INFO),
+                "suppressed": self.suppressed,
+            },
+            "diagnostics": [
+                d.to_payload() for d in self.sorted_diagnostics()
+            ],
+        }
+
+
+#: Documented shape of :meth:`LintReport.to_payload` (JSON-Schema subset).
+REPORT_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["version", "ok", "summary", "diagnostics"],
+    "properties": {
+        "version": {"type": "integer", "const": SCHEMA_VERSION},
+        "ok": {"type": "boolean"},
+        "summary": {
+            "type": "object",
+            "required": ["errors", "warnings", "infos", "suppressed"],
+            "properties": {
+                "errors": {"type": "integer", "minimum": 0},
+                "warnings": {"type": "integer", "minimum": 0},
+                "infos": {"type": "integer", "minimum": 0},
+                "suppressed": {"type": "integer", "minimum": 0},
+            },
+        },
+        "diagnostics": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["rule", "severity", "message", "engine"],
+                "properties": {
+                    "rule": {"type": "string", "pattern": _RULE_ID_RE.pattern},
+                    "severity": {"enum": ["error", "warning", "info"]},
+                    "message": {"type": "string"},
+                    "engine": {"enum": ["code", "model"]},
+                    "path": {"type": "string"},
+                    "line": {"type": "integer", "minimum": 1},
+                    "object": {"type": "string"},
+                },
+            },
+        },
+    },
+}
+
+
+def validate_report_payload(payload: Dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` matches :data:`REPORT_SCHEMA`.
+
+    Minimal hand-rolled validator (no external jsonschema dependency);
+    covers exactly the constraints the documented schema states.
+    """
+
+    def fail(message: str) -> None:
+        raise ValueError(f"lint report payload invalid: {message}")
+
+    if not isinstance(payload, dict):
+        fail("top level is not an object")
+    for key in ("version", "ok", "summary", "diagnostics"):
+        if key not in payload:
+            fail(f"missing key {key!r}")
+    if payload["version"] != SCHEMA_VERSION:
+        fail(f"unsupported version {payload['version']!r}")
+    if not isinstance(payload["ok"], bool):
+        fail("'ok' is not a boolean")
+    summary = payload["summary"]
+    if not isinstance(summary, dict):
+        fail("'summary' is not an object")
+    for key in ("errors", "warnings", "infos", "suppressed"):
+        value = summary.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(f"summary[{key!r}] is not a non-negative integer")
+    diagnostics = payload["diagnostics"]
+    if not isinstance(diagnostics, list):
+        fail("'diagnostics' is not an array")
+    for index, entry in enumerate(diagnostics):
+        where = f"diagnostics[{index}]"
+        if not isinstance(entry, dict):
+            fail(f"{where} is not an object")
+        for key in ("rule", "severity", "message", "engine"):
+            if key not in entry:
+                fail(f"{where} missing key {key!r}")
+        if not isinstance(entry["rule"], str) or not _RULE_ID_RE.match(entry["rule"]):
+            fail(f"{where} has malformed rule id {entry.get('rule')!r}")
+        if entry["severity"] not in ("error", "warning", "info"):
+            fail(f"{where} has unknown severity {entry['severity']!r}")
+        if entry["engine"] not in ("code", "model"):
+            fail(f"{where} has unknown engine {entry['engine']!r}")
+        if not isinstance(entry["message"], str):
+            fail(f"{where} message is not a string")
+        if "line" in entry and (
+            not isinstance(entry["line"], int)
+            or isinstance(entry["line"], bool)
+            or entry["line"] < 1
+        ):
+            fail(f"{where} line is not a positive integer")
+        for key in ("path", "object"):
+            if key in entry and not isinstance(entry[key], str):
+                fail(f"{where} {key} is not a string")
+    if payload["ok"] != (summary["errors"] == 0):
+        fail("'ok' inconsistent with summary.errors")

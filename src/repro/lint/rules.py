@@ -1,0 +1,187 @@
+"""The rule catalog: every stable rule ID the subsystem can emit.
+
+ID ranges are namespaced by layer so a rule's number alone tells you what
+it checks and which engine produced it:
+
+* ``D1xx`` — determinism hazards in the *codebase* (AST engine,
+  :mod:`repro.lint.determinism`),
+* ``C2xx`` — circuit/netlist structure (model engine,
+  :mod:`repro.lint.models`),
+* ``T3xx`` — timing / cell-library characterization (model engine),
+* ``S4xx`` — suspect sets, fault dictionaries and the on-disk cache
+  (model engine).
+
+IDs are append-only: a retired rule's number is never reused, so CI logs
+and suppression lists stay meaningful across versions.  To add a rule,
+register it here and emit it from the matching engine — see
+``docs/architecture.md`` §9 for the walk-through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .diagnostics import Severity
+
+__all__ = ["Rule", "RULES", "rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Static description of one lint rule."""
+
+    id: str
+    title: str
+    severity: Severity
+    engine: str  # "code" | "model"
+    description: str
+
+
+_CATALOG = (
+    # ------------------------------------------------------- determinism
+    Rule(
+        "D101", "stdlib-random-import", Severity.ERROR, "code",
+        "Imports the stdlib `random` module. All legacy-surface draws must "
+        "go through repro.rng (CompatRandom / coerce_rng); only that module "
+        "may import stdlib random.",
+    ),
+    Rule(
+        "D102", "numpy-global-rng", Severity.ERROR, "code",
+        "Calls a legacy numpy global-state RNG function (np.random.seed, "
+        "np.random.rand, np.random.RandomState, ...). Use an explicitly "
+        "seeded np.random.default_rng / SampleSpace.child_rng stream.",
+    ),
+    Rule(
+        "D103", "unseeded-default-rng", Severity.ERROR, "code",
+        "Calls np.random.default_rng() with no seed, pulling OS entropy. "
+        "Every stream must derive from an explicit seed or SeedSequence "
+        "(timing/randvars.py, the stream owner, is exempt).",
+    ),
+    Rule(
+        "D104", "time-dependent-seed", Severity.ERROR, "code",
+        "Seeds an RNG from wall-clock time, OS entropy or a UUID "
+        "(time.time(), datetime.now(), os.urandom(), uuid.uuid4(), ...): "
+        "run-to-run results would differ silently.",
+    ),
+    Rule(
+        "D105", "seed-without-generator-threading", Severity.ERROR, "code",
+        "Public simulation entry point accepts a seed parameter but no "
+        "`rng` parameter, so callers cannot thread an explicit Generator "
+        "through it — the hazard that breaks cross-backend bit-identity. "
+        "Scope: module-level public functions in atpg/, defects/, logic/, "
+        "core/ and timing/ (randvars.py, the stream owner, is exempt).",
+    ),
+    # ----------------------------------------------------------- circuit
+    Rule(
+        "C201", "circuit-not-frozen", Severity.ERROR, "model",
+        "Circuit was not frozen; topology, levels and edge enumeration are "
+        "undefined until freeze() runs.",
+    ),
+    Rule(
+        "C202", "no-primary-inputs", Severity.ERROR, "model",
+        "Circuit has no primary inputs.",
+    ),
+    Rule(
+        "C203", "no-primary-outputs", Severity.ERROR, "model",
+        "Circuit has no primary outputs.",
+    ),
+    Rule(
+        "C204", "dff-in-delay-test-view", Severity.ERROR, "model",
+        "Circuit contains a DFF; the delay-test flow expects the scan-"
+        "unrolled combinational view (call unroll_scan() first).",
+    ),
+    Rule(
+        "C205", "xor-duplicate-fanins", Severity.WARNING, "model",
+        "XOR-family gate with duplicate fanins computes a constant; the "
+        "gate and its fanin edges are untestable defect sites.",
+    ),
+    Rule(
+        "C206", "uncontrollable-net", Severity.ERROR, "model",
+        "Net is not reachable from any primary input, so no pattern can "
+        "launch a transition through it.",
+    ),
+    Rule(
+        "C207", "unobservable-net", Severity.ERROR, "model",
+        "Net does not reach any primary output; defects on its segment "
+        "can never be observed (the injection experiments rely on full "
+        "observability).",
+    ),
+    Rule(
+        "C208", "combinational-cycle", Severity.ERROR, "model",
+        "Combinational cycle detected; the timing model and two-vector "
+        "simulation require a DAG. (freeze() also rejects cycles — this "
+        "catches them in hand-built, not-yet-frozen netlists.)",
+    ),
+    Rule(
+        "C209", "dangling-fanin", Severity.ERROR, "model",
+        "Gate fanin references a net that is not declared anywhere in the "
+        "netlist (floating net). Multiply-driven nets are unrepresentable "
+        "by construction — Circuit.add_gate rejects redefinitions.",
+    ),
+    # ------------------------------------------------------------ timing
+    Rule(
+        "T301", "missing-cell-characterization", Severity.ERROR, "model",
+        "A gate type instantiated by the circuit has no pin-to-pin delay "
+        "characterization in the cell library; materializing the timing "
+        "model would fail.",
+    ),
+    Rule(
+        "T302", "invalid-delay-parameters", Severity.ERROR, "model",
+        "Cell-library delay parameters are invalid: negative base delay, "
+        "negative sigma, or a negative computed nominal pin-to-pin delay.",
+    ),
+    Rule(
+        "T303", "degenerate-delay-distribution", Severity.WARNING, "model",
+        "Delay distribution is degenerate (zero variance): statistical "
+        "diagnosis degrades to deterministic STA and the paper's "
+        "probabilistic dictionary entries collapse to 0/1.",
+    ),
+    Rule(
+        "T304", "three-sigma-exceeds-mean", Severity.WARNING, "model",
+        "3-sigma of a delay distribution exceeds its mean, so the "
+        "positivity floor truncates the lower tail and the distribution "
+        "is no longer the declared normal family.",
+    ),
+    Rule(
+        "T305", "invalid-delay-samples", Severity.ERROR, "model",
+        "Materialized delay matrix contains non-finite or negative "
+        "samples.",
+    ),
+    # ------------------------------------- suspects / dictionary / cache
+    Rule(
+        "S401", "suspect-unknown-edge", Severity.ERROR, "model",
+        "Suspect references an edge that does not exist in the circuit; "
+        "its dictionary column would be meaningless.",
+    ),
+    Rule(
+        "S402", "duplicate-suspect", Severity.WARNING, "model",
+        "Duplicate entries in a suspect set waste dictionary columns and "
+        "bias posterior mass toward the duplicated site.",
+    ),
+    Rule(
+        "S403", "corrupt-cache-entry", Severity.ERROR, "model",
+        "Dictionary-cache entry is unreadable or fails its payload "
+        "checksum (truncated write, bit rot, zip damage).",
+    ),
+    Rule(
+        "S404", "cache-schema-drift", Severity.ERROR, "model",
+        "Dictionary-cache entry carries an unexpected format version or a "
+        "key that disagrees with its filename — written by an "
+        "incompatible code revision.",
+    ),
+    Rule(
+        "S405", "orphaned-cache-file", Severity.WARNING, "model",
+        "Stray file in the cache directory (leftover temp file from an "
+        "interrupted writer, or a foreign file) that no load will ever "
+        "consult.",
+    ),
+)
+
+#: Rule catalog indexed by stable ID.
+RULES: Dict[str, Rule] = {entry.id: entry for entry in _CATALOG}
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule; raises ``KeyError`` for unknown IDs."""
+    return RULES[rule_id]

@@ -1,0 +1,104 @@
+"""Lint orchestration: compose engines into gateable reports.
+
+Entry points used by the CLI (``python -m repro lint``), by CI, and by the
+test-suite's self-check gate:
+
+* :func:`lint_code` — determinism rules over a source tree (default: the
+  installed ``repro`` package itself),
+* :func:`lint_models` — semantic rules over the shipped benchmark
+  circuits (plus, optionally, a dictionary-cache directory),
+* :func:`run_lint` — both, per the requested mode.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Sequence
+
+from .determinism import lint_paths
+from .diagnostics import LintReport
+from .models import check_benchmark, check_cache
+from .rules import RULES
+
+__all__ = ["lint_code", "lint_models", "run_lint", "render_rule_catalog"]
+
+
+def lint_code(
+    paths: Optional[Iterable[str]] = None, suppress: Sequence[str] = ()
+) -> LintReport:
+    """Run the determinism linter; ``paths`` defaults to the repro package."""
+    report = LintReport()
+    report.extend(lint_paths(paths), suppress=suppress)
+    return report
+
+
+def lint_models(
+    circuits: Optional[Sequence[str]] = None,
+    cache_dir: Optional[str] = None,
+    seed: int = 0,
+    n_samples: int = 16,
+    suppress: Sequence[str] = (),
+) -> LintReport:
+    """Run the model checker over benchmark circuits (default: all shipped).
+
+    ``cache_dir`` additionally audits a dictionary-cache directory.
+    """
+    from ..circuits.benchmarks import benchmark_names
+
+    report = LintReport()
+    for name in circuits if circuits else benchmark_names():
+        report.extend(
+            check_benchmark(name, seed=seed, n_samples=n_samples),
+            suppress=suppress,
+        )
+    if cache_dir:
+        report.extend(check_cache(cache_dir), suppress=suppress)
+    return report
+
+
+def run_lint(
+    mode: str = "all",
+    paths: Optional[Iterable[str]] = None,
+    circuits: Optional[Sequence[str]] = None,
+    cache_dir: Optional[str] = None,
+    seed: int = 0,
+    n_samples: int = 16,
+    suppress: Sequence[str] = (),
+) -> LintReport:
+    """Run the requested engines; ``mode`` is ``code``/``models``/``all``."""
+    if mode not in ("code", "models", "all"):
+        raise ValueError(f"unknown lint mode {mode!r}")
+    report = LintReport()
+    if mode in ("code", "all"):
+        code = lint_code(paths, suppress=suppress)
+        report.extend(code.diagnostics)
+        report.suppressed += code.suppressed
+    if mode in ("models", "all"):
+        models = lint_models(
+            circuits, cache_dir=cache_dir, seed=seed, n_samples=n_samples,
+            suppress=suppress,
+        )
+        report.extend(models.diagnostics)
+        report.suppressed += models.suppressed
+    return report
+
+
+def render_rule_catalog() -> str:
+    """Human-readable rule listing for ``lint --rules``."""
+    lines: List[str] = []
+    for rule in sorted(RULES.values(), key=lambda r: r.id):
+        lines.append(
+            f"{rule.id}  {rule.severity.value:7s} [{rule.engine:5s}] "
+            f"{rule.title}"
+        )
+        lines.append(f"      {rule.description}")
+    return "\n".join(lines)
+
+
+def render_report(report: LintReport, fmt: str = "text") -> str:
+    """Render a report in the requested output format."""
+    if fmt == "json":
+        return json.dumps(report.to_payload(), indent=2, sort_keys=True)
+    if fmt == "text":
+        return report.format_text()
+    raise ValueError(f"unknown lint output format {fmt!r}")

@@ -1,0 +1,20 @@
+"""Lint fixture: seeded-but-unthreaded entry point (D105).
+
+Lives under a directory named ``atpg`` so the entry-point rule is in scope.
+``simulate_population`` takes a seed but offers no way to thread an explicit
+Generator — the regression the determinism linter must catch.  The private
+helper and the correctly threaded variant must stay clean.
+"""
+from typing import Optional
+
+
+def simulate_population(circuit, n_samples, seed=0):
+    return (circuit, n_samples, seed)
+
+
+def simulate_population_threaded(circuit, n_samples, seed=0, rng=None):
+    return (circuit, n_samples, seed, rng)
+
+
+def _private_helper(seed=0):
+    return seed

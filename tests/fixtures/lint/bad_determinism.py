@@ -1,0 +1,23 @@
+"""Lint fixture: every D1xx code hazard except D105 (see atpg/bad_entry.py).
+
+This file is never imported by the test-suite — it is only *parsed* by the
+determinism linter, which must report exactly:
+
+* D101 x1 (stdlib random import, line 11)
+* D102 x2 (legacy numpy global-state calls)
+* D103 x1 (unseeded default_rng)
+* D104 x1 (time-dependent seed)
+"""
+import random
+import time
+
+import numpy as np
+
+legacy = random.Random(7)
+
+np.random.seed(1234)
+noise = np.random.normal(size=8)
+
+fresh = np.random.default_rng()
+
+clocked = np.random.default_rng(int(time.time()))

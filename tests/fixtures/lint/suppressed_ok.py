@@ -1,0 +1,10 @@
+"""Lint fixture: real violations silenced by inline allow comments.
+
+The determinism linter must report nothing for this file.
+"""
+import random  # repro-lint: allow[D101]
+
+import numpy as np
+
+unseeded = np.random.default_rng()  # repro-lint: allow[*]
+legacy = np.random.randint(0, 10)  # repro-lint: allow[D102, D104]

@@ -3,11 +3,8 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.circuits import (
-    GeneratorConfig,
-    generate_circuit,
-    validate_circuit,
-)
+from repro.circuits import GeneratorConfig, generate_circuit
+from repro.lint import lint_circuit
 from repro.circuits.generate import _signal_probability, _spread
 from repro.circuits.library import GateType
 
@@ -62,8 +59,8 @@ class TestGeneration:
 
     def test_fully_observable_and_controllable(self):
         config = GeneratorConfig(n_inputs=12, n_outputs=5, n_gates=120, seed=0)
-        report = validate_circuit(generate_circuit(config))
-        assert report.ok, str(report)
+        report = lint_circuit(generate_circuit(config))
+        assert report.ok, report.format_text()
 
     def test_no_dangling_internal_nets(self):
         c = generate_circuit(GeneratorConfig(n_inputs=6, n_outputs=2, n_gates=40, seed=5))
@@ -90,19 +87,19 @@ class TestGeneration:
     def test_any_seed_yields_valid_circuit(self, seed):
         config = GeneratorConfig(n_inputs=5, n_outputs=2, n_gates=25, seed=seed)
         c = generate_circuit(config)
-        assert validate_circuit(c).ok
+        assert lint_circuit(c).ok
 
     def test_locality_zero_still_valid(self):
         config = GeneratorConfig(
             n_inputs=8, n_outputs=3, n_gates=60, seed=1, locality=0.0
         )
-        assert validate_circuit(generate_circuit(config)).ok
+        assert lint_circuit(generate_circuit(config)).ok
 
     def test_locality_one_still_valid(self):
         config = GeneratorConfig(
             n_inputs=8, n_outputs=3, n_gates=60, seed=1, locality=1.0
         )
-        assert validate_circuit(generate_circuit(config)).ok
+        assert lint_circuit(generate_circuit(config)).ok
 
 
 class TestHelpers:

@@ -4,7 +4,8 @@ ISCAS85 profile additions."""
 import numpy as np
 import pytest
 
-from repro.circuits import PROFILES, load_benchmark, validate_circuit
+from repro.circuits import PROFILES, load_benchmark
+from repro.lint import lint_circuit
 from repro.experiments import render_diagnosis_report
 
 
@@ -27,7 +28,7 @@ class TestIscas85Profiles:
         assert len(circuit.inputs) == profile.published_inputs
         assert len(circuit.outputs) == profile.published_outputs
         assert circuit.scan_pairs == []  # combinational: no flops
-        assert validate_circuit(circuit).ok
+        assert lint_circuit(circuit).ok
 
     def test_c6288_multiplier_depth(self):
         # the multiplier profile is much deeper than the control circuits
