@@ -1,0 +1,216 @@
+"""Overhead benchmark for the observability layer (``repro.obs``).
+
+Two questions, answered with numbers and recorded run over run as
+``BENCH_obs.json`` (the ``BENCH_*.json`` schema used by the other
+benchmarks):
+
+1. **Disabled cost** — the micro-benchmark times the exact call shapes
+   the hot paths contain (span enter/exit, counter bump, enabled guard)
+   against the default :class:`~repro.obs.NullRecorder`.  The contract is
+   "no-op-cheap": tens of nanoseconds per call, no locks, no clock reads.
+2. **Enabled cost** — the macro-benchmark builds a real fault dictionary
+   uninstrumented and under a live :class:`~repro.obs.Recorder` and
+   reports the relative wall-clock overhead.  Results are asserted
+   bit-identical first: an instrumented build that diverged would make
+   its timing meaningless (and break the determinism contract).
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_obs.py [--quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.atpg import generate_path_tests
+from repro.circuits import load_benchmark
+from repro.core import build_dictionary, suspect_edges
+from repro.defects import SingleDefectModel, behavior_matrix
+from repro.timing import (
+    CircuitTiming,
+    SampleSpace,
+    diagnosis_clock,
+    simulate_pattern_set,
+)
+
+
+# ----------------------------------------------------------------------
+# micro: per-call cost of the disabled (and enabled) recorder
+# ----------------------------------------------------------------------
+def _time_per_call(operation, iterations: int) -> float:
+    """Best-of-3 nanoseconds per call of ``operation()``."""
+    best = float("inf")
+    for _repeat in range(3):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            operation()
+        best = min(best, time.perf_counter() - started)
+    return best / iterations * 1e9
+
+
+def bench_micro(iterations: int):
+    null = obs.NullRecorder()
+    live = obs.Recorder()
+    samples = np.ones(8)
+
+    def span_null():
+        with null.span("x"):
+            pass
+
+    def span_live():
+        with live.span("x"):
+            pass
+
+    cases = [
+        ("null.span", span_null),
+        ("null.count", lambda: null.count("c")),
+        ("null.observe", lambda: null.observe("m", samples)),
+        ("enabled-guard", lambda: null.enabled and null.count("c")),
+        ("live.span", span_live),
+        ("live.count", lambda: live.count("c")),
+    ]
+    runs = []
+    for label, operation in cases:
+        ns = _time_per_call(operation, iterations)
+        runs.append({"bench": "micro", "operation": label,
+                     "ns_per_call": round(ns, 2)})
+    return runs
+
+
+# ----------------------------------------------------------------------
+# macro: instrumented vs uninstrumented dictionary build
+# ----------------------------------------------------------------------
+def _build_case(name: str, n_samples: int, seed: int = 0):
+    circuit = load_benchmark(name, seed=seed)
+    timing = CircuitTiming(circuit, SampleSpace(n_samples=n_samples, seed=seed))
+    model = SingleDefectModel(timing)
+    rng = np.random.default_rng(seed)
+    for _attempt in range(20):
+        defect = model.draw(rng)
+        patterns, _ = generate_path_tests(
+            timing, defect.edge, n_paths=10, rng_seed=seed
+        )
+        if len(patterns):
+            break
+    else:
+        raise RuntimeError(f"no testable defect site found on {name}")
+    sims = simulate_pattern_set(timing, list(patterns))
+    clk = diagnosis_clock(
+        timing, list(patterns), 0.85,
+        simulations=sims, targets=patterns.target_observations(),
+    )
+    behavior = behavior_matrix(timing, patterns, clk, defect, 3)
+    suspects = suspect_edges(sims, behavior)
+    if len(suspects) < 8:
+        cone = set(timing.circuit.fanout_cone(defect.edge.sink))
+        suspects = [e for e in timing.circuit.edges if e.sink in cone][:200]
+    sizes = model.dictionary_size_variable().samples
+    return timing, patterns, clk, suspects, sizes, sims
+
+
+def _identical(a, b) -> bool:
+    return np.array_equal(a.m_crt, b.m_crt) and all(
+        np.array_equal(a.signatures[e], b.signatures[e]) for e in a.suspects
+    )
+
+
+def bench_macro(name: str, n_samples: int, repeats: int):
+    timing, patterns, clk, suspects, sizes, sims = _build_case(name, n_samples)
+
+    def timed(instrumented: bool):
+        best = float("inf")
+        result = None
+        for _repeat in range(repeats):
+            recorder = obs.Recorder() if instrumented else obs.NullRecorder()
+            with obs.use_recorder(recorder):
+                started = time.perf_counter()
+                result = build_dictionary(
+                    timing, patterns, clk, suspects, sizes,
+                    base_simulations=sims,
+                )
+                best = min(best, time.perf_counter() - started)
+        return best, result
+
+    plain_s, plain = timed(instrumented=False)
+    live_s, live = timed(instrumented=True)
+    assert _identical(plain, live), "instrumented build diverged"
+    overhead = (live_s - plain_s) / plain_s if plain_s else 0.0
+    return [
+        {
+            "bench": "macro",
+            "circuit": name,
+            "n_suspects": len(suspects),
+            "n_samples": n_samples,
+            "uninstrumented_s": round(plain_s, 6),
+            "instrumented_s": round(live_s, 6),
+            "overhead_fraction": round(overhead, 4),
+            "bit_identical": True,
+        }
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer iterations, fewer samples")
+    parser.add_argument("--circuit", default="s1196")
+    parser.add_argument("--samples", type=int, default=300)
+    parser.add_argument("--iterations", type=int, default=200_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--output", default=os.path.join(os.path.dirname(__file__) or ".",
+                                         "BENCH_obs.json"),
+    )
+    args = parser.parse_args(argv)
+    iterations = 20_000 if args.quick else args.iterations
+    samples = min(args.samples, 120) if args.quick else args.samples
+
+    runs = bench_micro(iterations)
+    for run in runs:
+        print(f"  {run['operation']:>14s}: {run['ns_per_call']:9.1f} ns/call")
+    macro = bench_macro(args.circuit, samples, args.repeats)
+    runs.extend(macro)
+    record = macro[0]
+    print(
+        f"  {args.circuit}: uninstrumented {record['uninstrumented_s']*1e3:.1f} ms, "
+        f"instrumented {record['instrumented_s']*1e3:.1f} ms "
+        f"(+{record['overhead_fraction']*100:.1f}%)"
+    )
+
+    report = {
+        "bench": "obs_overhead",
+        "schema_version": 1,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "config": {
+            "circuit": args.circuit,
+            "samples": samples,
+            "iterations": iterations,
+            "repeats": args.repeats,
+        },
+        "runs": runs,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    null_span = next(r for r in runs if r.get("operation") == "null.span")
+    live_span = next(r for r in runs if r.get("operation") == "live.span")
+    ratio = live_span["ns_per_call"] / max(null_span["ns_per_call"], 1e-9)
+    print(
+        f"disabled span is {ratio:.0f}x cheaper than a live span "
+        f"({null_span['ns_per_call']:.0f} ns vs {live_span['ns_per_call']:.0f} ns)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

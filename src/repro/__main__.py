@@ -11,6 +11,11 @@ Python.  Commands:
 * ``benchmarks``                 — list known benchmark circuits
 * ``lint``                       — static analysis: determinism linter over
   the codebase and/or semantic checks over the shipped benchmark models
+* ``profile <benchmark>``        — fully instrumented diagnosis round:
+  span tree, cache/counter/convergence metrics, run manifest
+
+Every command accepts ``--metrics out.json``: the run executes under a
+live :mod:`repro.obs` recorder and emits a schema-validated run manifest.
 """
 
 from __future__ import annotations
@@ -208,6 +213,97 @@ def cmd_characterize(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """One fully instrumented diagnosis round (see ``docs/architecture.md``
+    §10): simulate a failing chip, build the fault dictionary cold and
+    warm through a cache, diagnose — all under a live metrics recorder —
+    then prove the instrumented dictionary is bit-identical to an
+    uninstrumented build and print/emit the metrics.
+    """
+    import tempfile
+
+    from . import obs
+    from .atpg import generate_path_tests
+    from .core import (
+        DictionaryCache,
+        build_dictionary,
+        diagnose_all,
+        resolve_cache,
+        suspect_edges,
+    )
+    from .defects import SingleDefectModel, draw_failing_trial
+    from .timing import diagnosis_clock, simulate_pattern_set
+
+    recorder = obs.get_recorder()
+    if not recorder.enabled:  # no --metrics flag: still profile, to stdout
+        recorder = obs.install()
+
+    with recorder.span("profile"):
+        with recorder.span("profile.load"):
+            timing = _load_timing(args.benchmark, args.samples, args.seed)
+        rng = np.random.default_rng(args.seed)
+        model = SingleDefectModel(timing)
+        with recorder.span("profile.atpg"):
+            defect = patterns = None
+            for _ in range(20):
+                defect = model.draw(rng)
+                patterns, _tests = generate_path_tests(
+                    timing, defect.edge, n_paths=args.paths, rng_seed=args.seed
+                )
+                if len(patterns):
+                    break
+            if patterns is None or not len(patterns):
+                print("could not generate patterns for any drawn defect",
+                      file=sys.stderr)
+                return 1
+        with recorder.span("profile.simulate"):
+            sims = simulate_pattern_set(timing, list(patterns))
+            clk = diagnosis_clock(
+                timing, list(patterns), 0.85,
+                simulations=sims, targets=patterns.target_observations(),
+            )
+            trial, _redraws = draw_failing_trial(
+                timing, patterns, clk, model, rng, defect=defect
+            )
+            suspects = suspect_edges(sims, trial.behavior)
+        sizes = model.dictionary_size_variable().samples
+        with tempfile.TemporaryDirectory(prefix="repro-profile-") as scratch:
+            # An explicit --cache-dir profiles that cache; otherwise a
+            # scratch directory exercises the cold-store/warm-hit path.
+            cache = resolve_cache(None) or DictionaryCache(scratch)
+            with recorder.span("profile.dictionary"):
+                dictionary = build_dictionary(
+                    timing, patterns, clk, suspects, sizes,
+                    base_simulations=sims, cache=cache,
+                )
+                build_dictionary(  # warm pass: served from the cache
+                    timing, patterns, clk, suspects, sizes, cache=cache,
+                )
+        with recorder.span("profile.diagnose"):
+            results = diagnose_all(dictionary, trial.behavior)
+
+    # The determinism proof the manifest carries: rebuilding with
+    # instrumentation disabled must reproduce the dictionary bit for bit.
+    with obs.use_recorder(obs.NullRecorder()):
+        reference = build_dictionary(
+            timing, patterns, clk, suspects, sizes, base_simulations=sims
+        )
+    identical = np.array_equal(reference.m_crt, dictionary.m_crt) and all(
+        np.array_equal(reference.signatures[edge], dictionary.signatures[edge])
+        for edge in reference.suspects
+    )
+    recorder.gauge("profile.bit_identical", 1.0 if identical else 0.0)
+
+    top = results["alg_rev"].top(1)[0] if results["alg_rev"].ranking else None
+    print(f"profile: {args.benchmark}  clk {clk:.3f}  "
+          f"suspects {len(suspects)}  top alg_rev {top}")
+    print(f"instrumented == uninstrumented dictionary: {identical}")
+    print(f"span depth: {recorder.span_depth()}")
+    print()
+    print(obs.render_metrics_text(recorder.snapshot()))
+    return 0 if identical else 1
+
+
 def cmd_lint(args) -> int:
     """Run the static-analysis subsystem (see :mod:`repro.lint`).
 
@@ -230,6 +326,9 @@ def cmd_lint(args) -> int:
         mode = "code"
     elif args.models:
         mode = "models"
+    elif args.manifests:
+        # --manifest alone audits just the manifests (fast CI gate).
+        mode = "manifests"
     else:
         mode = "all"
     report = run_lint(
@@ -239,6 +338,7 @@ def cmd_lint(args) -> int:
         cache_dir=args.cache_dir or None,
         seed=args.seed,
         suppress=parse_suppressions(args.suppress),
+        manifests=args.manifests or None,
     )
     print(render_report(report, args.format))
     return report.exit_code
@@ -288,6 +388,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", type=str, default="", dest="cache_dir",
             help="enable the on-disk dictionary cache in this directory",
         )
+        p.add_argument(
+            "--metrics", type=str, default="", metavar="OUT.json",
+            help="record metrics during the run and write a schema-"
+            "validated run manifest to this path",
+        )
 
     sub.add_parser("benchmarks").set_defaults(func=cmd_benchmarks)
 
@@ -326,6 +431,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser(
+        "profile",
+        help="instrumented diagnosis round: spans, counters, run manifest",
+    )
+    p.add_argument("benchmark")
+    p.add_argument("--paths", type=int, default=10)
+    common(p)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
         "lint",
         help="static analysis: determinism linter + semantic model checks",
     )
@@ -355,6 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark subset for --models (default: all shipped)",
     )
     p.add_argument(
+        "--manifest", action="append", dest="manifests", metavar="PATH",
+        help="audit an observability run manifest (S5xx rules; repeatable; "
+        "alone it skips the code/model engines)",
+    )
+    p.add_argument(
         "--suppress", type=str, default="",
         help="comma-separated rule IDs or globs to suppress (e.g. D105,C2*)",
     )
@@ -371,13 +490,48 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_config(args) -> dict:
+    """The resolved execution knobs echoed into the run manifest."""
+    config = {}
+    for field in ("samples", "trials", "paths", "parallel", "workers",
+                  "chunk_size", "cache_dir"):
+        value = getattr(args, field, None)
+        if value not in (None, ""):
+            config[field] = value
+    return config
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     _apply_execution_flags(args)
+    metrics_path = getattr(args, "metrics", "") or ""
+    if not metrics_path:
+        try:
+            return args.func(args)
+        except BrokenPipeError:  # output piped into head/less
+            return 0
+
+    from . import obs
+
+    recorder = obs.install()
     try:
-        return args.func(args)
-    except BrokenPipeError:  # output piped into head/less that closed early
-        return 0
+        try:
+            status = args.func(args)
+        except BrokenPipeError:
+            return 0
+        manifest = obs.build_manifest(
+            command=args.command,
+            workload=getattr(args, "benchmark", None),
+            seed=getattr(args, "seed", None),
+            config=_run_config(args),
+            metrics=recorder.snapshot(),
+            status="ok" if status == 0 else "error",
+        )
+        obs.write_manifest(metrics_path, manifest)
+        print(f"metrics manifest written to {metrics_path}")
+        return status
+    finally:
+        obs.disable()
 
 
 if __name__ == "__main__":

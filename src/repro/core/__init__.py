@@ -3,6 +3,7 @@
 from .suspects import trace_sensitized_edges, suspect_edges
 from .parallel import ParallelConfig, resolve_parallel, chunk_indices, map_chunked
 from .cache import (
+    CacheStats,
     DictionaryCache,
     resolve_cache,
     circuit_fingerprint,
@@ -57,6 +58,7 @@ __all__ = [
     "resolve_parallel",
     "chunk_indices",
     "map_chunked",
+    "CacheStats",
     "DictionaryCache",
     "resolve_cache",
     "circuit_fingerprint",

@@ -27,14 +27,17 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..circuits.netlist import Circuit, Edge
 from ..timing.instance import CircuitTiming
+from .. import obs
 
 __all__ = [
+    "CacheStats",
     "DictionaryCache",
     "resolve_cache",
     "circuit_fingerprint",
@@ -124,19 +127,62 @@ def _payload_checksum(m_crt: np.ndarray, signatures: Sequence[np.ndarray]) -> st
     return hasher.hexdigest()
 
 
+@dataclass
+class CacheStats:
+    """Introspectable hit/miss accounting for one :class:`DictionaryCache`.
+
+    ``rejected`` counts entries that existed but failed an integrity check
+    (and were evicted); every rejection is also a miss.  ``stores`` counts
+    successful payload writes.  The same numbers flow into the global
+    metrics recorder as ``cache.*`` counters whenever one is installed.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    rejected: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "rejected": self.rejected,
+            "stores": self.stores,
+        }
+
+
 class DictionaryCache:
     """Directory of content-addressed dictionary payloads.
 
-    ``hits`` / ``misses`` / ``rejected`` counters make cache behavior
-    observable in tests and benchmarks; ``rejected`` counts files that
-    existed but failed integrity checks (and were removed).
+    ``stats`` (a :class:`CacheStats`) makes cache behavior observable in
+    tests and benchmarks; the ``hits`` / ``misses`` / ``rejected``
+    attributes remain as read-only views of it.
     """
 
     def __init__(self, directory: Union[str, os.PathLike]) -> None:
         self.directory = os.fspath(directory)
-        self.hits = 0
-        self.misses = 0
-        self.rejected = 0
+        self.stats = CacheStats()
+
+    @property
+    def hits(self) -> int:
+        return self.stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
+
+    @property
+    def rejected(self) -> int:
+        return self.stats.rejected
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.directory, f"dict_{key}.npz")
@@ -149,9 +195,11 @@ class DictionaryCache:
         arrays, checksum mismatch — is a miss; corrupt files are deleted
         so the subsequent store can rewrite them cleanly.
         """
+        recorder = obs.get_recorder()
         path = self.path_for(key)
         if not os.path.exists(path):
-            self.misses += 1
+            self.stats.misses += 1
+            recorder.count("cache.miss")
             return None
         try:
             with np.load(path, allow_pickle=False) as archive:
@@ -168,14 +216,17 @@ class DictionaryCache:
         except Exception:
             # Truncated download, interrupted writer, zip damage, schema
             # drift: never crash the diagnosis over a bad cache file.
-            self.rejected += 1
-            self.misses += 1
+            self.stats.rejected += 1
+            self.stats.misses += 1
+            recorder.count("cache.rejected")
+            recorder.count("cache.miss")
             try:
                 os.remove(path)
             except OSError:
                 pass
             return None
-        self.hits += 1
+        self.stats.hits += 1
+        recorder.count("cache.hit")
         return {"m_crt": m_crt, "signatures": signatures}
 
     # -- store ----------------------------------------------------------
@@ -210,6 +261,8 @@ class DictionaryCache:
             except OSError:
                 pass
             raise
+        self.stats.stores += 1
+        obs.get_recorder().count("cache.store")
         return path
 
     def clear(self) -> int:
@@ -228,8 +281,8 @@ class DictionaryCache:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"DictionaryCache({self.directory!r}, hits={self.hits}, "
-            f"misses={self.misses}, rejected={self.rejected})"
+            f"DictionaryCache({self.directory!r}, hits={self.stats.hits}, "
+            f"misses={self.stats.misses}, rejected={self.stats.rejected})"
         )
 
 

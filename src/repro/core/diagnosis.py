@@ -29,6 +29,7 @@ from ..circuits.netlist import Edge
 from ..timing.critical import simulate_pattern_set
 from ..timing.dynamic import TransitionSimResult
 from ..timing.instance import CircuitTiming
+from .. import obs
 from .cache import DictionaryCache
 from .dictionary import ProbabilisticFaultDictionary, build_dictionary
 from .error_functions import ALG_REV, ErrorFunction, METHOD_I, METHOD_II
@@ -141,10 +142,13 @@ def run_diagnosis(
     K-selection heuristics).  ``parallel`` / ``cache`` flow into the
     dictionary construction (bit-identical results either way).
     """
+    recorder = obs.get_recorder()
     if base_simulations is None:
         base_simulations = simulate_pattern_set(timing, list(patterns))
     if suspects is None:
         suspects = suspect_edges(base_simulations, behavior)
+    recorder.count("diagnosis.runs")
+    recorder.count("diagnosis.suspects", len(suspects))
     dictionary = build_dictionary(
         timing,
         patterns,
@@ -155,4 +159,6 @@ def run_diagnosis(
         parallel=parallel,
         cache=cache,
     )
-    return diagnose_all(dictionary, behavior, error_functions), dictionary
+    with recorder.span("diagnosis.score"):
+        results = diagnose_all(dictionary, behavior, error_functions)
+    return results, dictionary

@@ -35,6 +35,11 @@ preserving bit-exact results):
 The monotonicity ``err_ij >= crt_ij`` noted in the paper holds *exactly*
 per Monte-Carlo sample here (extra delay can only increase settle times),
 so signatures are non-negative by construction.
+
+Construction is instrumented through :mod:`repro.obs` (spans
+``dictionary.build`` > ``dictionary.signatures`` > ``parallel.map``,
+``dictionary.*`` counters and convergence meters); with no recorder
+installed every hook is a no-op and the build is bit-identical either way.
 """
 
 from __future__ import annotations
@@ -49,6 +54,7 @@ from ..timing.critical import simulate_pattern_set
 from ..timing.dynamic import TransitionSimResult, resimulate_with_extra
 from ..timing.instance import CircuitTiming
 from ..atpg.patterns import PatternPairSet
+from .. import obs
 from .cache import DictionaryCache, dictionary_cache_key, resolve_cache
 from .parallel import ParallelConfig, map_chunked, resolve_parallel
 
@@ -219,47 +225,72 @@ def build_multi_clock_dictionary(
             size_samples=size_samples,
         )
 
-    store = resolve_cache(cache)
-    key = None
-    if store is not None:
-        key = dictionary_cache_key(
-            timing, pattern_list, clks, suspects, size_samples
+    recorder = obs.get_recorder()
+    with recorder.span("dictionary.build"):
+        store = resolve_cache(cache)
+        key = None
+        if store is not None:
+            with recorder.span("dictionary.cache_lookup"):
+                key = dictionary_cache_key(
+                    timing, pattern_list, clks, suspects, size_samples
+                )
+                payload = store.load(key)
+            if payload is not None:
+                recorder.count("dictionary.cache_served")
+                return _assemble(payload["m_crt"], payload["signatures"])
+
+        if base_simulations is None:
+            with recorder.span("dictionary.base_simulation"):
+                base_simulations = simulate_pattern_set(timing, pattern_list)
+        if len(base_simulations) != len(pattern_list):
+            raise ValueError("one base simulation per pattern required")
+
+        n_patterns = len(pattern_list)
+        with recorder.span("dictionary.m_crt"):
+            m_crt = np.zeros((len(circuit.outputs), n_patterns * len(clks)))
+            for block, clk in enumerate(clks):
+                for column, sim in enumerate(base_simulations):
+                    m_crt[:, block * n_patterns + column] = sim.error_vector(clk)
+
+        recorder.count("dictionary.builds")
+        recorder.count("dictionary.suspects", len(suspects))
+        recorder.count("dictionary.patterns", n_patterns)
+        recorder.count("dictionary.clocks", len(clks))
+
+        output_row = {net: row for row, net in enumerate(circuit.outputs)}
+        plan_by_sink = {
+            sink: _sink_plan(circuit, base_simulations, output_row, sink)
+            for sink in {edge.sink for edge in suspects}
+        }
+        job = _SignatureJob(
+            base_simulations=base_simulations,
+            clks=clks,
+            size_samples=size_samples,
+            suspects=suspects,
+            edge_indices=[timing.edge_index[edge] for edge in suspects],
+            m_crt=m_crt,
+            plan_by_sink=plan_by_sink,
         )
-        payload = store.load(key)
-        if payload is not None:
-            return _assemble(payload["m_crt"], payload["signatures"])
-
-    if base_simulations is None:
-        base_simulations = simulate_pattern_set(timing, pattern_list)
-    if len(base_simulations) != len(pattern_list):
-        raise ValueError("one base simulation per pattern required")
-
-    n_patterns = len(pattern_list)
-    m_crt = np.zeros((len(circuit.outputs), n_patterns * len(clks)))
-    for block, clk in enumerate(clks):
-        for column, sim in enumerate(base_simulations):
-            m_crt[:, block * n_patterns + column] = sim.error_vector(clk)
-
-    output_row = {net: row for row, net in enumerate(circuit.outputs)}
-    plan_by_sink = {
-        sink: _sink_plan(circuit, base_simulations, output_row, sink)
-        for sink in {edge.sink for edge in suspects}
-    }
-    job = _SignatureJob(
-        base_simulations=base_simulations,
-        clks=clks,
-        size_samples=size_samples,
-        suspects=suspects,
-        edge_indices=[timing.edge_index[edge] for edge in suspects],
-        m_crt=m_crt,
-        plan_by_sink=plan_by_sink,
-    )
-    signature_list = map_chunked(
-        _signatures_for_chunk, job, len(suspects), resolve_parallel(parallel)
-    )
-    if store is not None and key is not None:
-        store.store(key, m_crt, signature_list)
-    return _assemble(m_crt, signature_list)
+        with recorder.span("dictionary.signatures"):
+            signature_list = map_chunked(
+                _signatures_for_chunk, job, len(suspects),
+                resolve_parallel(parallel),
+            )
+        if recorder.enabled:
+            # Estimator-quality meters: the distribution of the per-entry
+            # critical-probability estimates and of the per-suspect extra
+            # signature mass, plus the sample count behind each entry.
+            recorder.observe("dictionary.m_crt", m_crt.ravel())
+            if signature_list:
+                recorder.observe(
+                    "dictionary.signature_mass",
+                    np.array([s.sum() for s in signature_list]),
+                )
+            recorder.gauge("dictionary.n_samples", timing.space.n_samples)
+        if store is not None and key is not None:
+            with recorder.span("dictionary.cache_store"):
+                store.store(key, m_crt, signature_list)
+        return _assemble(m_crt, signature_list)
 
 
 def build_dictionary(

@@ -32,6 +32,7 @@ from ..defects.injection import draw_failing_trial
 from ..defects.model import DefectSizeModel, SingleDefectModel
 from ..timing.critical import diagnosis_clock, simulate_pattern_set
 from ..timing.instance import CircuitTiming
+from .. import obs
 from .cache import DictionaryCache, resolve_cache
 from .diagnosis import run_diagnosis
 from .error_functions import ALG_REV, ErrorFunction, METHOD_I, METHOD_II
@@ -129,58 +130,70 @@ def evaluate_circuit(
     # object (whose hit/miss counters then describe the whole protocol).
     parallel = resolve_parallel(config.parallel)
     cache = resolve_cache(config.cache)
+    recorder = obs.get_recorder()
     records: List[TrialRecord] = []
 
     for trial_index in range(config.n_trials):
         started = time.perf_counter()
-        patterns: Optional[PatternPairSet] = None
-        defect = None
-        location_redraws = 0
-        for _redraw in range(config.max_location_redraws):
-            defect = defect_model.draw(rng)
-            patterns, _tests = generate_path_tests(
-                timing,
-                defect.edge,
-                n_paths=config.n_paths,
-                rng_seed=config.seed * 1000 + trial_index,
-            )
-            if len(patterns):
-                break
-            location_redraws += 1
-        if patterns is None or not len(patterns):
-            raise RuntimeError(
-                "could not find a testable defect site after "
-                f"{config.max_location_redraws} redraws"
-            )
+        with recorder.span("evaluate.trial"):
+            patterns: Optional[PatternPairSet] = None
+            defect = None
+            location_redraws = 0
+            with recorder.span("evaluate.atpg"):
+                for _redraw in range(config.max_location_redraws):
+                    defect = defect_model.draw(rng)
+                    patterns, _tests = generate_path_tests(
+                        timing,
+                        defect.edge,
+                        n_paths=config.n_paths,
+                        rng_seed=config.seed * 1000 + trial_index,
+                    )
+                    if len(patterns):
+                        break
+                    location_redraws += 1
+            if patterns is None or not len(patterns):
+                raise RuntimeError(
+                    "could not find a testable defect site after "
+                    f"{config.max_location_redraws} redraws"
+                )
 
-        simulations = simulate_pattern_set(timing, list(patterns))
-        clk = diagnosis_clock(
-            timing,
-            list(patterns),
-            config.clk_quantile,
-            simulations=simulations,
-            targets=patterns.target_observations(),
-        )
-        trial, instance_redraws = draw_failing_trial(
-            timing,
-            patterns,
-            clk,
-            defect_model,
-            rng,
-            max_attempts=config.max_instance_redraws,
-            defect=defect,
-        )
+            with recorder.span("evaluate.simulate"):
+                simulations = simulate_pattern_set(timing, list(patterns))
+                clk = diagnosis_clock(
+                    timing,
+                    list(patterns),
+                    config.clk_quantile,
+                    simulations=simulations,
+                    targets=patterns.target_observations(),
+                )
+                trial, instance_redraws = draw_failing_trial(
+                    timing,
+                    patterns,
+                    clk,
+                    defect_model,
+                    rng,
+                    max_attempts=config.max_instance_redraws,
+                    defect=defect,
+                )
 
-        results, dictionary = run_diagnosis(
-            timing,
-            patterns,
-            clk,
-            trial.behavior,
-            defect_model.dictionary_size_variable().samples,
-            error_functions=config.error_functions,
-            base_simulations=simulations,
-            parallel=parallel,
-            cache=cache,
+            with recorder.span("evaluate.diagnose"):
+                results, dictionary = run_diagnosis(
+                    timing,
+                    patterns,
+                    clk,
+                    trial.behavior,
+                    defect_model.dictionary_size_variable().samples,
+                    error_functions=config.error_functions,
+                    base_simulations=simulations,
+                    parallel=parallel,
+                    cache=cache,
+                )
+        recorder.count("evaluate.trials")
+        recorder.count("evaluate.location_redraws", location_redraws)
+        recorder.count("evaluate.instance_redraws", instance_redraws)
+        recorder.count("evaluate.suspects", len(dictionary))
+        recorder.count(
+            "evaluate.failing_observations", trial.n_failing_observations
         )
         ranks = {
             name: result.rank_of(defect.edge) for name, result in results.items()

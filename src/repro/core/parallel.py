@@ -30,6 +30,8 @@ import os
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
+from .. import obs
+
 __all__ = [
     "BACKENDS",
     "ParallelConfig",
@@ -135,17 +137,40 @@ def chunk_indices(
 # ----------------------------------------------------------------------
 _WORKER_FN: Optional[Callable] = None
 _WORKER_PAYLOAD = None
+_WORKER_METRICS = False
 
 
-def _init_worker(fn: Callable, payload) -> None:
-    global _WORKER_FN, _WORKER_PAYLOAD
+@dataclass
+class _MetricsShard:
+    """A chunk result bundled with the worker-side metrics snapshot.
+
+    Process-pool workers cannot record into the parent's recorder, so each
+    chunk runs under a private worker recorder whose snapshot rides home
+    with the results and is merged by :func:`map_chunked`.  Only the
+    metrics payload differs between shards of the same run; the ``items``
+    are exactly what an uninstrumented worker would have returned.
+    """
+
+    items: List
+    metrics: dict
+
+
+def _init_worker(fn: Callable, payload, metrics: bool = False) -> None:
+    global _WORKER_FN, _WORKER_PAYLOAD, _WORKER_METRICS
     _WORKER_FN = fn
     _WORKER_PAYLOAD = payload
+    _WORKER_METRICS = metrics
 
 
 def _run_chunk(chunk: Sequence[int]):
     assert _WORKER_FN is not None, "worker pool used before initialization"
-    return _WORKER_FN(_WORKER_PAYLOAD, list(chunk))
+    if not _WORKER_METRICS:
+        return _WORKER_FN(_WORKER_PAYLOAD, list(chunk))
+    recorder = obs.Recorder()
+    with obs.use_recorder(recorder):
+        with recorder.span("parallel.chunk"):
+            items = _WORKER_FN(_WORKER_PAYLOAD, list(chunk))
+    return _MetricsShard(items, recorder.snapshot())
 
 
 def map_chunked(
@@ -163,37 +188,55 @@ def map_chunked(
     parallel runs reproduce serial runs exactly.
     """
     config = resolve_parallel(config)
+    recorder = obs.get_recorder()
     chunks = chunk_indices(n_items, config.chunk_size, config.workers)
     if not chunks:
         return []
     if config.is_serial or len(chunks) == 1:
-        results = [fn(payload, list(chunk)) for chunk in chunks]
+        with recorder.span("parallel.map"):
+            results = [fn(payload, list(chunk)) for chunk in chunks]
+        recorder.count("parallel.serial.chunks", len(chunks))
+        recorder.count("parallel.serial.items", n_items)
         return [item for chunk_result in results for item in chunk_result]
 
     workers = min(config.workers, len(chunks))
-    if config.backend == "process":
-        import multiprocessing
+    with recorder.span("parallel.map"):
+        if config.backend == "process":
+            import multiprocessing
 
-        with multiprocessing.Pool(
-            workers, initializer=_init_worker, initargs=(fn, payload)
-        ) as pool:
-            results = pool.map(_run_chunk, chunks)
-    elif config.backend == "futures":
-        from concurrent.futures import ProcessPoolExecutor
+            with multiprocessing.Pool(
+                workers,
+                initializer=_init_worker,
+                initargs=(fn, payload, recorder.enabled),
+            ) as pool:
+                results = pool.map(_run_chunk, chunks)
+        elif config.backend == "futures":
+            from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(fn, payload),
-        ) as executor:
-            results = list(executor.map(_run_chunk, chunks))
-    elif config.backend == "thread":
-        from concurrent.futures import ThreadPoolExecutor
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(fn, payload, recorder.enabled),
+            ) as executor:
+                results = list(executor.map(_run_chunk, chunks))
+        elif config.backend == "thread":
+            from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=workers) as executor:
-            results = list(
-                executor.map(lambda chunk: fn(payload, list(chunk)), chunks)
-            )
-    else:  # pragma: no cover - guarded by ParallelConfig validation
-        raise ValueError(f"unknown parallel backend {config.backend!r}")
-    return [item for chunk_result in results for item in chunk_result]
+            # Worker threads record straight into the shared (lock-
+            # protected) recorder; no shard merging needed.
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                results = list(
+                    executor.map(lambda chunk: fn(payload, list(chunk)), chunks)
+                )
+        else:  # pragma: no cover - guarded by ParallelConfig validation
+            raise ValueError(f"unknown parallel backend {config.backend!r}")
+    flattened = []
+    for chunk_result in results:
+        if isinstance(chunk_result, _MetricsShard):
+            recorder.merge(chunk_result.metrics)
+            chunk_result = chunk_result.items
+        flattened.extend(chunk_result)
+    recorder.count(f"parallel.{config.backend}.chunks", len(chunks))
+    recorder.count(f"parallel.{config.backend}.items", n_items)
+    recorder.gauge("parallel.workers", workers)
+    return flattened

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..circuits.benchmarks import load_benchmark
 from ..core.error_functions import ALG_REV, METHOD_I, METHOD_II
 from ..core.evaluation import EvaluationConfig, EvaluationResult, evaluate_circuit
@@ -107,18 +108,24 @@ def run_table1_circuit(
 ) -> Table1CircuitResult:
     """Reproduce one circuit's Table I rows."""
     started = time.perf_counter()
+    recorder = obs.get_recorder()
     ks = k_values if k_values is not None else published_k_values(circuit_name)
-    circuit = load_benchmark(circuit_name, seed=seed)
-    timing = CircuitTiming(circuit, SampleSpace(n_samples=n_samples, seed=seed))
-    config = EvaluationConfig(
-        n_trials=n_trials,
-        n_paths=n_paths,
-        clk_quantile=clk_quantile,
-        k_values=ks,
-        error_functions=(METHOD_I, METHOD_II, ALG_REV),
-        seed=seed,
-    )
-    evaluation = evaluate_circuit(timing, config)
+    with recorder.span("table1.circuit"):
+        with recorder.span("table1.load"):
+            circuit = load_benchmark(circuit_name, seed=seed)
+            timing = CircuitTiming(
+                circuit, SampleSpace(n_samples=n_samples, seed=seed)
+            )
+        config = EvaluationConfig(
+            n_trials=n_trials,
+            n_paths=n_paths,
+            clk_quantile=clk_quantile,
+            k_values=ks,
+            error_functions=(METHOD_I, METHOD_II, ALG_REV),
+            seed=seed,
+        )
+        evaluation = evaluate_circuit(timing, config)
+    recorder.count("table1.circuits")
     return Table1CircuitResult(
         circuit=circuit_name,
         k_values=ks,

@@ -9,7 +9,10 @@ severities and per-rule suppression:
   time-seeded generators, seed parameters without Generator threading;
 * the **semantic model checker** (``C2xx``/``T3xx``/``S4xx``) audits the
   artifacts the flow consumes — netlists, cell libraries, materialized
-  timing models, suspect sets and the on-disk dictionary cache.
+  timing models, suspect sets and the on-disk dictionary cache;
+* the **manifest auditor** (``S5xx``, :mod:`repro.lint.obs`) gates the
+  observability run manifests that ``--metrics`` / ``profile`` emit and
+  CI archives.
 
 CLI: ``python -m repro lint [--code|--models|--all] [--format json]``.
 The JSON payload shape is pinned by
@@ -36,8 +39,16 @@ from .models import (
     check_timing,
     lint_circuit,
 )
+from .obs import check_manifest
 from .rules import RULES, Rule, rule
-from .runner import lint_code, lint_models, render_report, render_rule_catalog, run_lint
+from .runner import (
+    lint_code,
+    lint_manifests,
+    lint_models,
+    render_report,
+    render_rule_catalog,
+    run_lint,
+)
 
 __all__ = [
     "Diagnostic",
@@ -51,11 +62,13 @@ __all__ = [
     "check_cache",
     "check_circuit",
     "check_library",
+    "check_manifest",
     "check_suspects",
     "check_timing",
     "lint_circuit",
     "lint_code",
     "lint_file",
+    "lint_manifests",
     "lint_models",
     "lint_paths",
     "lint_source",

@@ -1,0 +1,62 @@
+"""S5xx rules: audit observability run manifests (:mod:`repro.obs`).
+
+CI archives one manifest per profiled workload; this engine gates that
+artifact the same way ``S4xx`` gates the dictionary cache — a manifest
+that cannot be read (S501), violates the shipped schema (S502), or is
+schema-valid but empty (S503) means the profiling leg silently broke.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from ..obs.manifest import span_tree_depth, validate_manifest
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["check_manifest"]
+
+
+def check_manifest(path: str) -> List[Diagnostic]:
+    """Audit one run-manifest file; returns S5xx findings (empty == clean)."""
+    anchor = f"manifest:{path}"
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [
+            Diagnostic(
+                rule="S501",
+                severity=Severity.ERROR,
+                message=f"cannot read run manifest: {exc}",
+                obj=anchor,
+                engine="model",
+            )
+        ]
+    findings: List[Diagnostic] = []
+    errors = validate_manifest(payload)
+    for error in errors:
+        findings.append(
+            Diagnostic(
+                rule="S502",
+                severity=Severity.ERROR,
+                message=f"manifest schema violation: {error}",
+                obj=anchor,
+                engine="model",
+            )
+        )
+    if errors:
+        return findings
+    metrics = payload.get("metrics", {})
+    if span_tree_depth(metrics) == 0 and not metrics.get("counters"):
+        findings.append(
+            Diagnostic(
+                rule="S503",
+                severity=Severity.WARNING,
+                message="manifest records no spans and no counters "
+                "(was the recorder installed for this run?)",
+                obj=anchor,
+                engine="model",
+            )
+        )
+    return findings

@@ -9,7 +9,10 @@ it checks and which engine produced it:
   :mod:`repro.lint.models`),
 * ``T3xx`` — timing / cell-library characterization (model engine),
 * ``S4xx`` — suspect sets, fault dictionaries and the on-disk cache
-  (model engine).
+  (model engine),
+* ``S5xx`` — observability run manifests emitted by :mod:`repro.obs`
+  (model engine, :mod:`repro.lint.obs`).  The range is reserved for the
+  obs namespace: new manifest/metrics rules go here.
 
 IDs are append-only: a retired rule's number is never reused, so CI logs
 and suppression lists stay meaningful across versions.  To add a rule,
@@ -175,6 +178,25 @@ _CATALOG = (
         "Stray file in the cache directory (leftover temp file from an "
         "interrupted writer, or a foreign file) that no load will ever "
         "consult.",
+    ),
+    # ------------------------------------ observability run manifests
+    Rule(
+        "S501", "manifest-unreadable", Severity.ERROR, "model",
+        "Run manifest file is missing, unreadable, or not valid JSON — "
+        "the metrics emitter crashed mid-write or CI archived the wrong "
+        "artifact.",
+    ),
+    Rule(
+        "S502", "manifest-schema-violation", Severity.ERROR, "model",
+        "Run manifest does not validate against the shipped manifest "
+        "schema (repro.obs.MANIFEST_SCHEMA): wrong format tag, missing "
+        "required keys, or malformed metrics payloads.",
+    ),
+    Rule(
+        "S503", "manifest-metrics-empty", Severity.WARNING, "model",
+        "Run manifest is schema-valid but records no spans and no "
+        "counters — the run executed with a disabled recorder, so the "
+        "archived profile carries no information.",
     ),
 )
 

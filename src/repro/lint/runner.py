@@ -7,7 +7,8 @@ test-suite's self-check gate:
   installed ``repro`` package itself),
 * :func:`lint_models` — semantic rules over the shipped benchmark
   circuits (plus, optionally, a dictionary-cache directory),
-* :func:`run_lint` — both, per the requested mode.
+* :func:`run_lint` — both, per the requested mode; ``manifest`` paths
+  additionally audit observability run manifests (``S5xx``).
 """
 
 from __future__ import annotations
@@ -18,9 +19,16 @@ from typing import Iterable, List, Optional, Sequence
 from .determinism import lint_paths
 from .diagnostics import LintReport
 from .models import check_benchmark, check_cache
+from .obs import check_manifest
 from .rules import RULES
 
-__all__ = ["lint_code", "lint_models", "run_lint", "render_rule_catalog"]
+__all__ = [
+    "lint_code",
+    "lint_manifests",
+    "lint_models",
+    "run_lint",
+    "render_rule_catalog",
+]
 
 
 def lint_code(
@@ -56,6 +64,16 @@ def lint_models(
     return report
 
 
+def lint_manifests(
+    manifests: Iterable[str], suppress: Sequence[str] = ()
+) -> LintReport:
+    """Audit observability run manifests (``S5xx`` rules)."""
+    report = LintReport()
+    for path in manifests:
+        report.extend(check_manifest(path), suppress=suppress)
+    return report
+
+
 def run_lint(
     mode: str = "all",
     paths: Optional[Iterable[str]] = None,
@@ -64,9 +82,14 @@ def run_lint(
     seed: int = 0,
     n_samples: int = 16,
     suppress: Sequence[str] = (),
+    manifests: Optional[Sequence[str]] = None,
 ) -> LintReport:
-    """Run the requested engines; ``mode`` is ``code``/``models``/``all``."""
-    if mode not in ("code", "models", "all"):
+    """Run the requested engines; ``mode`` is ``code``/``models``/``all``/
+    ``manifests`` (manifests-only — skips both other engines).
+
+    ``manifests`` paths are audited in every mode.
+    """
+    if mode not in ("code", "models", "all", "manifests"):
         raise ValueError(f"unknown lint mode {mode!r}")
     report = LintReport()
     if mode in ("code", "all"):
@@ -80,6 +103,10 @@ def run_lint(
         )
         report.extend(models.diagnostics)
         report.suppressed += models.suppressed
+    if manifests:
+        audited = lint_manifests(manifests, suppress=suppress)
+        report.extend(audited.diagnostics)
+        report.suppressed += audited.suppressed
     return report
 
 

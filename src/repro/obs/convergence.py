@@ -1,0 +1,148 @@
+"""Monte-Carlo convergence accounting: running mean/variance meters.
+
+Every probability this reproduction reports is a Monte-Carlo estimate —
+critical probabilities are means of per-sample Bernoulli outcomes, settle
+times are sample vectors over the circuit-instance population.  A
+:class:`ConvergenceStat` tracks such a stream incrementally (numerically
+stable Welford/Chan updates, merged batch-at-a-time) and answers the
+estimator-quality questions the importance-sampling roadmap items (ISLE,
+EffiTest — see PAPERS.md) will ask of every estimator:
+
+* running **mean** and (reliability-weighted, unbiased) **variance**,
+* **standard error** of the mean,
+* **effective sample count** ``ESS = (sum w)^2 / sum w^2`` — equal to the
+  raw draw count for unit weights, smaller for skewed importance weights.
+
+Meters are plain value objects; thread safety is the owning
+:class:`repro.obs.Recorder`'s job.  Two meters (or a meter and its
+serialized payload, e.g. shipped back from a worker process) merge
+exactly: updating in one stream or in shards is the same statistic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["ConvergenceStat"]
+
+
+class ConvergenceStat:
+    """Weighted running mean/variance over a sample stream."""
+
+    __slots__ = ("n", "wsum", "wsum2", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.n = 0  # raw draw count
+        self.wsum = 0.0  # sum of weights
+        self.wsum2 = 0.0  # sum of squared weights
+        self.mean = 0.0
+        self.m2 = 0.0  # sum of w * (x - mean)^2
+
+    # -- updates --------------------------------------------------------
+    def update(
+        self,
+        values: Union[np.ndarray, float],
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        """Fold a batch of samples (optionally weighted) into the stat."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        if weights is None:
+            batch_w = float(values.size)
+            batch_w2 = float(values.size)
+            batch_mean = float(values.mean())
+            batch_m2 = float(((values - batch_mean) ** 2).sum())
+        else:
+            weights = np.asarray(weights, dtype=float).ravel()
+            if weights.shape != values.shape:
+                raise ValueError("weights must match values in shape")
+            if (weights < 0).any():
+                raise ValueError("weights must be non-negative")
+            batch_w = float(weights.sum())
+            if batch_w == 0.0:
+                return
+            batch_w2 = float((weights**2).sum())
+            batch_mean = float((weights * values).sum() / batch_w)
+            batch_m2 = float((weights * (values - batch_mean) ** 2).sum())
+        self._merge_moments(values.size, batch_w, batch_w2, batch_mean, batch_m2)
+
+    def merge(self, other: Union["ConvergenceStat", Dict]) -> None:
+        """Fold another stat (or its :meth:`to_payload`) into this one."""
+        if isinstance(other, dict):
+            self._merge_moments(
+                int(other["count"]),
+                float(other["wsum"]),
+                float(other["wsum2"]),
+                float(other["mean"]),
+                float(other["m2"]),
+            )
+        else:
+            self._merge_moments(other.n, other.wsum, other.wsum2,
+                                other.mean, other.m2)
+
+    def _merge_moments(
+        self, n: int, wsum: float, wsum2: float, mean: float, m2: float
+    ) -> None:
+        if wsum <= 0.0:
+            return
+        total = self.wsum + wsum
+        delta = mean - self.mean
+        # Chan et al. pairwise-merge form of Welford's update.
+        self.m2 += m2 + delta * delta * self.wsum * wsum / total
+        self.mean += delta * wsum / total
+        self.wsum = total
+        self.wsum2 += wsum2
+        self.n += n
+
+    # -- derived quantities ---------------------------------------------
+    @property
+    def count(self) -> int:
+        return self.n
+
+    @property
+    def ess(self) -> float:
+        """Effective sample count ``(sum w)^2 / sum w^2``."""
+        if self.wsum2 == 0.0:
+            return 0.0
+        return self.wsum * self.wsum / self.wsum2
+
+    @property
+    def variance(self) -> float:
+        """Unbiased (reliability-weighted) sample variance."""
+        denominator = self.wsum - self.wsum2 / self.wsum if self.wsum else 0.0
+        if denominator <= 0.0:
+            return 0.0
+        return self.m2 / denominator
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the running mean: ``sqrt(var / ESS)``."""
+        ess = self.ess
+        if ess <= 0.0:
+            return 0.0
+        return math.sqrt(self.variance / ess)
+
+    # -- serialization --------------------------------------------------
+    def to_payload(self) -> Dict[str, float]:
+        """JSON-ready view carrying both raw moments (for exact merging)
+        and the derived estimator-quality numbers."""
+        return {
+            "count": self.n,
+            "wsum": self.wsum,
+            "wsum2": self.wsum2,
+            "mean": self.mean,
+            "m2": self.m2,
+            "variance": self.variance,
+            "std_error": self.std_error,
+            "ess": self.ess,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConvergenceStat(n={self.n}, mean={self.mean:.6g}, "
+            f"se={self.std_error:.3g}, ess={self.ess:.1f})"
+        )

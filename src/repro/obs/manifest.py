@@ -1,0 +1,373 @@
+"""The run manifest: one JSON document describing what a run did.
+
+``python -m repro profile <workload>`` (and any CLI command invoked with
+``--metrics out.json``) emits a manifest carrying the run identity (the
+command, workload, seed and resolved execution config), the environment
+(interpreter, numpy, git revision when resolvable) and the full metrics
+tree captured by the active :class:`repro.obs.Recorder` — spans, counters,
+gauges and convergence meters.
+
+The shape is pinned by :data:`MANIFEST_SCHEMA` and enforced by the
+hand-rolled :func:`validate_manifest` (same no-third-party-``jsonschema``
+policy as ``repro.lint.diagnostics``).  :func:`stable_skeleton` reduces a
+manifest to its *schema-stable* structure — key paths, span-name tree,
+counter/gauge/meter names, no wall-clock or measured values — which is
+what the golden regression fixture under ``tests/fixtures/obs/`` pins, so
+schema drift fails loudly while timing noise never does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_VERSION",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "validate_manifest",
+    "write_manifest",
+    "load_manifest",
+    "stable_skeleton",
+    "span_tree_depth",
+]
+
+#: Bumped whenever the manifest shape changes incompatibly.
+MANIFEST_VERSION = 1
+MANIFEST_FORMAT = "repro-run-manifest-v1"
+
+_RUN_STATUSES = ("ok", "error")
+
+#: Documented manifest shape (JSON-Schema subset; ``#/definitions/span``
+#: is self-recursive through ``children``).
+MANIFEST_SCHEMA: Dict = {
+    "type": "object",
+    "required": ["format", "version", "tool", "run", "environment", "metrics"],
+    "properties": {
+        "format": {"type": "string", "const": MANIFEST_FORMAT},
+        "version": {"type": "integer", "const": MANIFEST_VERSION},
+        "tool": {
+            "type": "object",
+            "required": ["name", "version"],
+            "properties": {
+                "name": {"type": "string"},
+                "version": {"type": "string"},
+            },
+        },
+        "run": {
+            "type": "object",
+            "required": ["command", "workload", "seed", "config", "status"],
+            "properties": {
+                "command": {"type": "string"},
+                "workload": {"type": ["string", "null"]},
+                "seed": {"type": ["integer", "null"]},
+                "config": {"type": "object"},
+                "status": {"enum": list(_RUN_STATUSES)},
+            },
+        },
+        "environment": {
+            "type": "object",
+            "required": ["python", "platform", "numpy", "cpu_count", "git_rev"],
+            "properties": {
+                "python": {"type": "string"},
+                "platform": {"type": "string"},
+                "numpy": {"type": "string"},
+                "cpu_count": {"type": ["integer", "null"]},
+                "git_rev": {"type": ["string", "null"]},
+            },
+        },
+        "metrics": {
+            "type": "object",
+            "required": ["spans", "counters", "gauges", "convergence"],
+            "properties": {
+                "spans": {
+                    "type": "array",
+                    "items": {"$ref": "#/definitions/span"},
+                },
+                "counters": {
+                    "type": "object",
+                    "additionalProperties": {"type": "number"},
+                },
+                "gauges": {
+                    "type": "object",
+                    "additionalProperties": {"type": "number"},
+                },
+                "convergence": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": "object",
+                        "required": [
+                            "count", "wsum", "wsum2", "mean", "m2",
+                            "variance", "std_error", "ess",
+                        ],
+                    },
+                },
+            },
+        },
+    },
+    "definitions": {
+        "span": {
+            "type": "object",
+            "required": ["name", "count", "total_s"],
+            "properties": {
+                "name": {"type": "string", "minLength": 1},
+                "count": {"type": "integer", "minimum": 0},
+                "total_s": {"type": "number", "minimum": 0},
+                "children": {
+                    "type": "array",
+                    "items": {"$ref": "#/definitions/span"},
+                },
+            },
+        },
+    },
+}
+
+_CONVERGENCE_FIELDS = (
+    "count", "wsum", "wsum2", "mean", "m2", "variance", "std_error", "ess",
+)
+
+
+def _git_revision() -> Optional[str]:
+    """Short git revision of the source tree, or ``None``.
+
+    Best-effort only: a manifest from an sdist install or a detached copy
+    simply records ``null`` — never an exception, never a hang.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    revision = completed.stdout.strip()
+    return revision or None
+
+
+def build_manifest(
+    command: str,
+    workload: Optional[str] = None,
+    seed: Optional[int] = None,
+    config: Optional[Dict] = None,
+    metrics: Optional[Dict] = None,
+    status: str = "ok",
+) -> Dict:
+    """Assemble a manifest from the active recorder (or given metrics)."""
+    import platform
+
+    from . import get_recorder
+    from .. import __version__
+
+    if metrics is None:
+        metrics = get_recorder().snapshot()
+    return {
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "tool": {"name": "repro", "version": __version__},
+        "run": {
+            "command": command,
+            "workload": workload,
+            "seed": None if seed is None else int(seed),
+            "config": dict(config or {}),
+            "status": status,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "git_rev": _git_revision(),
+        },
+        "metrics": metrics,
+    }
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _check_span(node, where: str, problems: List[str]) -> None:
+    if not isinstance(node, dict):
+        problems.append(f"{where} is not an object")
+        return
+    name = node.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{where} has no non-empty 'name'")
+    if not _is_int(node.get("count")) or node.get("count") < 0:
+        problems.append(f"{where} 'count' is not a non-negative integer")
+    if not _is_number(node.get("total_s")) or node.get("total_s") < 0:
+        problems.append(f"{where} 'total_s' is not a non-negative number")
+    children = node.get("children", [])
+    if not isinstance(children, list):
+        problems.append(f"{where} 'children' is not an array")
+        return
+    for index, child in enumerate(children):
+        _check_span(child, f"{where}.children[{index}]", problems)
+
+
+def validate_manifest(payload) -> List[str]:
+    """All the ways ``payload`` violates :data:`MANIFEST_SCHEMA`.
+
+    Returns an empty list for a valid manifest; never raises on malformed
+    input — the lint engine turns each problem into an ``S502`` finding.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not an object"]
+    for key in ("format", "version", "tool", "run", "environment", "metrics"):
+        if key not in payload:
+            problems.append(f"missing key {key!r}")
+    if payload.get("format") != MANIFEST_FORMAT:
+        problems.append(f"unknown format {payload.get('format')!r}")
+    if payload.get("version") != MANIFEST_VERSION:
+        problems.append(f"unsupported version {payload.get('version')!r}")
+
+    tool = payload.get("tool")
+    if not isinstance(tool, dict):
+        problems.append("'tool' is not an object")
+    else:
+        for key in ("name", "version"):
+            if not isinstance(tool.get(key), str):
+                problems.append(f"tool[{key!r}] is not a string")
+
+    run = payload.get("run")
+    if not isinstance(run, dict):
+        problems.append("'run' is not an object")
+    else:
+        if not isinstance(run.get("command"), str):
+            problems.append("run['command'] is not a string")
+        workload = run.get("workload")
+        if workload is not None and not isinstance(workload, str):
+            problems.append("run['workload'] is neither a string nor null")
+        seed = run.get("seed")
+        if seed is not None and not _is_int(seed):
+            problems.append("run['seed'] is neither an integer nor null")
+        if not isinstance(run.get("config"), dict):
+            problems.append("run['config'] is not an object")
+        if run.get("status") not in _RUN_STATUSES:
+            problems.append(f"run['status'] is not one of {_RUN_STATUSES}")
+
+    environment = payload.get("environment")
+    if not isinstance(environment, dict):
+        problems.append("'environment' is not an object")
+    else:
+        for key in ("python", "platform", "numpy", "cpu_count", "git_rev"):
+            if key not in environment:
+                problems.append(f"environment missing key {key!r}")
+
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("'metrics' is not an object")
+        return problems
+    spans = metrics.get("spans")
+    if not isinstance(spans, list):
+        problems.append("metrics['spans'] is not an array")
+    else:
+        for index, node in enumerate(spans):
+            _check_span(node, f"metrics.spans[{index}]", problems)
+    for section in ("counters", "gauges"):
+        table = metrics.get(section)
+        if not isinstance(table, dict):
+            problems.append(f"metrics[{section!r}] is not an object")
+            continue
+        for name, value in table.items():
+            if not _is_number(value):
+                problems.append(
+                    f"metrics.{section}[{name!r}] is not a number"
+                )
+    convergence = metrics.get("convergence")
+    if not isinstance(convergence, dict):
+        problems.append("metrics['convergence'] is not an object")
+    else:
+        for name, meter in convergence.items():
+            where = f"metrics.convergence[{name!r}]"
+            if not isinstance(meter, dict):
+                problems.append(f"{where} is not an object")
+                continue
+            for field in _CONVERGENCE_FIELDS:
+                if not _is_number(meter.get(field)):
+                    problems.append(f"{where}[{field!r}] is not a number")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# I/O and the golden skeleton
+# ----------------------------------------------------------------------
+def write_manifest(path: str, payload: Dict) -> str:
+    """Validate and write a manifest; returns the path written."""
+    problems = validate_manifest(payload)
+    if problems:
+        raise ValueError(
+            "refusing to write an invalid manifest: " + "; ".join(problems)
+        )
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return os.fspath(path)
+
+
+def load_manifest(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _span_names(nodes) -> Dict[str, Dict]:
+    """Span list -> nested ``{name: {child: ...}}`` name tree."""
+    tree: Dict[str, Dict] = {}
+    for node in nodes:
+        tree[str(node["name"])] = _span_names(node.get("children", ()))
+    return tree
+
+
+def span_tree_depth(metrics: Dict) -> int:
+    """Deepest span nesting level in a metrics payload."""
+
+    def depth(nodes) -> int:
+        if not nodes:
+            return 0
+        return 1 + max(depth(node.get("children", ())) for node in nodes)
+
+    return depth(metrics.get("spans", ()))
+
+
+def stable_skeleton(payload: Dict) -> Dict:
+    """The schema-stable structure of a manifest (golden-fixture view).
+
+    Keeps the identity constants, key names and the span-name tree; drops
+    every measured value — wall-clock totals, counter values, convergence
+    moments, environment details — so the golden comparison is immune to
+    timing noise and host differences but still fails on any schema or
+    instrumentation-naming drift.
+    """
+    metrics = payload.get("metrics", {})
+    return {
+        "format": payload.get("format"),
+        "version": payload.get("version"),
+        "tool_keys": sorted(payload.get("tool", {})),
+        "run_keys": sorted(payload.get("run", {})),
+        "environment_keys": sorted(payload.get("environment", {})),
+        "metrics_keys": sorted(metrics),
+        "span_names": _span_names(metrics.get("spans", ())),
+        "counter_names": sorted(metrics.get("counters", {})),
+        "gauge_names": sorted(metrics.get("gauges", {})),
+        "convergence_names": sorted(metrics.get("convergence", {})),
+        "convergence_fields": list(_CONVERGENCE_FIELDS),
+    }

@@ -1,0 +1,52 @@
+"""Human-readable rendering of a metrics snapshot (for ``repro profile``)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["render_metrics_text"]
+
+
+def _render_span(node: Dict, indent: int, lines: List[str]) -> None:
+    total_ms = 1000.0 * float(node.get("total_s", 0.0))
+    lines.append(
+        f"  {'  ' * indent}{node['name']:<{max(2, 38 - 2 * indent)}s} "
+        f"x{node.get('count', 0):<5d} {total_ms:9.2f} ms"
+    )
+    for child in node.get("children", ()):
+        _render_span(child, indent + 1, lines)
+
+
+def render_metrics_text(snapshot: Dict) -> str:
+    """Span tree, counters, gauges and convergence meters as plain text."""
+    lines: List[str] = []
+    spans = snapshot.get("spans", [])
+    if spans:
+        lines.append("spans:")
+        for node in spans:
+            _render_span(node, 0, lines)
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            value = counters[name]
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<40s} {rendered}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<40s} {gauges[name]:g}")
+    convergence = snapshot.get("convergence", {})
+    if convergence:
+        lines.append("convergence:")
+        for name in sorted(convergence):
+            meter = convergence[name]
+            lines.append(
+                f"  {name:<28s} n={meter['count']:<8d} "
+                f"mean={meter['mean']:<12.6g} se={meter['std_error']:<10.3g} "
+                f"ess={meter['ess']:.1f}"
+            )
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)

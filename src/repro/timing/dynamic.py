@@ -35,6 +35,7 @@ import numpy as np
 
 from ..circuits.library import CONTROLLING_VALUE, GateType
 from ..circuits.netlist import Circuit
+from .. import obs
 from .instance import CircuitTiming
 from .randvars import RandomVariable
 
@@ -90,10 +91,16 @@ class TransitionSimResult:
     def error_vector(self, clk: float) -> np.ndarray:
         """``Err(C, v, clk)`` of Definition D.7: per-output critical probability."""
         outputs = self.timing.circuit.outputs
+        recorder = obs.get_recorder()
         vector = np.zeros(len(outputs))
         for index, net in enumerate(outputs):
             if self.transitioned(net):
                 vector[index] = float(np.mean(self.stable[net] > clk))
+                if recorder.enabled:
+                    # The raw Monte-Carlo samples behind this estimate:
+                    # the meter tracks running mean/variance/SE/ESS of the
+                    # output settle-time population.
+                    recorder.observe("dynamic.settle", self.stable[net])
         return vector
 
     def output_failures(self, clk: float) -> np.ndarray:
@@ -191,6 +198,13 @@ def simulate_transition(
         stable[name] = _gate_settle_time(
             gate.gate_type, gate.fanins, val1, val2, stable.__getitem__, delay_of
         )
+    recorder = obs.get_recorder()
+    if recorder.enabled:
+        recorder.count("dynamic.transition_sims")
+        recorder.count(
+            "dynamic.net_transitions",
+            sum(1 for name in val1 if val1[name] != val2[name]),
+        )
     return TransitionSimResult(
         timing, v1, v2, val1, val2, stable, width, sample_index
     )
@@ -225,6 +239,13 @@ def resimulate_with_extra(
         affected = set(affected)
     if not affected:
         return base
+    recorder = obs.get_recorder()
+    if recorder.enabled:
+        # The dictionary builder's hottest loop: one resimulation per
+        # (suspect, live pattern).  Guarded so the disabled path costs one
+        # attribute read.
+        recorder.count("dynamic.resimulations")
+        recorder.count("dynamic.nets_recomputed", len(affected))
 
     delays = (
         timing.delays

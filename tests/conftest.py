@@ -98,6 +98,22 @@ def _isolated_execution_env(monkeypatch):
         monkeypatch.delenv(variable, raising=False)
 
 
+@pytest.fixture(autouse=True)
+def _disabled_recorder():
+    """Start (and leave) every test with the no-op metrics recorder.
+
+    A test that installs a live :mod:`repro.obs` recorder and fails
+    before restoring it must not leak instrumentation into the rest of
+    the suite — determinism tests compare instrumented vs uninstrumented
+    runs and depend on a known-disabled baseline.
+    """
+    from repro import obs
+
+    obs.disable()
+    yield
+    obs.disable()
+
+
 @pytest.fixture()
 def tmp_cache(tmp_path):
     """A per-test dictionary cache in a private tmp dir (xdist-safe)."""

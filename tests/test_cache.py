@@ -204,6 +204,61 @@ class TestCorruption:
         assert not os.path.exists(path)
 
 
+class TestCacheStats:
+    def test_stats_object_tracks_every_outcome(self, case, cache):
+        timing, patterns, clk, suspects, sizes, sims = case
+        assert cache.stats.as_dict() == {
+            "hits": 0, "misses": 0, "rejected": 0, "stores": 0,
+        }
+        build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, cache=cache,
+        )
+        build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, cache=cache,
+        )
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+        assert stats.lookups == 2
+        assert stats.hit_rate == 0.5
+        # the legacy counter properties stay in sync with the stats object
+        assert (cache.hits, cache.misses, cache.rejected) == (1, 1, 0)
+
+    def test_rejection_counts_as_miss(self, case, cache):
+        timing, patterns, clk, suspects, sizes, sims = case
+        build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, cache=cache,
+        )
+        key = dictionary_cache_key(timing, list(patterns), [clk], suspects, sizes)
+        with open(cache.path_for(key), "wb") as handle:
+            handle.write(b"garbage")
+        assert cache.load(key) is None
+        assert cache.stats.rejected == 1
+        assert cache.stats.misses == 2  # a rejected entry is also a miss
+        assert cache.stats.hit_rate == 0.0
+
+    def test_hit_rate_on_empty_cache_is_zero(self, cache):
+        assert cache.stats.lookups == 0
+        assert cache.stats.hit_rate == 0.0
+
+    def test_lookups_feed_obs_counters(self, case, cache):
+        from repro import obs
+
+        timing, patterns, clk, suspects, sizes, sims = case
+        recorder = obs.Recorder()
+        with obs.use_recorder(recorder):
+            for _ in range(2):
+                build_dictionary(
+                    timing, patterns, clk, suspects, sizes,
+                    base_simulations=sims, cache=cache,
+                )
+        assert recorder.counter_value("cache.miss") == 1
+        assert recorder.counter_value("cache.hit") == 1
+        assert recorder.counter_value("cache.store") == 1
+
+
 class TestResolution:
     def test_default_off(self):
         assert os.environ.get("REPRO_CACHE_DIR") is None

@@ -96,6 +96,78 @@ class TestParallelBackendDeterminism:
         assert [r.ranks for r in first.records] == [r.ranks for r in second.records]
 
 
+@pytest.mark.slow
+class TestInstrumentationDeterminism:
+    """Observability must be a pure observer.
+
+    The :mod:`repro.obs` recorder sits inside every hot path of the
+    protocol (dynamic simulation, dictionary construction, evaluation
+    trials); this pins the layer's core contract — recording reads
+    results, never draws from or reorders an RNG stream — at the highest
+    level: a fully instrumented Section I round reproduces the
+    uninstrumented one record for record.
+    """
+
+    def test_instrumented_evaluate_round_matches_uninstrumented(
+        self, bench_timing
+    ):
+        from repro import obs
+        from repro.core import EvaluationConfig, evaluate_circuit
+
+        config = EvaluationConfig(n_trials=2, n_paths=5, seed=9)
+        plain = evaluate_circuit(bench_timing, config)
+
+        recorder = obs.Recorder()
+        with obs.use_recorder(recorder):
+            instrumented = evaluate_circuit(bench_timing, config)
+
+        assert [r.defect_edge for r in plain.records] == [
+            r.defect_edge for r in instrumented.records
+        ]
+        assert [r.ranks for r in plain.records] == [
+            r.ranks for r in instrumented.records
+        ]
+        assert [r.sample_index for r in plain.records] == [
+            r.sample_index for r in instrumented.records
+        ]
+        # and the recorder actually saw the round it did not perturb
+        snapshot = recorder.snapshot()
+        assert snapshot["counters"]["evaluate.trials"] == 2
+        assert snapshot["counters"]["dictionary.builds"] == 2
+        assert any(node["name"] == "evaluate.trial" for node in snapshot["spans"])
+
+    def test_instrumented_dictionary_bit_identical(self, bench_timing):
+        """Sharper (array-level) version of the same guarantee, on one
+        dictionary build rather than a whole evaluation round."""
+        from repro import obs
+        from repro.atpg import random_pattern_pairs
+        from repro.core import build_dictionary
+        from repro.defects import DefectSizeModel
+        from repro.timing import diagnosis_clock, simulate_pattern_set
+
+        patterns = random_pattern_pairs(bench_timing.circuit, 3, seed=2)
+        sims = simulate_pattern_set(bench_timing, list(patterns))
+        clk = diagnosis_clock(bench_timing, list(patterns), 0.8, simulations=sims)
+        suspects = bench_timing.circuit.edges[::40]
+        sizes = DefectSizeModel().size_variable(
+            2.0, bench_timing.space, rng=np.random.default_rng(4)
+        ).samples
+
+        plain = build_dictionary(
+            bench_timing, patterns, clk, suspects, sizes, base_simulations=sims
+        )
+        with obs.use_recorder(obs.Recorder()):
+            instrumented = build_dictionary(
+                bench_timing, patterns, clk, suspects, sizes,
+                base_simulations=sims,
+            )
+        assert np.array_equal(plain.m_crt, instrumented.m_crt)
+        for edge in suspects:
+            assert np.array_equal(
+                plain.signatures[edge], instrumented.signatures[edge]
+            )
+
+
 class TestCrossSimulatorConsistency:
     def test_sta_upper_bounds_dynamic_on_benchmark(self, bench_timing):
         """Static arrival >= dynamic settle for every net and pattern."""
