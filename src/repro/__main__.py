@@ -23,8 +23,26 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import traceback
 
 import numpy as np
+
+#: Documented exit-code contract (also in ``--help`` and the README).
+EXIT_OK = 0
+EXIT_INTERNAL = 1  # unexpected exception: a bug; traceback printed
+EXIT_USAGE = 2  # user error: bad arguments, mismatched checkpoint
+EXIT_TRANSIENT = 3  # infrastructure failure persisting after retries
+EXIT_INTERRUPTED = 130  # Ctrl-C (128 + SIGINT), the shell convention
+
+EPILOG = """\
+exit status:
+  0    success
+  1    internal error (unexpected exception; traceback on stderr)
+  2    user error (bad arguments, checkpoint from a different run)
+  3    transient infrastructure failure that survived every retry and
+       fallback (broken worker pools, chunk deadlines, injected chaos)
+  130  interrupted (Ctrl-C)
+"""
 
 
 def _positive_int(text: str) -> int:
@@ -55,6 +73,17 @@ def _apply_execution_flags(args) -> None:
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir:
         os.environ["REPRO_CACHE_DIR"] = cache_dir
+    cache_max = getattr(args, "cache_max_entries", None)
+    if cache_max:
+        os.environ["REPRO_CACHE_MAX_ENTRIES"] = str(cache_max)
+    retries = getattr(args, "retries", None)
+    if retries is not None:
+        os.environ["REPRO_RETRY_MAX"] = str(retries)
+    chunk_timeout = getattr(args, "chunk_timeout", None)
+    if chunk_timeout is not None:
+        os.environ["REPRO_RETRY_TIMEOUT"] = str(chunk_timeout)
+    if getattr(args, "no_degrade", False):
+        os.environ["REPRO_RETRY_NO_DEGRADE"] = "1"
 
 
 def _load_timing(name: str, samples: int, seed: int):
@@ -326,8 +355,9 @@ def cmd_lint(args) -> int:
         mode = "code"
     elif args.models:
         mode = "models"
-    elif args.manifests:
-        # --manifest alone audits just the manifests (fast CI gate).
+    elif args.manifests or args.checkpoints:
+        # --manifest/--checkpoint alone audit just those artifacts
+        # (fast CI gate, skips the code/model engines).
         mode = "manifests"
     else:
         mode = "all"
@@ -339,6 +369,7 @@ def cmd_lint(args) -> int:
         seed=args.seed,
         suppress=parse_suppressions(args.suppress),
         manifests=args.manifests or None,
+        checkpoints=args.checkpoints or None,
     )
     print(render_report(report, args.format))
     return report.exit_code
@@ -347,11 +378,16 @@ def cmd_lint(args) -> int:
 def cmd_table1(args) -> int:
     from .experiments import render_shape_checks, render_table1, run_table1
 
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return EXIT_USAGE
     result = run_table1(
         circuits=args.circuits or None,
         n_trials=args.trials,
         n_samples=args.samples,
         seed=args.seed,
+        checkpoint_dir=args.checkpoint or None,
+        resume=args.resume,
     )
     print(render_table1(result))
     print()
@@ -361,7 +397,7 @@ def cmd_table1(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro", description=__doc__,
+        prog="repro", description=__doc__, epilog=EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -387,6 +423,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--cache-dir", type=str, default="", dest="cache_dir",
             help="enable the on-disk dictionary cache in this directory",
+        )
+        p.add_argument(
+            "--cache-max-entries", type=_positive_int, default=None,
+            dest="cache_max_entries", metavar="N",
+            help="cap the dictionary cache at N entries (LRU eviction)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="re-attempts per failed work chunk (default: 2)",
+        )
+        p.add_argument(
+            "--chunk-timeout", type=float, default=None, dest="chunk_timeout",
+            metavar="SECONDS",
+            help="per-chunk deadline on pooled backends (default: none)",
+        )
+        p.add_argument(
+            "--no-degrade", action="store_true", dest="no_degrade",
+            help="fail with a typed error instead of degrading "
+            "process -> thread -> serial when a worker pool breaks",
         )
         p.add_argument(
             "--metrics", type=str, default="", metavar="OUT.json",
@@ -427,6 +482,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table1")
     p.add_argument("circuits", nargs="*", help="circuit subset (default all)")
     p.add_argument("--trials", type=int, default=20)
+    p.add_argument(
+        "--checkpoint", type=str, default="", metavar="DIR",
+        help="write per-circuit trial-boundary checkpoints into DIR",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign from --checkpoint DIR "
+        "(bit-identical to an uninterrupted run)",
+    )
     common(p)
     p.set_defaults(func=cmd_table1)
 
@@ -474,6 +538,11 @@ def build_parser() -> argparse.ArgumentParser:
         "alone it skips the code/model engines)",
     )
     p.add_argument(
+        "--checkpoint", action="append", dest="checkpoints", metavar="PATH",
+        help="audit a resilience checkpoint file or directory (R6xx rules; "
+        "repeatable; alone it skips the code/model engines)",
+    )
+    p.add_argument(
         "--suppress", type=str, default="",
         help="comma-separated rule IDs or globs to suppress (e.g. D105,C2*)",
     )
@@ -494,11 +563,41 @@ def _run_config(args) -> dict:
     """The resolved execution knobs echoed into the run manifest."""
     config = {}
     for field in ("samples", "trials", "paths", "parallel", "workers",
-                  "chunk_size", "cache_dir"):
+                  "chunk_size", "cache_dir", "cache_max_entries", "retries",
+                  "chunk_timeout", "checkpoint"):
         value = getattr(args, field, None)
         if value not in (None, ""):
             config[field] = value
     return config
+
+
+def _dispatch(args) -> int:
+    """Run the selected command under the documented exit-code contract.
+
+    Typed resilience failures map onto stable codes scripts can branch
+    on (see ``EPILOG``): a checkpoint that belongs to a different run is
+    a *user* error (2), any other :class:`~repro.resilience.ResilienceError`
+    means the infrastructure failed even after retries and fallbacks (3),
+    and an unexpected exception is a bug (1, traceback preserved).
+    """
+    from .resilience import CheckpointMismatchError, ResilienceError
+
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # output piped into head/less
+        return EXIT_OK
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except CheckpointMismatchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except ResilienceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_TRANSIENT
+    except Exception:
+        traceback.print_exc()
+        return EXIT_INTERNAL
 
 
 def main(argv=None) -> int:
@@ -506,19 +605,15 @@ def main(argv=None) -> int:
     _apply_execution_flags(args)
     metrics_path = getattr(args, "metrics", "") or ""
     if not metrics_path:
-        try:
-            return args.func(args)
-        except BrokenPipeError:  # output piped into head/less
-            return 0
+        return _dispatch(args)
 
     from . import obs
 
     recorder = obs.install()
     try:
-        try:
-            status = args.func(args)
-        except BrokenPipeError:
-            return 0
+        status = _dispatch(args)
+        # The manifest is written even for failed runs: a post-mortem
+        # needs the retry/fallback/chaos counters more than a clean run.
         manifest = obs.build_manifest(
             command=args.command,
             workload=getattr(args, "benchmark", None),

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..circuits.netlist import Circuit, Edge
+from ..resilience import chaos
 from ..timing.instance import CircuitTiming
 from .. import obs
 
@@ -47,6 +48,7 @@ __all__ = [
 ]
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_MAX_ENTRIES = "REPRO_CACHE_MAX_ENTRIES"
 
 
 # ----------------------------------------------------------------------
@@ -133,7 +135,9 @@ class CacheStats:
 
     ``rejected`` counts entries that existed but failed an integrity check
     (and were evicted); every rejection is also a miss.  ``stores`` counts
-    successful payload writes.  The same numbers flow into the global
+    successful payload writes, ``store_failures`` writes that died on the
+    filesystem (the run continues uncached), and ``evictions`` entries
+    removed by the LRU size cap.  The same numbers flow into the global
     metrics recorder as ``cache.*`` counters whenever one is installed.
     """
 
@@ -141,6 +145,8 @@ class CacheStats:
     misses: int = 0
     rejected: int = 0
     stores: int = 0
+    store_failures: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -157,6 +163,8 @@ class CacheStats:
             "misses": self.misses,
             "rejected": self.rejected,
             "stores": self.stores,
+            "store_failures": self.store_failures,
+            "evictions": self.evictions,
         }
 
 
@@ -166,10 +174,24 @@ class DictionaryCache:
     ``stats`` (a :class:`CacheStats`) makes cache behavior observable in
     tests and benchmarks; the ``hits`` / ``misses`` / ``rejected``
     attributes remain as read-only views of it.
+
+    ``max_entries`` caps the directory at that many entries with
+    least-recently-used eviction (also settable through the
+    ``REPRO_CACHE_MAX_ENTRIES`` environment variable, see
+    :func:`resolve_cache`).  Recency is the file mtime, refreshed on
+    every hit, so the cap evicts the entries diagnosis has stopped
+    asking for.  ``None`` (the default) means unbounded.
     """
 
-    def __init__(self, directory: Union[str, os.PathLike]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be None or >= 1")
         self.directory = os.fspath(directory)
+        self.max_entries = max_entries
         self.stats = CacheStats()
 
     @property
@@ -202,6 +224,7 @@ class DictionaryCache:
             recorder.count("cache.miss")
             return None
         try:
+            chaos.trip("cache.load")
             with np.load(path, allow_pickle=False) as archive:
                 meta = json.loads(str(archive["meta"]))
                 if meta.get("key") != key:
@@ -227,14 +250,24 @@ class DictionaryCache:
             return None
         self.stats.hits += 1
         recorder.count("cache.hit")
+        if self.max_entries is not None:
+            try:
+                os.utime(path)  # refresh LRU recency
+            except OSError:
+                pass
         return {"m_crt": m_crt, "signatures": signatures}
 
     # -- store ----------------------------------------------------------
     def store(
         self, key: str, m_crt: np.ndarray, signatures: Sequence[np.ndarray]
-    ) -> str:
-        """Write one payload atomically; returns the file path."""
-        os.makedirs(self.directory, exist_ok=True)
+    ) -> Optional[str]:
+        """Write one payload atomically; returns the file path.
+
+        A failed write (full disk, permissions, injected chaos) must
+        never kill the diagnosis that produced the payload — the run
+        simply continues uncached.  Failures are counted in
+        ``stats.store_failures`` and return ``None``.
+        """
         meta = {
             "format": "repro-dictionary-cache-v1",
             "key": key,
@@ -248,22 +281,75 @@ class DictionaryCache:
         for index, signature in enumerate(signatures):
             arrays[f"sig_{index:05d}"] = np.asarray(signature, dtype=float)
         path = self.path_for(key)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp_dict_", suffix=".npz"
-        )
+        tmp_path = None
         try:
+            chaos.trip("cache.store")
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp_dict_", suffix=".npz"
+            )
             with os.fdopen(fd, "wb") as handle:
                 np.savez(handle, **arrays)
             os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.remove(tmp_path)
-            except OSError:
-                pass
+        except KeyboardInterrupt:
+            if tmp_path is not None:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
             raise
+        except Exception:
+            if tmp_path is not None:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+            self.stats.store_failures += 1
+            obs.get_recorder().count("cache.store_failed")
+            return None
         self.stats.stores += 1
         obs.get_recorder().count("cache.store")
+        self._enforce_max_entries(keep=path)
         return path
+
+    def _enforce_max_entries(self, keep: Optional[str] = None) -> int:
+        """Evict least-recently-used entries beyond ``max_entries``."""
+        if self.max_entries is None:
+            return 0
+        try:
+            entries = [
+                os.path.join(self.directory, name)
+                for name in os.listdir(self.directory)
+                if name.startswith("dict_") and name.endswith(".npz")
+            ]
+        except OSError:
+            return 0
+        if len(entries) <= self.max_entries:
+            return 0
+        recorder = obs.get_recorder()
+
+        def mtime(entry: str) -> float:
+            try:
+                return os.path.getmtime(entry)
+            except OSError:
+                return 0.0
+
+        evicted = 0
+        # Oldest first; never evict the entry just written even if clock
+        # skew makes its mtime look stale.
+        for entry in sorted(entries, key=mtime):
+            if len(entries) - evicted <= self.max_entries:
+                break
+            if keep is not None and entry == keep:
+                continue
+            try:
+                os.remove(entry)
+            except OSError:
+                continue
+            evicted += 1
+            self.stats.evictions += 1
+            recorder.count("cache.evicted")
+        return evicted
 
     def clear(self) -> int:
         """Delete every cache entry; returns the number removed."""
@@ -294,13 +380,17 @@ def resolve_cache(
     Explicit :class:`DictionaryCache` instances and paths win; ``None``
     consults ``REPRO_CACHE_DIR`` and stays disabled when it is unset or
     empty — so tests and library users never hit the filesystem unless
-    they opted in.
+    they opted in.  ``REPRO_CACHE_MAX_ENTRIES`` applies the LRU size cap
+    to any cache this function constructs (explicit instances keep their
+    own ``max_entries``).
     """
     if isinstance(cache, DictionaryCache):
         return cache
+    limit = os.environ.get(ENV_CACHE_MAX_ENTRIES, "").strip()
+    max_entries = int(limit) if limit else None
     if cache is not None:
-        return DictionaryCache(cache)
+        return DictionaryCache(cache, max_entries=max_entries)
     directory = os.environ.get(ENV_CACHE_DIR, "").strip()
     if directory:
-        return DictionaryCache(directory)
+        return DictionaryCache(directory, max_entries=max_entries)
     return None

@@ -20,6 +20,7 @@ Defect locations whose site admits no path-delay test at all are redrawn
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
@@ -33,7 +34,13 @@ from ..defects.model import DefectSizeModel, SingleDefectModel
 from ..timing.critical import diagnosis_clock, simulate_pattern_set
 from ..timing.instance import CircuitTiming
 from .. import obs
-from .cache import DictionaryCache, resolve_cache
+from ..resilience import chaos
+from ..resilience.checkpoint import (
+    build_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
+from .cache import DictionaryCache, resolve_cache, timing_fingerprint
 from .diagnosis import run_diagnosis
 from .error_functions import ALG_REV, ErrorFunction, METHOD_I, METHOD_II
 from .parallel import ParallelConfig, resolve_parallel
@@ -51,6 +58,16 @@ class EvaluationConfig:
     (``None`` defers to ``REPRO_CACHE_DIR``); neither changes results —
     parallel and cached builds are bit-identical to serial ones, so the
     protocol stays reproducible in its seed alone.
+
+    ``checkpoint`` names a checkpoint file updated atomically after every
+    committed trial (see :mod:`repro.resilience.checkpoint`).  With
+    ``resume=True`` an existing checkpoint restores the completed trial
+    prefix *and the exact RNG state*, so the resumed campaign is
+    bit-identical to an uninterrupted one; a checkpoint written under a
+    different circuit/seed/protocol raises
+    :class:`~repro.resilience.CheckpointMismatchError` instead of
+    silently mixing campaigns.  Without ``resume`` an existing file is
+    restarted from trial zero (and overwritten at the first boundary).
     """
 
     n_trials: int = 20
@@ -64,6 +81,8 @@ class EvaluationConfig:
     max_instance_redraws: int = 50
     parallel: Optional[Union[ParallelConfig, str]] = None
     cache: Optional[Union[DictionaryCache, str]] = None
+    checkpoint: Optional[str] = None
+    resume: bool = False
 
 
 @dataclass
@@ -118,6 +137,90 @@ class EvaluationResult:
         return float(np.mean([record.n_patterns for record in self.records]))
 
 
+# ----------------------------------------------------------------------
+# checkpoint plumbing: trial records round-trip through plain JSON
+# ----------------------------------------------------------------------
+def _record_to_payload(record: TrialRecord) -> Dict:
+    return {
+        "defect_edge": [
+            record.defect_edge.source,
+            record.defect_edge.sink,
+            record.defect_edge.pin,
+        ],
+        "defect_size_mean": float(record.defect_size_mean),
+        "sample_index": int(record.sample_index),
+        "n_patterns": int(record.n_patterns),
+        "n_suspects": int(record.n_suspects),
+        "n_failing_observations": int(record.n_failing_observations),
+        "location_redraws": int(record.location_redraws),
+        "instance_redraws": int(record.instance_redraws),
+        "ranks": {
+            method: None if rank is None else int(rank)
+            for method, rank in record.ranks.items()
+        },
+        "seconds": float(record.seconds),
+    }
+
+
+def _record_from_payload(payload: Dict) -> TrialRecord:
+    source, sink, pin = payload["defect_edge"]
+    return TrialRecord(
+        defect_edge=Edge(str(source), str(sink), int(pin)),
+        defect_size_mean=float(payload["defect_size_mean"]),
+        sample_index=int(payload["sample_index"]),
+        n_patterns=int(payload["n_patterns"]),
+        n_suspects=int(payload["n_suspects"]),
+        n_failing_observations=int(payload["n_failing_observations"]),
+        location_redraws=int(payload["location_redraws"]),
+        instance_redraws=int(payload["instance_redraws"]),
+        ranks={
+            method: None if rank is None else int(rank)
+            for method, rank in payload["ranks"].items()
+        },
+        seconds=float(payload["seconds"]),
+    )
+
+
+def _evaluation_identity(timing: CircuitTiming, config: EvaluationConfig) -> Dict:
+    """What a checkpoint must agree on before its records may be reused.
+
+    The timing fingerprint hashes the materialized delay matrix, so it
+    subsumes the circuit structure, the sample-space seed and
+    ``n_samples`` — any model drift invalidates the checkpoint exactly.
+    """
+    return {
+        "circuit": timing.circuit.name,
+        "timing_fingerprint": timing_fingerprint(timing),
+        "seed": int(config.seed),
+        "n_trials": int(config.n_trials),
+        "n_paths": int(config.n_paths),
+        "clk_quantile": float(config.clk_quantile),
+        "k_values": [int(k) for k in config.k_values],
+        "error_functions": [
+            function.name for function in config.error_functions
+        ],
+        "max_location_redraws": int(config.max_location_redraws),
+        "max_instance_redraws": int(config.max_instance_redraws),
+    }
+
+
+def _rng_state_payload(rng: np.random.Generator) -> Dict:
+    """JSON-safe copy of a Generator's bit-generator state."""
+
+    def convert(value):
+        if isinstance(value, dict):
+            return {key: convert(item) for key, item in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [convert(item) for item in value]
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.ndarray):
+            return [convert(item) for item in value.tolist()]
+        return value
+
+    return convert(rng.bit_generator.state)
+
+
 def evaluate_circuit(
     timing: CircuitTiming,
     config: Optional[EvaluationConfig] = None,
@@ -133,7 +236,46 @@ def evaluate_circuit(
     recorder = obs.get_recorder()
     records: List[TrialRecord] = []
 
-    for trial_index in range(config.n_trials):
+    identity: Optional[Dict] = None
+    first_trial = 0
+    if config.checkpoint:
+        identity = _evaluation_identity(timing, config)
+        if config.resume and os.path.exists(config.checkpoint):
+            payload = load_checkpoint(
+                config.checkpoint, kind="evaluation", identity=identity
+            )
+            state = payload["state"]
+            records = [
+                _record_from_payload(entry) for entry in state["records"]
+            ]
+            # Restore the exact generator state the interrupted run left
+            # behind: trial k+1 draws continue the stream bit-for-bit.
+            rng.bit_generator.state = state["rng_state"]
+            first_trial = len(records)
+            recorder.count("checkpoint.resumed_trials", first_trial)
+
+    def _commit_checkpoint() -> None:
+        if not config.checkpoint or identity is None:
+            return
+        with recorder.span("checkpoint.write"):
+            write_checkpoint(
+                config.checkpoint,
+                build_checkpoint(
+                    "evaluation",
+                    identity,
+                    {
+                        "records": [
+                            _record_to_payload(record) for record in records
+                        ],
+                        "rng_state": _rng_state_payload(rng),
+                    },
+                    completed=len(records),
+                    total=config.n_trials,
+                ),
+            )
+
+    for trial_index in range(first_trial, config.n_trials):
+        chaos.trip("evaluate.trial", index=trial_index)
         started = time.perf_counter()
         with recorder.span("evaluate.trial"):
             patterns: Optional[PatternPairSet] = None
@@ -212,4 +354,5 @@ def evaluate_circuit(
                 seconds=time.perf_counter() - started,
             )
         )
+        _commit_checkpoint()
     return EvaluationResult(timing.circuit.name, config, records)

@@ -7,8 +7,8 @@ same shape covers per-pattern base simulation.  This module provides the
 executor abstraction those loops fan out through:
 
 * ``serial`` — plain in-process loop (the default; zero overhead),
-* ``process`` — a ``multiprocessing.Pool`` of worker processes,
-* ``futures`` — ``concurrent.futures.ProcessPoolExecutor``,
+* ``process`` / ``futures`` — a ``concurrent.futures.ProcessPoolExecutor``
+  of worker processes (two names kept for config compatibility),
 * ``thread`` — ``concurrent.futures.ThreadPoolExecutor`` (no pickling;
   useful when the payload is huge and the work releases the GIL).
 
@@ -19,18 +19,46 @@ are reassembled in item order, so any reduction downstream sees exactly
 the serial ordering: a parallel build is bit-identical to a serial one by
 construction, never "close enough modulo float reduction order".
 
+Execution is **fault-tolerant** (see :mod:`repro.resilience` and
+``docs/architecture.md`` §11).  A :class:`~repro.resilience.RetryPolicy`
+governs how failing chunks are handled:
+
+* a retryable exception re-runs the chunk after a bounded exponential
+  backoff with deterministic (seeded, never wall-clock) jitter; retried
+  chunks are bit-identical because the worker body re-derives its RNG
+  from the same SeedSequence spawn keys in the payload,
+* a chunk that overruns its per-chunk deadline, or a pool whose worker
+  was killed (``BrokenProcessPool``), degrades gracefully down the
+  ladder process -> thread -> serial, re-running only incomplete chunks,
+* exhausted budgets surface as typed errors
+  (:class:`~repro.resilience.RetryExhaustedError`,
+  :class:`~repro.resilience.ChunkTimeoutError`,
+  :class:`~repro.resilience.WorkerPoolBrokenError`),
+* ``KeyboardInterrupt`` cancels all pending chunks and shuts the pool
+  down promptly instead of draining the queue.
+
 Configuration resolves, in priority order: explicit ``ParallelConfig`` >
 ``REPRO_PARALLEL_BACKEND`` / ``REPRO_PARALLEL_WORKERS`` /
-``REPRO_PARALLEL_CHUNK`` environment variables > serial default.
+``REPRO_PARALLEL_CHUNK`` environment variables > serial default; the
+retry policy resolves explicit ``RetryPolicy`` > ``REPRO_RETRY_*`` >
+defaults (:func:`repro.resilience.resolve_retry`).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, TypeVar, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from .. import obs
+from ..resilience import chaos
+from ..resilience.errors import (
+    ChunkTimeoutError,
+    RetryExhaustedError,
+    WorkerPoolBrokenError,
+)
+from ..resilience.policy import RetryPolicy, resolve_retry
 
 __all__ = [
     "BACKENDS",
@@ -49,6 +77,11 @@ BACKENDS = ("serial", "process", "futures", "thread")
 ENV_BACKEND = "REPRO_PARALLEL_BACKEND"
 ENV_WORKERS = "REPRO_PARALLEL_WORKERS"
 ENV_CHUNK = "REPRO_PARALLEL_CHUNK"
+
+#: Granularity of the pooled wait loop (deadline checks, interrupt
+#: responsiveness).  Small enough that Ctrl-C feels immediate, large
+#: enough to cost nothing next to a simulation chunk.
+_POLL_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -155,22 +188,249 @@ class _MetricsShard:
     metrics: dict
 
 
-def _init_worker(fn: Callable, payload, metrics: bool = False) -> None:
+def _init_worker(
+    fn: Callable, payload, metrics: bool = False, chaos_plan=None
+) -> None:
     global _WORKER_FN, _WORKER_PAYLOAD, _WORKER_METRICS
     _WORKER_FN = fn
     _WORKER_PAYLOAD = payload
     _WORKER_METRICS = metrics
+    if chaos_plan is not None:
+        chaos.install(chaos_plan)
 
 
-def _run_chunk(chunk: Sequence[int]):
+def _run_chunk_task(task: Tuple[Sequence[int], int]):
+    """Process-pool task body: run one (chunk, attempt) on worker state."""
+    indices, attempt = task
     assert _WORKER_FN is not None, "worker pool used before initialization"
+    chaos.trip(
+        "parallel.chunk",
+        index=indices[0] if indices else None,
+        attempt=attempt,
+    )
     if not _WORKER_METRICS:
-        return _WORKER_FN(_WORKER_PAYLOAD, list(chunk))
+        return _WORKER_FN(_WORKER_PAYLOAD, list(indices))
     recorder = obs.Recorder()
     with obs.use_recorder(recorder):
         with recorder.span("parallel.chunk"):
-            items = _WORKER_FN(_WORKER_PAYLOAD, list(chunk))
+            items = _WORKER_FN(_WORKER_PAYLOAD, list(indices))
     return _MetricsShard(items, recorder.snapshot())
+
+
+def _run_chunk_local(fn: Callable, payload, indices: List[int], attempt: int):
+    """In-process chunk body (serial loop and thread-pool workers)."""
+    chaos.trip(
+        "parallel.chunk",
+        index=indices[0] if indices else None,
+        attempt=attempt,
+    )
+    return fn(payload, list(indices))
+
+
+# ----------------------------------------------------------------------
+# the resilient driver
+# ----------------------------------------------------------------------
+#: Sentinel marking a chunk slot whose result has not been produced yet.
+_PENDING = object()
+
+
+@dataclass
+class _TaskInfo:
+    """Parent-side bookkeeping for one in-flight pooled chunk."""
+
+    index: int
+    attempt: int
+    started: Optional[float] = None  # first time the future was seen running
+
+
+def _terminate_workers(executor) -> None:
+    """Best-effort kill of a process pool's workers (hung/abandoned pool).
+
+    Reaches into ``ProcessPoolExecutor._processes`` — stable since 3.7 —
+    so an abandoned rung does not leave a hung worker alive for minutes.
+    A thread pool has nothing to terminate; this is a no-op there.
+    """
+    processes = getattr(executor, "_processes", None)
+    if not processes:
+        return
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+def _abandon(executor) -> None:
+    executor.shutdown(wait=False, cancel_futures=True)
+    _terminate_workers(executor)
+
+
+def _run_serial_rung(
+    fn: Callable,
+    payload,
+    chunks: List[range],
+    pending: List[int],
+    results: List,
+    attempts: List[int],
+    policy: RetryPolicy,
+    recorder,
+) -> None:
+    """The ladder's last rung: in-process, retryable, cannot break."""
+    for index in pending:
+        indices = list(chunks[index])
+        while True:
+            try:
+                results[index] = _run_chunk_local(
+                    fn, payload, indices, attempts[index]
+                )
+                break
+            except KeyboardInterrupt:
+                raise
+            except BaseException as error:
+                if not policy.is_retryable(error):
+                    raise
+                if attempts[index] >= policy.max_retries:
+                    raise RetryExhaustedError(
+                        f"chunk {index} failed after "
+                        f"{attempts[index] + 1} attempts: {error}",
+                        chunk=index,
+                        attempts=attempts[index] + 1,
+                    ) from error
+                attempts[index] += 1
+                recorder.count("resilience.retries")
+                policy.wait(index, attempts[index])
+
+
+def _run_pool_rung(
+    rung: str,
+    fn: Callable,
+    payload,
+    chunks: List[range],
+    pending: List[int],
+    results: List,
+    attempts: List[int],
+    workers: int,
+    policy: RetryPolicy,
+    recorder,
+) -> bool:
+    """Run the pending chunks on one pooled rung.
+
+    Returns ``True`` when every pending chunk completed, ``False`` when
+    the pool had to be abandoned (worker killed, or a hung chunk past
+    its deadline) and the survivors should re-run on the next rung.
+    Chunk-level failures retry in place; non-retryable ones propagate.
+    """
+    import concurrent.futures as cf
+
+    if rung == "thread":
+        executor = cf.ThreadPoolExecutor(max_workers=workers)
+
+        def submit(index: int):
+            return executor.submit(
+                _run_chunk_local, fn, payload, list(chunks[index]),
+                attempts[index],
+            )
+
+    else:
+        executor = cf.ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(fn, payload, recorder.enabled, chaos.get_plan()),
+        )
+
+        def submit(index: int):
+            return executor.submit(
+                _run_chunk_task, (list(chunks[index]), attempts[index])
+            )
+
+    in_flight: Dict = {}
+    try:
+        for index in pending:
+            in_flight[submit(index)] = _TaskInfo(index, attempts[index])
+        broken = False
+        while in_flight and not broken:
+            done, _not_done = cf.wait(
+                in_flight, timeout=_POLL_S, return_when=cf.FIRST_COMPLETED
+            )
+            resubmit: List[int] = []
+            for future in done:
+                info = in_flight.pop(future)
+                try:
+                    results[info.index] = future.result()
+                except KeyboardInterrupt:
+                    raise
+                except cf.BrokenExecutor:
+                    # The chunk stays pending; bump its attempt so chaos
+                    # events gated on the first attempt do not re-fire on
+                    # the next rung.
+                    attempts[info.index] += 1
+                    broken = True
+                except cf.CancelledError:
+                    # Cancelled by the abandon path below; stays pending.
+                    pass
+                except BaseException as error:
+                    if not policy.is_retryable(error):
+                        raise
+                    if attempts[info.index] >= policy.max_retries:
+                        raise RetryExhaustedError(
+                            f"chunk {info.index} failed after "
+                            f"{attempts[info.index] + 1} attempts: {error}",
+                            chunk=info.index,
+                            attempts=attempts[info.index] + 1,
+                        ) from error
+                    attempts[info.index] += 1
+                    recorder.count("resilience.retries")
+                    policy.wait(info.index, attempts[info.index])
+                    resubmit.append(info.index)
+            if broken:
+                break
+            for index in resubmit:
+                in_flight[submit(index)] = _TaskInfo(index, attempts[index])
+            if policy.chunk_timeout is None:
+                continue
+            now = time.perf_counter()
+            for future, info in list(in_flight.items()):
+                # Deadlines measure *execution* time: the clock starts
+                # when the future is first observed running, so chunks
+                # queued behind a saturated pool never falsely expire.
+                if info.started is None:
+                    if future.running():
+                        info.started = now
+                    continue
+                if now - info.started <= policy.chunk_timeout:
+                    continue
+                recorder.count("resilience.timeouts")
+                if future.cancel():
+                    # Raced to completion-queue; just re-run it here.
+                    in_flight.pop(future)
+                    attempts[info.index] += 1
+                    in_flight[submit(info.index)] = _TaskInfo(
+                        info.index, attempts[info.index]
+                    )
+                else:
+                    # Genuinely hung worker: the slot is unrecoverable,
+                    # abandon the whole pool and let the ladder re-run
+                    # whatever did not finish.
+                    _abandon(executor)
+                    for other in in_flight.values():
+                        attempts[other.index] += 1
+                    return False
+        if broken:
+            recorder.count("resilience.broken_pools")
+            _abandon(executor)
+            for other in in_flight.values():
+                attempts[other.index] += 1
+            return False
+        executor.shutdown(wait=True)
+        return True
+    except KeyboardInterrupt:
+        # Ctrl-C must not drain the queue: cancel everything pending and
+        # shut the pool down now.
+        _abandon(executor)
+        raise
+    except BaseException:
+        _abandon(executor)
+        raise
 
 
 def map_chunked(
@@ -178,6 +438,7 @@ def map_chunked(
     payload,
     n_items: int,
     config: Optional[Union[ParallelConfig, str]] = None,
+    policy: Optional[RetryPolicy] = None,
 ) -> List:
     """Run ``fn(payload, indices)`` over chunked indices; flatten in order.
 
@@ -186,57 +447,82 @@ def map_chunked(
     process backends.  The flattened result list is aligned with
     ``range(n_items)`` regardless of completion order, which is what makes
     parallel runs reproduce serial runs exactly.
+
+    ``policy`` (a :class:`repro.resilience.RetryPolicy`; defaults to the
+    ``REPRO_RETRY_*`` environment) adds per-chunk retries with
+    deterministic backoff, per-chunk deadlines and graceful degradation
+    process -> thread -> serial — all result-preserving: a recovered run
+    returns exactly what an undisturbed one would have.
     """
     config = resolve_parallel(config)
+    policy = resolve_retry(policy)
     recorder = obs.get_recorder()
     chunks = chunk_indices(n_items, config.chunk_size, config.workers)
     if not chunks:
         return []
+
+    results: List = [_PENDING] * len(chunks)
+    attempts: List[int] = [0] * len(chunks)
+    all_indices = list(range(len(chunks)))
+
     if config.is_serial or len(chunks) == 1:
         with recorder.span("parallel.map"):
-            results = [fn(payload, list(chunk)) for chunk in chunks]
+            _run_serial_rung(
+                fn, payload, chunks, all_indices, results, attempts,
+                policy, recorder,
+            )
         recorder.count("parallel.serial.chunks", len(chunks))
         recorder.count("parallel.serial.items", n_items)
-        return [item for chunk_result in results for item in chunk_result]
+        return _flatten(results, recorder)
 
     workers = min(config.workers, len(chunks))
+    ladder = policy.ladder(config.backend)
     with recorder.span("parallel.map"):
-        if config.backend == "process":
-            import multiprocessing
-
-            with multiprocessing.Pool(
-                workers,
-                initializer=_init_worker,
-                initargs=(fn, payload, recorder.enabled),
-            ) as pool:
-                results = pool.map(_run_chunk, chunks)
-        elif config.backend == "futures":
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(fn, payload, recorder.enabled),
-            ) as executor:
-                results = list(executor.map(_run_chunk, chunks))
-        elif config.backend == "thread":
-            from concurrent.futures import ThreadPoolExecutor
-
-            # Worker threads record straight into the shared (lock-
-            # protected) recorder; no shard merging needed.
-            with ThreadPoolExecutor(max_workers=workers) as executor:
-                results = list(
-                    executor.map(lambda chunk: fn(payload, list(chunk)), chunks)
+        for rung_number, rung in enumerate(ladder):
+            pending = [i for i in all_indices if results[i] is _PENDING]
+            if not pending:
+                break
+            if rung_number > 0:
+                recorder.count("resilience.fallbacks")
+                recorder.count(f"resilience.fallback.{rung}")
+            if rung == "serial":
+                _run_serial_rung(
+                    fn, payload, chunks, pending, results, attempts,
+                    policy, recorder,
                 )
-        else:  # pragma: no cover - guarded by ParallelConfig validation
-            raise ValueError(f"unknown parallel backend {config.backend!r}")
+                break
+            if _run_pool_rung(
+                rung, fn, payload, chunks, pending, results, attempts,
+                workers, policy, recorder,
+            ):
+                break
+        still_pending = [i for i in all_indices if results[i] is _PENDING]
+        if still_pending:
+            # Only reachable with the degradation ladder disabled: the
+            # sole rung was abandoned (broken pool or hung chunk).
+            if policy.chunk_timeout is not None:
+                raise ChunkTimeoutError(
+                    f"{len(still_pending)} chunk(s) did not complete on the "
+                    f"{config.backend!r} backend (degradation disabled)",
+                    chunk=still_pending[0],
+                    timeout_s=policy.chunk_timeout,
+                )
+            raise WorkerPoolBrokenError(
+                f"worker pool of the {config.backend!r} backend broke with "
+                f"{len(still_pending)} chunk(s) incomplete "
+                "(degradation disabled)"
+            )
+    recorder.count(f"parallel.{config.backend}.chunks", len(chunks))
+    recorder.count(f"parallel.{config.backend}.items", n_items)
+    recorder.gauge("parallel.workers", workers)
+    return _flatten(results, recorder)
+
+
+def _flatten(results: List, recorder) -> List:
     flattened = []
     for chunk_result in results:
         if isinstance(chunk_result, _MetricsShard):
             recorder.merge(chunk_result.metrics)
             chunk_result = chunk_result.items
         flattened.extend(chunk_result)
-    recorder.count(f"parallel.{config.backend}.chunks", len(chunks))
-    recorder.count(f"parallel.{config.backend}.items", n_items)
-    recorder.gauge("parallel.workers", workers)
     return flattened

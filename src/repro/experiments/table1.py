@@ -11,6 +11,7 @@ reduced trial counts and circuit subsets for quick passes and benchmarks.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -97,6 +98,11 @@ class Table1Result:
         }
 
 
+def table1_checkpoint_path(checkpoint_dir: str, circuit_name: str) -> str:
+    """The per-circuit evaluation checkpoint inside a table1 directory."""
+    return os.path.join(checkpoint_dir, f"{circuit_name}.evaluation.json")
+
+
 def run_table1_circuit(
     circuit_name: str,
     n_trials: int = 20,
@@ -105,8 +111,17 @@ def run_table1_circuit(
     n_paths: int = 10,
     clk_quantile: float = 0.85,
     k_values: Optional[Tuple[int, ...]] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> Table1CircuitResult:
-    """Reproduce one circuit's Table I rows."""
+    """Reproduce one circuit's Table I rows.
+
+    ``checkpoint`` / ``resume`` flow into :class:`EvaluationConfig`: the
+    campaign commits a checkpoint after every trial and, on resume,
+    fast-forwards past the completed prefix bit-identically.  A circuit
+    whose checkpoint is already complete is served from it without
+    re-simulating a single trial.
+    """
     started = time.perf_counter()
     recorder = obs.get_recorder()
     ks = k_values if k_values is not None else published_k_values(circuit_name)
@@ -123,6 +138,8 @@ def run_table1_circuit(
             k_values=ks,
             error_functions=(METHOD_I, METHOD_II, ALG_REV),
             seed=seed,
+            checkpoint=checkpoint,
+            resume=resume,
         )
         evaluation = evaluate_circuit(timing, config)
     recorder.count("table1.circuits")
@@ -141,8 +158,18 @@ def run_table1(
     seed: int = 0,
     n_paths: int = 10,
     clk_quantile: float = 0.85,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> Table1Result:
-    """Reproduce Table I over a circuit subset (default: all eight)."""
+    """Reproduce Table I over a circuit subset (default: all eight).
+
+    With ``checkpoint_dir`` each circuit maintains its own trial-boundary
+    checkpoint file in that directory; ``resume=True`` picks the whole
+    campaign up where a kill or crash left it — completed circuits load
+    instantly, the interrupted one continues mid-campaign, and the final
+    matrices and rankings are bit-identical to an uninterrupted run
+    (pinned in ``tests/test_resilience.py``).
+    """
     names = list(circuits) if circuits is not None else table1_circuits()
     result = Table1Result()
     for name in names:
@@ -154,6 +181,12 @@ def run_table1(
                 seed=seed,
                 n_paths=n_paths,
                 clk_quantile=clk_quantile,
+                checkpoint=(
+                    table1_checkpoint_path(checkpoint_dir, name)
+                    if checkpoint_dir
+                    else None
+                ),
+                resume=resume,
             )
         )
     return result

@@ -12,7 +12,10 @@ severities and per-rule suppression:
   timing models, suspect sets and the on-disk dictionary cache;
 * the **manifest auditor** (``S5xx``, :mod:`repro.lint.obs`) gates the
   observability run manifests that ``--metrics`` / ``profile`` emit and
-  CI archives.
+  CI archives;
+* the **checkpoint auditor** (``R6xx``, :mod:`repro.lint.resilience`)
+  gates the resilience checkpoints that ``table1 --checkpoint`` writes —
+  the files a ``--resume`` would trust.
 
 CLI: ``python -m repro lint [--code|--models|--all] [--format json]``.
 The JSON payload shape is pinned by
@@ -40,8 +43,10 @@ from .models import (
     lint_circuit,
 )
 from .obs import check_manifest
+from .resilience import check_checkpoint, check_checkpoint_dir
 from .rules import RULES, Rule, rule
 from .runner import (
+    lint_checkpoints,
     lint_code,
     lint_manifests,
     lint_models,
@@ -60,11 +65,14 @@ __all__ = [
     "Severity",
     "check_benchmark",
     "check_cache",
+    "check_checkpoint",
+    "check_checkpoint_dir",
     "check_circuit",
     "check_library",
     "check_manifest",
     "check_suspects",
     "check_timing",
+    "lint_checkpoints",
     "lint_circuit",
     "lint_code",
     "lint_file",

@@ -2,8 +2,8 @@
 
 A :class:`Diagnostic` is one finding: a stable rule ID (``D1xx``
 determinism / ``C2xx`` circuit / ``T3xx`` timing / ``S4xx``
-suspects-dictionary-cache / ``S5xx`` observability manifests), a
-severity, a human message and an anchor —
+suspects-dictionary-cache / ``S5xx`` observability manifests / ``R6xx``
+resilience checkpoints), a severity, a human message and an anchor —
 ``path``/``line`` for code findings, ``obj`` (e.g. ``"circuit:s1196"`` or
 ``"edge:a->b[0]"``) for model findings.  :class:`LintReport` aggregates
 findings, applies per-rule suppression, and renders the two output formats:
@@ -35,7 +35,7 @@ __all__ = [
 #: Bumped whenever the JSON payload shape changes incompatibly.
 SCHEMA_VERSION = 1
 
-_RULE_ID_RE = re.compile(r"^[DCTS][1-5]\d{2}$")
+_RULE_ID_RE = re.compile(r"^(?:[DCTS][1-5]|R6)\d{2}$")
 
 
 class Severity(enum.Enum):

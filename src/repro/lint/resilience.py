@@ -1,0 +1,118 @@
+"""R6xx rules: audit resilience checkpoint files.
+
+``--resume`` trusts whatever ``--checkpoint DIR`` holds, so CI gates the
+archived checkpoint artifact the same way ``S5xx`` gates run manifests: a
+checkpoint that cannot be read (R601), violates the shipped schema or its
+own checksum (R602), or whose state disagrees with its progress header
+(R603) would make a resume fail — or worse, silently drop trials.  A
+stray atomic-writer temp file (R604) marks a writer that died between
+``mkstemp`` and ``os.replace``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List
+
+from ..resilience.checkpoint import TMP_PREFIX, validate_checkpoint
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["check_checkpoint", "check_checkpoint_dir"]
+
+
+def check_checkpoint(path: str) -> List[Diagnostic]:
+    """Audit one checkpoint file; returns R60x findings (empty == clean)."""
+    anchor = f"checkpoint:{path}"
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [
+            Diagnostic(
+                rule="R601",
+                severity=Severity.ERROR,
+                message=f"cannot read checkpoint: {exc}",
+                obj=anchor,
+                engine="model",
+            )
+        ]
+    problems = validate_checkpoint(payload)
+    if problems:
+        return [
+            Diagnostic(
+                rule="R602",
+                severity=Severity.ERROR,
+                message=f"checkpoint schema violation: {problem}",
+                obj=anchor,
+                engine="model",
+            )
+            for problem in problems
+        ]
+    findings: List[Diagnostic] = []
+    completed = payload["progress"]["completed"]
+    state = payload["state"]
+    if payload["kind"] == "evaluation":
+        records = state.get("records")
+        if not isinstance(records, list) or len(records) != completed:
+            count = len(records) if isinstance(records, list) else "no"
+            findings.append(
+                Diagnostic(
+                    rule="R603",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"state holds {count} trial record(s) but progress "
+                        f"says {completed} completed — resuming would drop "
+                        "or duplicate trials"
+                    ),
+                    obj=anchor,
+                    engine="model",
+                )
+            )
+        if completed and not isinstance(state.get("rng_state"), dict):
+            findings.append(
+                Diagnostic(
+                    rule="R603",
+                    severity=Severity.ERROR,
+                    message="state carries completed trials but no RNG "
+                    "state — the resumed stream could not continue "
+                    "bit-identically",
+                    obj=anchor,
+                    engine="model",
+                )
+            )
+    return findings
+
+
+def check_checkpoint_dir(directory: str) -> List[Diagnostic]:
+    """Audit a checkpoint directory: every ``*.json`` plus stray temps."""
+    anchor = f"checkpoint-dir:{directory}"
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as exc:
+        return [
+            Diagnostic(
+                rule="R601",
+                severity=Severity.ERROR,
+                message=f"cannot list checkpoint directory: {exc}",
+                obj=anchor,
+                engine="model",
+            )
+        ]
+    findings: List[Diagnostic] = []
+    for name in names:
+        path = os.path.join(directory, name)
+        if name.startswith(TMP_PREFIX):
+            findings.append(
+                Diagnostic(
+                    rule="R604",
+                    severity=Severity.WARNING,
+                    message="stray atomic-writer temp file (interrupted "
+                    "between mkstemp and rename); safe to delete",
+                    obj=f"checkpoint:{path}",
+                    engine="model",
+                )
+            )
+        elif name.endswith(".json"):
+            findings.extend(check_checkpoint(path))
+    return findings

@@ -12,7 +12,11 @@ it checks and which engine produced it:
   (model engine),
 * ``S5xx`` — observability run manifests emitted by :mod:`repro.obs`
   (model engine, :mod:`repro.lint.obs`).  The range is reserved for the
-  obs namespace: new manifest/metrics rules go here.
+  obs namespace: new manifest/metrics rules go here,
+* ``R6xx`` — resilience checkpoint files written by
+  :mod:`repro.resilience.checkpoint` (model engine,
+  :mod:`repro.lint.resilience`).  The range is reserved for the
+  resilience namespace: new checkpoint/recovery rules go here.
 
 IDs are append-only: a retired rule's number is never reused, so CI logs
 and suppression lists stay meaningful across versions.  To add a rule,
@@ -197,6 +201,33 @@ _CATALOG = (
         "Run manifest is schema-valid but records no spans and no "
         "counters — the run executed with a disabled recorder, so the "
         "archived profile carries no information.",
+    ),
+    # -------------------------------------- resilience checkpoints
+    Rule(
+        "R601", "checkpoint-unreadable", Severity.ERROR, "model",
+        "Checkpoint file is missing, unreadable or not valid JSON — the "
+        "writer died mid-campaign before its first atomic commit, or the "
+        "file was damaged afterwards. A --resume against it would fail.",
+    ),
+    Rule(
+        "R602", "checkpoint-schema-violation", Severity.ERROR, "model",
+        "Checkpoint does not validate against the shipped checkpoint "
+        "schema (repro.resilience.CHECKPOINT_SCHEMA): wrong format tag, "
+        "missing sections, inconsistent progress, or a checksum mismatch "
+        "(tampered or bit-rotted state).",
+    ),
+    Rule(
+        "R603", "checkpoint-state-inconsistent", Severity.ERROR, "model",
+        "Checkpoint is schema-valid but its state disagrees with its own "
+        "progress header (e.g. an evaluation checkpoint whose recorded "
+        "trial list is not the completed count) — resuming would "
+        "silently drop or duplicate trials.",
+    ),
+    Rule(
+        "R604", "checkpoint-stale-temp", Severity.WARNING, "model",
+        "Stray checkpoint temp file (.tmp_ckpt_*) in the directory: an "
+        "interrupted writer died between mkstemp and the atomic rename. "
+        "Harmless to resume, but worth cleaning up.",
     ),
 )
 

@@ -8,21 +8,25 @@ test-suite's self-check gate:
 * :func:`lint_models` — semantic rules over the shipped benchmark
   circuits (plus, optionally, a dictionary-cache directory),
 * :func:`run_lint` — both, per the requested mode; ``manifest`` paths
-  additionally audit observability run manifests (``S5xx``).
+  additionally audit observability run manifests (``S5xx``) and
+  ``checkpoints`` paths audit resilience checkpoints (``R6xx``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 from typing import Iterable, List, Optional, Sequence
 
 from .determinism import lint_paths
 from .diagnostics import LintReport
 from .models import check_benchmark, check_cache
 from .obs import check_manifest
+from .resilience import check_checkpoint, check_checkpoint_dir
 from .rules import RULES
 
 __all__ = [
+    "lint_checkpoints",
     "lint_code",
     "lint_manifests",
     "lint_models",
@@ -74,6 +78,21 @@ def lint_manifests(
     return report
 
 
+def lint_checkpoints(
+    checkpoints: Iterable[str], suppress: Sequence[str] = ()
+) -> LintReport:
+    """Audit resilience checkpoints (``R6xx``); files or directories."""
+    report = LintReport()
+    for path in checkpoints:
+        findings = (
+            check_checkpoint_dir(path)
+            if os.path.isdir(path)
+            else check_checkpoint(path)
+        )
+        report.extend(findings, suppress=suppress)
+    return report
+
+
 def run_lint(
     mode: str = "all",
     paths: Optional[Iterable[str]] = None,
@@ -83,11 +102,12 @@ def run_lint(
     n_samples: int = 16,
     suppress: Sequence[str] = (),
     manifests: Optional[Sequence[str]] = None,
+    checkpoints: Optional[Sequence[str]] = None,
 ) -> LintReport:
     """Run the requested engines; ``mode`` is ``code``/``models``/``all``/
     ``manifests`` (manifests-only — skips both other engines).
 
-    ``manifests`` paths are audited in every mode.
+    ``manifests`` and ``checkpoints`` paths are audited in every mode.
     """
     if mode not in ("code", "models", "all", "manifests"):
         raise ValueError(f"unknown lint mode {mode!r}")
@@ -105,6 +125,10 @@ def run_lint(
         report.suppressed += models.suppressed
     if manifests:
         audited = lint_manifests(manifests, suppress=suppress)
+        report.extend(audited.diagnostics)
+        report.suppressed += audited.suppressed
+    if checkpoints:
+        audited = lint_checkpoints(checkpoints, suppress=suppress)
         report.extend(audited.diagnostics)
         report.suppressed += audited.suppressed
     return report

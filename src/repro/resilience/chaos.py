@@ -1,0 +1,271 @@
+"""Deterministic fault injection: the chaos harness behind the chaos suite.
+
+Production Monte-Carlo campaigns die in exactly four ways — a worker
+process is killed, a chunk hangs, a dependency throws transiently, a
+cache/checkpoint file rots on disk.  This module makes each of those
+failures *reproducible on demand* so the test suite can assert that the
+execution stack either recovers or fails with a typed
+:class:`~repro.resilience.errors.ResilienceError`.
+
+A :class:`ChaosPlan` is a list of :class:`ChaosEvent` triggers.  Library
+code calls :func:`trip` at named injection points (``parallel.chunk``,
+``evaluate.trial``, ``cache.load``, ``cache.store``,
+``checkpoint.write``); when no plan is installed the call is a
+few-nanosecond no-op, so the hooks are safe to leave in hot paths.
+Events match on the point name plus, optionally, the item index (chunk
+start / trial number) and the attempt number — gating an event on
+``attempts=(0,)`` is how a test injects a failure that *recovery must
+survive*: the first attempt dies, the retry passes.
+
+Plans are picklable and travel to process-pool workers through the pool
+initializer (:mod:`repro.core.parallel`), so a ``kill`` event really
+does take down a live worker process.  ``kill`` refuses to fire in the
+main process — an injection harness must never take down the test
+runner itself.
+
+Plans can also come from the ``REPRO_CHAOS`` environment variable (see
+:meth:`ChaosPlan.parse`), which is how CI interrupts a real
+``python -m repro table1`` run mid-campaign without patching anything.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .errors import ChaosError, TransientChaosError
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosPlan",
+    "chaos_active",
+    "corrupt_file",
+    "get_plan",
+    "install",
+    "trip",
+    "uninstall",
+]
+
+ENV_CHAOS = "REPRO_CHAOS"
+
+#: Injection points the library exposes (documented contract; the chaos
+#: suite asserts each one both fires and recovers).
+POINTS = (
+    "parallel.chunk",
+    "evaluate.trial",
+    "cache.load",
+    "cache.store",
+    "checkpoint.write",
+)
+
+ACTIONS = ("raise", "transient", "kill", "hang", "slow")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One trigger: *at this point, under these conditions, do this*.
+
+    ``index=None`` matches every item; ``attempts=None`` matches every
+    attempt; ``times=None`` never disarms.  ``param`` is the sleep
+    duration (seconds) for ``hang``/``slow``.
+    """
+
+    point: str
+    action: str
+    index: Optional[int] = None
+    attempts: Optional[Tuple[int, ...]] = None
+    times: Optional[int] = 1
+    param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; expected one of {ACTIONS}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ValueError(
+                "times must be None (never disarm) or >= 1; "
+                "an event that can fire zero times is a misconfiguration"
+            )
+
+    def matches(self, point: str, index: Optional[int], attempt: int) -> bool:
+        if self.point != point:
+            return False
+        if self.index is not None and index != self.index:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        return True
+
+
+class ChaosPlan:
+    """An ordered set of events plus per-process firing counts.
+
+    The counts live on the plan instance (not the frozen events), so a
+    plan shipped to a worker process starts with a fresh count there —
+    which is exactly right: each worker is its own blast radius.
+    """
+
+    def __init__(self, events: Tuple[ChaosEvent, ...]) -> None:
+        self.events: Tuple[ChaosEvent, ...] = tuple(events)
+        self.fired: Dict[int, int] = {}
+
+    def __reduce__(self):
+        # Pickle only the events; firing counts are per-process state.
+        return (ChaosPlan, (self.events,))
+
+    def select(
+        self, point: str, index: Optional[int], attempt: int
+    ) -> Iterator[ChaosEvent]:
+        for slot, event in enumerate(self.events):
+            if not event.matches(point, index, attempt):
+                continue
+            if event.times is not None and self.fired.get(slot, 0) >= event.times:
+                continue
+            self.fired[slot] = self.fired.get(slot, 0) + 1
+            yield event
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPlan":
+        """Build a plan from a ``REPRO_CHAOS`` spec string.
+
+        Events are ``;``-separated; each is ``point:action`` optionally
+        followed by ``:key=value`` fields (``index``, ``attempts`` as a
+        ``/``-separated list, ``times`` where ``0`` means unlimited,
+        ``param`` in seconds)::
+
+            REPRO_CHAOS="evaluate.trial:transient:index=2"
+            REPRO_CHAOS="parallel.chunk:kill:attempts=0;cache.load:transient"
+        """
+        events: List[ChaosEvent] = []
+        for entry in spec.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            fields = entry.split(":")
+            if len(fields) < 2:
+                raise ValueError(
+                    f"chaos event {entry!r} must be point:action[:key=value...]"
+                )
+            kwargs: Dict = {"point": fields[0], "action": fields[1]}
+            for option in fields[2:]:
+                key, _, value = option.partition("=")
+                if key == "index":
+                    kwargs["index"] = int(value)
+                elif key == "attempts":
+                    kwargs["attempts"] = tuple(
+                        int(item) for item in value.split("/")
+                    )
+                elif key == "times":
+                    kwargs["times"] = None if int(value) == 0 else int(value)
+                elif key == "param":
+                    kwargs["param"] = float(value)
+                else:
+                    raise ValueError(f"unknown chaos option {key!r} in {entry!r}")
+            events.append(ChaosEvent(**kwargs))
+        return cls(tuple(events))
+
+
+# ----------------------------------------------------------------------
+# the process-wide plan slot
+# ----------------------------------------------------------------------
+_PLAN: Optional[ChaosPlan] = None
+#: Parsed-environment cache: (spec string, parsed plan).
+_ENV_CACHE: Tuple[Optional[str], Optional[ChaosPlan]] = (None, None)
+
+
+def install(plan: ChaosPlan) -> ChaosPlan:
+    """Install ``plan`` as the process-wide chaos plan."""
+    global _PLAN
+    _PLAN = plan
+    return plan
+
+
+def uninstall() -> None:
+    global _PLAN
+    _PLAN = None
+
+
+def get_plan() -> Optional[ChaosPlan]:
+    """The active plan: installed > ``REPRO_CHAOS`` environment > none."""
+    if _PLAN is not None:
+        return _PLAN
+    global _ENV_CACHE
+    spec = os.environ.get(ENV_CHAOS) or None
+    if spec != _ENV_CACHE[0]:
+        _ENV_CACHE = (spec, ChaosPlan.parse(spec) if spec else None)
+    return _ENV_CACHE[1]
+
+
+class chaos_active:
+    """``with chaos_active(plan): ...`` — install, then always uninstall."""
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+
+    def __enter__(self) -> ChaosPlan:
+        return install(self.plan)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        uninstall()
+        return False
+
+
+def _in_worker_process() -> bool:
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+def trip(point: str, index: Optional[int] = None, attempt: int = 0) -> None:
+    """Fire any armed events at an injection point (no-op without a plan)."""
+    plan = get_plan()
+    if plan is None:
+        return
+    for event in plan.select(point, index, attempt):
+        from .. import obs
+
+        obs.get_recorder().count(f"chaos.{event.action}")
+        if event.action == "transient":
+            raise TransientChaosError(
+                f"injected transient failure at {point} "
+                f"(index={index}, attempt={attempt})"
+            )
+        if event.action == "raise":
+            raise ChaosError(
+                f"injected failure at {point} (index={index}, attempt={attempt})"
+            )
+        if event.action == "kill":
+            if _in_worker_process():
+                os._exit(13)
+            raise ChaosError(
+                f"chaos kill at {point} refused: not in a worker process"
+            )
+        if event.action in ("hang", "slow"):
+            time.sleep(event.param)
+
+
+# ----------------------------------------------------------------------
+# on-disk corruption
+# ----------------------------------------------------------------------
+def corrupt_file(path: str, mode: str = "truncate") -> str:
+    """Deterministically damage a file (cache entry, checkpoint, ...).
+
+    ``truncate`` halves the file, ``garbage`` overwrites its head with a
+    fixed byte pattern, ``delete`` removes it.  Returns the path.
+    """
+    if mode == "delete":
+        os.remove(path)
+        return path
+    size = os.path.getsize(path)
+    if mode == "truncate":
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+    elif mode == "garbage":
+        with open(path, "r+b") as handle:
+            handle.write(b"\xde\xad\xbe\xef" * max(1, min(size, 256) // 4))
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return path

@@ -1,0 +1,100 @@
+"""Typed failure taxonomy of the resilience layer.
+
+Every failure the execution stack can surface maps onto one class here,
+so callers (and the CLI exit-code policy) dispatch on *types*, never on
+string matching:
+
+* :class:`TransientError` — the retryable family; raising one inside a
+  worker chunk tells the executor "try again", and chaos injection uses
+  the :class:`TransientChaosError` subclass,
+* :class:`RetryExhaustedError` / :class:`ChunkTimeoutError` /
+  :class:`WorkerPoolBrokenError` — the executor's own verdicts once the
+  retry budget, a chunk deadline, or the whole worker pool is gone,
+* :class:`CheckpointError` family — checkpoint files that cannot be
+  trusted (:class:`CheckpointCorruptError`) or that belong to a
+  different run (:class:`CheckpointMismatchError`, a *user* error: the
+  resume flags point at the wrong campaign).
+
+The CLI maps these to exit codes (see ``repro.__main__``): mismatches
+are usage errors (2), every other ``ResilienceError`` is a transient /
+recoverable failure (3), anything untyped is an internal error (1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ResilienceError",
+    "TransientError",
+    "TransientChaosError",
+    "ChaosError",
+    "RetryExhaustedError",
+    "ChunkTimeoutError",
+    "WorkerPoolBrokenError",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointMismatchError",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base of every typed failure raised by :mod:`repro.resilience`."""
+
+
+class TransientError(ResilienceError):
+    """A failure worth retrying (the default retryable marker family)."""
+
+
+class ChaosError(ResilienceError):
+    """A deliberately injected, *non*-retryable failure (test harness)."""
+
+
+class TransientChaosError(TransientError):
+    """A deliberately injected retryable failure (test harness)."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """A chunk kept failing after the whole retry budget was spent."""
+
+    def __init__(
+        self, message: str, chunk: Optional[int] = None, attempts: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.chunk = chunk
+        self.attempts = attempts
+
+
+class ChunkTimeoutError(ResilienceError):
+    """A chunk overran its deadline and could not be recovered."""
+
+    def __init__(
+        self,
+        message: str,
+        chunk: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.chunk = chunk
+        self.timeout_s = timeout_s
+
+
+class WorkerPoolBrokenError(ResilienceError):
+    """The worker pool died (e.g. a killed process) and no fallback ran."""
+
+
+class CheckpointError(ResilienceError):
+    """Base of the checkpoint/resume failure family."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """Checkpoint file is unreadable, schema-invalid, or fails its checksum."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """Checkpoint belongs to a different run (identity disagreement).
+
+    Resuming with different circuit/seed/config than the checkpoint was
+    written under would silently splice two unrelated campaigns; this is
+    surfaced as a *user* error (CLI exit code 2), never auto-overwritten.
+    """

@@ -91,9 +91,15 @@ def _isolated_execution_env(monkeypatch):
     """
     for variable in (
         "REPRO_CACHE_DIR",
+        "REPRO_CACHE_MAX_ENTRIES",
         "REPRO_PARALLEL_BACKEND",
         "REPRO_PARALLEL_WORKERS",
         "REPRO_PARALLEL_CHUNK",
+        "REPRO_RETRY_MAX",
+        "REPRO_RETRY_TIMEOUT",
+        "REPRO_RETRY_BACKOFF",
+        "REPRO_RETRY_NO_DEGRADE",
+        "REPRO_CHAOS",
     ):
         monkeypatch.delenv(variable, raising=False)
 
@@ -112,6 +118,16 @@ def _disabled_recorder():
     obs.disable()
     yield
     obs.disable()
+
+
+@pytest.fixture(autouse=True)
+def _no_chaos_plan():
+    """Never let an installed chaos plan outlive the test that set it."""
+    from repro.resilience import chaos
+
+    chaos.uninstall()
+    yield
+    chaos.uninstall()
 
 
 @pytest.fixture()

@@ -209,6 +209,7 @@ class TestCacheStats:
         timing, patterns, clk, suspects, sizes, sims = case
         assert cache.stats.as_dict() == {
             "hits": 0, "misses": 0, "rejected": 0, "stores": 0,
+            "store_failures": 0, "evictions": 0,
         }
         build_dictionary(
             timing, patterns, clk, suspects, sizes,
@@ -293,3 +294,131 @@ class TestResolution:
             timing, patterns, clk, suspects, sizes, base_simulations=sims
         )
         assert list(tmp_path.iterdir()) == []
+
+    def test_env_max_entries_applies_to_resolved_caches(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "3")
+        assert resolve_cache(tmp_path / "capped").max_entries == 3
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert resolve_cache(None).max_entries == 3
+        # an explicit instance keeps whatever cap it was built with
+        explicit = DictionaryCache(tmp_path / "own", max_entries=7)
+        assert resolve_cache(explicit).max_entries == 7
+
+
+def _entry(seed: int):
+    """A small, deterministic cache payload distinct per seed."""
+    return np.full((2, 3), float(seed)), [np.full(4, float(seed))]
+
+
+class TestLRUEviction:
+    def _age(self, cache, key, seconds_ago):
+        """Pin an entry's recency without sleeping (mtime-based LRU)."""
+        stamp = os.path.getmtime(cache.path_for(key)) - seconds_ago
+        os.utime(cache.path_for(key), (stamp, stamp))
+
+    def test_max_entries_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            DictionaryCache(tmp_path, max_entries=0)
+
+    def test_oldest_entry_is_evicted_first(self, tmp_path):
+        cache = DictionaryCache(tmp_path, max_entries=2)
+        for index, key in enumerate(("aaa", "bbb")):
+            cache.store(key, *_entry(index))
+            self._age(cache, key, seconds_ago=100 - index)
+        cache.store("ccc", *_entry(2))
+        assert cache.stats.evictions == 1
+        assert not os.path.exists(cache.path_for("aaa"))
+        assert cache.load("bbb") is not None
+        assert cache.load("ccc") is not None
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = DictionaryCache(tmp_path, max_entries=2)
+        for index, key in enumerate(("aaa", "bbb")):
+            cache.store(key, *_entry(index))
+            self._age(cache, key, seconds_ago=100 - index)
+        assert cache.load("aaa") is not None  # refreshes aaa's mtime
+        cache.store("ccc", *_entry(2))
+        assert os.path.exists(cache.path_for("aaa")), "hit entry survives"
+        assert not os.path.exists(cache.path_for("bbb"))
+
+    def test_just_written_entry_is_never_the_victim(self, tmp_path):
+        cache = DictionaryCache(tmp_path, max_entries=1)
+        cache.store("aaa", *_entry(0))
+        cache.store("bbb", *_entry(1))
+        assert not os.path.exists(cache.path_for("aaa"))
+        assert cache.load("bbb") is not None
+        assert cache.stats.evictions == 1
+
+    def test_evictions_feed_stats_and_obs_counters(self, tmp_path):
+        from repro import obs
+
+        cache = DictionaryCache(tmp_path, max_entries=1)
+        recorder = obs.Recorder()
+        with obs.use_recorder(recorder):
+            for index, key in enumerate(("aaa", "bbb", "ccc")):
+                cache.store(key, *_entry(index))
+        assert cache.stats.evictions == 2
+        assert recorder.counter_value("cache.evicted") == 2
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = DictionaryCache(tmp_path)
+        for index in range(5):
+            cache.store(f"key{index}", *_entry(index))
+        assert cache.stats.evictions == 0
+        assert len([n for n in os.listdir(tmp_path) if n.endswith(".npz")]) == 5
+
+
+def _hammer_store(directory, key, n_rounds):
+    """Concurrent-writer body: repeatedly store the same content under
+    the same key, racing the other writers' atomic renames."""
+    cache = DictionaryCache(directory)
+    for _ in range(n_rounds):
+        cache.store(key, *_entry(7))
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_never_produce_a_torn_entry(self, tmp_path):
+        """N processes atomically rewrite one key while we keep reading.
+
+        The atomic-rename protocol (mkstemp in the target directory +
+        ``os.replace``) means a reader observes either the previous
+        complete entry or the new complete entry — never a torn file.
+        """
+        import multiprocessing
+
+        key = "contended"
+        writers = [
+            multiprocessing.Process(
+                target=_hammer_store, args=(str(tmp_path), key, 20)
+            )
+            for _ in range(4)
+        ]
+        for process in writers:
+            process.start()
+        try:
+            reader = DictionaryCache(tmp_path)
+            expected_m, expected_sigs = _entry(7)
+            observed = 0
+            while any(process.is_alive() for process in writers):
+                loaded = reader.load(key)
+                if loaded is None:
+                    continue  # only legal before the very first rename
+                observed += 1
+                np.testing.assert_array_equal(loaded["m_crt"], expected_m)
+                np.testing.assert_array_equal(
+                    loaded["signatures"][0], expected_sigs[0]
+                )
+        finally:
+            for process in writers:
+                process.join()
+        assert reader.stats.rejected == 0, "a torn or partial entry was read"
+        for process in writers:
+            assert process.exitcode == 0
+        # exactly one final entry and no temp debris survive the stampede
+        names = sorted(os.listdir(tmp_path))
+        assert names == [f"dict_{key}.npz"]
+        final = reader.load(key)
+        assert final is not None
+        np.testing.assert_array_equal(final["m_crt"], expected_m)

@@ -95,6 +95,42 @@ class TestParallelBackendDeterminism:
         assert tmp_cache.hits > 0
         assert [r.ranks for r in first.records] == [r.ranks for r in second.records]
 
+    def test_interrupted_resumed_round_matches_uninterrupted(
+        self, bench_timing, tmp_path
+    ):
+        """Checkpoint/resume must not perturb the protocol either: a round
+        killed mid-campaign and resumed from its trial-boundary checkpoint
+        reproduces the uninterrupted run's records exactly (the resumed
+        trials continue the restored RNG stream bit for bit)."""
+        from repro.core import EvaluationConfig, evaluate_circuit
+        from repro.resilience import TransientChaosError
+        from repro.resilience.chaos import ChaosEvent, ChaosPlan, chaos_active
+
+        baseline = evaluate_circuit(
+            bench_timing, EvaluationConfig(n_trials=3, n_paths=5, seed=9)
+        )
+        checkpoint = str(tmp_path / "round.json")
+        config = EvaluationConfig(
+            n_trials=3, n_paths=5, seed=9, checkpoint=checkpoint
+        )
+        plan = ChaosPlan([ChaosEvent("evaluate.trial", "transient", index=1)])
+        with chaos_active(plan):
+            with pytest.raises(TransientChaosError):
+                evaluate_circuit(bench_timing, config)
+        resumed = evaluate_circuit(
+            bench_timing,
+            EvaluationConfig(
+                n_trials=3, n_paths=5, seed=9, checkpoint=checkpoint, resume=True
+            ),
+        )
+        assert [r.defect_edge for r in baseline.records] == [
+            r.defect_edge for r in resumed.records
+        ]
+        assert [r.ranks for r in baseline.records] == [
+            r.ranks for r in resumed.records
+        ]
+        assert baseline.table() == resumed.table()
+
 
 @pytest.mark.slow
 class TestInstrumentationDeterminism:

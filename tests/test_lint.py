@@ -65,10 +65,12 @@ def rule_counts(findings):
 def test_rule_ids_are_stable_and_namespaced():
     for rule_id, rule in RULES.items():
         assert rule.id == rule_id
-        assert rule_id[0] in "DCTS"
+        assert rule_id[0] in "DCTSR"
     assert {r.engine for r in RULES.values()} == {"code", "model"}
     # the IDs promised by the issue all exist
-    for rule_id in ("D101", "D105", "C201", "C208", "T301", "T304", "S403"):
+    for rule_id in (
+        "D101", "D105", "C201", "C208", "T301", "T304", "S403", "R601",
+    ):
         assert rule_id in RULES
 
 
