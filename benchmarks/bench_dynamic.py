@@ -1,0 +1,204 @@
+"""Wall-clock benchmark of the compiled dynamic-timing kernel.
+
+Builds the multi-clock probabilistic fault dictionary — the innermost
+loop of clock-sweep diagnosis, thousands of cone-restricted
+re-simulations — on ISCAS89-class circuits at **full scale** under both
+timing kernels (``reference``: per-gate Python dicts; ``compiled``:
+levelized ``reduceat`` array schedules) and emits the measurements as
+``BENCH_dynamic.json`` (the ``BENCH_*.json`` schema: one ``runs`` list of
+flat records plus environment metadata).
+
+Interpretation notes:
+
+* each kernel builds its *own* base simulations before timing starts —
+  feeding one kernel's bases to the other would bill the Mapping-view
+  adaptation cost to the wrong side,
+* the reference kernel pays an intrinsic O(n_nets) settle-map copy per
+  re-simulation, so the speedup grows with circuit size; the last
+  (largest) circuit is the headline number with a >= 5x target,
+* results are asserted bit-identical across kernels before any timing is
+  reported — a fast wrong kernel must never enter the record.
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_dynamic.py [--quick]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.atpg import generate_path_tests
+from repro.circuits import load_benchmark
+from repro.core import build_multi_clock_dictionary
+from repro.timing import (
+    CircuitTiming,
+    SampleSpace,
+    diagnosis_clock,
+    simulate_pattern_set,
+)
+
+#: (name, scale, n_samples, n_patterns) small to large; ``scale=1.0``
+#: forces the full-size netlist (the registry's default scale shrinks the
+#: big circuits so that pure-Python experiments stay tractable — exactly
+#: the cost this kernel removes). The last entry is the headline number.
+CIRCUITS = (
+    ("s1196", None, 256, 24),
+    ("s5378", 1.0, 256, 32),
+    ("s15850", 1.0, 128, 48),
+)
+QUICK_CIRCUITS = (("s1196", None, 128, 12),)
+KERNELS = ("reference", "compiled")
+SPEEDUP_TARGET = 5.0
+
+#: Every 173rd edge as a path-test target spreads patterns over the whole
+#: netlist instead of one defect cone, so suspect activity is realistic.
+SITE_STRIDE = 173
+
+
+def _patterns_for(circuit, timing, want: int):
+    """Accumulate path-test pairs from strided target sites until ``want``."""
+    patterns = None
+    for site in circuit.edges[::SITE_STRIDE]:
+        extra, _paths = generate_path_tests(timing, site, n_paths=4, rng_seed=5)
+        if patterns is None:
+            patterns = extra
+        else:
+            for index in range(len(extra)):
+                try:
+                    patterns.append(
+                        extra.pairs[index][0],
+                        extra.pairs[index][1],
+                        extra.sources[index],
+                    )
+                except ValueError:
+                    pass  # duplicate pair — already covered
+        if patterns is not None and len(patterns) >= want:
+            break
+    if patterns is None or not len(patterns):
+        raise RuntimeError("no path tests found")
+    return patterns
+
+
+def _identical(a, b) -> bool:
+    return np.array_equal(a.m_crt, b.m_crt) and all(
+        np.array_equal(a.signatures[e], b.signatures[e]) for e in a.suspects
+    )
+
+
+def bench_circuit(name, scale, n_samples, n_patterns, repeats):
+    circuit = load_benchmark(name, seed=1, scale=scale)
+    timing = CircuitTiming(circuit, SampleSpace(n_samples=n_samples, seed=7))
+    patterns = _patterns_for(circuit, timing, n_patterns)
+    suspects = list(circuit.edges)
+    sizes = np.full(n_samples, 0.9)
+
+    base = dict(
+        circuit=name,
+        scale=scale if scale is not None else "default",
+        n_gates=len(circuit.gates),
+        n_edges=len(circuit.edges),
+        n_suspects=len(suspects),
+        n_patterns=len(patterns),
+        n_samples=n_samples,
+    )
+    runs, results = [], {}
+    for kernel in KERNELS:
+        os.environ["REPRO_TIMING_KERNEL"] = kernel
+        # Base simulations are rebuilt under the kernel being measured so
+        # neither side re-simulates against foreign settle-time containers.
+        sims = simulate_pattern_set(timing, list(patterns))
+        clk = diagnosis_clock(
+            timing, list(patterns), 0.85,
+            simulations=sims, targets=patterns.target_observations(),
+        )
+        best = float("inf")
+        for _repeat in range(repeats):
+            started = time.perf_counter()
+            result = build_multi_clock_dictionary(
+                timing, patterns, [clk, clk * 1.02], suspects, sizes,
+                base_simulations=sims,
+            )
+            best = min(best, time.perf_counter() - started)
+        results[kernel] = result
+        runs.append(dict(base, kernel=kernel, seconds=round(best, 6)))
+
+    assert _identical(results["reference"], results["compiled"]), (
+        f"{name}: compiled dictionary diverged from reference"
+    )
+    reference_seconds = runs[0]["seconds"]
+    for run in runs:
+        run["speedup"] = round(reference_seconds / run["seconds"], 3)
+    return runs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smallest circuit only, fewer samples")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--output", default=os.path.join(os.path.dirname(__file__) or ".",
+                                         "BENCH_dynamic.json"),
+    )
+    args = parser.parse_args(argv)
+
+    previous = os.environ.get("REPRO_TIMING_KERNEL")
+    circuits = QUICK_CIRCUITS if args.quick else CIRCUITS
+    runs = []
+    try:
+        for name, scale, n_samples, n_patterns in circuits:
+            print(f"benchmarking {name} ...", flush=True)
+            circuit_runs = bench_circuit(
+                name, scale, n_samples, n_patterns, repeats=args.repeats
+            )
+            runs.extend(circuit_runs)
+            for run in circuit_runs:
+                print(
+                    f"  {run['kernel']:>10s}: {run['seconds']*1e3:9.1f} ms  "
+                    f"(x{run['speedup']:.2f}, suspects={run['n_suspects']}, "
+                    f"patterns={run['n_patterns']})"
+                )
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_TIMING_KERNEL", None)
+        else:
+            os.environ["REPRO_TIMING_KERNEL"] = previous
+
+    report = {
+        "bench": "dynamic_kernel",
+        "schema_version": 1,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "config": {
+            "repeats": args.repeats,
+            "circuits": [c[0] for c in circuits],
+            "speedup_target": SPEEDUP_TARGET,
+        },
+        "runs": runs,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    largest = circuits[-1][0]
+    headline = [r for r in runs
+                if r["circuit"] == largest and r["kernel"] == "compiled"]
+    if headline:
+        speedup = headline[0]["speedup"]
+        status = "OK" if speedup >= SPEEDUP_TARGET else "BELOW TARGET"
+        print(f"compiled kernel on {largest}: x{speedup:.2f} "
+              f"(target >= x{SPEEDUP_TARGET:.1f}) {status}")
+        if not args.quick and speedup < SPEEDUP_TARGET:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

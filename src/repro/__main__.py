@@ -84,6 +84,9 @@ def _apply_execution_flags(args) -> None:
         os.environ["REPRO_RETRY_TIMEOUT"] = str(chunk_timeout)
     if getattr(args, "no_degrade", False):
         os.environ["REPRO_RETRY_NO_DEGRADE"] = "1"
+    kernel = getattr(args, "kernel", None)
+    if kernel:
+        os.environ["REPRO_TIMING_KERNEL"] = kernel
 
 
 def _load_timing(name: str, samples: int, seed: int):
@@ -323,14 +326,49 @@ def cmd_profile(args) -> int:
     )
     recorder.gauge("profile.bit_identical", 1.0 if identical else 0.0)
 
+    # The second determinism proof: the other timing kernel reproduces the
+    # dictionary bit for bit.  Rebuilt cache-less from fresh base
+    # simulations — a cache hit here would prove nothing.
+    from .timing import active_kernel
+
+    this_kernel = active_kernel()
+    other_kernel = "reference" if this_kernel == "compiled" else "compiled"
+    saved_env = {
+        name: os.environ.pop(name, None)
+        for name in ("REPRO_TIMING_KERNEL", "REPRO_CACHE_DIR")
+    }
+    os.environ["REPRO_TIMING_KERNEL"] = other_kernel
+    try:
+        with obs.use_recorder(obs.NullRecorder()):
+            other_sims = simulate_pattern_set(timing, list(patterns))
+            other = build_dictionary(
+                timing, patterns, clk, suspects, sizes,
+                base_simulations=other_sims,
+            )
+    finally:
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    kernels_identical = np.array_equal(other.m_crt, dictionary.m_crt) and all(
+        np.array_equal(other.signatures[edge], dictionary.signatures[edge])
+        for edge in other.suspects
+    )
+    recorder.gauge(
+        "profile.kernels_bit_identical", 1.0 if kernels_identical else 0.0
+    )
+
     top = results["alg_rev"].top(1)[0] if results["alg_rev"].ranking else None
     print(f"profile: {args.benchmark}  clk {clk:.3f}  "
           f"suspects {len(suspects)}  top alg_rev {top}")
     print(f"instrumented == uninstrumented dictionary: {identical}")
+    print(f"{this_kernel} kernel == {other_kernel} kernel dictionary: "
+          f"{kernels_identical}")
     print(f"span depth: {recorder.span_depth()}")
     print()
     print(obs.render_metrics_text(recorder.snapshot()))
-    return 0 if identical else 1
+    return 0 if identical and kernels_identical else 1
 
 
 def cmd_lint(args) -> int:
@@ -442,6 +480,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-degrade", action="store_true", dest="no_degrade",
             help="fail with a typed error instead of degrading "
             "process -> thread -> serial when a worker pool breaks",
+        )
+        p.add_argument(
+            "--kernel", choices=("compiled", "reference"), default="",
+            help="dynamic-timing simulation kernel (default: compiled; "
+            "both are bit-identical, this is a performance knob)",
         )
         p.add_argument(
             "--metrics", type=str, default="", metavar="OUT.json",

@@ -92,6 +92,8 @@ class Circuit:
         self._edges: Optional[List[Edge]] = None
         self._fanouts: Optional[Dict[str, List[Edge]]] = None
         self._levels: Optional[Dict[str, int]] = None
+        self._topo_index: Optional[Dict[str, int]] = None
+        self._fanout_cone_cache: Dict[str, List[str]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -220,6 +222,15 @@ class Circuit:
             1 for gate in self.gates.values() if gate.gate_type is not GateType.INPUT
         )
 
+    @property
+    def topological_index(self) -> Dict[str, int]:
+        """Map net name -> position in :attr:`topological_order`."""
+        if self._topo_index is None:
+            self._topo_index = {
+                name: index for index, name in enumerate(self.topological_order)
+            }
+        return self._topo_index
+
     def fanin_cone(self, net: str) -> List[str]:
         """All nets in the transitive fanin of ``net`` (inclusive), topo order."""
         seen = {net}
@@ -230,10 +241,22 @@ class Circuit:
                 if fanin not in seen:
                     seen.add(fanin)
                     stack.append(fanin)
-        return [name for name in self.topological_order if name in seen]
+        return sorted(seen, key=self.topological_index.__getitem__)
 
     def fanout_cone(self, net: str) -> List[str]:
-        """All nets in the transitive fanout of ``net`` (inclusive), topo order."""
+        """All nets in the transitive fanout of ``net`` (inclusive), topo order.
+
+        Memoized per net: the dictionary builder and the compiled timing
+        kernel ask for the same cones once per (suspect sink, pattern,
+        clock) combination, so each traversal runs at most once per
+        circuit.  Treat the returned list as read-only.
+        """
+        cached = self._fanout_cone_cache.get(net)
+        if cached is None:
+            cached = self._fanout_cone_cache[net] = self._compute_fanout_cone(net)
+        return cached
+
+    def _compute_fanout_cone(self, net: str) -> List[str]:
         seen = {net}
         stack = [net]
         while stack:
@@ -242,7 +265,10 @@ class Circuit:
                 if edge.sink not in seen:
                     seen.add(edge.sink)
                     stack.append(edge.sink)
-        return [name for name in self.topological_order if name in seen]
+        # Sorting the members beats filtering the full topological order:
+        # cones are typically tiny next to the circuit, and this runs once
+        # per (net, circuit) but for every suspect sink of a dictionary.
+        return sorted(seen, key=self.topological_index.__getitem__)
 
     def outputs_reachable_from(self, net: str) -> List[str]:
         cone = set(self.fanout_cone(net))

@@ -123,31 +123,62 @@ class _SignatureJob:
     plan_by_sink: Dict[str, _SinkPlan]
 
 
+def _transition_matrix(
+    circuit: Circuit, base_simulations: Sequence[TransitionSimResult]
+) -> np.ndarray:
+    """``(n_sims, n_nets)`` bool: did net (topological index) toggle?"""
+    names = circuit.topological_order
+    n = len(names)
+    matrix = np.empty((len(base_simulations), n), dtype=bool)
+    for row, sim in enumerate(base_simulations):
+        # Compiled-kernel results carry the per-net transition vector in
+        # net-row (= topological) order already; reuse it instead of
+        # re-deriving from the value dicts.
+        precomputed = getattr(
+            getattr(sim, "kernel_state", None), "transitions", None
+        )
+        if precomputed is not None and len(precomputed) == n:
+            matrix[row] = precomputed
+            continue
+        val1, val2 = sim.val1, sim.val2
+        v1 = np.fromiter((val1[name] for name in names), np.int8, count=n)
+        v2 = np.fromiter((val2[name] for name in names), np.int8, count=n)
+        np.not_equal(v1, v2, out=matrix[row])
+    return matrix
+
+
 def _sink_plan(
     circuit: Circuit,
-    base_simulations: Sequence[TransitionSimResult],
+    transitioned: np.ndarray,
     output_row: Dict[str, int],
     sink: str,
 ) -> _SinkPlan:
-    """Compute the shared activity plan for all suspects into ``sink``."""
+    """Compute the shared activity plan for all suspects into ``sink``.
+
+    ``transitioned`` is the :func:`_transition_matrix` of the base
+    simulations — one vectorized row probe per (sink, pattern) instead of
+    a Python loop over every reachable output.
+    """
     cone = circuit.fanout_cone(sink)
     affected = [(output_row[net], net) for net in cone if net in output_row]
     activity: List[Tuple[int, np.ndarray, List[str]]] = []
     if affected:
-        for column, sim in enumerate(base_simulations):
-            # The defect only matters when the test launches a transition
-            # through the defective segment's sink gate; extra delay never
-            # changes logic values, so an output that does not transition
-            # under the base simulation cannot transition under the defect.
-            if not sim.transitioned(sink):
-                continue
-            live = [(row, net) for row, net in affected if sim.transitioned(net)]
-            if live:
+        topo_index = circuit.topological_index
+        affected_cols = np.array(
+            [topo_index[net] for _row, net in affected], dtype=np.int64
+        )
+        # The defect only matters when the test launches a transition
+        # through the defective segment's sink gate; extra delay never
+        # changes logic values, so an output that does not transition
+        # under the base simulation cannot transition under the defect.
+        for column in np.flatnonzero(transitioned[:, topo_index[sink]]):
+            live = np.flatnonzero(transitioned[column, affected_cols])
+            if live.size:
                 activity.append(
                     (
-                        column,
-                        np.array([row for row, _net in live]),
-                        [net for _row, net in live],
+                        int(column),
+                        np.array([affected[i][0] for i in live]),
+                        [affected[i][1] for i in live],
                     )
                 )
     return cone, activity
@@ -159,18 +190,44 @@ def _signatures_for_chunk(
     """Signature matrices for one chunk of suspect indices (worker body)."""
     n_patterns = len(job.base_simulations)
     results: List[np.ndarray] = []
+    shared_zero: Optional[np.ndarray] = None
+    # Live suspects draw their signature matrices from block allocations:
+    # one lazily-zeroed arena covers many suspects, so the per-suspect
+    # cost is a view instead of an allocate-and-memset of a matrix whose
+    # cells are mostly never written.
+    arena: Optional[np.ndarray] = None
+    arena_used = 0
     for index in indices:
         edge = job.suspects[index]
         edge_index = job.edge_indices[index]
         cone, activity = job.plan_by_sink[edge.sink]
-        signature = np.zeros_like(job.m_crt)
+        if not activity:
+            # No pattern toggles this sink: the signature is identically
+            # zero.  All such suspects in a chunk share one read-only
+            # matrix — a dictionary over every edge of a large circuit is
+            # mostly dead suspects, so this dominates allocation.
+            if shared_zero is None:
+                shared_zero = np.zeros(job.m_crt.shape, dtype=job.m_crt.dtype)
+                shared_zero.setflags(write=False)
+            results.append(shared_zero)
+            continue
+        if arena is None or arena_used == len(arena):
+            arena = np.zeros((64,) + job.m_crt.shape, dtype=job.m_crt.dtype)
+            arena_used = 0
+        signature = arena[arena_used]
+        arena_used += 1
         for column, rows, nets in activity:
             patched = resimulate_with_extra(
                 job.base_simulations[column],
                 {edge_index: job.size_samples},
                 affected=cone,
             )
-            stacked = np.stack([patched.stable[net] for net in nets])
+            stable = patched.stable
+            take = getattr(stable, "take_rows", None)
+            if take is not None:
+                stacked = take(nets)
+            else:
+                stacked = np.stack([stable[net] for net in nets])
             for block, clk in enumerate(job.clks):
                 col = block * n_patterns + column
                 errs = (stacked > clk).mean(axis=1)
@@ -258,8 +315,9 @@ def build_multi_clock_dictionary(
         recorder.count("dictionary.clocks", len(clks))
 
         output_row = {net: row for row, net in enumerate(circuit.outputs)}
+        transitioned = _transition_matrix(circuit, base_simulations)
         plan_by_sink = {
-            sink: _sink_plan(circuit, base_simulations, output_row, sink)
+            sink: _sink_plan(circuit, transitioned, output_row, sink)
             for sink in {edge.sink for edge in suspects}
         }
         job = _SignatureJob(

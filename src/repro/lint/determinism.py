@@ -8,7 +8,10 @@ bit-identical parallel/cached dictionary guarantee established in PR 1:
 * ``D103`` — unseeded ``np.random.default_rng()`` (OS-entropy streams),
 * ``D104`` — time/entropy-dependent seeding expressions,
 * ``D105`` — public simulation entry points that take a ``seed`` but do
-  not let callers thread an explicit ``Generator``.
+  not let callers thread an explicit ``Generator``,
+* ``D106`` — reference-kernel entry points used outside ``timing/`` or
+  ``tests/`` (production code must go through the dispatching entry
+  points so ``REPRO_TIMING_KERNEL`` stays authoritative).
 
 Pure ``ast`` — no third-party linter framework, no imports of the scanned
 code.  Findings can be silenced per line with a trailing
@@ -62,6 +65,18 @@ _SEEDING_SINKS = {
     "compat_from_seedsequence", "spawn_generator",
 }
 
+#: Reference-kernel entry points only ``timing/`` and ``tests/`` may name
+#: (D106) — everything else must use the dispatching entry points.
+_REFERENCE_KERNEL_NAMES = {
+    "simulate_transition_reference",
+    "resimulate_with_extra_reference",
+}
+
+#: Path components in which D106 does not apply: the kernel's own package
+#: (the dispatcher must reach the reference path) and the test suite
+#: (which pins bit-identity against it).
+_D106_EXEMPT_DIRS = {"timing", "tests"}
+
 #: Parameter names that mark a seed input / an explicit generator input.
 _SEED_PARAMS = {"seed", "rng_seed"}
 _GENERATOR_PARAMS = {"rng", "generator", "space"}
@@ -101,6 +116,10 @@ class _DeterminismVisitor(ast.NodeVisitor):
     def __init__(self, path: str) -> None:
         self.path = path
         self.findings: List[Diagnostic] = []
+        parts = os.path.normpath(path).split(os.sep)
+        #: D106 scope: the timing package itself and the test suite may
+        #: name the reference kernel; nothing else may.
+        self.d106_exempt = bool(_D106_EXEMPT_DIRS & set(parts[:-1]))
         #: Local aliases of the numpy package (``numpy``, ``np``, ...).
         self.numpy_aliases: Set[str] = set()
         #: Local aliases of the ``numpy.random`` module itself.
@@ -157,6 +176,16 @@ class _DeterminismVisitor(ast.NodeVisitor):
         elif module == "numpy.random" and node.level == 0:
             for alias in node.names:
                 self.np_random_members[alias.asname or alias.name] = alias.name
+        if not self.d106_exempt:
+            for alias in node.names:
+                if alias.name in _REFERENCE_KERNEL_NAMES:
+                    self._emit(
+                        "D106", node.lineno,
+                        f"imports reference-kernel entry point "
+                        f"`{alias.name}` outside timing/ or tests/; use the "
+                        "dispatching entry point so REPRO_TIMING_KERNEL "
+                        "selects the kernel",
+                    )
         self.generic_visit(node)
 
     # -- calls ----------------------------------------------------------
@@ -210,6 +239,19 @@ class _DeterminismVisitor(ast.NodeVisitor):
                     )
 
     def visit_Call(self, node: ast.Call) -> None:
+        if not self.d106_exempt:
+            terminal = None
+            if isinstance(node.func, ast.Attribute):
+                terminal = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                terminal = node.func.id
+            if terminal in _REFERENCE_KERNEL_NAMES:
+                self._emit(
+                    "D106", node.lineno,
+                    f"calls reference-kernel entry point `{terminal}` "
+                    "outside timing/ or tests/; use the dispatching entry "
+                    "point so REPRO_TIMING_KERNEL selects the kernel",
+                )
         member = self._np_random_member(node.func)
         if member is not None:
             if member in _NP_LEGACY:

@@ -79,6 +79,15 @@ _CATALOG = (
         "Scope: module-level public functions in atpg/, defects/, logic/, "
         "core/ and timing/ (randvars.py, the stream owner, is exempt).",
     ),
+    Rule(
+        "D106", "reference-kernel-outside-timing", Severity.ERROR, "code",
+        "Calls a reference-kernel entry point (simulate_transition_reference "
+        "/ resimulate_with_extra_reference) outside timing/ or tests/. "
+        "Production code must go through the dispatching entry points "
+        "(simulate_transition / resimulate_with_extra) so REPRO_TIMING_KERNEL "
+        "selects the kernel uniformly; hard-wiring the reference path "
+        "silently forfeits the compiled kernel's speedup.",
+    ),
     # ----------------------------------------------------------- circuit
     Rule(
         "C201", "circuit-not-frozen", Severity.ERROR, "model",

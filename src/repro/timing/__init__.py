@@ -8,10 +8,14 @@ from .instance import CircuitTiming, CircuitInstance
 from .sta import StaResult, analyze, suggest_clock
 from .dynamic import (
     TransitionSimResult,
+    active_kernel,
     simulate_transition,
+    simulate_transition_reference,
     resimulate_with_extra,
+    resimulate_with_extra_reference,
     edge_offsets,
 )
+from .kernel import CompiledCircuit, PatternSchedule, compile_circuit
 from .events import (
     Waveform,
     EventSimResult,
@@ -63,9 +67,15 @@ __all__ = [
     "analyze_analytic",
     "compare_with_monte_carlo",
     "TransitionSimResult",
+    "active_kernel",
     "simulate_transition",
+    "simulate_transition_reference",
     "resimulate_with_extra",
+    "resimulate_with_extra_reference",
     "edge_offsets",
+    "CompiledCircuit",
+    "PatternSchedule",
+    "compile_circuit",
     "error_vector",
     "error_matrix",
     "simulate_pattern_set",

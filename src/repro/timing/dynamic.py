@@ -24,11 +24,28 @@ Because logic values are sample-independent, a delay defect (extra delay on
 one edge) changes settle times only inside the defect's fanout cone —
 :func:`resimulate_with_extra` exploits this to make probabilistic fault
 dictionary construction (hundreds of suspects) cheap.
+
+Two interchangeable evaluation kernels implement these rules:
+
+* the **reference** kernel (:func:`simulate_transition_reference` /
+  :func:`resimulate_with_extra_reference`) — the original gate-by-gate
+  Python walk, kept as the obviously-correct oracle,
+* the **compiled** kernel (:mod:`repro.timing.kernel`) — a one-time
+  lowering of the circuit into flat integer arrays plus a per-pattern
+  reduction schedule evaluated level-by-level with segment min/max
+  reductions across all Monte-Carlo samples at once.
+
+:func:`simulate_transition` and :func:`resimulate_with_extra` dispatch on
+``REPRO_TIMING_KERNEL`` (``compiled``, the default, or ``reference``); the
+two kernels are bit-identical (``tests/test_kernel.py`` pins this), so the
+switch is purely a performance knob.  Callers outside ``timing/`` must use
+the dispatching entry points — lint rule ``D106`` enforces it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -42,21 +59,55 @@ from .randvars import RandomVariable
 __all__ = [
     "TransitionSimResult",
     "simulate_transition",
+    "simulate_transition_reference",
     "resimulate_with_extra",
+    "resimulate_with_extra_reference",
     "edge_offsets",
+    "active_kernel",
+    "KERNEL_ENV",
 ]
 
 ExtraDelay = Mapping[int, Union[float, np.ndarray]]
 
+#: Environment variable selecting the dynamic-simulation kernel.
+KERNEL_ENV = "REPRO_TIMING_KERNEL"
 
-def edge_offsets(circuit: Circuit) -> Dict[str, int]:
-    """First edge index of each gate's fanin block in ``circuit.edges`` order."""
+#: Recognized kernel names, in default-first order.
+KERNELS = ("compiled", "reference")
+
+
+def active_kernel() -> str:
+    """The kernel :func:`simulate_transition` will dispatch to right now."""
+    value = os.environ.get(KERNEL_ENV, "").strip() or KERNELS[0]
+    if value not in KERNELS:
+        raise ValueError(
+            f"{KERNEL_ENV}={value!r} is not a known timing kernel; "
+            f"expected one of {', '.join(KERNELS)}"
+        )
+    return value
+
+
+def _compute_edge_offsets(circuit: Circuit) -> Dict[str, int]:
     offsets: Dict[str, int] = {}
     offset = 0
     for name in circuit.topological_order:
         offsets[name] = offset
         offset += len(circuit.gates[name].fanins)
     return offsets
+
+
+def edge_offsets(circuit: Circuit) -> Dict[str, int]:
+    """First edge index of each gate's fanin block in ``circuit.edges`` order.
+
+    Memoized on the (frozen, hence immutable) circuit: both simulation
+    kernels and the event simulator ask for the same table on every call,
+    so it is computed at most once per circuit.  Treat it as read-only.
+    """
+    cached = getattr(circuit, "_edge_offsets_cache", None)
+    if cached is None:
+        cached = _compute_edge_offsets(circuit)
+        circuit._edge_offsets_cache = cached  # type: ignore[attr-defined]
+    return cached
 
 
 @dataclass
@@ -67,6 +118,13 @@ class TransitionSimResult:
     simulated samples (the full sample space, or 1 for an instance-level
     simulation).  ``val1``/``val2`` are the settled logic values — identical
     across samples since delays never change logic.
+
+    ``stable`` is a mapping from net name to settle-time vector; the
+    reference kernel materializes a plain dict of per-net arrays while the
+    compiled kernel backs the same mapping with one ``(n_nets, width)``
+    matrix (:class:`repro.timing.kernel.StableTimes`).  ``kernel_state``
+    carries the compiled kernel's pattern schedule so cone-restricted
+    re-simulation can replay it; it is ``None`` for reference results.
     """
 
     timing: CircuitTiming
@@ -74,9 +132,10 @@ class TransitionSimResult:
     v2: np.ndarray
     val1: Dict[str, int]
     val2: Dict[str, int]
-    stable: Dict[str, np.ndarray]
+    stable: Mapping[str, np.ndarray]
     width: int
     sample_index: Optional[int] = None
+    kernel_state: Optional[object] = field(default=None, repr=False, compare=False)
 
     def transitioned(self, net: str) -> bool:
         """True iff the test launches a transition onto ``net``."""
@@ -93,6 +152,18 @@ class TransitionSimResult:
         outputs = self.timing.circuit.outputs
         recorder = obs.get_recorder()
         vector = np.zeros(len(outputs))
+        take = getattr(self.stable, "take_rows", None)
+        if take is not None and not recorder.enabled:
+            # Matrix-backed (compiled-kernel) results: one gather of the
+            # transitioning output rows and one vectorized threshold pass.
+            # Bit-identical to the per-net loop — the bool sums along
+            # axis 1 are exact integers, divided by the same width.
+            val1, val2 = self.val1, self.val2
+            live = [i for i, net in enumerate(outputs) if val1[net] != val2[net]]
+            if live:
+                stacked = take([outputs[i] for i in live])
+                vector[live] = (stacked > clk).mean(axis=1)
+            return vector
         for index, net in enumerate(outputs):
             if self.transitioned(net):
                 vector[index] = float(np.mean(self.stable[net] > clk))
@@ -159,7 +230,31 @@ def simulate_transition(
     per-sample vector) — the defect-injection hook.  ``sample_index``
     restricts the simulation to one Monte-Carlo sample, i.e. simulates a
     single :class:`CircuitInstance`; the result then has ``width == 1``.
+
+    Dispatches to the kernel selected by ``REPRO_TIMING_KERNEL`` (the
+    compiled levelized kernel by default); both kernels are bit-identical.
     """
+    if active_kernel() == "compiled":
+        from .kernel import simulate_transition_compiled
+
+        return simulate_transition_compiled(
+            timing, v1, v2, extra_delay=extra_delay, sample_index=sample_index
+        )
+    return simulate_transition_reference(
+        timing, v1, v2, extra_delay=extra_delay, sample_index=sample_index
+    )
+
+
+def simulate_transition_reference(
+    timing: CircuitTiming,
+    v1: np.ndarray,
+    v2: np.ndarray,
+    extra_delay: Optional[ExtraDelay] = None,
+    sample_index: Optional[int] = None,
+) -> TransitionSimResult:
+    """The reference (gate-by-gate Python) kernel behind
+    :func:`simulate_transition`; kept as the bit-exact oracle the compiled
+    kernel is validated against."""
     circuit = timing.circuit
     v1 = np.asarray(v1).astype(int).ravel()
     v2 = np.asarray(v2).astype(int).ravel()
@@ -176,7 +271,11 @@ def simulate_transition(
         delays = timing.delays[:, sample_index : sample_index + 1]
         width = 1
 
-    extra = dict(extra_delay or {})
+    # One conversion per extra edge, not one per (gate, pin) closure call.
+    extra = {
+        int(index): np.asarray(value)
+        for index, value in (extra_delay or {}).items()
+    }
     offsets = edge_offsets(circuit)
     zeros = np.zeros(width)
     stable: Dict[str, np.ndarray] = {}
@@ -192,7 +291,7 @@ def simulate_transition(
             edge_index = _base + pin
             d = delays[edge_index]
             if edge_index in extra:
-                d = d + np.asarray(extra[edge_index])
+                d = d + extra[edge_index]
             return d
 
         stable[name] = _gate_settle_time(
@@ -226,7 +325,25 @@ def resimulate_with_extra(
     dictionary builder re-simulates every suspect of a sink against many
     patterns and amortizes the cone traversal across all of them.  It must
     cover (at least) the fanout cones of every edge in ``extra_delay``.
+
+    When the base carries a compiled-kernel schedule and the compiled
+    kernel is active, the replay runs the cone-restricted slice of that
+    schedule; otherwise the reference per-gate path runs.  Both are
+    bit-identical.
     """
+    if base.kernel_state is not None and active_kernel() == "compiled":
+        from .kernel import resimulate_with_extra_compiled
+
+        return resimulate_with_extra_compiled(base, extra_delay, affected)
+    return resimulate_with_extra_reference(base, extra_delay, affected)
+
+
+def resimulate_with_extra_reference(
+    base: TransitionSimResult,
+    extra_delay: ExtraDelay,
+    affected: Optional[Iterable[str]] = None,
+) -> TransitionSimResult:
+    """The reference cone re-simulation behind :func:`resimulate_with_extra`."""
     timing = base.timing
     circuit = timing.circuit
     edges = circuit.edges
@@ -255,6 +372,10 @@ def resimulate_with_extra(
     offsets = edge_offsets(circuit)
     zeros = np.zeros(base.width)
     stable = dict(base.stable)
+    # One conversion per extra edge, not one per recomputed gate: the
+    # dictionary builder passes the same size-sample vector for every
+    # affected gate of every resimulation.
+    extra = {int(index): np.asarray(value) for index, value in extra_delay.items()}
 
     for name in circuit.topological_order:
         if name not in affected:
@@ -268,8 +389,8 @@ def resimulate_with_extra(
         def delay_of(pin: int, _base: int = base_offset) -> np.ndarray:
             edge_index = _base + pin
             d = delays[edge_index]
-            if edge_index in extra_delay:
-                d = d + np.asarray(extra_delay[edge_index])
+            if edge_index in extra:
+                d = d + extra[edge_index]
             return d
 
         stable[name] = _gate_settle_time(

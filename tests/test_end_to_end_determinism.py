@@ -47,6 +47,37 @@ class TestHarnessDeterminism:
 
 
 @pytest.mark.slow
+class TestKernelDeterminism:
+    """The compiled timing kernel must not perturb the protocol.
+
+    ``REPRO_TIMING_KERNEL`` is a pure performance knob: a full Section I
+    evaluation round under the compiled levelized kernel reproduces the
+    reference (gate-by-gate Python) round record for record, rank for
+    rank.  This is the end-to-end half of the bit-identity contract that
+    ``tests/test_kernel.py`` pins at the simulation level.
+    """
+
+    def test_full_evaluate_round_matches_reference_kernel(
+        self, bench_timing, monkeypatch
+    ):
+        from repro.core import EvaluationConfig, evaluate_circuit
+
+        config = EvaluationConfig(n_trials=2, n_paths=5, seed=9)
+        monkeypatch.setenv("REPRO_TIMING_KERNEL", "reference")
+        reference = evaluate_circuit(bench_timing, config)
+        monkeypatch.setenv("REPRO_TIMING_KERNEL", "compiled")
+        compiled = evaluate_circuit(bench_timing, config)
+
+        assert [r.defect_edge for r in reference.records] == [
+            r.defect_edge for r in compiled.records
+        ]
+        assert [r.ranks for r in reference.records] == [
+            r.ranks for r in compiled.records
+        ]
+        assert reference.table() == compiled.table()
+
+
+@pytest.mark.slow
 class TestParallelBackendDeterminism:
     """The parallel dictionary backend must not perturb the protocol.
 

@@ -110,6 +110,33 @@ def test_entry_point_rule_only_applies_in_scope_dirs():
     assert rule_counts(findings) == {"D105": 1}
 
 
+def test_reference_kernel_flagged_outside_timing_and_tests():
+    source = (
+        "from repro.timing import simulate_transition_reference\n"
+        "result = simulate_transition_reference(timing, v1, v2)\n"
+    )
+    findings = lint_source(source, path="src/repro/core/dictionary.py")
+    assert rule_counts(findings) == {"D106": 2}
+    assert "REPRO_TIMING_KERNEL" in findings[0].message
+
+
+def test_reference_kernel_allowed_in_timing_and_tests():
+    source = (
+        "from repro.timing import resimulate_with_extra_reference\n"
+        "resimulate_with_extra_reference(base, extra)\n"
+    )
+    assert lint_source(source, path="src/repro/timing/kernel.py") == []
+    assert lint_source(source, path="tests/test_kernel.py") == []
+
+
+def test_dispatching_entry_points_are_not_flagged():
+    source = (
+        "from repro.timing import simulate_transition\n"
+        "simulate_transition(timing, v1, v2)\n"
+    )
+    assert lint_source(source, path="src/repro/core/dictionary.py") == []
+
+
 def test_repro_package_is_clean():
     """The acceptance self-check: the shipped code passes its own linter."""
     report = lint_code()
