@@ -112,6 +112,7 @@ def quick_diagnosis_demo(benchmark: str = "s1196", seed: int = 0, n_samples: int
         trial.behavior,
         defect_model.dictionary_size_variable().samples,
         base_simulations=simulations,
+        size_distribution=defect_model.dictionary_size_distribution(),
     )
     return {
         "benchmark": benchmark,

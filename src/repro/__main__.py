@@ -87,6 +87,9 @@ def _apply_execution_flags(args) -> None:
     kernel = getattr(args, "kernel", None)
     if kernel:
         os.environ["REPRO_TIMING_KERNEL"] = kernel
+    sampler = getattr(args, "sampler", None)
+    if sampler:
+        os.environ["REPRO_SAMPLER"] = sampler
 
 
 def _load_timing(name: str, samples: int, seed: int):
@@ -218,6 +221,7 @@ def cmd_characterize(args) -> int:
     dictionary = build_dictionary(
         timing, patterns, clk, suspects,
         model.dictionary_size_variable().samples, base_simulations=sims,
+        size_distribution=model.dictionary_size_distribution(),
     )
     results = diagnose_all(dictionary, trial.behavior)
     located = results["alg_rev"].top(1)[0] if results["alg_rev"].ranking else None
@@ -299,6 +303,7 @@ def cmd_profile(args) -> int:
             )
             suspects = suspect_edges(sims, trial.behavior)
         sizes = model.dictionary_size_variable().samples
+        distribution = model.dictionary_size_distribution()
         with tempfile.TemporaryDirectory(prefix="repro-profile-") as scratch:
             # An explicit --cache-dir profiles that cache; otherwise a
             # scratch directory exercises the cold-store/warm-hit path.
@@ -307,9 +312,11 @@ def cmd_profile(args) -> int:
                 dictionary = build_dictionary(
                     timing, patterns, clk, suspects, sizes,
                     base_simulations=sims, cache=cache,
+                    size_distribution=distribution,
                 )
                 build_dictionary(  # warm pass: served from the cache
                     timing, patterns, clk, suspects, sizes, cache=cache,
+                    size_distribution=distribution,
                 )
         with recorder.span("profile.diagnose"):
             results = diagnose_all(dictionary, trial.behavior)
@@ -318,7 +325,8 @@ def cmd_profile(args) -> int:
     # instrumentation disabled must reproduce the dictionary bit for bit.
     with obs.use_recorder(obs.NullRecorder()):
         reference = build_dictionary(
-            timing, patterns, clk, suspects, sizes, base_simulations=sims
+            timing, patterns, clk, suspects, sizes, base_simulations=sims,
+            size_distribution=distribution,
         )
     identical = np.array_equal(reference.m_crt, dictionary.m_crt) and all(
         np.array_equal(reference.signatures[edge], dictionary.signatures[edge])
@@ -344,6 +352,7 @@ def cmd_profile(args) -> int:
             other = build_dictionary(
                 timing, patterns, clk, suspects, sizes,
                 base_simulations=other_sims,
+                size_distribution=distribution,
             )
     finally:
         for name, value in saved_env.items():
@@ -487,6 +496,13 @@ def build_parser() -> argparse.ArgumentParser:
             "both are bit-identical, this is a performance knob)",
         )
         p.add_argument(
+            "--sampler", choices=("plain", "is", "adaptive"), default="",
+            help="dictionary signature estimator (default: plain; 'is' = "
+            "importance sampling, 'adaptive' adds per-suspect sample "
+            "allocation — both variance-reduction modes, bit-reproducible "
+            "at fixed seed)",
+        )
+        p.add_argument(
             "--metrics", type=str, default="", metavar="OUT.json",
             help="record metrics during the run and write a schema-"
             "validated run manifest to this path",
@@ -607,7 +623,7 @@ def _run_config(args) -> dict:
     config = {}
     for field in ("samples", "trials", "paths", "parallel", "workers",
                   "chunk_size", "cache_dir", "cache_max_entries", "retries",
-                  "chunk_timeout", "checkpoint"):
+                  "chunk_timeout", "checkpoint", "sampler"):
         value = getattr(args, field, None)
         if value not in (None, ""):
             config[field] = value

@@ -22,6 +22,11 @@ from .netlist import Circuit
 
 __all__ = ["ValidationReport", "validate_circuit"]
 
+#: One deprecation notice per process: the shim is called from hot loops
+#: in legacy callers, and repeating the same warning per call buries real
+#: warnings in test and CLI output.
+_WARNED = False
+
 
 @dataclass
 class ValidationReport:
@@ -49,11 +54,14 @@ def validate_circuit(circuit: Circuit, require_observable: bool = True) -> Valid
     """
     from ..lint.models import check_circuit
 
-    warnings.warn(
-        "validate_circuit is deprecated; use repro.lint.check_circuit / "
-        "lint_circuit instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
+    global _WARNED
+    if not _WARNED:
+        _WARNED = True
+        warnings.warn(
+            "validate_circuit is deprecated; use repro.lint.check_circuit / "
+            "lint_circuit instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     findings = check_circuit(circuit, require_observable=require_observable)
     return ValidationReport([finding.message for finding in findings])

@@ -16,6 +16,7 @@ from .dictionary import (
     build_dictionary,
     build_multi_clock_dictionary,
 )
+from ..sampling import SamplerConfig, SizeDistribution, resolve_sampler
 from .error_functions import (
     ErrorFunction,
     match_probabilities,
@@ -68,6 +69,9 @@ __all__ = [
     "ProbabilisticFaultDictionary",
     "build_dictionary",
     "build_multi_clock_dictionary",
+    "SamplerConfig",
+    "SizeDistribution",
+    "resolve_sampler",
     "ErrorFunction",
     "match_probabilities",
     "pattern_match_probability",

@@ -105,8 +105,15 @@ def dictionary_cache_key(
     clks: Sequence[float],
     suspects: Sequence[Edge],
     size_samples: np.ndarray,
+    sampler_token: Optional[str] = None,
 ) -> str:
-    """The content address of one dictionary build."""
+    """The content address of one dictionary build.
+
+    ``sampler_token`` folds a non-plain sampler configuration into the
+    address (:meth:`repro.sampling.SamplerConfig.cache_token`); plain
+    builds pass ``None`` so their keys stay byte-identical to keys
+    written before the sampling subsystem existed.
+    """
     hasher = hashlib.sha256()
     hasher.update(timing_fingerprint(timing).encode())
     hasher.update(patterns_fingerprint(patterns).encode())
@@ -115,6 +122,8 @@ def dictionary_cache_key(
         json.dumps([[e.source, e.sink, e.pin] for e in suspects]).encode()
     )
     hasher.update(_array_bytes(np.asarray(size_samples, dtype=float)))
+    if sampler_token is not None:
+        hasher.update(sampler_token.encode())
     return hasher.hexdigest()
 
 

@@ -107,6 +107,8 @@ def build_sweep_dictionary(
     base_simulations: Optional[Sequence[TransitionSimResult]] = None,
     parallel: Optional[Union[ParallelConfig, str]] = None,
     cache: Optional[Union[DictionaryCache, str]] = None,
+    sampler=None,
+    size_distribution=None,
 ) -> ProbabilisticFaultDictionary:
     """One dictionary spanning all clocks (clock-major column blocks).
 
@@ -128,4 +130,6 @@ def build_sweep_dictionary(
         base_simulations=base_simulations,
         parallel=parallel,
         cache=cache,
+        sampler=sampler,
+        size_distribution=size_distribution,
     )

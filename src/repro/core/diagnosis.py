@@ -134,6 +134,8 @@ def run_diagnosis(
     suspects: Optional[Sequence[Edge]] = None,
     parallel: Optional[Union[ParallelConfig, str]] = None,
     cache: Optional[Union[DictionaryCache, str]] = None,
+    sampler=None,
+    size_distribution=None,
 ) -> Tuple[Dict[str, DiagnosisResult], ProbabilisticFaultDictionary]:
     """End-to-end diagnosis of one failing chip.
 
@@ -141,6 +143,9 @@ def run_diagnosis(
     inspect signatures, rerun other error functions, or feed the automatic
     K-selection heuristics).  ``parallel`` / ``cache`` flow into the
     dictionary construction (bit-identical results either way).
+    ``sampler`` / ``size_distribution`` select the variance-reduced
+    signature estimator (:func:`repro.core.dictionary.build_dictionary`
+    semantics).
     """
     recorder = obs.get_recorder()
     if base_simulations is None:
@@ -158,6 +163,8 @@ def run_diagnosis(
         base_simulations=base_simulations,
         parallel=parallel,
         cache=cache,
+        sampler=sampler,
+        size_distribution=size_distribution,
     )
     with recorder.span("diagnosis.score"):
         results = diagnose_all(dictionary, behavior, error_functions)

@@ -51,9 +51,19 @@ import numpy as np
 
 from ..circuits.netlist import Circuit, Edge
 from ..timing.critical import simulate_pattern_set
-from ..timing.dynamic import TransitionSimResult, resimulate_with_extra
+from ..timing.dynamic import (
+    TransitionSimResult,
+    replay_sizes,
+    resimulate_with_extra,
+)
 from ..timing.instance import CircuitTiming
 from ..atpg.patterns import PatternPairSet
+from ..sampling import (
+    CellAllocator,
+    SamplerConfig,
+    SizeDistribution,
+    resolve_sampler,
+)
 from .. import obs
 from .cache import DictionaryCache, dictionary_cache_key, resolve_cache
 from .parallel import ParallelConfig, map_chunked, resolve_parallel
@@ -81,6 +91,10 @@ class ProbabilisticFaultDictionary:
     suspects: List[Edge]
     signatures: Dict[Edge, np.ndarray]
     size_samples: np.ndarray
+    #: Per-suspect allocation accounting when built with a non-plain
+    #: sampler (mode, round size, samples/rounds per suspect, degeneracy
+    #: events); ``None`` for plain builds and cache-served results.
+    sampling_report: Optional[Dict] = None
 
     @property
     def circuit(self) -> Circuit:
@@ -236,6 +250,166 @@ def _signatures_for_chunk(
     return results
 
 
+@dataclass
+class _SampledSignatureJob:
+    """The plain signature job plus everything the sampled path adds."""
+
+    job: _SignatureJob
+    sampler: SamplerConfig
+    distribution: SizeDistribution
+    seed: int
+    round_size: int
+
+
+@dataclass
+class _SampledSignature:
+    """One suspect's sampled signature plus its allocation accounting."""
+
+    signature: np.ndarray
+    samples_spent: int
+    rounds: int
+    degenerate_rounds: int
+    min_ess_fraction: float
+    converged: bool
+
+
+def _sampled_signatures_for_chunk(
+    sampled_job: _SampledSignatureJob, indices: Sequence[int]
+) -> List[_SampledSignature]:
+    """Importance-sampled signatures for one chunk of suspect indices.
+
+    One :class:`~repro.sampling.CellAllocator` per (suspect, clock) cell
+    group covers every entry the suspect can touch at that clock; all
+    entries of a cell share each round's defect-size draw (common random
+    numbers across patterns, exactly like the plain path shares
+    ``size_samples``).  RNG streams are keyed by global suspect index,
+    clock index and round, so chunking and backend never change a draw.
+
+    Sampled signatures are clipped at 0: the plain path's structural
+    invariant ``err >= crt`` holds per sample there, and projecting the
+    noisy estimate onto that constraint only reduces its error.
+    """
+    job = sampled_job.job
+    sampler = sampled_job.sampler
+    distribution = sampled_job.distribution
+    n_patterns = len(job.base_simulations)
+    fixed_rounds = sampler.is_rounds if sampler.mode == "is" else None
+    results: List[_SampledSignature] = []
+    shared_zero: Optional[np.ndarray] = None
+    for index in indices:
+        edge = job.suspects[index]
+        edge_index = job.edge_indices[index]
+        cone, activity = job.plan_by_sink[edge.sink]
+        if not activity:
+            if shared_zero is None:
+                shared_zero = np.zeros(job.m_crt.shape, dtype=job.m_crt.dtype)
+                shared_zero.setflags(write=False)
+            results.append(
+                _SampledSignature(shared_zero, 0, 0, 0, 1.0, True)
+            )
+            continue
+        signature = np.zeros(job.m_crt.shape, dtype=job.m_crt.dtype)
+        # Median base settle per tracked entry (clock-independent): the
+        # proposal shift for a clock targets the defect size a median
+        # chip instance needs to push the cell's hardest entry past it.
+        median_settles: List[np.ndarray] = []
+        for column, _rows, nets in activity:
+            stable = job.base_simulations[column].stable
+            take = getattr(stable, "take_rows", None)
+            stacked = (
+                take(nets)
+                if take is not None
+                else np.stack([stable[net] for net in nets])
+            )
+            median_settles.append(np.median(stacked, axis=1))
+        min_median = min(float(row.min()) for row in median_settles)
+        n_entries = sum(len(rows) for _column, rows, _nets in activity)
+
+        samples_spent = 0
+        rounds = 0
+        degenerate_rounds = 0
+        min_ess = 1.0
+        converged = True
+        for clk_index, clk in enumerate(job.clks):
+            allocator = CellAllocator(
+                sampler,
+                distribution,
+                clk - min_median,
+                seed=sampled_job.seed,
+                suspect_index=index,
+                clk_index=clk_index,
+                n_entries=n_entries,
+                round_size=sampled_job.round_size,
+            )
+            if fixed_rounds is not None:
+                # Fixed-round IS: the proposal never changes mid-build,
+                # so all rounds draw upfront and each (pattern) cone
+                # replays the whole batch at once.
+                draws = [allocator.draw(r) for r in range(fixed_rounds)]
+                blocks = [
+                    replay_sizes(
+                        job.base_simulations[column],
+                        edge_index,
+                        [x for x, _w in draws],
+                        cone,
+                        nets,
+                    )
+                    for column, _rows, nets in activity
+                ]
+                for round_index, (_x, weights) in enumerate(draws):
+                    allocator.commit(
+                        weights,
+                        np.concatenate(
+                            [block[round_index] > clk for block in blocks],
+                            axis=0,
+                        ),
+                    )
+            else:
+                while True:
+                    x, weights = allocator.draw(allocator.rounds)
+                    parts = [
+                        replay_sizes(
+                            job.base_simulations[column],
+                            edge_index,
+                            [x],
+                            cone,
+                            nets,
+                        )[0]
+                        > clk
+                        for column, _rows, nets in activity
+                    ]
+                    allocator.commit(weights, np.concatenate(parts, axis=0))
+                    if allocator.should_stop():
+                        break
+            estimates = allocator.estimates()
+            offset = 0
+            for column, rows, _nets in activity:
+                col = clk_index * n_patterns + column
+                signature[rows, col] = np.maximum(
+                    estimates[offset : offset + len(rows)]
+                    - job.m_crt[rows, col],
+                    0.0,
+                )
+                offset += len(rows)
+            report = allocator.report()
+            samples_spent += report.samples_spent
+            rounds += report.rounds
+            degenerate_rounds += report.degenerate_rounds
+            min_ess = min(min_ess, report.ess_fraction)
+            converged = converged and report.converged
+        results.append(
+            _SampledSignature(
+                signature,
+                samples_spent,
+                rounds,
+                degenerate_rounds,
+                min_ess,
+                converged,
+            )
+        )
+    return results
+
+
 def build_multi_clock_dictionary(
     timing: CircuitTiming,
     patterns: Union[PatternPairSet, Sequence],
@@ -246,6 +420,8 @@ def build_multi_clock_dictionary(
     parallel: Optional[Union[ParallelConfig, str]] = None,
     cache: Optional[Union[DictionaryCache, str]] = None,
     clk_attribute: Optional[float] = None,
+    sampler: Optional[Union[SamplerConfig, str]] = None,
+    size_distribution: Optional[SizeDistribution] = None,
 ) -> ProbabilisticFaultDictionary:
     """The shared construction kernel behind single-clock dictionaries and
     clock sweeps.
@@ -257,8 +433,29 @@ def build_multi_clock_dictionary(
     (:func:`repro.core.parallel.resolve_parallel` semantics) and ``cache``
     an optional dictionary cache (:func:`repro.core.cache.resolve_cache`
     semantics); both default to the ``REPRO_*`` environment.
+
+    ``sampler`` selects the signature estimator
+    (:func:`repro.sampling.resolve_sampler` semantics — a config, a mode
+    name, or the ``REPRO_SAMPLER`` environment; default ``plain``).  The
+    plain path is untouched — same code, same cache keys, bit-identical
+    results.  Non-plain modes estimate signatures by importance sampling
+    with adaptive per-suspect allocation and require
+    ``size_distribution``, the nominal defect-size law the likelihood
+    ratios are exact against; ``m_crt`` is computed exactly either way
+    (it never depends on defect sizes).  Non-plain cache keys include the
+    sampler configuration; cache-served results drop the
+    ``sampling_report``.
     """
     circuit = timing.circuit
+    sampler_config = resolve_sampler(sampler)
+    sampled = not sampler_config.is_plain
+    if sampled and size_distribution is None:
+        raise ValueError(
+            "sampler mode %r requires a size_distribution (the nominal "
+            "defect-size law the likelihood ratios are exact against); "
+            "pass e.g. SingleDefectModel.dictionary_size_distribution()"
+            % sampler_config.mode
+        )
     size_samples = np.asarray(size_samples, dtype=float)
     if size_samples.shape != (timing.space.n_samples,):
         raise ValueError("size_samples must cover the full sample space")
@@ -271,7 +468,9 @@ def build_multi_clock_dictionary(
     pattern_list = list(patterns)
 
     def _assemble(
-        m_crt: np.ndarray, signature_list: Sequence[np.ndarray]
+        m_crt: np.ndarray,
+        signature_list: Sequence[np.ndarray],
+        sampling_report: Optional[Dict] = None,
     ) -> ProbabilisticFaultDictionary:
         return ProbabilisticFaultDictionary(
             timing=timing,
@@ -280,6 +479,7 @@ def build_multi_clock_dictionary(
             suspects=suspects,
             signatures=dict(zip(suspects, signature_list)),
             size_samples=size_samples,
+            sampling_report=sampling_report,
         )
 
     recorder = obs.get_recorder()
@@ -289,7 +489,16 @@ def build_multi_clock_dictionary(
         if store is not None:
             with recorder.span("dictionary.cache_lookup"):
                 key = dictionary_cache_key(
-                    timing, pattern_list, clks, suspects, size_samples
+                    timing,
+                    pattern_list,
+                    clks,
+                    suspects,
+                    size_samples,
+                    sampler_token=(
+                        sampler_config.cache_token(size_distribution)
+                        if sampled
+                        else None
+                    ),
                 )
                 payload = store.load(key)
             if payload is not None:
@@ -329,11 +538,65 @@ def build_multi_clock_dictionary(
             m_crt=m_crt,
             plan_by_sink=plan_by_sink,
         )
-        with recorder.span("dictionary.signatures"):
-            signature_list = map_chunked(
-                _signatures_for_chunk, job, len(suspects),
-                resolve_parallel(parallel),
+        sampling_report: Optional[Dict] = None
+        if sampled:
+            sampled_job = _SampledSignatureJob(
+                job=job,
+                sampler=sampler_config,
+                distribution=size_distribution,
+                seed=timing.space.seed,
+                round_size=timing.space.n_samples,
             )
+            with recorder.span("dictionary.signatures"):
+                records = map_chunked(
+                    _sampled_signatures_for_chunk, sampled_job, len(suspects),
+                    resolve_parallel(parallel),
+                )
+            signature_list = [record.signature for record in records]
+            samples_per_suspect = [record.samples_spent for record in records]
+            sampling_report = {
+                "mode": sampler_config.mode,
+                "round_size": timing.space.n_samples,
+                "samples_per_suspect": samples_per_suspect,
+                "rounds_per_suspect": [record.rounds for record in records],
+                "total_samples": int(sum(samples_per_suspect)),
+                "degenerate_rounds": int(
+                    sum(record.degenerate_rounds for record in records)
+                ),
+                "min_ess_fraction": float(
+                    min(
+                        (record.min_ess_fraction for record in records),
+                        default=1.0,
+                    )
+                ),
+                "all_converged": all(record.converged for record in records),
+            }
+            if recorder.enabled:
+                recorder.count(
+                    "sampling.samples_spent", sampling_report["total_samples"]
+                )
+                recorder.count(
+                    "sampling.rounds",
+                    sum(sampling_report["rounds_per_suspect"]),
+                )
+                recorder.count(
+                    "sampling.degenerate_rounds",
+                    sampling_report["degenerate_rounds"],
+                )
+                recorder.gauge(
+                    "sampling.round_size", timing.space.n_samples
+                )
+                if samples_per_suspect:
+                    recorder.observe(
+                        "sampling.samples_per_suspect",
+                        np.array(samples_per_suspect, dtype=float),
+                    )
+        else:
+            with recorder.span("dictionary.signatures"):
+                signature_list = map_chunked(
+                    _signatures_for_chunk, job, len(suspects),
+                    resolve_parallel(parallel),
+                )
         if recorder.enabled:
             # Estimator-quality meters: the distribution of the per-entry
             # critical-probability estimates and of the per-suspect extra
@@ -348,7 +611,7 @@ def build_multi_clock_dictionary(
         if store is not None and key is not None:
             with recorder.span("dictionary.cache_store"):
                 store.store(key, m_crt, signature_list)
-        return _assemble(m_crt, signature_list)
+        return _assemble(m_crt, signature_list, sampling_report)
 
 
 def build_dictionary(
@@ -360,6 +623,8 @@ def build_dictionary(
     base_simulations: Optional[Sequence[TransitionSimResult]] = None,
     parallel: Optional[Union[ParallelConfig, str]] = None,
     cache: Optional[Union[DictionaryCache, str]] = None,
+    sampler: Optional[Union[SamplerConfig, str]] = None,
+    size_distribution: Optional[SizeDistribution] = None,
 ) -> ProbabilisticFaultDictionary:
     """Build the dictionary for the given suspect set.
 
@@ -369,7 +634,9 @@ def build_dictionary(
     ``base_simulations`` (from :func:`simulate_pattern_set`) to reuse the
     defect-free runs.  ``parallel`` / ``cache`` opt into the worker-pool
     and on-disk-cache layers; both produce bit-identical dictionaries to
-    a plain serial build.
+    a plain serial build.  ``sampler`` / ``size_distribution`` select the
+    variance-reduced signature estimator
+    (:func:`build_multi_clock_dictionary` semantics).
     """
     return build_multi_clock_dictionary(
         timing,
@@ -381,4 +648,6 @@ def build_dictionary(
         parallel=parallel,
         cache=cache,
         clk_attribute=clk,
+        sampler=sampler,
+        size_distribution=size_distribution,
     )

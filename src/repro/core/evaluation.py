@@ -83,6 +83,10 @@ class EvaluationConfig:
     cache: Optional[Union[DictionaryCache, str]] = None
     checkpoint: Optional[str] = None
     resume: bool = False
+    #: Dictionary signature estimator (:func:`repro.sampling.resolve_sampler`
+    #: semantics): a mode name, a SamplerConfig, or None to defer to the
+    #: ``REPRO_SAMPLER`` environment (default plain).
+    sampler: Optional[str] = None
 
 
 @dataclass
@@ -329,6 +333,10 @@ def evaluate_circuit(
                     base_simulations=simulations,
                     parallel=parallel,
                     cache=cache,
+                    sampler=config.sampler,
+                    size_distribution=(
+                        defect_model.dictionary_size_distribution()
+                    ),
                 )
         recorder.count("evaluate.trials")
         recorder.count("evaluate.location_redraws", location_redraws)

@@ -155,3 +155,23 @@ class SingleDefectModel:
         )
         rng = np.random.default_rng(self.timing.space.seed + 1)
         return self.size_model.size_variable(mean, self.timing.space, rng=rng)
+
+    def dictionary_size_distribution(self) -> "SizeDistribution":
+        """The analytic law behind :meth:`dictionary_size_variable`.
+
+        Same floored normal (mean at the centre of the configured band,
+        ``sigma = sigma_over_mean * mean``, floored at zero), as a
+        :class:`repro.sampling.SizeDistribution` — the nominal law the
+        importance sampler's likelihood ratios are exact against and the
+        closed-form oracles integrate in the statistical tests.
+        """
+        from ..sampling import SizeDistribution
+
+        mean = (
+            0.5
+            * (self.size_model.mean_low + self.size_model.mean_high)
+            * self.cell_delay
+        )
+        return SizeDistribution(
+            mean=mean, sigma=self.size_model.sigma_over_mean * mean, floor=0.0
+        )

@@ -11,7 +11,11 @@ bit-identical parallel/cached dictionary guarantee established in PR 1:
   not let callers thread an explicit ``Generator``,
 * ``D106`` — reference-kernel entry points used outside ``timing/`` or
   ``tests/`` (production code must go through the dispatching entry
-  points so ``REPRO_TIMING_KERNEL`` stays authoritative).
+  points so ``REPRO_TIMING_KERNEL`` stays authoritative),
+* ``S406`` — code under a ``sampling/`` package constructing its own
+  numpy generators (seeded or not) instead of threading
+  ``repro.rng.spawn_generator`` spawn keys; ad-hoc generators break the
+  bit-reproducibility of sampled dictionary builds across backends.
 
 Pure ``ast`` — no third-party linter framework, no imports of the scanned
 code.  Findings can be silenced per line with a trailing
@@ -77,6 +81,18 @@ _REFERENCE_KERNEL_NAMES = {
 #: (which pins bit-identity against it).
 _D106_EXEMPT_DIRS = {"timing", "tests"}
 
+#: Directory components that scope S406: inside a sampling package every
+#: generator must come from ``spawn_generator``, never be built locally.
+_SAMPLING_DIRS = {"sampling"}
+
+#: Generator-constructing ``numpy.random`` members S406 bans inside
+#: sampling packages (seeded or not — the spawn-key protocol is the only
+#: accepted seeding discipline there).
+_S406_CONSTRUCTORS = {
+    "default_rng", "Generator", "SeedSequence", "RandomState",
+    "MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64",
+}
+
 #: Parameter names that mark a seed input / an explicit generator input.
 _SEED_PARAMS = {"seed", "rng_seed"}
 _GENERATOR_PARAMS = {"rng", "generator", "space"}
@@ -120,6 +136,8 @@ class _DeterminismVisitor(ast.NodeVisitor):
         #: D106 scope: the timing package itself and the test suite may
         #: name the reference kernel; nothing else may.
         self.d106_exempt = bool(_D106_EXEMPT_DIRS & set(parts[:-1]))
+        #: S406 scope: files living under a sampling/ package directory.
+        self.in_sampling = bool(_SAMPLING_DIRS & set(parts[:-1]))
         #: Local aliases of the numpy package (``numpy``, ``np``, ...).
         self.numpy_aliases: Set[str] = set()
         #: Local aliases of the ``numpy.random`` module itself.
@@ -254,6 +272,14 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 )
         member = self._np_random_member(node.func)
         if member is not None:
+            if self.in_sampling and member in _S406_CONSTRUCTORS:
+                self._emit(
+                    "S406", node.lineno,
+                    f"sampling code builds `np.random.{member}(...)` "
+                    "directly; thread repro.rng.spawn_generator("
+                    "seed, SAMPLER_SPAWN_KEY, suspect, clk, round) so "
+                    "draws replay bit-identically across backends",
+                )
             if member in _NP_LEGACY:
                 self._emit(
                     "D102", node.lineno,

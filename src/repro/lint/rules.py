@@ -9,7 +9,8 @@ it checks and which engine produced it:
   :mod:`repro.lint.models`),
 * ``T3xx`` — timing / cell-library characterization (model engine),
 * ``S4xx`` — suspect sets, fault dictionaries and the on-disk cache
-  (model engine),
+  (model engine; ``S406`` is the one code-engine member — it guards the
+  sampling subsystem's RNG threading at the source level),
 * ``S5xx`` — observability run manifests emitted by :mod:`repro.obs`
   (model engine, :mod:`repro.lint.obs`).  The range is reserved for the
   obs namespace: new manifest/metrics rules go here,
@@ -191,6 +192,13 @@ _CATALOG = (
         "Stray file in the cache directory (leftover temp file from an "
         "interrupted writer, or a foreign file) that no load will ever "
         "consult.",
+    ),
+    Rule(
+        "S406", "sampler-unthreaded-rng", Severity.ERROR, "code",
+        "Sampling-subsystem code constructs its own numpy Generator "
+        "instead of threading repro.rng.spawn_generator spawn keys; "
+        "per-(suspect, clock, round) streams are what make sampled "
+        "dictionary builds bit-reproducible across parallel backends.",
     ),
     # ------------------------------------ observability run manifests
     Rule(

@@ -1,0 +1,50 @@
+"""Variance reduction for dictionary construction (ROADMAP: ISLE-style IS).
+
+Importance sampling shifts the defect-size proposal toward the clock
+boundary per (suspect, clock) cell with exact likelihood-ratio
+reweighting; adaptive allocation draws in fixed-size rounds and stops
+each cell as soon as every tracked critical probability's confidence
+half-width meets the target.  A defensive mixture bounds all weights by
+``1/alpha`` and an ESS guard mixes back toward the nominal law when
+weights degenerate.
+
+Entry points: :func:`resolve_sampler` (mode string / env / config ->
+:class:`SamplerConfig`), :class:`SizeDistribution` (the nominal law the
+likelihood ratios are exact against), :class:`CellAllocator` (the round
+protocol used by :func:`repro.core.dictionary.build_multi_clock_dictionary`
+when ``sampler`` is not plain), and the closed-form oracles in
+:mod:`repro.sampling.oracle` backing the statistical test harness.
+"""
+
+from .allocator import (
+    AllocationReport,
+    CellAllocator,
+    estimate_tail_probabilities,
+)
+from .config import (
+    ENV_SAMPLER,
+    SAMPLER_MODES,
+    SAMPLER_SPAWN_KEY,
+    SamplerConfig,
+    resolve_sampler,
+)
+from .distributions import SizeDistribution, standard_normal_cdf
+from .oracle import conditional_exceedance, exact_tail_probability
+from .proposal import MixtureProposal, boundary_proposal
+
+__all__ = [
+    "AllocationReport",
+    "CellAllocator",
+    "ENV_SAMPLER",
+    "MixtureProposal",
+    "SAMPLER_MODES",
+    "SAMPLER_SPAWN_KEY",
+    "SamplerConfig",
+    "SizeDistribution",
+    "boundary_proposal",
+    "conditional_exceedance",
+    "estimate_tail_probabilities",
+    "exact_tail_probability",
+    "resolve_sampler",
+    "standard_normal_cdf",
+]

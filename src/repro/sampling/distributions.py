@@ -1,0 +1,84 @@
+"""Defect-size laws with exact tail math (no scipy).
+
+The reproduction's nominal defect-size law is a *floored* normal,
+``X = max(floor, N(mean, sigma^2))`` — the same censoring
+:meth:`repro.timing.randvars.SampleSpace.normal` applies.  Censoring turns
+the density into a mixture of a point mass at the floor
+(``Phi((floor - mean) / sigma)``) and the normal density above it; the
+importance weights in :mod:`repro.sampling.proposal` and the closed-form
+oracles in :mod:`repro.sampling.oracle` both need those pieces exactly,
+so they live here, shared.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SizeDistribution", "standard_normal_cdf"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def standard_normal_cdf(z):
+    """Exact ``Phi(z)`` elementwise via ``math.erfc`` (accurate in both
+    tails; no scipy dependency).  Scalars in, float out; arrays in,
+    array out."""
+    if np.isscalar(z) or np.ndim(z) == 0:
+        return 0.5 * math.erfc(-float(z) / _SQRT2)
+    flat = np.asarray(z, dtype=float).ravel()
+    out = np.empty(flat.shape, dtype=float)
+    for index, value in enumerate(flat):
+        out[index] = 0.5 * math.erfc(-value / _SQRT2)
+    return out.reshape(np.shape(z))
+
+
+@dataclass(frozen=True)
+class SizeDistribution:
+    """A floored normal defect-size law ``max(floor, N(mean, sigma^2))``.
+
+    ``floor=None`` disables censoring (a plain normal).
+    """
+
+    mean: float
+    sigma: float
+    floor: Optional[float] = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.sigma > 0.0:
+            raise ValueError("sigma must be positive, got %r" % (self.sigma,))
+
+    @property
+    def atom_mass(self) -> float:
+        """``P(X == floor)``: the censored probability mass at the floor."""
+        if self.floor is None:
+            return 0.0
+        return float(standard_normal_cdf((self.floor - self.mean) / self.sigma))
+
+    def materialize(self, rng, n: int) -> np.ndarray:
+        """Draw ``n`` sizes from the nominal law with the given generator."""
+        samples = rng.normal(self.mean, self.sigma, int(n))
+        if self.floor is not None:
+            np.maximum(samples, self.floor, out=samples)
+        return samples
+
+    def survival(self, thresholds):
+        """Exact ``P(X > t)`` elementwise.
+
+        Strict inequality: at ``t < floor`` the answer is 1 (all mass,
+        atom included, sits at or above the floor); at ``t >= floor`` the
+        atom never counts and the normal tail is exact.
+        """
+        t = np.asarray(thresholds, dtype=float)
+        tail = 1.0 - standard_normal_cdf((t - self.mean) / self.sigma)
+        if self.floor is not None:
+            tail = np.where(t < self.floor, 1.0, tail)
+        if np.ndim(thresholds) == 0:
+            return float(tail)
+        return tail
+
+    def cache_token(self) -> str:
+        return "floored-normal:%r:%r:%r" % (self.mean, self.sigma, self.floor)

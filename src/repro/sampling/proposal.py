@@ -1,0 +1,131 @@
+"""Defensive-mixture importance proposals with exact likelihood ratios.
+
+For a (suspect, clock) cell whose critical probabilities are deep in the
+tail of the nominal size law ``p``, almost every plain-MC draw is wasted.
+The proposal here is the defensive mixture
+
+    ``q = alpha * p + (1 - alpha) * p_shifted``
+
+where ``p_shifted`` is the nominal law with its mean moved to the size a
+median chip instance needs to cross the clock boundary.  Keeping ``alpha``
+mass on ``p`` bounds every likelihood ratio by ``1/alpha`` (Hesterberg's
+defensive mixture), so no single weight can dominate the estimate.
+
+Weights are the exact Radon-Nikodym derivative ``dp/dq`` including the
+censoring atom at the floor, so the reweighted estimator is exactly
+unbiased: ``E_q[w(X) f(X)] = E_p[f(X)]`` for any bounded ``f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .config import SamplerConfig
+from .distributions import SizeDistribution, standard_normal_cdf
+
+__all__ = ["MixtureProposal", "boundary_proposal"]
+
+#: exp() overflows above ~709; ratios this large give weights that are
+#: exactly 0 to double precision anyway, so clipping the exponent only
+#: silences the overflow warning without changing any result.
+_MAX_EXPONENT = 700.0
+
+
+@dataclass(frozen=True)
+class MixtureProposal:
+    """``q = alpha * nominal + (1 - alpha) * shifted`` (both floored).
+
+    ``shift_mean == nominal.mean`` or ``alpha == 1`` degenerates to the
+    nominal law itself; that case is special-cased so the likelihood
+    ratio is *exactly* 1.0 (floating-point ``alpha + (1 - alpha) * r``
+    would not reproduce 1.0 bit-exactly for every ``alpha``).
+    """
+
+    nominal: SizeDistribution
+    shift_mean: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1], got %r" % (self.alpha,))
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the proposal is the nominal law (weights all 1)."""
+        return self.alpha >= 1.0 or self.shift_mean == self.nominal.mean
+
+    def draw(self, rng, n: int):
+        """Draw ``n`` sizes from the mixture plus their exact weights.
+
+        The identity case still consumes the same generator methods
+        (uniform component pick + standard normal) so escalating ``alpha``
+        to 1 mid-run does not shift unrelated streams.
+        """
+        n = int(n)
+        p = self.nominal
+        pick = rng.random(n)
+        noise = rng.standard_normal(n)
+        if self.is_identity:
+            means = p.mean
+        else:
+            means = np.where(pick < self.alpha, p.mean, self.shift_mean)
+        x = means + p.sigma * noise
+        if p.floor is not None:
+            x = np.maximum(x, p.floor)
+        return x, self.weights(x)
+
+    def weights(self, x) -> np.ndarray:
+        """Exact ``dp/dq`` at each point of ``x``; bounded by ``1/alpha``."""
+        x = np.asarray(x, dtype=float)
+        if self.is_identity:
+            return np.ones(x.shape)
+        p = self.nominal
+        sigma2 = 2.0 * p.sigma * p.sigma
+        # density ratio shifted/nominal for the continuous part:
+        #   phi((x-mus)/s) / phi((x-mu0)/s) = exp(((x-mu0)^2-(x-mus)^2)/2s^2)
+        exponent = ((x - p.mean) ** 2 - (x - self.shift_mean) ** 2) / sigma2
+        ratio = np.exp(np.minimum(exponent, _MAX_EXPONENT))
+        w = 1.0 / (self.alpha + (1.0 - self.alpha) * ratio)
+        if p.floor is not None:
+            at_floor = x == p.floor
+            if at_floor.any():
+                nominal_atom = p.atom_mass
+                shifted_atom = float(
+                    standard_normal_cdf((p.floor - self.shift_mean) / p.sigma)
+                )
+                mixture_atom = (
+                    self.alpha * nominal_atom
+                    + (1.0 - self.alpha) * shifted_atom
+                )
+                w[at_floor] = (
+                    nominal_atom / mixture_atom if mixture_atom > 0.0 else 0.0
+                )
+        return w
+
+
+def boundary_proposal(
+    distribution: SizeDistribution,
+    gap: float,
+    config: SamplerConfig,
+    alpha: Optional[float] = None,
+) -> MixtureProposal:
+    """The proposal for one (suspect, clock) cell.
+
+    ``gap`` is the defect size a median chip instance needs for the cell's
+    hardest entry to cross the clock (clk minus the smallest median base
+    settle among tracked entries).  The shifted mean is ``gap`` clamped to
+    ``[mean, mean + shift_cap_sigmas * sigma]`` — a gap at or below the
+    nominal mean means the boundary is already well covered and no shift
+    is applied (the proposal degenerates to the nominal law, weights 1).
+    """
+    if not config.importance:
+        return MixtureProposal(distribution, distribution.mean, 1.0)
+    low = distribution.mean
+    high = distribution.mean + config.shift_cap_sigmas * distribution.sigma
+    target = min(max(float(gap), low), high)
+    return MixtureProposal(
+        distribution, target, config.alpha if alpha is None else alpha
+    )

@@ -62,6 +62,7 @@ __all__ = [
     "simulate_transition_reference",
     "resimulate_with_extra",
     "resimulate_with_extra_reference",
+    "replay_sizes",
     "edge_offsets",
     "active_kernel",
     "KERNEL_ENV",
@@ -336,6 +337,44 @@ def resimulate_with_extra(
 
         return resimulate_with_extra_compiled(base, extra_delay, affected)
     return resimulate_with_extra_reference(base, extra_delay, affected)
+
+
+def replay_sizes(
+    base: TransitionSimResult,
+    edge_index: int,
+    size_vectors: Sequence[np.ndarray],
+    affected: Iterable[str],
+    nets: Sequence[str],
+) -> np.ndarray:
+    """Batched :func:`resimulate_with_extra` for one suspect edge.
+
+    Returns the ``(len(size_vectors), len(nets), width)`` settle rows of
+    ``nets`` after adding each vector of ``size_vectors`` to the edge —
+    the sampling subsystem replays the same (suspect, pattern) cone once
+    per allocation round, and the compiled kernel hoists the cone
+    schedule and delay gathers across the whole batch.  Bit-identical to
+    the per-vector loop on either kernel.
+    """
+    size_vectors = list(size_vectors)
+    if base.kernel_state is not None and active_kernel() == "compiled":
+        from .kernel import replay_cone_sizes_compiled
+
+        return replay_cone_sizes_compiled(
+            base, edge_index, size_vectors, affected, nets
+        )
+    nets = list(nets)
+    out = np.empty((len(size_vectors), len(nets), base.width))
+    for index, sizes in enumerate(size_vectors):
+        patched = resimulate_with_extra(
+            base, {int(edge_index): sizes}, affected=affected
+        )
+        stable = patched.stable
+        take = getattr(stable, "take_rows", None)
+        if take is not None:
+            out[index] = take(nets)
+        else:
+            out[index] = np.stack([stable[net] for net in nets])
+    return out
 
 
 def resimulate_with_extra_reference(

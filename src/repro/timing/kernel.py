@@ -759,3 +759,96 @@ def resimulate_with_extra_compiled(
         base.width,
         base.sample_index,
     )
+
+
+def replay_cone_sizes_compiled(
+    base: TransitionSimResult,
+    edge_index: int,
+    size_vectors: Sequence[np.ndarray],
+    affected: Iterable[str],
+    nets: Sequence[str],
+) -> np.ndarray:
+    """Batched cone replays for one suspect edge.
+
+    Returns the ``(len(size_vectors), len(nets), width)`` settle rows of
+    ``nets`` after adding each vector of ``size_vectors`` to the edge.
+    The sampling subsystem re-simulates the same (suspect, pattern) cone
+    once per allocation round; this hoists the cone schedule lookup, the
+    delay gather and the candidate-row gather across the whole batch
+    instead of paying them per round.  Bit-identical to calling
+    :func:`resimulate_with_extra_compiled` once per vector and stacking
+    ``stable.take_rows(nets)``.
+    """
+    schedule = base.kernel_state
+    if not isinstance(schedule, PatternSchedule):
+        raise TypeError("base result does not carry a compiled-kernel schedule")
+    timing = base.timing
+    if not hasattr(affected, "__len__"):
+        affected = set(affected)
+    nets = list(nets)
+    size_vectors = list(size_vectors)
+    out = np.empty((len(size_vectors), len(nets), base.width))
+    if not affected or not size_vectors:
+        return out
+
+    base_stable = base.stable
+    if not isinstance(base_stable, StableTimes):
+        raise TypeError("compiled re-simulation requires a compiled base result")
+    cone = schedule.cone_for(affected)
+    overlay_rows = cone.overlay_rows
+    row_index = [overlay_rows.get(net) for net in nets]
+
+    recorder = obs.get_recorder()
+    if recorder.enabled:
+        recorder.count("dynamic.resimulations", len(size_vectors))
+        recorder.count(
+            "dynamic.nets_recomputed", len(affected) * len(size_vectors)
+        )
+
+    if not cone.steps:
+        # Nothing recomputed in this cone: every requested net falls
+        # through to the base rows for every vector.
+        if nets:
+            out[:] = np.stack([base_stable[net] for net in nets])
+        return out
+
+    delays = (
+        timing.delays
+        if base.sample_index is None
+        else timing.delays[:, base.sample_index : base.sample_index + 1]
+    )
+    dl0 = delays[cone.edges]
+    src0 = base_stable.matrix[cone.sources]
+    pos = cone.edge_pos.get(int(edge_index))
+    overlay = np.empty((cone.n_overlay, base.width))
+    base_rows = {
+        net: base_stable[net]
+        for net, row in zip(nets, row_index)
+        if row is None
+    }
+    for vector, sizes in enumerate(size_vectors):
+        dl = dl0
+        if pos is not None:
+            dl = dl0.copy()
+            dl[pos] = dl0[pos] + np.asarray(sizes)
+        rows = src0 + dl
+        for (lo, hi, starts, inside_pos, inside_src, out_lo, out_hi,
+                neg_rows, neg_groups) in cone.steps:
+            if inside_pos is not None:
+                rows[inside_pos] = overlay[inside_src] + dl[inside_pos]
+            if neg_rows:
+                seg = rows[lo : lo + neg_rows]
+                np.negative(seg, out=seg)
+            np.maximum.reduceat(
+                rows[lo:hi], starts, axis=0, out=overlay[out_lo:out_hi]
+            )
+            if neg_groups:
+                seg = overlay[out_lo : out_lo + neg_groups]
+                np.negative(seg, out=seg)
+        for column, (net, row) in enumerate(zip(nets, row_index)):
+            out[vector, column] = (
+                overlay[row] if row is not None else base_rows[net]
+            )
+    if recorder.enabled:
+        recorder.count("kernel.reductions", len(cone.edges) * len(size_vectors))
+    return out

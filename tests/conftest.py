@@ -103,6 +103,7 @@ def _isolated_execution_env(monkeypatch):
         "REPRO_TIMING_KERNEL",
         "REPRO_KERNEL_SCHEDULE_CACHE",
         "REPRO_KERNEL_CONE_CACHE",
+        "REPRO_SAMPLER",
     ):
         monkeypatch.delenv(variable, raising=False)
 

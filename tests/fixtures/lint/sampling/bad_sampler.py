@@ -1,0 +1,21 @@
+"""Lint fixture: S406 — sampling code building its own generators.
+
+Never imported; only parsed by the determinism linter.  Because this file
+lives under a ``sampling/`` directory, each locally constructed numpy
+generator below must be flagged (seeded or not — the spawn-key protocol
+is the only accepted discipline there), and the suppressed line must not:
+
+* S406 x3 (default_rng seeded, SeedSequence, PCG64)
+* D103 x1 (the unseeded default_rng also trips the generic rule)
+"""
+import numpy as np
+
+seeded = np.random.default_rng(1234)
+
+sequence = np.random.SeedSequence(42)
+
+bits = np.random.PCG64(7)
+
+fresh = np.random.default_rng()  # repro-lint: allow[S406]
+
+allowed = np.random.default_rng(99)  # repro-lint: allow[S406]

@@ -153,3 +153,104 @@ class TestLogicBaseline:
 
     def test_empty_simulations(self):
         assert logic_signatures([], []) == {}
+
+
+class TestMultiDefectOnBuiltDictionaries:
+    """diagnose_multi against *real* built dictionaries (plain and
+    sampled) rather than hand-assembled signature matrices."""
+
+    @pytest.fixture(scope="class")
+    def built(self, request):
+        from repro.atpg import random_pattern_pairs
+        from repro.core import SamplerConfig, SizeDistribution, build_dictionary
+        from repro.timing import (
+            CircuitTiming,
+            SampleSpace,
+            diagnosis_clock,
+            simulate_pattern_set,
+        )
+
+        c17 = request.getfixturevalue("c17")
+        timing = CircuitTiming(c17, SampleSpace(n_samples=80, seed=0))
+        patterns = random_pattern_pairs(c17, 5, seed=4)
+        sims = simulate_pattern_set(timing, list(patterns))
+        clk = diagnosis_clock(timing, list(patterns), 0.8, simulations=sims)
+        suspects = c17.edges
+        dist = SizeDistribution(mean=1.5, sigma=0.6, floor=0.0)
+        sizes = dist.materialize(np.random.default_rng(3), 80)
+        plain = build_dictionary(
+            timing, patterns, clk, suspects, sizes, base_simulations=sims
+        )
+        sampled = build_dictionary(
+            timing, patterns, clk, suspects, sizes, base_simulations=sims,
+            sampler=SamplerConfig(mode="adaptive", ci_abs=0.02, ci_rel=0.1),
+            size_distribution=dist,
+        )
+        return plain, sampled
+
+    def _strong_suspects(self, dictionary, n=2):
+        """The n suspects with the most mass, weakest first kept apart."""
+        ranked = sorted(
+            dictionary.suspects,
+            key=lambda e: float(dictionary.signatures[e].sum()),
+            reverse=True,
+        )
+        return ranked[:n]
+
+    def test_multi_site_union_behavior_finds_both(self, built):
+        plain, _ = built
+        first, second = self._strong_suspects(plain)
+        behavior = (
+            (plain.signatures[first] >= 0.5)
+            | (plain.signatures[second] >= 0.5)
+        ).astype(np.int8)
+        if not behavior.any():
+            pytest.skip("no strong entries under these random patterns")
+        result = diagnose_multi(plain, behavior, ALG_REV, max_defects=3)
+        assert result.candidates, "union behavior must commit candidates"
+        # every committed stage ranked all remaining suspects
+        for stage in result.stages:
+            assert stage.ranking
+
+    def test_ranking_stability_across_repeats(self, built):
+        plain, _ = built
+        first, _second = self._strong_suspects(plain)
+        behavior = (plain.signatures[first] >= 0.5).astype(np.int8)
+        runs = [
+            diagnose_multi(plain, behavior, ALG_REV, max_defects=2)
+            for _ in range(3)
+        ]
+        for other in runs[1:]:
+            assert other.candidates == runs[0].candidates
+            for stage_a, stage_b in zip(runs[0].stages, other.stages):
+                assert [e for e, _s in stage_a.ranking] == [
+                    e for e, _s in stage_b.ranking
+                ]
+
+    def test_committed_candidates_never_rescored(self, built):
+        plain, _ = built
+        first, second = self._strong_suspects(plain)
+        behavior = (
+            (plain.signatures[first] >= 0.5)
+            | (plain.signatures[second] >= 0.5)
+        ).astype(np.int8)
+        if not behavior.any():
+            pytest.skip("no strong entries under these random patterns")
+        result = diagnose_multi(plain, behavior, ALG_REV, max_defects=3)
+        for index, stage in enumerate(result.stages):
+            already = set(result.candidates[:index])
+            assert not already & {e for e, _s in stage.ranking}
+
+    def test_sampled_dictionary_supports_multidefect(self, built):
+        plain, sampled = built
+        assert sampled.sampling_report["mode"] == "adaptive"
+        first, _ = self._strong_suspects(sampled)
+        behavior = (sampled.signatures[first] >= 0.5).astype(np.int8)
+        if not behavior.any():
+            pytest.skip("no strong entries under these random patterns")
+        result = diagnose_multi(sampled, behavior, ALG_REV, max_defects=2)
+        assert result.hit_any([first])
+        # the plain dictionary agrees on the committed location: the
+        # estimators differ by at most the CI target, not by ranking
+        reference = diagnose_multi(plain, behavior, ALG_REV, max_defects=2)
+        assert result.candidates[0] == reference.candidates[0]

@@ -97,7 +97,7 @@ def test_inline_suppressions_silence_fixture():
 
 
 def test_argument_suppression_with_globs():
-    report = lint_code(paths=[FIXTURES], suppress=["D1*"])
+    report = lint_code(paths=[FIXTURES], suppress=["D1*", "S4*"])
     assert report.ok
     assert report.diagnostics == []
     assert report.suppressed >= 6
@@ -118,6 +118,23 @@ def test_reference_kernel_flagged_outside_timing_and_tests():
     findings = lint_source(source, path="src/repro/core/dictionary.py")
     assert rule_counts(findings) == {"D106": 2}
     assert "REPRO_TIMING_KERNEL" in findings[0].message
+
+
+def test_sampling_fixture_flags_unthreaded_generators():
+    findings = lint_file(os.path.join(FIXTURES, "sampling", "bad_sampler.py"))
+    assert rule_counts(findings) == {"S406": 3, "D103": 1}
+    s406 = next(f for f in findings if f.rule == "S406")
+    assert s406.severity is Severity.ERROR
+    assert "spawn_generator" in s406.message
+
+
+def test_sampler_rng_rule_only_applies_under_sampling_dirs():
+    # a *seeded* default_rng is fine elsewhere but banned in sampling/:
+    # there, every stream must come from the spawn-key protocol
+    source = "import numpy as np\nrng = np.random.default_rng(5)\n"
+    assert lint_source(source, path="src/repro/core/helper.py") == []
+    findings = lint_source(source, path="src/repro/sampling/estimator.py")
+    assert rule_counts(findings) == {"S406": 1}
 
 
 def test_reference_kernel_allowed_in_timing_and_tests():
@@ -502,7 +519,10 @@ def test_pattern_generation_accepts_explicit_generator():
 # ----------------------------------------------------------------------
 # migrated callers
 # ----------------------------------------------------------------------
-def test_validate_circuit_wrapper_deprecated_but_equivalent():
+def test_validate_circuit_wrapper_deprecated_but_equivalent(monkeypatch):
+    from repro.circuits import validate
+
+    monkeypatch.setattr(validate, "_WARNED", False)  # warn-once shim
     circuit = build_observable_circuit()
     with pytest.warns(DeprecationWarning):
         report = validate_circuit(circuit)

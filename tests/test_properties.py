@@ -201,3 +201,76 @@ def test_pattern_pair_roundtrip_through_bench_and_verilog(circuit_seed, n):
     ).output_matrix()
     assert (reference == via_bench).all()
     assert (reference == via_verilog).all()
+
+
+@common
+@given(
+    st.floats(0.1, 5.0),
+    st.floats(0.05, 2.0),
+    st.floats(0.01, 1.0),
+    st.integers(0, 2**31 - 1),
+)
+def test_identity_likelihood_ratio_exactly_one(mean, sigma, alpha, seed):
+    """When the proposal degenerates to the nominal law the likelihood
+    ratio is *exactly* 1.0 — bit-equal, not within float noise — for any
+    (mean, sigma, alpha) and any draw."""
+    from repro.sampling import MixtureProposal, SizeDistribution
+
+    dist = SizeDistribution(mean=mean, sigma=sigma, floor=0.0)
+    proposal = MixtureProposal(dist, mean, alpha)
+    assert proposal.is_identity
+    x, w = proposal.draw(np.random.default_rng(seed), 64)
+    assert (w == 1.0).all()
+    assert (proposal.weights(x) == 1.0).all()
+
+
+@common
+@given(st.integers(0, 2**31 - 1), st.floats(1.2, 3.5), st.floats(0.01, 0.08))
+def test_adaptive_allocation_monotone_in_ci_target(seed, threshold, ci_abs):
+    """Tightening the CI target can only extend the round sequence: the
+    draws are a pure function of (seed, suspect, clk, round), so a
+    stricter target spends at least as many samples and replays the
+    looser run's rounds verbatim."""
+    from repro.sampling import SamplerConfig, SizeDistribution
+    from repro.sampling import estimate_tail_probabilities
+
+    dist = SizeDistribution(mean=1.0, sigma=0.5, floor=0.0)
+    loose = SamplerConfig(mode="adaptive", ci_abs=ci_abs, ci_rel=0.2)
+    tight = SamplerConfig(mode="adaptive", ci_abs=ci_abs / 4.0, ci_rel=0.05)
+    _, loose_alloc = estimate_tail_probabilities(
+        loose, dist, [threshold], seed=seed, round_size=50
+    )
+    _, tight_alloc = estimate_tail_probabilities(
+        tight, dist, [threshold], seed=seed, round_size=50
+    )
+    assert tight_alloc.samples_spent >= loose_alloc.samples_spent
+    # the shared prefix of rounds is literally the same draws
+    shared = min(loose_alloc.rounds, tight_alloc.rounds)
+    for round_index in range(shared):
+        x_loose, w_loose = loose_alloc.draw(round_index)
+        x_tight, w_tight = tight_alloc.draw(round_index)
+        if loose_alloc.alpha == tight_alloc.alpha:
+            assert np.array_equal(x_loose, x_tight)
+            assert np.array_equal(w_loose, w_tight)
+
+
+@common
+@given(st.integers(0, 2**31 - 1), st.integers(1, 6))
+def test_convergence_stat_merge_equals_one_shot(seed, n_rounds):
+    """Folding per-round batches into one ConvergenceStat reproduces the
+    single-batch computation on the concatenated draws — the identity the
+    allocator's incremental CI tracking rests on."""
+    from repro.obs.convergence import ConvergenceStat
+
+    rng = np.random.default_rng(seed)
+    rounds = [rng.uniform(0.0, 2.0, 40) for _ in range(n_rounds)]
+    merged = ConvergenceStat()
+    for batch in rounds:
+        merged.update(batch)
+    one_shot = ConvergenceStat()
+    one_shot.update(np.concatenate(rounds))
+    assert merged.count == one_shot.count
+    assert np.isclose(merged.mean, one_shot.mean, rtol=1e-12, atol=1e-13)
+    assert np.isclose(
+        merged.std_error, one_shot.std_error, rtol=1e-9, atol=1e-12
+    )
