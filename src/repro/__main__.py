@@ -387,6 +387,7 @@ def cmd_lint(args) -> int:
     warnings and infos never fail the gate.
     """
     from .lint import (
+        LintReport,
         parse_suppressions,
         render_report,
         render_rule_catalog,
@@ -396,28 +397,42 @@ def cmd_lint(args) -> int:
     if args.rules:
         print(render_rule_catalog())
         return 0
-    if args.code and args.models:
-        mode = "all"
-    elif args.code:
-        mode = "code"
-    elif args.models:
-        mode = "models"
+    selected = [
+        mode for mode, flag in (
+            ("code", args.code), ("models", args.models), ("flow", args.flow)
+        ) if flag
+    ]
+    if args.both or len(selected) == 3:
+        modes = ["all"]
+    elif selected:
+        modes = selected
     elif args.manifests or args.checkpoints:
         # --manifest/--checkpoint alone audit just those artifacts
         # (fast CI gate, skips the code/model engines).
-        mode = "manifests"
+        modes = ["manifests"]
     else:
-        mode = "all"
-    report = run_lint(
-        mode,
-        paths=args.paths or None,
-        circuits=args.circuits or None,
-        cache_dir=args.cache_dir or None,
-        seed=args.seed,
-        suppress=parse_suppressions(args.suppress),
-        manifests=args.manifests or None,
-        checkpoints=args.checkpoints or None,
-    )
+        modes = ["all"]
+    report = LintReport()
+    try:
+        for index, mode in enumerate(modes):
+            part = run_lint(
+                mode,
+                paths=args.paths or None,
+                circuits=args.circuits or None,
+                cache_dir=args.cache_dir or None,
+                seed=args.seed,
+                suppress=parse_suppressions(args.suppress),
+                # artifact paths audit once, not once per engine pass
+                manifests=(args.manifests or None) if index == 0 else None,
+                checkpoints=(args.checkpoints or None) if index == 0 else None,
+                flow_baseline=args.baseline or None,
+                changed=args.changed,
+            )
+            report.extend(part.diagnostics)
+            report.suppressed += part.suppressed
+    except (RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     print(render_report(report, args.format))
     return report.exit_code
 
@@ -564,7 +579,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="static analysis: determinism linter + semantic model checks",
+        help="static analysis: determinism linter, semantic model checks, "
+        "whole-program flow analyses",
     )
     p.add_argument(
         "--code", action="store_true",
@@ -575,8 +591,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the semantic checker over the shipped benchmark circuits",
     )
     p.add_argument(
+        "--flow", action="store_true",
+        help="run the whole-program dataflow analyses (F7xx/P8xx/K9xx): "
+        "interprocedural RNG threading, pool-worker purity, cache-key "
+        "completeness",
+    )
+    p.add_argument(
         "--all", action="store_true", dest="both",
-        help="run both engines (the default when neither flag is given)",
+        help="run every engine (the default when no engine flag is given)",
+    )
+    p.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="scope code/flow findings to files changed vs a git ref "
+        "(default HEAD; the fast pre-push loop)",
+    )
+    p.add_argument(
+        "--baseline", type=str, default="", metavar="PATH",
+        help="flow-analysis baseline/suppression file (default: "
+        "lint-flow-baseline.json in the current directory when present)",
     )
     p.add_argument(
         "--format", choices=("text", "json"), default="text",

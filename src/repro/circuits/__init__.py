@@ -1,4 +1,9 @@
-"""Circuit substrate: netlists, parsing, generation, benchmarks, validation."""
+"""Circuit substrate: netlists, parsing, generation, benchmarks.
+
+Structural validation lives in the lint subsystem:
+:func:`repro.lint.check_circuit` (the deprecated ``validate_circuit``
+shim was removed one release after its DeprecationWarning).
+"""
 
 from .library import GateType, CONTROLLING_VALUE, INVERTING, X, eval_gate
 from .netlist import Circuit, Gate, Edge, CircuitError
@@ -11,7 +16,6 @@ from .verilog_parser import (
 )
 from .generate import GeneratorConfig, generate_circuit
 from .benchmarks import BenchmarkProfile, PROFILES, load_benchmark, benchmark_names
-from .validate import ValidationReport, validate_circuit
 
 __all__ = [
     "GateType",
@@ -37,6 +41,4 @@ __all__ = [
     "PROFILES",
     "load_benchmark",
     "benchmark_names",
-    "ValidationReport",
-    "validate_circuit",
 ]

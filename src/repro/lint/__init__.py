@@ -15,9 +15,15 @@ severities and per-rule suppression:
   CI archives;
 * the **checkpoint auditor** (``R6xx``, :mod:`repro.lint.resilience`)
   gates the resilience checkpoints that ``table1 --checkpoint`` writes —
-  the files a ``--resume`` would trust.
+  the files a ``--resume`` would trust;
+* the **flow engine** (``F7xx``/``P8xx``/``K9xx``, :mod:`repro.lint.flow`)
+  runs whole-program dataflow analyses over the package — interprocedural
+  RNG-stream threading with call-path witnesses, pool-worker purity, and
+  cache-key completeness — with a checked-in, justification-carrying
+  baseline for reviewed exceptions.
 
-CLI: ``python -m repro lint [--code|--models|--all] [--format json]``.
+CLI: ``python -m repro lint [--code|--models|--flow|--all] [--changed
+[REF]] [--format json]``.
 The JSON payload shape is pinned by
 :data:`~repro.lint.diagnostics.REPORT_SCHEMA`; the rule catalog lives in
 :mod:`repro.lint.rules` and is documented in ``docs/architecture.md`` §9.
@@ -33,6 +39,14 @@ from .diagnostics import (
     validate_report_payload,
 )
 from .determinism import lint_file, lint_paths, lint_source
+from .flow import (
+    BASELINE_FORMAT,
+    DEFAULT_BASELINE_NAME,
+    FlowBaseline,
+    analyze_flow,
+    build_call_graph,
+    load_baseline,
+)
 from .models import (
     check_benchmark,
     check_cache,
@@ -46,8 +60,10 @@ from .obs import check_manifest
 from .resilience import check_checkpoint, check_checkpoint_dir
 from .rules import RULES, Rule, rule
 from .runner import (
+    changed_files,
     lint_checkpoints,
     lint_code,
+    lint_flow,
     lint_manifests,
     lint_models,
     render_report,
@@ -56,13 +72,19 @@ from .runner import (
 )
 
 __all__ = [
+    "BASELINE_FORMAT",
+    "DEFAULT_BASELINE_NAME",
     "Diagnostic",
+    "FlowBaseline",
     "LintReport",
     "REPORT_SCHEMA",
     "RULES",
     "Rule",
     "SCHEMA_VERSION",
     "Severity",
+    "analyze_flow",
+    "build_call_graph",
+    "changed_files",
     "check_benchmark",
     "check_cache",
     "check_checkpoint",
@@ -76,10 +98,12 @@ __all__ = [
     "lint_circuit",
     "lint_code",
     "lint_file",
+    "lint_flow",
     "lint_manifests",
     "lint_models",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "parse_suppressions",
     "render_report",
     "render_rule_catalog",

@@ -3,7 +3,9 @@
 A :class:`Diagnostic` is one finding: a stable rule ID (``D1xx``
 determinism / ``C2xx`` circuit / ``T3xx`` timing / ``S4xx``
 suspects-dictionary-cache / ``S5xx`` observability manifests / ``R6xx``
-resilience checkpoints), a severity, a human message and an anchor —
+resilience checkpoints / ``F7xx`` interprocedural determinism / ``P8xx``
+pool-worker safety / ``K9xx`` cache-key completeness), a severity, a
+human message and an anchor —
 ``path``/``line`` for code findings, ``obj`` (e.g. ``"circuit:s1196"`` or
 ``"edge:a->b[0]"``) for model findings.  :class:`LintReport` aggregates
 findings, applies per-rule suppression, and renders the two output formats:
@@ -33,9 +35,11 @@ __all__ = [
 ]
 
 #: Bumped whenever the JSON payload shape changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: diagnostics are sorted by (path, line, rule) — not severity-first —
+#: so CI diffs are stable, and ``engine`` admits ``"flow"``.
+SCHEMA_VERSION = 2
 
-_RULE_ID_RE = re.compile(r"^(?:[DCTS][1-5]|R6)\d{2}$")
+_RULE_ID_RE = re.compile(r"^(?:[DCTS][1-5]|R6|F7|P8|K9)\d{2}$")
 
 
 class Severity(enum.Enum):
@@ -60,7 +64,7 @@ class Diagnostic:
     path: Optional[str] = None
     line: Optional[int] = None
     obj: Optional[str] = None
-    engine: str = "code"  # "code" | "model"
+    engine: str = "code"  # "code" | "model" | "flow"
 
     def __post_init__(self) -> None:
         if not _RULE_ID_RE.match(self.rule):
@@ -150,10 +154,13 @@ class LintReport:
 
     # -- rendering ------------------------------------------------------
     def sorted_diagnostics(self) -> List[Diagnostic]:
+        """Stable (path, line, rule) order — pinned by the JSON schema
+        test so CI report diffs are deterministic across Python versions
+        (model findings without a path sort last, by object anchor)."""
         return sorted(
             self.diagnostics,
-            key=lambda d: (d.severity.rank, d.path or "~", d.line or 0,
-                           d.obj or "", d.rule),
+            key=lambda d: (d.path or "~", d.line or 0, d.rule,
+                           d.obj or "", d.severity.rank),
         )
 
     def format_text(self) -> str:
@@ -207,7 +214,7 @@ REPORT_SCHEMA: Dict = {
                     "rule": {"type": "string", "pattern": _RULE_ID_RE.pattern},
                     "severity": {"enum": ["error", "warning", "info"]},
                     "message": {"type": "string"},
-                    "engine": {"enum": ["code", "model"]},
+                    "engine": {"enum": ["code", "model", "flow"]},
                     "path": {"type": "string"},
                     "line": {"type": "integer", "minimum": 1},
                     "object": {"type": "string"},
@@ -258,7 +265,7 @@ def validate_report_payload(payload: Dict) -> None:
             fail(f"{where} has malformed rule id {entry.get('rule')!r}")
         if entry["severity"] not in ("error", "warning", "info"):
             fail(f"{where} has unknown severity {entry['severity']!r}")
-        if entry["engine"] not in ("code", "model"):
+        if entry["engine"] not in ("code", "model", "flow"):
             fail(f"{where} has unknown engine {entry['engine']!r}")
         if not isinstance(entry["message"], str):
             fail(f"{where} message is not a string")

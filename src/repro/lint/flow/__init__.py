@@ -1,0 +1,108 @@
+"""Whole-program dataflow analyses over the ``repro`` package.
+
+The per-file linters in :mod:`repro.lint` prove properties one module at
+a time; this package proves the three properties that live *between*
+modules:
+
+* :mod:`~repro.lint.flow.determinism` (``F7xx``) — seeded RNG streams
+  survive every call boundary they are supposed to cross;
+* :mod:`~repro.lint.flow.poolsafety` (``P8xx``) — worker-shipped
+  callables are picklable and transitively free of module-state writes;
+* :mod:`~repro.lint.flow.cachekeys` (``K9xx``) — cache keys hash every
+  parameter that can change the cached bytes.
+
+All three run over one shared :func:`~repro.lint.flow.callgraph.
+build_call_graph` result and one :func:`~repro.lint.flow.dataflow.solve`
+framework.  :func:`analyze_flow` is the composed entry point used by the
+lint runner: build the graph once, run the clients, then apply the two
+suppression layers — inline ``# repro-lint: allow[F701]`` comments
+(shared syntax with the file-local linters) and the checked-in,
+justification-carrying baseline file (:mod:`~repro.lint.flow.baseline`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from ..diagnostics import Diagnostic
+from ..determinism import _allow_map, default_code_root
+from .baseline import (
+    BASELINE_FORMAT,
+    DEFAULT_BASELINE_NAME,
+    BaselineEntry,
+    FlowBaseline,
+    load_baseline,
+    parse_baseline,
+)
+from .callgraph import CallGraph, build_call_graph
+from .cachekeys import analyze_cache_keys
+from .determinism import analyze_determinism
+from .poolsafety import SANCTIONED_MODULE_SUFFIXES, analyze_pool_safety
+
+__all__ = [
+    "analyze_flow",
+    "build_call_graph",
+    "CallGraph",
+    "FlowBaseline",
+    "BaselineEntry",
+    "load_baseline",
+    "parse_baseline",
+    "BASELINE_FORMAT",
+    "DEFAULT_BASELINE_NAME",
+    "SANCTIONED_MODULE_SUFFIXES",
+]
+
+
+def _inline_filter(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """Drop findings silenced by a same-line ``# repro-lint: allow[...]``.
+
+    The allow comment may sit on the diagnostic's anchor line *or* on the
+    line of the flagged ``def`` — multi-line calls put the comment where
+    the statement starts.
+    """
+    allow_cache: dict = {}
+    kept: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        path, line = diagnostic.path, diagnostic.line
+        if path and line and os.path.exists(path):
+            if path not in allow_cache:
+                with open(path, "r", encoding="utf-8") as handle:
+                    allow_cache[path] = _allow_map(handle.read())
+            allowed = allow_cache[path].get(line, set())
+            if diagnostic.rule in allowed or "*" in allowed:
+                continue
+        kept.append(diagnostic)
+    return kept
+
+
+def analyze_flow(
+    root: Optional[str] = None,
+    package: Optional[str] = None,
+    baseline: Optional[FlowBaseline] = None,
+    sanctioned: Tuple[str, ...] = SANCTIONED_MODULE_SUFFIXES,
+    graph: Optional[CallGraph] = None,
+) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+    """Run all three flow analyses over one package.
+
+    ``root`` defaults to the installed ``repro`` package directory (the
+    self-check).  Returns ``(findings, suppressed)`` — both sorted, the
+    second holding baseline-suppressed findings so callers can render the
+    audit trail; inline-allowed findings are dropped entirely, matching
+    the file-local linters.
+    """
+    if graph is None:
+        if root is None:
+            root = default_code_root()
+            package = package or "repro"
+        graph = build_call_graph(root, package=package)
+    findings: List[Diagnostic] = []
+    findings.extend(analyze_determinism(graph))
+    findings.extend(analyze_pool_safety(graph, sanctioned=sanctioned))
+    findings.extend(analyze_cache_keys(graph))
+    findings = _inline_filter(findings)
+    suppressed: List[Diagnostic] = []
+    if baseline is not None:
+        findings, suppressed = baseline.filter(findings)
+    key = lambda d: (d.path or "~", d.line or 0, d.rule)  # noqa: E731
+    return sorted(findings, key=key), sorted(suppressed, key=key)

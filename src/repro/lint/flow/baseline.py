@@ -1,0 +1,158 @@
+"""Checked-in baseline / suppression file for the flow self-check.
+
+The CI gate requires the flow analyses to run **clean** on ``src/repro``.
+When a finding is a justified exception rather than a bug, it is recorded
+in a baseline file (``lint-flow-baseline.json`` at the repo root) instead
+of being silently dropped — every entry must carry a human-written
+``justification`` string, so each suppression is reviewable in the diff
+that introduced it:
+
+.. code-block:: json
+
+    {
+      "format": "repro-lint-flow-baseline-v1",
+      "suppressions": [
+        {
+          "rule": "P801",
+          "path": "core/parallel.py",
+          "symbol": "repro.core.parallel._run_chunk_task",
+          "justification": "worker slot install IS the sanctioned protocol"
+        }
+      ]
+    }
+
+Matching is (rule equality, path *suffix* match, optional symbol
+equality): path suffixes keep the file valid across checkouts, and the
+optional ``symbol`` pin keeps a suppression from hiding a *new* finding
+of the same rule in the same file.  A malformed file — wrong format tag,
+missing fields, or an empty justification — is a hard error: a baseline
+nobody can audit must not silently pass CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..diagnostics import Diagnostic
+
+__all__ = ["BaselineEntry", "FlowBaseline", "load_baseline",
+           "BASELINE_FORMAT", "DEFAULT_BASELINE_NAME"]
+
+BASELINE_FORMAT = "repro-lint-flow-baseline-v1"
+DEFAULT_BASELINE_NAME = "lint-flow-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One reviewed suppression."""
+
+    rule: str
+    path: str  # suffix-matched against the diagnostic path
+    justification: str
+    symbol: Optional[str] = None  # pins one qualname when set
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        if diagnostic.rule != self.rule:
+            return False
+        if self.symbol is not None and diagnostic.obj != self.symbol:
+            return False
+        diag_path = os.path.normpath(diagnostic.path or "")
+        return diag_path.endswith(os.path.normpath(self.path))
+
+
+@dataclass
+class FlowBaseline:
+    """The parsed baseline plus per-entry usage accounting."""
+
+    entries: Tuple[BaselineEntry, ...]
+    source: Optional[str] = None
+
+    def filter(
+        self, diagnostics: Iterable[Diagnostic]
+    ) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+        """Split diagnostics into (kept, suppressed)."""
+        kept: List[Diagnostic] = []
+        suppressed: List[Diagnostic] = []
+        for diagnostic in diagnostics:
+            if any(entry.matches(diagnostic) for entry in self.entries):
+                suppressed.append(diagnostic)
+            else:
+                kept.append(diagnostic)
+        return kept, suppressed
+
+    def unused_entries(
+        self, diagnostics: Iterable[Diagnostic]
+    ) -> List[BaselineEntry]:
+        """Entries that matched nothing — stale suppressions to delete."""
+        pending = list(self.entries)
+        for diagnostic in diagnostics:
+            pending = [e for e in pending if not e.matches(diagnostic)]
+        return pending
+
+
+def _fail(source: Optional[str], message: str) -> ValueError:
+    prefix = f"{source}: " if source else ""
+    return ValueError(f"{prefix}invalid flow baseline: {message}")
+
+
+def parse_baseline(payload: object, source: Optional[str] = None) -> FlowBaseline:
+    """Validate a decoded baseline payload into a :class:`FlowBaseline`."""
+    if not isinstance(payload, dict):
+        raise _fail(source, "top level must be an object")
+    if payload.get("format") != BASELINE_FORMAT:
+        raise _fail(
+            source,
+            f"format must be {BASELINE_FORMAT!r}, got "
+            f"{payload.get('format')!r}",
+        )
+    raw_entries = payload.get("suppressions")
+    if not isinstance(raw_entries, list):
+        raise _fail(source, "'suppressions' must be a list")
+    entries: List[BaselineEntry] = []
+    for index, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise _fail(source, f"suppression #{index} must be an object")
+        rule = raw.get("rule")
+        path = raw.get("path")
+        justification = raw.get("justification")
+        if not isinstance(rule, str) or not rule:
+            raise _fail(source, f"suppression #{index} needs a 'rule'")
+        if not isinstance(path, str) or not path:
+            raise _fail(source, f"suppression #{index} needs a 'path'")
+        if not isinstance(justification, str) or not justification.strip():
+            raise _fail(
+                source,
+                f"suppression #{index} ({rule} {path}) needs a non-empty "
+                "'justification' — unexplained suppressions do not pass "
+                "review",
+            )
+        symbol = raw.get("symbol")
+        if symbol is not None and not isinstance(symbol, str):
+            raise _fail(source, f"suppression #{index} 'symbol' must be a string")
+        unknown = set(raw) - {"rule", "path", "justification", "symbol"}
+        if unknown:
+            raise _fail(
+                source,
+                f"suppression #{index} has unknown keys {sorted(unknown)}",
+            )
+        entries.append(
+            BaselineEntry(
+                rule=rule, path=path,
+                justification=justification.strip(), symbol=symbol,
+            )
+        )
+    return FlowBaseline(entries=tuple(entries), source=source)
+
+
+def load_baseline(path: str) -> FlowBaseline:
+    """Load and validate a baseline file; raises ``ValueError`` on any
+    malformation (missing justification, wrong format tag, junk keys)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise _fail(path, f"not valid JSON ({exc})") from exc
+    return parse_baseline(payload, source=path)

@@ -1,0 +1,412 @@
+"""Module-resolving call-graph builder over a Python package (AST-only).
+
+The whole-program analyses (:mod:`repro.lint.flow`) need to follow values
+across call boundaries, which the per-file determinism linter cannot do.
+This module parses every ``.py`` file under a package root — **without
+importing any of it** — and resolves three things:
+
+* a **module table**: dotted module name -> parsed AST, per-module import
+  aliases (``from .cache import resolve_cache`` -> fully-dotted targets),
+  and the module-level bindings (including which ones are *mutable
+  containers* — the state pool-safety cares about);
+* a **function table**: every module-level function and every method,
+  keyed by qualified name (``repro.core.dictionary.build_dictionary``,
+  ``repro.sampling.allocator.CellAllocator.draw``), with its parameter
+  list, defaults, and decorator/visibility metadata;
+* **call edges**: for each function, every ``ast.Call`` in its body with
+  the callee resolved to a qualified name when the target lives inside
+  the analyzed package (module-local names, imported names, ``self.``
+  methods of the enclosing class, and re-exports through package
+  ``__init__`` files).  Unresolvable calls keep their dotted source text
+  so clients can still pattern-match on terminal names (``np.random.
+  default_rng`` and friends).
+
+Resolution is deliberately *syntactic*: no type inference, no dynamic
+dispatch.  A call the builder cannot resolve is recorded as unresolved
+rather than guessed, which is the property the zero-false-positive
+guarantee of the flow clients rests on.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ModuleInfo",
+    "CallGraph",
+    "build_call_graph",
+    "dotted_name",
+]
+
+#: AST node types whose module-level assignment marks a *mutable* global.
+_MUTABLE_LITERALS = (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for ``Attribute``/``Name`` chains, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    lineno: int
+    #: Dotted source text of the callee expression (``"np.random.
+    #: default_rng"``, ``"self.draw"``); ``None`` for computed callees.
+    raw: Optional[str]
+    #: Fully-qualified target when it resolves inside the package.
+    callee: Optional[str] = None
+
+    @property
+    def terminal(self) -> Optional[str]:
+        """Last dotted component of the callee expression."""
+        if self.raw is None:
+            return None
+        return self.raw.rsplit(".", 1)[-1]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with everything the analyses consult."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    #: Enclosing class name for methods, ``None`` for module-level defs.
+    owner_class: Optional[str] = None
+    params: List[str] = field(default_factory=list)
+    #: Parameter name -> default expression (only params that have one).
+    defaults: Dict[str, ast.AST] = field(default_factory=dict)
+    calls: List[CallSite] = field(default_factory=list)
+    #: Functions defined *inside* this one (their qualnames).
+    nested: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_") and self.owner_class is None
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the analyzed package."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    #: Local name -> fully dotted target (functions, modules, classes).
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: Module-level simple-name bindings -> the assigned value node.
+    globals: Dict[str, ast.AST] = field(default_factory=dict)
+    #: Module-level names bound to mutable containers (dict/list/set
+    #: displays, ``defaultdict(...)``-style constructor calls of known
+    #: container types, or re-assigned via ``global`` from functions).
+    mutable_globals: Set[str] = field(default_factory=set)
+    #: Names of module-level functions and classes defined here.
+    functions: Set[str] = field(default_factory=set)
+    classes: Set[str] = field(default_factory=set)
+
+
+#: Constructor terminal names that produce mutable containers.
+_MUTABLE_CONSTRUCTORS = {
+    "dict", "list", "set", "defaultdict", "OrderedDict", "Counter",
+    "deque", "bytearray",
+}
+
+
+class CallGraph:
+    """The resolved program: module table, function table, call edges."""
+
+    def __init__(self, package: str, root: str) -> None:
+        self.package = package
+        self.root = root
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: Reverse edges: callee qualname -> set of caller qualnames.
+        self.callers: Dict[str, Set[str]] = {}
+
+    # -- lookups --------------------------------------------------------
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+    def module_of(self, qualname: str) -> Optional[ModuleInfo]:
+        fn = self.functions.get(qualname)
+        return self.modules.get(fn.module) if fn else None
+
+    def functions_in(self, module: str) -> List[FunctionInfo]:
+        return [f for f in self.functions.values() if f.module == module]
+
+    def resolve_in_module(self, module: ModuleInfo, raw: str) -> Optional[str]:
+        """Resolve a dotted expression used inside ``module`` to a
+        function qualname in the graph, or ``None``."""
+        head, _, rest = raw.partition(".")
+        # module-local function or class-member chain
+        if not rest:
+            if head in module.functions:
+                return f"{module.name}.{head}"
+            target = module.imports.get(head)
+            if target is not None:
+                return self._canonical_function(target)
+            return None
+        # imported module / imported class attribute
+        target = module.imports.get(head)
+        if target is not None:
+            return self._canonical_function(f"{target}.{rest}")
+        if head in module.classes:
+            return self._canonical_function(f"{module.name}.{head}.{rest}")
+        return None
+
+    def _canonical_function(self, dotted: str) -> Optional[str]:
+        """Map a dotted target to a function qualname, following one level
+        of package ``__init__`` re-export when needed."""
+        if dotted in self.functions:
+            return dotted
+        # ``repro.lint.check_circuit`` -> re-exported from a submodule:
+        # look the name up in the package __init__'s import table.
+        prefix, _, leaf = dotted.rpartition(".")
+        init = self.modules.get(prefix)
+        if init is not None and leaf in init.imports:
+            target = init.imports[leaf]
+            if target in self.functions:
+                return target
+        return None
+
+    # -- construction ---------------------------------------------------
+    def _index_reverse_edges(self) -> None:
+        self.callers = {name: set() for name in self.functions}
+        for fn in self.functions.values():
+            for site in fn.calls:
+                if site.callee is not None and site.callee in self.functions:
+                    self.callers[site.callee].add(fn.qualname)
+
+
+def _module_name(package: str, root: str, path: str) -> str:
+    rel = os.path.relpath(path, root)
+    parts = rel[:-3].split(os.sep)  # strip .py
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([package] + [p for p in parts if p])
+
+
+def _collect_imports(module: ModuleInfo, package: str) -> None:
+    """Fill ``module.imports`` from the module-level import statements."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                module.imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    module.imports[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # relative import: resolve against this module's package
+                anchor = module.name.split(".")
+                # a module's own package is its dotted name minus the leaf
+                # (packages themselves — __init__ — already are the anchor)
+                if not _is_package_module(module):
+                    anchor = anchor[:-1]
+                if node.level > 1:
+                    anchor = anchor[: -(node.level - 1)]
+                base = ".".join(anchor + ([base] if base else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                module.imports[alias.asname or alias.name] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+
+
+def _is_package_module(module: ModuleInfo) -> bool:
+    return os.path.basename(module.path) == "__init__.py"
+
+
+def _collect_globals(module: ModuleInfo) -> None:
+    """Record module-level bindings and which of them are mutable."""
+    for node in module.tree.body:
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            module.globals[target.id] = value
+            if isinstance(value, _MUTABLE_LITERALS):
+                module.mutable_globals.add(target.id)
+            elif isinstance(value, ast.Call):
+                terminal = dotted_name(value.func)
+                if terminal and terminal.rsplit(".", 1)[-1] in _MUTABLE_CONSTRUCTORS:
+                    module.mutable_globals.add(target.id)
+    # a name re-bound through ``global`` from any function is state too
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Global):
+            module.mutable_globals.update(node.names)
+            for name in node.names:
+                module.globals.setdefault(name, None)
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Collect functions, methods, nested defs, and their call sites."""
+
+    def __init__(self, graph: CallGraph, module: ModuleInfo) -> None:
+        self.graph = graph
+        self.module = module
+        self.class_stack: List[str] = []
+        self.fn_stack: List[FunctionInfo] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self.fn_stack:
+            self.module.classes.add(node.name)
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _handle_function(self, node) -> None:
+        if self.fn_stack:
+            qualname = f"{self.fn_stack[-1].qualname}.<locals>.{node.name}"
+            owner = self.fn_stack[-1].owner_class
+        elif self.class_stack:
+            qualname = (
+                f"{self.module.name}.{'.'.join(self.class_stack)}.{node.name}"
+            )
+            owner = self.class_stack[-1]
+        else:
+            qualname = f"{self.module.name}.{node.name}"
+            owner = None
+            self.module.functions.add(node.name)
+        args = node.args
+        params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        defaults: Dict[str, ast.AST] = {}
+        positional = args.posonlyargs + args.args
+        for param, default in zip(
+            positional[len(positional) - len(args.defaults):], args.defaults
+        ):
+            defaults[param.arg] = default
+        for param, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                defaults[param.arg] = default
+        info = FunctionInfo(
+            qualname=qualname,
+            module=self.module.name,
+            path=self.module.path,
+            node=node,
+            owner_class=owner,
+            params=params,
+            defaults=defaults,
+        )
+        self.graph.functions[qualname] = info
+        if self.fn_stack:
+            self.fn_stack[-1].nested.append(qualname)
+        self.fn_stack.append(info)
+        self.generic_visit(node)
+        self.fn_stack.pop()
+
+    visit_FunctionDef = _handle_function
+    visit_AsyncFunctionDef = _handle_function
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.fn_stack:
+            raw = dotted_name(node.func)
+            self.fn_stack[-1].calls.append(
+                CallSite(node=node, lineno=node.lineno, raw=raw)
+            )
+        self.generic_visit(node)
+
+
+def _resolve_calls(graph: CallGraph) -> None:
+    for fn in graph.functions.values():
+        module = graph.modules[fn.module]
+        for site in fn.calls:
+            if site.raw is None:
+                continue
+            if site.raw.startswith("self.") and fn.owner_class is not None:
+                method = site.raw[len("self."):]
+                if "." not in method:
+                    candidate = f"{fn.module}.{fn.owner_class}.{method}"
+                    if candidate in graph.functions:
+                        site.callee = candidate
+                continue
+            # a nested def called by its bare name resolves to the sibling
+            if "." not in site.raw:
+                for nested in fn.nested:
+                    if nested.endswith(f".<locals>.{site.raw}"):
+                        site.callee = nested
+                        break
+                if site.callee is not None:
+                    continue
+            site.callee = graph.resolve_in_module(module, site.raw)
+
+
+def iter_package_files(root: str) -> Iterable[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d not in ("__pycache__", ".git")
+        )
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def build_call_graph(
+    root: str,
+    package: Optional[str] = None,
+    files: Optional[Sequence[str]] = None,
+) -> CallGraph:
+    """Parse every module under ``root`` and resolve the call graph.
+
+    ``package`` defaults to the root directory's basename.  ``files``
+    restricts parsing to an explicit list (still rooted at ``root`` for
+    dotted-name computation) — used by fixture tests; the normal entry
+    point analyzes the full tree so interprocedural edges are complete.
+    """
+    root = os.path.abspath(root)
+    if package is None:
+        package = os.path.basename(root.rstrip(os.sep))
+    graph = CallGraph(package, root)
+    for path in (files if files is not None else iter_package_files(root)):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue  # unparsable files are the basic linter's problem
+        module = ModuleInfo(
+            name=_module_name(package, root, os.path.abspath(path)),
+            path=path,
+            tree=tree,
+        )
+        graph.modules[module.name] = module
+        _collect_imports(module, package)
+        _collect_globals(module)
+    for module in graph.modules.values():
+        _FunctionCollector(graph, module).visit(module.tree)
+    _resolve_calls(graph)
+    graph._index_reverse_edges()
+    return graph

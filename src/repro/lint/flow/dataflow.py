@@ -1,0 +1,110 @@
+"""A small forward dataflow framework over the call graph.
+
+Interprocedural analyses in :mod:`repro.lint.flow` all follow the same
+shape: compute a per-function **summary** (an element of a client-defined
+lattice), where a function's summary depends on its own body plus the
+summaries of its resolved callees, and iterate a **worklist** until the
+summaries reach a fixpoint.  This module provides that skeleton so each
+client only writes its transfer function:
+
+* :class:`SummaryAnalysis` — the client interface: ``initial`` gives the
+  lattice bottom for a function, ``transfer`` recomputes a summary from
+  the function body and current callee summaries, and ``join`` merges
+  summaries (used only by clients with multiple-entry effects; the
+  default is replacement).
+* :func:`solve` — the worklist driver.  Functions start on the worklist
+  in deterministic (sorted) order; whenever a recomputed summary changes,
+  the function's *callers* re-enter the worklist.  Monotone transfers on
+  finite lattices terminate; a generous iteration cap guards non-monotone
+  client bugs (hitting it raises, never silently under-approximates).
+
+Summaries double as **witness carriers**: clients store not just "this
+function transitively samples" but the concrete call chain proving it,
+which is how F7xx diagnostics can print a real call path from the entry
+point down to the draw site.  :func:`witness_chain` renders such chains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
+
+from .callgraph import CallGraph, FunctionInfo
+
+__all__ = ["SummaryAnalysis", "solve", "witness_chain"]
+
+S = TypeVar("S")
+
+
+class SummaryAnalysis(Generic[S]):
+    """Client interface for one interprocedural summary computation."""
+
+    def initial(self, fn: FunctionInfo) -> S:
+        """Lattice bottom for ``fn`` (the pre-iteration summary)."""
+        raise NotImplementedError
+
+    def transfer(
+        self, fn: FunctionInfo, summaries: Dict[str, S], graph: CallGraph
+    ) -> S:
+        """Recompute ``fn``'s summary from its body and ``summaries``.
+
+        Must be monotone in ``summaries`` for the fixpoint to terminate:
+        enriching a callee summary may only enrich (or preserve) the
+        result, never shrink it.
+        """
+        raise NotImplementedError
+
+
+def solve(
+    graph: CallGraph,
+    analysis: SummaryAnalysis[S],
+    max_passes: int = 50,
+) -> Dict[str, S]:
+    """Run ``analysis`` to fixpoint over every function in ``graph``.
+
+    Returns the summary table.  ``max_passes`` bounds full-graph sweeps
+    (each function may be recomputed once per pass it is enqueued in);
+    exceeding it raises ``RuntimeError`` — a non-monotone transfer bug
+    must fail loudly rather than ship an under-approximate report.
+    """
+    order = sorted(graph.functions)
+    summaries: Dict[str, S] = {
+        name: analysis.initial(graph.functions[name]) for name in order
+    }
+    worklist = deque(order)
+    queued = set(order)
+    recomputations = 0
+    budget = max_passes * max(len(order), 1)
+    while worklist:
+        name = worklist.popleft()
+        queued.discard(name)
+        recomputations += 1
+        if recomputations > budget:
+            raise RuntimeError(
+                "flow analysis did not converge: non-monotone transfer in "
+                f"{type(analysis).__name__}"
+            )
+        fn = graph.functions[name]
+        updated = analysis.transfer(fn, summaries, graph)
+        if updated != summaries[name]:
+            summaries[name] = updated
+            for caller in sorted(graph.callers.get(name, ())):
+                if caller not in queued:
+                    worklist.append(caller)
+                    queued.add(caller)
+    return summaries
+
+
+def witness_chain(
+    head: Tuple[str, int], tail: Optional[Sequence[Tuple[str, int]]]
+) -> List[Tuple[str, int]]:
+    """Prepend one ``(qualname, lineno)`` hop to a witness chain."""
+    chain = [head]
+    if tail:
+        chain.extend(tail)
+    return chain
+
+
+def format_witness(chain: Sequence[Tuple[str, int]]) -> str:
+    """``a.b:12 -> c.d:30`` rendering used inside diagnostic messages."""
+    return " -> ".join(f"{name}:{line}" for name, line in chain)

@@ -1,0 +1,300 @@
+"""F7xx — interprocedural RNG-stream determinism analysis.
+
+The file-local D1xx rules can prove a *single* function threads its
+generator; they cannot see a seeded stream being created in one function
+and silently dropped at a call boundary three files away.  This client
+tracks seeded-generator **values** (results of the ``repro.rng`` spawn
+helpers, ``SampleSpace.child_rng``, seeded ``default_rng`` — the creation
+sites) through parameters and calls, and combines them with a
+whole-program **samples** summary (does calling this function transitively
+reach a random draw?) computed by the dataflow framework:
+
+* ``F701`` *dropped generator at call boundary* — a function holds a live
+  seeded generator (created locally or received as a parameter) and calls
+  a generator-accepting callee that transitively samples **without
+  forwarding any stream** — the callee silently falls back to its own
+  default stream and the caller's threading has no effect.  The
+  diagnostic carries a call-path witness from the drop site down to the
+  actual draw.
+* ``F702`` *seeded stream created and dropped* — the result of a
+  creation site is never drawn from, passed on, stored or returned: the
+  classic "seeded but unused rng" bug where the code that should consume
+  the stream samples elsewhere.
+* ``F703`` *generator-valued parameter default* — an entry point's
+  ``rng``-like parameter defaults to a *constructed* generator expression
+  (evaluated once at ``def`` time), so every unthreaded call shares one
+  stateful stream and results depend on call order.
+
+Precision over recall: a call the graph cannot resolve, a ``**kwargs``
+forward, or any argument that *might* carry a stream makes the analysis
+stay silent.  Anything it does report comes with a concrete witness.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..diagnostics import Diagnostic
+from ..rules import RULES
+from .callgraph import CallGraph, CallSite, FunctionInfo, dotted_name
+from .dataflow import SummaryAnalysis, format_witness, solve
+
+__all__ = ["RngSummary", "SamplesAnalysis", "analyze_determinism"]
+
+#: Parameter names that carry an explicit generator.
+RNG_PARAMS = {"rng", "generator"}
+
+#: Call-site argument keywords whose presence means "a stream (or the
+#: seed that derives one) was threaded" — the analysis then stays silent.
+THREAD_HINT_KEYWORDS = {"rng", "generator", "space", "seed", "rng_seed"}
+
+#: Terminal callee names whose result is a seeded stream (creation sites:
+#: the repro.rng spawn helpers, SampleSpace.child_rng, numpy construction).
+PRODUCER_TERMINALS = {
+    "spawn_generator", "compat_from_seedsequence", "coerce_rng",
+    "child_rng", "default_rng", "CompatRandom", "GeneratorAdapter",
+}
+
+#: Method names that consume entropy when called on a generator value.
+DRAW_ATTRS = {
+    "random", "integers", "normal", "standard_normal", "uniform", "choice",
+    "shuffle", "permutation", "exponential", "poisson", "binomial", "gamma",
+    "beta", "randint", "random_sample", "sample", "bytes", "lognormal",
+    "triangular", "vonmises", "weibull", "random_integers",
+}
+
+#: Witness chains are capped so mutual recursion cannot grow them forever
+#: (the lattice must stay finite for the fixpoint to terminate).
+_MAX_CHAIN = 16
+
+
+def _walk_own(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/lambdas."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+@dataclass(frozen=True)
+class _LocalFacts:
+    """Per-function syntactic facts (computed once, outside the fixpoint)."""
+
+    #: Names that hold a seeded stream: rng-like params + producer results
+    #: + direct aliases of either.
+    rng_values: frozenset
+    #: Line numbers of local draw sites (``<rng value>.<draw attr>(...)``).
+    draw_lines: Tuple[int, ...]
+    #: Producer-assigned name -> (assignment line, times the name is read).
+    producers: Tuple[Tuple[str, int, int], ...]
+
+
+def _local_facts(fn: FunctionInfo) -> _LocalFacts:
+    rng_values: Set[str] = {p for p in fn.params if p in RNG_PARAMS}
+    assigns: List[Tuple[str, ast.AST, int]] = []
+    for node in _walk_own(fn.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                assigns.append((target.id, node.value, node.lineno))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                assigns.append((node.target.id, node.value, node.lineno))
+    # two passes so ``a = spawn_generator(...); b = a`` marks both
+    producer_lines: Dict[str, int] = {}
+    for _pass in range(2):
+        for name, value, lineno in assigns:
+            if isinstance(value, ast.Call):
+                terminal = dotted_name(value.func)
+                if terminal and terminal.rsplit(".", 1)[-1] in PRODUCER_TERMINALS:
+                    rng_values.add(name)
+                    producer_lines.setdefault(name, lineno)
+            elif isinstance(value, ast.Name) and value.id in rng_values:
+                rng_values.add(name)
+    draw_lines: List[int] = []
+    loads: Dict[str, int] = {name: 0 for name in producer_lines}
+    for node in _walk_own(fn.node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in rng_values
+                and node.func.attr in DRAW_ATTRS
+            ):
+                draw_lines.append(node.lineno)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in loads:
+                loads[node.id] += 1
+    producers = tuple(
+        sorted((name, lineno, loads[name]) for name, lineno in
+               producer_lines.items())
+    )
+    return _LocalFacts(frozenset(rng_values), tuple(sorted(draw_lines)),
+                       producers)
+
+
+@dataclass(frozen=True)
+class RngSummary:
+    """Lattice element: does calling this function reach a random draw?
+
+    ``samples`` is ``None`` (bottom: no draw known) or the witness chain —
+    ``((qualname, lineno), ...)`` hops ending at the draw site.
+    """
+
+    samples: Optional[Tuple[Tuple[str, int], ...]] = None
+
+
+class SamplesAnalysis(SummaryAnalysis[RngSummary]):
+    """Interprocedural "transitively samples" summary with witnesses."""
+
+    def __init__(self, facts: Dict[str, _LocalFacts]) -> None:
+        self.facts = facts
+
+    def initial(self, fn: FunctionInfo) -> RngSummary:
+        return RngSummary()
+
+    def transfer(
+        self, fn: FunctionInfo, summaries: Dict[str, RngSummary],
+        graph: CallGraph,
+    ) -> RngSummary:
+        facts = self.facts[fn.qualname]
+        best: Optional[Tuple[Tuple[str, int], ...]] = None
+        if facts.draw_lines:
+            best = ((fn.qualname, facts.draw_lines[0]),)
+        else:
+            for site in fn.calls:
+                callee = site.callee
+                if callee is None:
+                    continue
+                sub = summaries.get(callee)
+                if sub is None or sub.samples is None:
+                    continue
+                if any(hop[0] == fn.qualname for hop in sub.samples):
+                    continue  # recursion guard: never extend through self
+                chain = ((fn.qualname, site.lineno),) + sub.samples
+                chain = chain[:_MAX_CHAIN]
+                if best is None or (len(chain), chain) < (len(best), best):
+                    best = chain
+        return RngSummary(samples=best)
+
+
+def _positional_param(
+    callee: FunctionInfo, site: CallSite, index: int
+) -> Optional[str]:
+    """The parameter name a positional argument binds to, if derivable."""
+    offset = 0
+    if callee.owner_class is not None and site.raw and site.raw.startswith("self."):
+        offset = 1  # the bound-method call skips ``self``
+    params = callee.params
+    slot = index + offset
+    return params[slot] if slot < len(params) else None
+
+
+def _call_threads_stream(
+    site: CallSite, callee: FunctionInfo, rng_values: frozenset
+) -> bool:
+    """Conservatively: does this call pass any stream (or seed) through?"""
+    node = site.node
+    if any(isinstance(arg, ast.Starred) for arg in node.args):
+        return True  # *args forward — no claim
+    for keyword in node.keywords:
+        if keyword.arg is None:  # **kwargs forward — no claim
+            return True
+        if keyword.arg in THREAD_HINT_KEYWORDS:
+            return True
+        if isinstance(keyword.value, ast.Name) and keyword.value.id in rng_values:
+            return True
+    for index, arg in enumerate(node.args):
+        if isinstance(arg, ast.Name) and arg.id in rng_values:
+            return True
+        param = _positional_param(callee, site, index)
+        if param is not None and param in THREAD_HINT_KEYWORDS:
+            return True
+    return False
+
+
+def _emit(findings: List[Diagnostic], rule_id: str, fn: FunctionInfo,
+          lineno: int, message: str) -> None:
+    findings.append(
+        Diagnostic(
+            rule=rule_id,
+            severity=RULES[rule_id].severity,
+            message=message,
+            path=fn.path,
+            line=lineno,
+            obj=fn.qualname,
+            engine="flow",
+        )
+    )
+
+
+def analyze_determinism(graph: CallGraph) -> List[Diagnostic]:
+    """Run the F7xx analysis over a resolved call graph."""
+    facts = {name: _local_facts(fn) for name, fn in graph.functions.items()}
+    summaries = solve(graph, SamplesAnalysis(facts))
+    findings: List[Diagnostic] = []
+    for name in sorted(graph.functions):
+        fn = graph.functions[name]
+        local = facts[name]
+
+        # F703: generator-valued parameter defaults (def-time streams).
+        for param, default in sorted(fn.defaults.items()):
+            if param not in RNG_PARAMS:
+                continue
+            if isinstance(default, ast.Call):
+                terminal = dotted_name(default.func)
+                if terminal and terminal.rsplit(".", 1)[-1] in PRODUCER_TERMINALS:
+                    _emit(
+                        findings, "F703", fn, fn.lineno,
+                        f"`{fn.name}` defaults parameter `{param}` to a "
+                        "generator constructed at def time; every unthreaded "
+                        "call shares that one stateful stream, so results "
+                        "depend on call order. Default to None and derive "
+                        "the stream inside the call",
+                    )
+
+        # F702: seeded stream created, then never read again.
+        for var, lineno, reads in local.producers:
+            if reads == 0:
+                _emit(
+                    findings, "F702", fn, lineno,
+                    f"seeded stream `{var}` is created here and never used: "
+                    "no draw, no forwarding, no return. The sampling this "
+                    "stream was meant to drive runs on some other generator",
+                )
+
+        # F701: live stream in hand, sampling callee invoked without it.
+        if not local.rng_values:
+            continue
+        for site in fn.calls:
+            callee_name = site.callee
+            if callee_name is None:
+                continue
+            callee = graph.functions[callee_name]
+            rng_param = sorted(set(callee.params) & RNG_PARAMS)
+            if not rng_param:
+                continue
+            summary = summaries[callee_name]
+            if summary.samples is None:
+                continue
+            if callee.qualname == fn.qualname:
+                continue
+            if rng_param[0] not in callee.defaults:
+                continue  # required param: a valid call must already bind it
+            if _call_threads_stream(site, callee, local.rng_values):
+                continue
+            witness = ((fn.qualname, site.lineno),) + summary.samples
+            _emit(
+                findings, "F701", fn, site.lineno,
+                f"`{fn.name}` holds a seeded generator but calls "
+                f"`{callee.name}` without forwarding it; the callee falls "
+                "back to its own default stream and the caller's threading "
+                f"has no effect. Draw path: {format_witness(witness[:_MAX_CHAIN])}",
+            )
+    return findings

@@ -1,0 +1,335 @@
+"""P8xx — pool-safety analysis for worker-shipped callables.
+
+``repro.core.parallel.map_chunked`` documents a contract its type system
+cannot enforce: a worker callable must be a **module-level function**
+(process pools pickle it by qualified name) and must not write
+module-level mutable state (each worker process has its own copy, so such
+writes silently diverge from the serial build — the exact class of bug
+the ``_MetricsShard`` protocol exists to prevent: workers *return* their
+metrics, they never write them into shared slots).
+
+This client finds every submit site — ``map_chunked(fn, ...)`` and
+``executor.submit(fn, ...)`` — resolves the worker callable, and proves
+transitively over the call graph:
+
+* ``P801`` *worker writes module-level mutable state* — the callable (or
+  any resolved transitive callee) assigns a module global (``global X``
+  + store), mutates a module-level container (``X[k] = v``,
+  ``X.append(...)``, ``mod.STATE.update(...)``), or rebinds another
+  module's global.  Writes inside the **sanctioned protocol modules**
+  (``core.parallel`` worker-initialization slots, ``resilience.chaos``
+  plan installation, the ``obs`` recorder slot — each deliberately
+  per-process) are exempt.  The diagnostic carries the call path from
+  the worker entry down to the offending write.
+* ``P802`` *worker not worker-shippable* — the callable passed to a
+  submit site is a lambda or a nested function: unpicklable by the
+  process backends, so the build works serially and dies (or silently
+  degrades) in the pool.
+
+As everywhere in the flow package: unresolved callees make the analysis
+stay silent rather than guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..diagnostics import Diagnostic
+from ..rules import RULES
+from .callgraph import CallGraph, CallSite, FunctionInfo, ModuleInfo, dotted_name
+from .dataflow import SummaryAnalysis, format_witness, solve
+
+__all__ = ["WriteRecord", "WritesAnalysis", "analyze_pool_safety",
+           "SANCTIONED_MODULE_SUFFIXES"]
+
+#: Call terminals that ship their first positional argument to workers.
+SUBMIT_TERMINALS = {"map_chunked", "submit"}
+
+#: Container-mutating method names (on a module-level binding => a write).
+_MUTATOR_ATTRS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "popleft", "appendleft", "remove", "discard", "clear",
+    "__setitem__", "sort", "reverse",
+}
+
+#: Modules (matched by dotted-name suffix) whose module-level writes ARE
+#: the sanctioned worker protocol: the pool initializer's ``_WORKER_*``
+#: slots, the chaos plan installed into each worker, and the per-process
+#: obs recorder slot.  Workers returning ``_MetricsShard`` snapshots is
+#: the sanctioned way to get state *out*; these are the sanctioned way
+#: state gets *in*.
+SANCTIONED_MODULE_SUFFIXES = ("core.parallel", "resilience.chaos", "obs")
+
+
+@dataclass(frozen=True, order=True)
+class WriteRecord:
+    """One direct module-level-state write inside one function."""
+
+    writer: str  # qualname of the writing function
+    lineno: int
+    module: str  # dotted module whose state is written
+    name: str  # the global being written
+
+
+def _walk_own(node: ast.AST) -> Iterator[ast.AST]:
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _local_names(fn: FunctionInfo) -> Set[str]:
+    """Names bound locally (params + any Store target), minus ``global``s."""
+    globals_declared: Set[str] = set()
+    locals_: Set[str] = set(fn.params)
+    for node in _walk_own(fn.node):
+        if isinstance(node, ast.Global):
+            globals_declared.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            locals_.add(node.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            locals_.add(node.name)
+    return locals_ - globals_declared
+
+
+def _base_binding(
+    node: ast.AST, locals_: Set[str], module: ModuleInfo, graph: CallGraph
+) -> Optional[Tuple[str, str]]:
+    """Resolve the *root* of a store/mutation target to a module-level
+    binding: returns ``(module_name, global_name)`` or ``None``.
+
+    Handles ``X`` (own-module global), and ``mod.X`` where ``mod`` is an
+    imported module of the analyzed package.
+    """
+    if isinstance(node, ast.Name):
+        if node.id in locals_:
+            return None
+        if node.id in module.globals:
+            return (module.name, node.id)
+        return None
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        head = node.value.id
+        if head in locals_:
+            return None
+        target = module.imports.get(head)
+        if target is not None and target in graph.modules:
+            other = graph.modules[target]
+            if node.attr in other.globals:
+                return (other.name, node.attr)
+    return None
+
+
+def direct_writes(fn: FunctionInfo, graph: CallGraph) -> List[WriteRecord]:
+    """Module-level-state writes performed directly by ``fn``'s body."""
+    module = graph.modules[fn.module]
+    locals_ = _local_names(fn)
+    globals_declared: Set[str] = set()
+    for node in _walk_own(fn.node):
+        if isinstance(node, ast.Global):
+            globals_declared.update(node.names)
+    records: List[WriteRecord] = []
+
+    def record(module_name: str, global_name: str, lineno: int) -> None:
+        records.append(
+            WriteRecord(fn.qualname, lineno, module_name, global_name)
+        )
+
+    for node in _walk_own(fn.node):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            # ``global X`` + rebinding
+            if isinstance(target, ast.Name) and target.id in globals_declared:
+                record(module.name, target.id, node.lineno)
+            # ``X[k] = v`` / ``X.attr = v`` / ``mod.STATE[k] = v``
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                binding = _base_binding(
+                    target.value, locals_, module, graph
+                )
+                if binding is not None:
+                    record(binding[0], binding[1], node.lineno)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATOR_ATTRS:
+                binding = _base_binding(
+                    node.func.value, locals_, module, graph
+                )
+                if binding is not None:
+                    mod = graph.modules[binding[0]]
+                    if binding[1] in mod.mutable_globals:
+                        record(binding[0], binding[1], node.lineno)
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in globals_declared:
+                    record(module.name, target.id, node.lineno)
+    return sorted(records)
+
+
+class WritesAnalysis(SummaryAnalysis[FrozenSet[WriteRecord]]):
+    """Transitive closure of module-state writes (set-union lattice)."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.direct = {
+            name: frozenset(direct_writes(fn, graph))
+            for name, fn in graph.functions.items()
+        }
+
+    def initial(self, fn: FunctionInfo) -> FrozenSet[WriteRecord]:
+        return frozenset()
+
+    def transfer(
+        self,
+        fn: FunctionInfo,
+        summaries: Dict[str, FrozenSet[WriteRecord]],
+        graph: CallGraph,
+    ) -> FrozenSet[WriteRecord]:
+        combined = set(self.direct[fn.qualname])
+        for site in fn.calls:
+            if site.callee is not None:
+                combined.update(summaries.get(site.callee, ()))
+        return frozenset(combined)
+
+
+def _call_path(
+    graph: CallGraph, src: str, dst: str
+) -> List[Tuple[str, int]]:
+    """Deterministic BFS path ``src -> ... -> dst`` as witness hops."""
+    if src == dst:
+        return []
+    parents: Dict[str, Tuple[str, int]] = {}
+    frontier = [src]
+    seen = {src}
+    while frontier:
+        next_frontier: List[str] = []
+        for name in frontier:
+            fn = graph.functions[name]
+            for site in sorted(
+                fn.calls, key=lambda s: (s.callee or "", s.lineno)
+            ):
+                callee = site.callee
+                if callee is None or callee in seen:
+                    continue
+                parents[callee] = (name, site.lineno)
+                if callee == dst:
+                    hops: List[Tuple[str, int]] = []
+                    cursor = dst
+                    while cursor != src:
+                        parent, lineno = parents[cursor]
+                        hops.append((parent, lineno))
+                        cursor = parent
+                    return list(reversed(hops))
+                seen.add(callee)
+                next_frontier.append(callee)
+        frontier = next_frontier
+    return []
+
+
+def _sanctioned(module_name: str, suffixes: Tuple[str, ...]) -> bool:
+    return any(
+        module_name == suffix or module_name.endswith("." + suffix)
+        for suffix in suffixes
+    )
+
+
+def _worker_target(
+    site: CallSite, fn: FunctionInfo, graph: CallGraph
+) -> Tuple[Optional[str], Optional[ast.AST]]:
+    """Resolve the worker callable at a submit site.
+
+    Returns ``(qualname_or_None, unshippable_node_or_None)`` — the second
+    slot is set when the argument is a lambda or nested def (P802).
+    """
+    if not site.node.args:
+        return None, None
+    arg = site.node.args[0]
+    if isinstance(arg, ast.Lambda):
+        return None, arg
+    raw = dotted_name(arg)
+    if raw is None:
+        return None, None
+    module = graph.modules[fn.module]
+    if "." not in raw:
+        for nested in fn.nested:
+            if nested.endswith(f".<locals>.{raw}"):
+                return None, graph.functions[nested].node
+    resolved = graph.resolve_in_module(module, raw)
+    if resolved is not None and ".<locals>." in resolved:
+        return None, graph.functions[resolved].node
+    return resolved, None
+
+
+def analyze_pool_safety(
+    graph: CallGraph,
+    sanctioned: Tuple[str, ...] = SANCTIONED_MODULE_SUFFIXES,
+) -> List[Diagnostic]:
+    """Run the P8xx analysis over a resolved call graph."""
+    summaries = solve(graph, WritesAnalysis(graph))
+    findings: List[Diagnostic] = []
+    for name in sorted(graph.functions):
+        fn = graph.functions[name]
+        for site in fn.calls:
+            terminal = site.terminal
+            if terminal not in SUBMIT_TERMINALS:
+                continue
+            worker, unshippable = _worker_target(site, fn, graph)
+            if unshippable is not None:
+                findings.append(
+                    Diagnostic(
+                        rule="P802",
+                        severity=RULES["P802"].severity,
+                        message=(
+                            f"callable shipped to `{terminal}` here is not a "
+                            "module-level function (lambda or nested def); "
+                            "the process backends cannot pickle it, so the "
+                            "build only works serially"
+                        ),
+                        path=fn.path,
+                        line=site.lineno,
+                        obj=fn.qualname,
+                        engine="flow",
+                    )
+                )
+                continue
+            if worker is None:
+                continue
+            reported: Set[Tuple[str, str, str]] = set()
+            for write in sorted(summaries.get(worker, ())):
+                if _sanctioned(write.module, sanctioned):
+                    continue
+                dedupe = (write.module, write.name, write.writer)
+                if dedupe in reported:
+                    continue
+                reported.add(dedupe)
+                hops = _call_path(graph, worker, write.writer)
+                witness = hops + [(write.writer, write.lineno)]
+                findings.append(
+                    Diagnostic(
+                        rule="P801",
+                        severity=RULES["P801"].severity,
+                        message=(
+                            f"worker `{worker.rsplit('.', 1)[-1]}` shipped to "
+                            f"`{terminal}` writes module-level state "
+                            f"`{write.module}.{write.name}`; each pool worker "
+                            "mutates its own copy, so parallel results "
+                            "silently diverge from serial ones. Return the "
+                            "state with the chunk results instead (the "
+                            "_MetricsShard protocol). Write path: "
+                            f"{format_witness(witness)}"
+                        ),
+                        path=fn.path,
+                        line=site.lineno,
+                        obj=fn.qualname,
+                        engine="flow",
+                    )
+                )
+    return findings

@@ -17,7 +17,16 @@ it checks and which engine produced it:
 * ``R6xx`` — resilience checkpoint files written by
   :mod:`repro.resilience.checkpoint` (model engine,
   :mod:`repro.lint.resilience`).  The range is reserved for the
-  resilience namespace: new checkpoint/recovery rules go here.
+  resilience namespace: new checkpoint/recovery rules go here,
+* ``F7xx`` — interprocedural RNG-stream determinism (flow engine,
+  :mod:`repro.lint.flow.determinism`): seeded generators crossing call
+  boundaries, with call-path witnesses,
+* ``P8xx`` — process-pool worker safety (flow engine,
+  :mod:`repro.lint.flow.poolsafety`): callables shipped to
+  ``map_chunked`` / executor submit sites,
+* ``K9xx`` — cache-key completeness (flow engine,
+  :mod:`repro.lint.flow.cachekeys`): every parameter that influences
+  cached dictionary bytes must be hashed into the key.
 
 IDs are append-only: a retired rule's number is never reused, so CI logs
 and suppression lists stay meaningful across versions.  To add a rule,
@@ -42,7 +51,7 @@ class Rule:
     id: str
     title: str
     severity: Severity
-    engine: str  # "code" | "model"
+    engine: str  # "code" | "model" | "flow"
     description: str
 
 
@@ -245,6 +254,62 @@ _CATALOG = (
         "Stray checkpoint temp file (.tmp_ckpt_*) in the directory: an "
         "interrupted writer died between mkstemp and the atomic rename. "
         "Harmless to resume, but worth cleaning up.",
+    ),
+    # --------------------------- interprocedural determinism (flow)
+    Rule(
+        "F701", "dropped-generator-at-call-boundary", Severity.ERROR, "flow",
+        "A function holds a seeded generator but calls a generator-"
+        "accepting callee that transitively samples without forwarding "
+        "any stream; the callee falls back to its own default stream and "
+        "the caller's seeding has no effect. The diagnostic carries the "
+        "call path from the drop site to the actual draw.",
+    ),
+    Rule(
+        "F702", "seeded-stream-never-used", Severity.ERROR, "flow",
+        "The result of an RNG creation site (spawn_generator, child_rng, "
+        "seeded default_rng, ...) is bound and then never read: no draw, "
+        "no forwarding, no return. The sampling it was meant to drive "
+        "runs on some other generator.",
+    ),
+    Rule(
+        "F703", "generator-valued-parameter-default", Severity.ERROR, "flow",
+        "An rng-like parameter defaults to a generator constructed at "
+        "def time, so every unthreaded call shares one stateful stream "
+        "and results depend on call order. Default to None and derive "
+        "the stream inside the call.",
+    ),
+    # ------------------------------------- pool-worker safety (flow)
+    Rule(
+        "P801", "worker-writes-module-state", Severity.ERROR, "flow",
+        "A callable shipped to map_chunked / executor.submit (or one of "
+        "its transitive callees) writes module-level mutable state "
+        "outside the sanctioned worker protocol; each pool worker "
+        "mutates its own copy, so parallel results silently diverge "
+        "from serial ones. Ship state home with the chunk results "
+        "(the _MetricsShard protocol) instead.",
+    ),
+    Rule(
+        "P802", "worker-not-module-level", Severity.ERROR, "flow",
+        "The callable shipped to map_chunked / executor.submit is a "
+        "lambda or a nested function; process backends pickle workers "
+        "by qualified name, so the build only works serially.",
+    ),
+    # --------------------------------- cache-key completeness (flow)
+    Rule(
+        "K901", "content-param-missing-from-cache-key", Severity.ERROR, "flow",
+        "A parameter of a cache-keyed build function influences the "
+        "cached content (reaches the map_chunked payload or a worker-"
+        "job construction) but is not hashed into the cache key and is "
+        "not re-derivable from key-covered parameters; two builds "
+        "differing only in that parameter collide on one key and the "
+        "second is served stale bytes.",
+    ),
+    Rule(
+        "K902", "cache-key-param-without-content-influence",
+        Severity.WARNING, "flow",
+        "A parameter is hashed into the cache key but never reaches the "
+        "dictionary content; over-keying splits the cache across "
+        "irrelevant values and hides hit-rate regressions.",
     ),
 )
 

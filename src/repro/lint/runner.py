@@ -7,27 +7,40 @@ test-suite's self-check gate:
   installed ``repro`` package itself),
 * :func:`lint_models` — semantic rules over the shipped benchmark
   circuits (plus, optionally, a dictionary-cache directory),
-* :func:`run_lint` — both, per the requested mode; ``manifest`` paths
-  additionally audit observability run manifests (``S5xx``) and
-  ``checkpoints`` paths audit resilience checkpoints (``R6xx``).
+* :func:`lint_flow` — the whole-program dataflow analyses
+  (``F7xx``/``P8xx``/``K9xx``, :mod:`repro.lint.flow`) with baseline
+  suppression,
+* :func:`run_lint` — all of the above, per the requested mode;
+  ``manifest`` paths additionally audit observability run manifests
+  (``S5xx``) and ``checkpoints`` paths audit resilience checkpoints
+  (``R6xx``).
+
+``changed`` scoping (the ``--changed [REF]`` fast pre-push loop) filters
+*code and flow findings* to files touched relative to a git ref.  The
+flow engine still analyzes the whole program — interprocedural edges
+must stay complete — only the reported anchors are scoped.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Iterable, List, Optional, Sequence
+import subprocess
+from typing import Iterable, List, Optional, Sequence, Set, Union
 
-from .determinism import lint_paths
+from .determinism import default_code_root, lint_paths
 from .diagnostics import LintReport
+from .flow import DEFAULT_BASELINE_NAME, FlowBaseline, analyze_flow, load_baseline
 from .models import check_benchmark, check_cache
 from .obs import check_manifest
 from .resilience import check_checkpoint, check_checkpoint_dir
 from .rules import RULES
 
 __all__ = [
+    "changed_files",
     "lint_checkpoints",
     "lint_code",
+    "lint_flow",
     "lint_manifests",
     "lint_models",
     "run_lint",
@@ -68,6 +81,75 @@ def lint_models(
     return report
 
 
+def lint_flow(
+    root: Optional[str] = None,
+    package: Optional[str] = None,
+    baseline: Optional[Union[str, FlowBaseline]] = None,
+    suppress: Sequence[str] = (),
+    only_paths: Optional[Set[str]] = None,
+) -> LintReport:
+    """Run the whole-program flow analyses (``F7xx``/``P8xx``/``K9xx``).
+
+    ``root`` defaults to the installed ``repro`` package (the self-check).
+    ``baseline`` is a :class:`FlowBaseline`, a path to one, or ``None`` —
+    in which case ``lint-flow-baseline.json`` in the current directory is
+    used when present.  Baseline-suppressed findings count into the
+    report's ``suppressed`` tally so the audit trail stays visible.
+    ``only_paths`` (absolute paths) scopes the *reported* findings; the
+    analysis itself always covers the whole program.
+    """
+    if isinstance(baseline, str):
+        baseline = load_baseline(baseline)
+    elif baseline is None and os.path.exists(DEFAULT_BASELINE_NAME):
+        baseline = load_baseline(DEFAULT_BASELINE_NAME)
+    findings, baseline_suppressed = analyze_flow(
+        root=root, package=package, baseline=baseline
+    )
+    if only_paths is not None:
+        findings = [
+            d for d in findings
+            if d.path and os.path.abspath(d.path) in only_paths
+        ]
+    report = LintReport()
+    report.extend(findings, suppress=suppress)
+    report.suppressed += len(baseline_suppressed)
+    return report
+
+
+def changed_files(ref: str = "HEAD", cwd: Optional[str] = None) -> Set[str]:
+    """Absolute paths of files changed vs ``ref`` plus untracked files.
+
+    Raises ``RuntimeError`` when git is unavailable or ``ref`` does not
+    resolve — a broken fast path must not silently lint nothing.
+    """
+    base = os.path.abspath(cwd or os.getcwd())
+    paths: Set[str] = set()
+    for args in (
+        ["git", "diff", "--name-only", ref],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                args, cwd=base, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = ""
+            if isinstance(exc, subprocess.CalledProcessError):
+                detail = f": {exc.stderr.strip()}"
+            raise RuntimeError(
+                f"--changed requires a git checkout and a resolvable ref "
+                f"({' '.join(args)} failed{detail})"
+            ) from exc
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=base, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        for line in proc.stdout.splitlines():
+            if line.strip():
+                paths.add(os.path.abspath(os.path.join(top, line.strip())))
+    return paths
+
+
 def lint_manifests(
     manifests: Iterable[str], suppress: Sequence[str] = ()
 ) -> LintReport:
@@ -103,19 +185,48 @@ def run_lint(
     suppress: Sequence[str] = (),
     manifests: Optional[Sequence[str]] = None,
     checkpoints: Optional[Sequence[str]] = None,
+    flow_root: Optional[str] = None,
+    flow_package: Optional[str] = None,
+    flow_baseline: Optional[Union[str, FlowBaseline]] = None,
+    changed: Optional[str] = None,
 ) -> LintReport:
     """Run the requested engines; ``mode`` is ``code``/``models``/``all``/
-    ``manifests`` (manifests-only — skips both other engines).
+    ``manifests``/``flow`` (the last two are single-engine modes).
 
     ``manifests`` and ``checkpoints`` paths are audited in every mode.
+    ``changed`` (a git ref) scopes code and flow *findings* to files
+    touched relative to the ref — the fast pre-push loop.
     """
-    if mode not in ("code", "models", "all", "manifests"):
+    if mode not in ("code", "models", "all", "manifests", "flow"):
         raise ValueError(f"unknown lint mode {mode!r}")
+    touched: Optional[Set[str]] = None
+    if changed is not None:
+        touched = changed_files(changed)
     report = LintReport()
     if mode in ("code", "all"):
-        code = lint_code(paths, suppress=suppress)
+        if touched is not None and paths is None:
+            # Scope to touched files *inside the linted package* — tests
+            # and scripts are outside the determinism rules' contract.
+            root = os.path.abspath(default_code_root())
+            scoped = sorted(
+                p for p in touched
+                if p.endswith(".py") and p.startswith(root + os.sep)
+            )
+            code = lint_code(scoped, suppress=suppress) if scoped else LintReport()
+        else:
+            code = lint_code(paths, suppress=suppress)
         report.extend(code.diagnostics)
         report.suppressed += code.suppressed
+    if mode in ("flow", "all"):
+        flow = lint_flow(
+            root=flow_root,
+            package=flow_package,
+            baseline=flow_baseline,
+            suppress=suppress,
+            only_paths=touched,
+        )
+        report.extend(flow.diagnostics)
+        report.suppressed += flow.suppressed
     if mode in ("models", "all"):
         models = lint_models(
             circuits, cache_dir=cache_dir, seed=seed, n_samples=n_samples,

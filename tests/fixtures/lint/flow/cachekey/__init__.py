@@ -1,0 +1,1 @@
+"""Bad twin: a cache key that misses a content parameter (K9xx)."""

@@ -1,0 +1,21 @@
+"""The near-miss PR 6 almost shipped: content grew a parameter
+(``voltage``) and the key did not."""
+
+from .store import BuildJob, build_cache_key
+
+
+def simulate(circuit, patterns):
+    return [(circuit, p) for p in patterns]
+
+
+def build(circuit, patterns, voltage, label, sims=None):
+    # K901: `voltage` reaches the job but is not hashed into the key and
+    # is not re-derivable from key-covered parameters.
+    # K902: `label` is hashed (via key_material) yet never reaches
+    # content — over-keying.
+    key_material = [circuit, label]
+    key = build_cache_key(key_material, patterns)
+    if sims is None:
+        sims = simulate(circuit, patterns)
+    job = BuildJob(circuit, patterns, voltage, sims)
+    return key, job

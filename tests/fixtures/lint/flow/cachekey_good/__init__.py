@@ -1,0 +1,1 @@
+"""Good twin of ``cachekey``: the key covers every content parameter."""

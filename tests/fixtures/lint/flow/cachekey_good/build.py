@@ -1,0 +1,17 @@
+"""Same build shape; ``voltage`` is hashed and ``sims`` shows the
+sanctioned exemption: derived data re-computable from key-covered
+parameters does not need its own key field."""
+
+from .store import BuildJob, build_cache_key
+
+
+def simulate(circuit, patterns):
+    return [(circuit, p) for p in patterns]
+
+
+def build(circuit, patterns, voltage, sims=None):
+    key = build_cache_key(circuit, patterns, voltage)
+    if sims is None:
+        sims = simulate(circuit, patterns)
+    job = BuildJob(circuit, patterns, voltage, sims)
+    return key, job

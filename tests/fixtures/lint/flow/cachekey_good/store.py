@@ -1,0 +1,20 @@
+"""Key helper and worker-job shape for the cache-key corpus."""
+
+import hashlib
+import json
+
+
+class BuildJob:
+    """Everything the (pretend) workers turn into cached bytes."""
+
+    def __init__(self, circuit, patterns, voltage, sims):
+        self.circuit = circuit
+        self.patterns = patterns
+        self.voltage = voltage
+        self.sims = sims
+
+
+def build_cache_key(circuit, patterns, voltage):
+    digest = hashlib.sha256()
+    digest.update(json.dumps([circuit, patterns, voltage]).encode())
+    return digest.hexdigest()

@@ -1,0 +1,1 @@
+"""Bad twin: pool workers that leak state into module globals (P8xx)."""

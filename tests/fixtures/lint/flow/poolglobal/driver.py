@@ -1,0 +1,45 @@
+"""Submit sites shipping state-writing and unpicklable workers."""
+
+from . import registry
+from .registry import remember
+
+
+def _worker(payload, indices):
+    # Writes module state two modules away — only the flow engine sees it.
+    for index in indices:
+        remember(index, payload[index])
+    return list(indices)
+
+
+def _aggregate(payload, indices):
+    total = sum(payload[i] for i in indices)
+    registry.tally(total)
+    return total
+
+
+def map_chunked(fn, payload, n_items, config=None):
+    # Stand-in with the real signature so the fixture needs no imports.
+    return [fn(payload, [i]) for i in range(n_items)]
+
+
+def build(payload):
+    # P801: `_worker` transitively writes registry._RESULTS.
+    return map_chunked(_worker, payload, len(payload))
+
+
+def build_totals(payload):
+    # P801: `_aggregate` mutates registry._TOTALS via attribute access.
+    return map_chunked(_aggregate, payload, len(payload))
+
+
+def build_inline(payload):
+    # P802: a lambda cannot be pickled into a worker process.
+    return map_chunked(lambda p, idx: [p[i] for i in idx], payload, len(payload))
+
+
+def build_nested(payload):
+    # P802: nested defs are invisible to pickle-by-qualname too.
+    def chunk(p, idx):
+        return [p[i] for i in idx]
+
+    return map_chunked(chunk, payload, len(payload))

@@ -1,0 +1,13 @@
+"""Module-level mutable state the bad workers write into."""
+
+_RESULTS = {}
+_TOTALS = []
+
+
+def remember(key, value):
+    # The transitive write the P801 witness path must reach.
+    _RESULTS[key] = value
+
+
+def tally(value):
+    _TOTALS.append(value)

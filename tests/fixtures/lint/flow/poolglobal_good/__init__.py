@@ -1,0 +1,1 @@
+"""Good twin of ``poolglobal``: workers return state, never write it."""

@@ -1,0 +1,29 @@
+"""Same submit shapes as the bad twin, state shipped home by value."""
+
+_LIMITS = {"max_items": 1024}  # read-only module config is fine
+
+
+def _worker(payload, indices):
+    results = {}
+    for index in indices:
+        results[index] = payload[index]
+    return results
+
+
+def _aggregate(payload, indices):
+    totals = []
+    totals.append(sum(payload[i] for i in indices))
+    return totals
+
+
+def map_chunked(fn, payload, n_items, config=None):
+    return [fn(payload, [i]) for i in range(n_items)]
+
+
+def build(payload):
+    limit = _LIMITS["max_items"]
+    return map_chunked(_worker, payload, min(len(payload), limit))
+
+
+def build_totals(payload):
+    return map_chunked(_aggregate, payload, len(payload))

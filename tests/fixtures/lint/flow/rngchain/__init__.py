@@ -1,0 +1,1 @@
+"""Bad twin: seeded streams that die at call boundaries (F7xx corpus)."""

@@ -1,0 +1,25 @@
+"""The dropped-rng chain: every hazard here has a good twin in
+``rngchain_good`` with the identical shape and the stream threaded."""
+
+import numpy as np
+
+from .stats import summarize
+
+
+def run(values, seed=7):
+    # F701: `rng` is live here, `summarize` transitively samples, and the
+    # call forwards nothing — the draw happens on a default stream.
+    rng = np.random.default_rng(seed)
+    return summarize(values)
+
+
+def run_unused(values, seed=7):
+    # F702: the seeded stream is created and never read again.
+    rng = np.random.default_rng(seed)
+    return sum(values)
+
+
+def run_default(values, rng=np.random.default_rng(0)):
+    # F703: the default is constructed once at def time; all unthreaded
+    # callers share one stateful stream.
+    return summarize(values, rng=rng)

@@ -1,0 +1,1 @@
+"""Good twin of ``rngchain``: same call shapes, streams threaded."""

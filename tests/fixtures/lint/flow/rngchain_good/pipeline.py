@@ -1,0 +1,26 @@
+"""Identical shapes to the bad twin; every stream reaches its draw."""
+
+import numpy as np
+
+from .stats import summarize
+
+
+def run(values, seed=7):
+    rng = np.random.default_rng(seed)
+    return summarize(values, rng=rng)
+
+
+def run_positional(values, seed=7):
+    rng = np.random.default_rng(seed)
+    return summarize(values, rng)
+
+
+def run_unused(values, seed=7):
+    rng = np.random.default_rng(seed)
+    return sum(values) + rng.random()
+
+
+def run_default(values, rng=None):
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return summarize(values, rng=rng)

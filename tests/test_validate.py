@@ -1,12 +1,9 @@
 """Structural-validation tests, migrated to ``repro.lint.check_circuit``.
 
-The historical ``circuits.validate_circuit`` entry point is a deprecated
-shim over the lint subsystem; these tests exercise the real checks
-through ``check_circuit`` directly and pin the shim's warn-once contract
-separately.
+The historical ``circuits.validate_circuit`` shim is gone (removed one
+release after its DeprecationWarning); these tests exercise the real
+checks through ``check_circuit`` and pin the removal.
 """
-
-import warnings
 
 import pytest
 
@@ -77,36 +74,12 @@ def test_findings_carry_rule_ids_and_severities():
 
 
 # ----------------------------------------------------------------------
-# the deprecated shim
+# the deprecated shim is gone
 # ----------------------------------------------------------------------
-def test_shim_report_matches_lint_findings(c17, monkeypatch):
-    from repro.circuits import validate
-    from repro.circuits import validate_circuit
+def test_validate_circuit_shim_removed():
+    import repro.circuits
 
-    monkeypatch.setattr(validate, "_WARNED", True)  # silence, tested below
-    report = validate_circuit(c17)
-    assert report.ok
-    assert str(report) == "ok"
-    c = Circuit()
-    c.add_input("a")
-    c.freeze()
-    report = validate_circuit(c)
-    assert not report.ok
-    assert report.issues == messages(c)
-    assert "\n".join(report.issues) == str(report)
-
-
-def test_shim_warns_exactly_once_per_process(c17, monkeypatch):
-    from repro.circuits import validate
-
-    monkeypatch.setattr(validate, "_WARNED", False)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        validate.validate_circuit(c17)
-        validate.validate_circuit(c17)
-        validate.validate_circuit(c17, require_observable=False)
-    deprecations = [
-        w for w in caught if issubclass(w.category, DeprecationWarning)
-    ]
-    assert len(deprecations) == 1
-    assert "check_circuit" in str(deprecations[0].message)
+    assert not hasattr(repro.circuits, "validate_circuit")
+    assert not hasattr(repro.circuits, "ValidationReport")
+    with pytest.raises(ImportError):
+        from repro.circuits import validate  # noqa: F401
