@@ -13,6 +13,10 @@ Python.  Commands:
   the codebase and/or semantic checks over the shipped benchmark models
 * ``profile <benchmark>``        — fully instrumented diagnosis round:
   span tree, cache/counter/convergence metrics, run manifest
+* ``serve <benchmarks...>``      — warm diagnosis-as-a-service JSON-lines
+  server (bounded queue, micro-batching; see docs/architecture.md §15)
+* ``query``                      — thin client for a running server:
+  ping/stats or a diagnose round trip from a behavior-matrix JSON file
 
 Every command accepts ``--metrics out.json``: the run executes under a
 live :mod:`repro.obs` recorder and emits a schema-validated run manifest.
@@ -437,6 +441,91 @@ def cmd_lint(args) -> int:
     return report.exit_code
 
 
+def cmd_serve(args) -> int:
+    """Run the warm diagnosis service (see :mod:`repro.service`).
+
+    Registers one standard workload per benchmark (pattern set, clock,
+    suspect set all fixed by ``--seed``), prewarms the dictionaries
+    unless ``--cold``, then serves the JSON-lines protocol until
+    interrupted.  ``REPRO_CACHE_DIR`` + ``REPRO_CACHE_FORMAT=store``
+    back the warm dictionaries with shared mmapped pages.
+    """
+    import asyncio
+
+    from .service import (
+        DiagnosisServer,
+        DiagnosisService,
+        ServerConfig,
+        standard_workload,
+    )
+
+    service = DiagnosisService()
+    for benchmark in args.benchmarks:
+        workload, _model = standard_workload(
+            benchmark, samples=args.samples, seed=args.seed,
+            n_paths=args.paths,
+        )
+        service.register(workload)
+        print(f"registered workload {benchmark!r}: "
+              f"{len(workload.suspects)} suspects, "
+              f"behavior shape {workload.behavior_shape}")
+    if not args.cold:
+        service.warm_all()
+        print("dictionaries warm")
+    server = DiagnosisServer(service, ServerConfig(
+        host=args.host, port=args.port, queue_limit=args.queue_limit,
+        max_batch=args.max_batch, request_timeout=args.request_timeout,
+    ))
+
+    async def _run() -> None:
+        await server.start()
+        print(f"serving on {args.host}:{server.port}", flush=True)
+        try:
+            # Ctrl-C cancels this await; letting the cancellation
+            # propagate (after cleanup) keeps the documented 130 exit.
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    asyncio.run(_run())
+    return 0
+
+
+def cmd_query(args) -> int:
+    """One client round trip against a running ``repro serve``."""
+    import json
+
+    from .service import ServiceClient
+
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+        if args.ping:
+            print("pong" if client.ping() else "no pong")
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.workloads:
+            for name in client.workloads():
+                print(name)
+            return 0
+        if not args.workload or not args.behavior:
+            print("error: need WORKLOAD and --behavior FILE "
+                  "(or --ping/--stats/--workloads)", file=sys.stderr)
+            return EXIT_USAGE
+        with open(args.behavior) as handle:
+            payload = json.load(handle)
+        if isinstance(payload, dict):
+            payload = payload.get("behavior")
+        answer = client.diagnose(
+            args.workload, payload,
+            error_function=args.error_function, top_k=args.top_k,
+        )
+        print(f"workload {answer.workload}  method {answer.method}")
+        for rank, (edge, score) in enumerate(answer.ranking, start=1):
+            print(f"  {rank:3d}. {edge:30s} {score:.6g}")
+    return 0
+
+
 def cmd_table1(args) -> int:
     from .experiments import render_shape_checks, render_table1, run_table1
 
@@ -578,6 +667,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
+        "serve",
+        help="warm diagnosis-as-a-service JSON-lines server",
+    )
+    p.add_argument("benchmarks", nargs="+",
+                   help="benchmark circuits to register as workloads")
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port (0 = ephemeral, printed at startup)")
+    p.add_argument("--paths", type=int, default=8,
+                   help="ATPG paths per workload defect site")
+    p.add_argument(
+        "--queue-limit", type=_positive_int, default=64, dest="queue_limit",
+        help="pending-request bound; excess requests get an immediate "
+        "'overloaded' response (the backpressure contract)",
+    )
+    p.add_argument(
+        "--max-batch", type=_positive_int, default=16, dest="max_batch",
+        help="micro-batch cap per dispatcher drain (never changes answers)",
+    )
+    p.add_argument(
+        "--request-timeout", type=float, default=30.0, dest="request_timeout",
+        metavar="SECONDS", help="per-request deadline, queue time included",
+    )
+    p.add_argument(
+        "--cold", action="store_true",
+        help="skip dictionary prewarming; first query per workload pays "
+        "the build",
+    )
+    common(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="client for a running 'repro serve' (ping/stats/diagnose)",
+    )
+    p.add_argument("workload", nargs="?", default="",
+                   help="workload name registered on the server")
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument(
+        "--behavior", type=str, default="", metavar="FILE.json",
+        help="behavior matrix as a JSON 2-D array (or {\"behavior\": ...})",
+    )
+    p.add_argument(
+        "--error-function", type=str, default="alg_rev",
+        dest="error_function",
+        help="diagnosis error function name (default: alg_rev)",
+    )
+    p.add_argument("--top-k", type=_positive_int, default=None, dest="top_k",
+                   help="truncate the returned ranking")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="client-side socket timeout in seconds")
+    p.add_argument("--ping", action="store_true", help="liveness round trip")
+    p.add_argument("--stats", action="store_true",
+                   help="print the server's counters and warm state")
+    p.add_argument("--workloads", action="store_true",
+                   help="list the server's registered workloads")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
         "lint",
         help="static analysis: determinism linter, semantic model checks, "
         "whole-program flow analyses",
@@ -672,6 +821,7 @@ def _dispatch(args) -> int:
     and an unexpected exception is a bug (1, traceback preserved).
     """
     from .resilience import CheckpointMismatchError, ResilienceError
+    from .service.errors import BadRequestError
 
     try:
         return args.func(args)
@@ -681,6 +831,11 @@ def _dispatch(args) -> int:
         print("interrupted", file=sys.stderr)
         return EXIT_INTERRUPTED
     except CheckpointMismatchError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except BadRequestError as error:
+        # Malformed service requests (unknown workload, bad matrix shape)
+        # are user errors, like checkpoint mismatches.
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE
     except ResilienceError as error:

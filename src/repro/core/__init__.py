@@ -1,11 +1,20 @@
 """Core diagnosis library: the paper's primary contribution."""
 
 from .suspects import trace_sensitized_edges, suspect_edges
-from .parallel import ParallelConfig, resolve_parallel, chunk_indices, map_chunked
+from .parallel import (
+    MIN_CHUNK_WORK,
+    ParallelConfig,
+    resolve_parallel,
+    chunk_indices,
+    map_chunked,
+)
 from .cache import (
     CacheStats,
     DictionaryCache,
+    DictionaryStore,
+    STORE_FORMAT,
     resolve_cache,
+    validate_store_manifest,
     circuit_fingerprint,
     timing_fingerprint,
     patterns_fingerprint,
@@ -28,9 +37,16 @@ from .error_functions import (
     LOG_LIKELIHOOD,
     EUCLIDEAN_SB,
     ALL_ERROR_FUNCTIONS,
+    batched_scores,
     by_name,
 )
-from .diagnosis import DiagnosisResult, diagnose, diagnose_all, run_diagnosis
+from .diagnosis import (
+    DiagnosisResult,
+    diagnose,
+    diagnose_all,
+    diagnose_batch,
+    run_diagnosis,
+)
 from .baselines import logic_signatures, diagnose_logic_only
 from .evaluation import (
     EvaluationConfig,
@@ -55,13 +71,17 @@ from .resolution import (
 __all__ = [
     "trace_sensitized_edges",
     "suspect_edges",
+    "MIN_CHUNK_WORK",
     "ParallelConfig",
     "resolve_parallel",
     "chunk_indices",
     "map_chunked",
     "CacheStats",
     "DictionaryCache",
+    "DictionaryStore",
+    "STORE_FORMAT",
     "resolve_cache",
+    "validate_store_manifest",
     "circuit_fingerprint",
     "timing_fingerprint",
     "patterns_fingerprint",
@@ -82,10 +102,12 @@ __all__ = [
     "LOG_LIKELIHOOD",
     "EUCLIDEAN_SB",
     "ALL_ERROR_FUNCTIONS",
+    "batched_scores",
     "by_name",
     "DiagnosisResult",
     "diagnose",
     "diagnose_all",
+    "diagnose_batch",
     "run_diagnosis",
     "logic_signatures",
     "diagnose_logic_only",

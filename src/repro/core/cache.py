@@ -13,12 +13,21 @@ two-vector pattern set, the clock(s), the suspect list, and the
 defect-size sample vector.  Any change to any of them changes the key —
 stale hits are structurally impossible, no invalidation protocol needed.
 
-Entries are ``.npz`` files written atomically (temp file + rename) and
-carry an internal payload checksum; a truncated, corrupted or
-wrong-format file is detected on load, deleted, and treated as a miss so
-the caller simply rebuilds.  The cache is **off by default** and enabled
-by the ``REPRO_CACHE_DIR`` environment variable or an explicit
-:class:`DictionaryCache` / directory argument.
+Two on-disk layouts share the key space and the duck API:
+
+* :class:`DictionaryCache` — one ``.npz`` blob per entry, written
+  atomically (temp file + rename) with an internal payload checksum; a
+  truncated, corrupted or wrong-format file is detected on load, deleted,
+  and treated as a miss so the caller simply rebuilds,
+* :class:`DictionaryStore` — the zero-copy serving layout: a JSON
+  manifest plus ONE mmap-able ``.npy`` stack per entry, loaded with
+  ``mmap_mode="r"`` so warm services and pool workers share read-only
+  dictionary pages through the OS page cache instead of re-deserializing
+  a blob per request (see ``docs/architecture.md`` §15).
+
+Both are **off by default** and enabled by the ``REPRO_CACHE_DIR``
+environment variable (``REPRO_CACHE_FORMAT=store`` selects the mmap
+layout) or an explicit instance / directory argument.
 """
 
 from __future__ import annotations
@@ -40,7 +49,10 @@ from .. import obs
 __all__ = [
     "CacheStats",
     "DictionaryCache",
+    "DictionaryStore",
+    "STORE_FORMAT",
     "resolve_cache",
+    "validate_store_manifest",
     "circuit_fingerprint",
     "timing_fingerprint",
     "patterns_fingerprint",
@@ -49,6 +61,7 @@ __all__ = [
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_MAX_ENTRIES = "REPRO_CACHE_MAX_ENTRIES"
+ENV_CACHE_FORMAT = "REPRO_CACHE_FORMAT"
 
 
 # ----------------------------------------------------------------------
@@ -381,25 +394,412 @@ class DictionaryCache:
         )
 
 
+# ----------------------------------------------------------------------
+# the zero-copy mmap store
+# ----------------------------------------------------------------------
+#: Format tag of a store manifest.  Bumping it orphans every existing
+#: entry (audited as S404 schema drift), exactly like the blob cache.
+STORE_FORMAT = "repro-dictionary-store-v1"
+
+#: Keys every store manifest must carry, with their JSON types.
+_STORE_MANIFEST_KEYS = {
+    "format": str,
+    "key": str,
+    "payload": str,
+    "n_suspects": int,
+    "shape": list,
+    "dtype": str,
+    "checksum": str,
+}
+
+
+def validate_store_manifest(payload: Dict) -> List[str]:
+    """Schema-check one store manifest document; returns error strings.
+
+    Shared by :meth:`DictionaryStore.load` and the ``S4xx`` lint audit so
+    the hot path and the offline gate can never disagree about what a
+    well-formed manifest is.
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"manifest must be a JSON object, got {type(payload).__name__}"]
+    for name, kind in _STORE_MANIFEST_KEYS.items():
+        value = payload.get(name)
+        if value is None:
+            errors.append(f"missing required key {name!r}")
+        elif not isinstance(value, kind) or isinstance(value, bool):
+            errors.append(
+                f"key {name!r} must be {kind.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    if errors:
+        return errors
+    if payload["format"] != STORE_FORMAT:
+        errors.append(
+            f"format {payload['format']!r} != expected {STORE_FORMAT!r}"
+        )
+    shape = payload["shape"]
+    if len(shape) != 3 or not all(
+        isinstance(dim, int) and dim >= 0 for dim in shape
+    ):
+        errors.append(f"shape must be three non-negative ints, got {shape}")
+    elif shape[0] != payload["n_suspects"] + 1:
+        errors.append(
+            f"shape[0] {shape[0]} != n_suspects + 1 "
+            f"({payload['n_suspects'] + 1})"
+        )
+    if ".." in payload["payload"] or os.sep in payload["payload"]:
+        errors.append("payload must be a bare filename in the store directory")
+    return errors
+
+
+class DictionaryStore:
+    """Content-addressed dictionary store with zero-copy mmap loads.
+
+    Same content-addressing and duck API as :class:`DictionaryCache`
+    (``load(key)`` / ``store(key, m_crt, signatures)``), different layout:
+    instead of one pickled-zip ``.npz`` blob per entry, an entry is
+
+    * ``dict_<key>.json`` — a small manifest naming the payload file and
+      pinning its shape, dtype and SHA-256 checksum,
+    * ``dict_<key>.<digest>.npy`` — ONE flat array of shape
+      ``(1 + n_suspects, n_outputs, n_cols)``: row 0 is ``m_crt``, row
+      ``1 + i`` is suspect ``i``'s signature (signatures share ``m_crt``'s
+      shape by construction, so the whole payload stacks).
+
+    Loads go through ``np.load(..., mmap_mode="r")``: nothing is
+    deserialized, the returned matrices are read-only views of the
+    OS-page-cached file, and every process that maps the same entry
+    shares those pages — a warm :class:`~repro.service.DiagnosisService`
+    and its pool workers pay for one copy of each dictionary, not one
+    per worker per request.
+
+    Rewrites are atomic against concurrent readers: the payload is
+    content-named (the digest is part of the filename) and written
+    *before* the manifest pointer is atomically replaced, so a reader
+    always sees a (manifest, payload) pair that was published together —
+    either the old complete entry or the new one, never a torn mix.
+    """
+
+    #: Prefix of in-flight temp files (manifest and payload writers).
+    _TMP_PREFIX = ".tmp_store_"
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        max_entries: Optional[int] = None,
+        mmap: bool = True,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be None or >= 1")
+        self.directory = os.fspath(directory)
+        self.max_entries = max_entries
+        self.mmap = mmap
+        self.stats = CacheStats()
+
+    # -- paths ----------------------------------------------------------
+    def manifest_path_for(self, key: str) -> str:
+        return os.path.join(self.directory, f"dict_{key}.json")
+
+    # Duck compatibility with DictionaryCache.path_for: the "entry path"
+    # of a store entry is its manifest (the atomically-replaced pointer).
+    path_for = manifest_path_for
+
+    def _payload_name(self, key: str, checksum: str) -> str:
+        return f"dict_{key}.{checksum[:12]}.npy"
+
+    # -- load -----------------------------------------------------------
+    def load(
+        self, key: str, verify: bool = False
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Map one entry; ``None`` on miss, corruption, or mid-rewrite race.
+
+        Returns ``{"m_crt": ..., "signatures": [...], "stack": ...}`` —
+        the signatures are zero-copy row views of the mmapped ``stack``.
+        Structural integrity (manifest schema, payload shape/dtype, file
+        long enough to back the mapping) is always checked; the full
+        payload checksum only under ``verify=True``, because hashing the
+        bytes would page the entire entry in and defeat lazy mapping.
+
+        A manifest whose payload file is missing is a *benign race* (a
+        concurrent rewrite just retired it): counted as a miss, nothing
+        evicted.  Anything structurally wrong is corruption: counted as
+        ``rejected`` and the entry is deleted so the next store rewrites
+        it cleanly.
+        """
+        recorder = obs.get_recorder()
+        path = self.manifest_path_for(key)
+        if not os.path.exists(path):
+            self.stats.misses += 1
+            recorder.count("cache.miss")
+            return None
+        try:
+            chaos.trip("cache.load")
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            errors = validate_store_manifest(manifest)
+            if errors:
+                raise ValueError(f"store manifest invalid: {errors[0]}")
+            if manifest["key"] != key:
+                raise ValueError("manifest key mismatch")
+            payload_path = os.path.join(self.directory, manifest["payload"])
+            if not os.path.exists(payload_path):
+                # A concurrent rewrite retired this payload between our
+                # manifest read and the map: benign, simply a miss.
+                self.stats.misses += 1
+                recorder.count("cache.miss")
+                return None
+            stack = np.load(
+                payload_path,
+                mmap_mode="r" if self.mmap else None,
+                allow_pickle=False,
+            )
+            if list(stack.shape) != manifest["shape"]:
+                raise ValueError("payload shape disagrees with manifest")
+            if str(stack.dtype) != manifest["dtype"]:
+                raise ValueError("payload dtype disagrees with manifest")
+            if verify and self._stack_checksum(stack) != manifest["checksum"]:
+                raise ValueError("payload checksum mismatch")
+        except Exception:
+            self.stats.rejected += 1
+            self.stats.misses += 1
+            recorder.count("cache.rejected")
+            recorder.count("cache.miss")
+            self.evict(key)
+            return None
+        if not self.mmap:
+            stack.setflags(write=False)
+        self.stats.hits += 1
+        recorder.count("cache.hit")
+        if self.max_entries is not None:
+            try:
+                os.utime(path)  # refresh LRU recency
+            except OSError:
+                pass
+        return {
+            "m_crt": stack[0],
+            "signatures": [stack[1 + index] for index in range(len(stack) - 1)],
+            "stack": stack,
+        }
+
+    @staticmethod
+    def _stack_checksum(stack: np.ndarray) -> str:
+        return hashlib.sha256(
+            str(stack.dtype).encode()
+            + str(stack.shape).encode()
+            + np.ascontiguousarray(stack).tobytes()
+        ).hexdigest()
+
+    # -- store ----------------------------------------------------------
+    def store(
+        self, key: str, m_crt: np.ndarray, signatures: Sequence[np.ndarray]
+    ) -> Optional[str]:
+        """Publish one entry atomically; returns the manifest path.
+
+        Write order is the atomicity protocol: payload first (under its
+        content-derived name), manifest pointer second (atomic
+        ``os.replace``).  Stale payloads of the same key are unlinked
+        *after* the new manifest lands — POSIX keeps their pages alive
+        for readers that already mapped them.  Like the blob cache, a
+        failed write never kills the diagnosis that produced the data.
+        """
+        m_crt = np.asarray(m_crt, dtype=float)
+        stack = np.empty((1 + len(signatures),) + m_crt.shape, dtype=float)
+        stack[0] = m_crt
+        for index, signature in enumerate(signatures):
+            stack[1 + index] = np.asarray(signature, dtype=float)
+        checksum = self._stack_checksum(stack)
+        manifest = {
+            "format": STORE_FORMAT,
+            "key": key,
+            "payload": self._payload_name(key, checksum),
+            "n_suspects": len(signatures),
+            "shape": list(stack.shape),
+            "dtype": str(stack.dtype),
+            "checksum": checksum,
+        }
+        path = self.manifest_path_for(key)
+        payload_path = os.path.join(self.directory, manifest["payload"])
+        tmp_path = None
+        try:
+            chaos.trip("cache.store")
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=self._TMP_PREFIX, suffix=".npy"
+            )
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, stack)
+            os.replace(tmp_path, payload_path)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=self._TMP_PREFIX, suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=1, sort_keys=True)
+            os.replace(tmp_path, path)
+            tmp_path = None
+        except KeyboardInterrupt:
+            if tmp_path is not None:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+            raise
+        except Exception:
+            if tmp_path is not None:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+            self.stats.store_failures += 1
+            obs.get_recorder().count("cache.store_failed")
+            return None
+        self._collect_stale_payloads(key, keep=manifest["payload"])
+        self.stats.stores += 1
+        obs.get_recorder().count("cache.store")
+        self._enforce_max_entries(keep=key)
+        return path
+
+    def _collect_stale_payloads(self, key: str, keep: str) -> None:
+        """Unlink payload files of ``key`` the current manifest retired."""
+        prefix = f"dict_{key}."
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if (
+                name.startswith(prefix)
+                and name.endswith(".npy")
+                and name != keep
+            ):
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+
+    # -- maintenance ----------------------------------------------------
+    def evict(self, key: str) -> None:
+        """Delete one entry (manifest and every payload generation)."""
+        try:
+            os.remove(self.manifest_path_for(key))
+        except OSError:
+            pass
+        self._collect_stale_payloads(key, keep="")
+
+    def keys(self) -> List[str]:
+        """Keys with a manifest present, sorted (an audit/GC helper)."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(
+            name[len("dict_"):-len(".json")]
+            for name in names
+            if name.startswith("dict_") and name.endswith(".json")
+        )
+
+    def _enforce_max_entries(self, keep: Optional[str] = None) -> int:
+        """LRU-evict entries beyond ``max_entries`` (manifest mtime)."""
+        if self.max_entries is None:
+            return 0
+        keys = self.keys()
+        if len(keys) <= self.max_entries:
+            return 0
+        recorder = obs.get_recorder()
+
+        def mtime(entry_key: str) -> float:
+            try:
+                return os.path.getmtime(self.manifest_path_for(entry_key))
+            except OSError:
+                return 0.0
+
+        evicted = 0
+        for entry_key in sorted(keys, key=mtime):
+            if len(keys) - evicted <= self.max_entries:
+                break
+            if keep is not None and entry_key == keep:
+                continue
+            self.evict(entry_key)
+            evicted += 1
+            self.stats.evictions += 1
+            recorder.count("cache.evicted")
+        return evicted
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of manifests removed."""
+        removed = 0
+        for key in self.keys():
+            self.evict(key)
+            removed += 1
+        return removed
+
+    # -- migration ------------------------------------------------------
+    def migrate_legacy(self, cache: Union["DictionaryCache", str]) -> int:
+        """Convert every readable legacy ``.npz`` blob into a store entry.
+
+        Corrupt legacy entries are skipped (and counted against the
+        legacy cache's own stats by its ``load``); entries already
+        present in the store are not rewritten.  Returns the number of
+        entries migrated.
+        """
+        if not isinstance(cache, DictionaryCache):
+            cache = DictionaryCache(cache)
+        migrated = 0
+        try:
+            names = os.listdir(cache.directory)
+        except OSError:
+            return 0
+        for name in sorted(names):
+            if not (name.startswith("dict_") and name.endswith(".npz")):
+                continue
+            key = name[len("dict_"):-len(".npz")]
+            if os.path.exists(self.manifest_path_for(key)):
+                continue
+            payload = cache.load(key)
+            if payload is None:
+                continue
+            if self.store(key, payload["m_crt"], payload["signatures"]):
+                migrated += 1
+        return migrated
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DictionaryStore({self.directory!r}, hits={self.stats.hits}, "
+            f"misses={self.stats.misses}, rejected={self.stats.rejected})"
+        )
+
+
 def resolve_cache(
-    cache: Optional[Union[DictionaryCache, str, os.PathLike]] = None,
-) -> Optional[DictionaryCache]:
+    cache: Optional[
+        Union[DictionaryCache, "DictionaryStore", str, os.PathLike]
+    ] = None,
+) -> Optional[Union[DictionaryCache, "DictionaryStore"]]:
     """Normalize a caller-supplied cache argument.
 
-    Explicit :class:`DictionaryCache` instances and paths win; ``None``
-    consults ``REPRO_CACHE_DIR`` and stays disabled when it is unset or
-    empty — so tests and library users never hit the filesystem unless
-    they opted in.  ``REPRO_CACHE_MAX_ENTRIES`` applies the LRU size cap
-    to any cache this function constructs (explicit instances keep their
-    own ``max_entries``).
+    Explicit :class:`DictionaryCache` / :class:`DictionaryStore`
+    instances and paths win; ``None`` consults ``REPRO_CACHE_DIR`` and
+    stays disabled when it is unset or empty — so tests and library
+    users never hit the filesystem unless they opted in.
+    ``REPRO_CACHE_MAX_ENTRIES`` applies the LRU size cap to any cache
+    this function constructs (explicit instances keep their own
+    ``max_entries``), and ``REPRO_CACHE_FORMAT=store`` makes constructed
+    caches zero-copy :class:`DictionaryStore` directories instead of
+    pickle-blob :class:`DictionaryCache` ones.
     """
-    if isinstance(cache, DictionaryCache):
+    if isinstance(cache, (DictionaryCache, DictionaryStore)):
         return cache
     limit = os.environ.get(ENV_CACHE_MAX_ENTRIES, "").strip()
     max_entries = int(limit) if limit else None
+    fmt = os.environ.get(ENV_CACHE_FORMAT, "").strip().lower() or "blob"
+    if fmt not in ("blob", "store"):
+        raise ValueError(
+            f"unknown {ENV_CACHE_FORMAT} value {fmt!r}; expected 'blob' or "
+            "'store'"
+        )
+    factory = DictionaryStore if fmt == "store" else DictionaryCache
     if cache is not None:
-        return DictionaryCache(cache, max_entries=max_entries)
+        return factory(cache, max_entries=max_entries)
     directory = os.environ.get(ENV_CACHE_DIR, "").strip()
     if directory:
-        return DictionaryCache(directory, max_entries=max_entries)
+        return factory(directory, max_entries=max_entries)
     return None

@@ -32,11 +32,23 @@ from ..timing.instance import CircuitTiming
 from .. import obs
 from .cache import DictionaryCache
 from .dictionary import ProbabilisticFaultDictionary, build_dictionary
-from .error_functions import ALG_REV, ErrorFunction, METHOD_I, METHOD_II
+from .error_functions import (
+    ALG_REV,
+    ErrorFunction,
+    METHOD_I,
+    METHOD_II,
+    batched_scores,
+)
 from .parallel import ParallelConfig
 from .suspects import suspect_edges
 
-__all__ = ["DiagnosisResult", "diagnose", "diagnose_all", "run_diagnosis"]
+__all__ = [
+    "DiagnosisResult",
+    "diagnose",
+    "diagnose_all",
+    "diagnose_batch",
+    "run_diagnosis",
+]
 
 
 @dataclass
@@ -109,6 +121,71 @@ def diagnose(
     reverse = error_function.higher_is_better
     ranking = sorted(scored, key=lambda item: -item[1] if reverse else item[1])
     return DiagnosisResult(error_function.name, ranking)
+
+
+#: Soft cap on the broadcast scratch ``(Q_chunk, S, n_out, n_cols)`` the
+#: batch scorer materializes at once, in float64 elements (~64 MiB).
+#: Chunking over queries never changes results — each (query, suspect)
+#: score is computed independently.
+_BATCH_BLOCK_ELEMS = 8_000_000
+
+
+def diagnose_batch(
+    dictionary: ProbabilisticFaultDictionary,
+    behaviors: Sequence[np.ndarray],
+    error_function: ErrorFunction = ALG_REV,
+) -> List[DiagnosisResult]:
+    """Rank the dictionary's suspects against many behavior matrices.
+
+    One vectorized kernel call scores every (behavior, suspect) pair via
+    the suspect signature stack, then each query is ranked exactly like
+    :func:`diagnose`.  The result is bit-identical to
+    ``[diagnose(dictionary, b, error_function) for b in behaviors]`` —
+    the batched error-function kernels replay the scalar floating-point
+    reduction order (see :func:`repro.core.error_functions.batched_scores`)
+    and the ranking uses the same stable sort and tie-break.  This is the
+    hot path of the warm :class:`repro.service.DiagnosisService`.
+    """
+    recorder = obs.get_recorder()
+    shape = dictionary.m_crt.shape
+    stacked = np.empty((len(behaviors),) + shape, dtype=float)
+    for index, behavior in enumerate(behaviors):
+        behavior = np.asarray(behavior)
+        if behavior.shape != shape:
+            raise ValueError(
+                f"behavior {index} shape {behavior.shape} != error-matrix "
+                f"shape {shape}"
+            )
+        stacked[index] = behavior
+    suspects = dictionary.suspects
+    if not suspects:
+        return [
+            DiagnosisResult(error_function.name, [])
+            for _ in range(len(behaviors))
+        ]
+    with recorder.span("diagnosis.batch"):
+        recorder.count("diagnosis.batch_queries", len(behaviors))
+        # Same floats as per-suspect ``m_crt + signatures[edge]``: the
+        # broadcast add performs the identical elementwise additions.
+        e_stack = dictionary.m_crt[None, :, :] + dictionary.signature_stack()
+        per_query = len(suspects) * max(int(np.prod(shape)), 1)
+        block = max(1, _BATCH_BLOCK_ELEMS // per_query)
+        results: List[DiagnosisResult] = []
+        reverse = error_function.higher_is_better
+        for start in range(0, len(behaviors), block):
+            grid = batched_scores(
+                error_function, e_stack, stacked[start:start + block]
+            )
+            for row in grid:
+                scored = [
+                    (edge, float(score))
+                    for edge, score in zip(suspects, row)
+                ]
+                ranking = sorted(
+                    scored, key=lambda item: -item[1] if reverse else item[1]
+                )
+                results.append(DiagnosisResult(error_function.name, ranking))
+    return results
 
 
 def diagnose_all(

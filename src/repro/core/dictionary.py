@@ -95,6 +95,11 @@ class ProbabilisticFaultDictionary:
     #: sampler (mode, round size, samples/rounds per suspect, degeneracy
     #: events); ``None`` for plain builds and cache-served results.
     sampling_report: Optional[Dict] = None
+    #: Prebuilt ``(n_suspects, n_outputs, n_cols)`` signature stack —
+    #: populated zero-copy when the dictionary was served from an mmap
+    #: :class:`~repro.core.cache.DictionaryStore`; lazily stacked
+    #: otherwise.  Batched diagnosis reads suspects through this.
+    _signature_stack: Optional[np.ndarray] = None
 
     @property
     def circuit(self) -> Circuit:
@@ -106,6 +111,26 @@ class ProbabilisticFaultDictionary:
     def e_crt(self, edge: Edge) -> np.ndarray:
         """``Err_M(D_s(C), TP, clk)`` for one suspect."""
         return self.m_crt + self.signatures[edge]
+
+    def signature_stack(self) -> np.ndarray:
+        """All signatures as one ``(n_suspects, n_out, n_cols)`` array.
+
+        Row ``i`` is bit-identical to ``signatures[suspects[i]]``.  The
+        stack is what the vectorized batch scorer
+        (:func:`repro.core.diagnosis.diagnose_batch`) broadcasts against;
+        store-served dictionaries return the mmapped pages themselves
+        (zero copy), built ones stack once and memoize.
+        """
+        if self._signature_stack is None:
+            if self.suspects:
+                stack = np.stack(
+                    [self.signatures[edge] for edge in self.suspects]
+                )
+            else:
+                stack = np.zeros((0,) + self.m_crt.shape, self.m_crt.dtype)
+            stack.setflags(write=False)
+            self._signature_stack = stack
+        return self._signature_stack
 
     def __len__(self) -> int:
         return len(self.suspects)
@@ -471,6 +496,7 @@ def build_multi_clock_dictionary(
         m_crt: np.ndarray,
         signature_list: Sequence[np.ndarray],
         sampling_report: Optional[Dict] = None,
+        signature_stack: Optional[np.ndarray] = None,
     ) -> ProbabilisticFaultDictionary:
         return ProbabilisticFaultDictionary(
             timing=timing,
@@ -480,6 +506,7 @@ def build_multi_clock_dictionary(
             signatures=dict(zip(suspects, signature_list)),
             size_samples=size_samples,
             sampling_report=sampling_report,
+            _signature_stack=signature_stack,
         )
 
     recorder = obs.get_recorder()
@@ -503,7 +530,17 @@ def build_multi_clock_dictionary(
                 payload = store.load(key)
             if payload is not None:
                 recorder.count("dictionary.cache_served")
-                return _assemble(payload["m_crt"], payload["signatures"])
+                # An mmap DictionaryStore hands the signature stack over
+                # zero-copy (rows 1.. of its payload array); batch
+                # diagnosis then scores straight off the shared pages.
+                served_stack = payload.get("stack")
+                return _assemble(
+                    payload["m_crt"],
+                    payload["signatures"],
+                    signature_stack=(
+                        served_stack[1:] if served_stack is not None else None
+                    ),
+                )
 
         if base_simulations is None:
             with recorder.span("dictionary.base_simulation"):
@@ -551,6 +588,7 @@ def build_multi_clock_dictionary(
                 records = map_chunked(
                     _sampled_signatures_for_chunk, sampled_job, len(suspects),
                     resolve_parallel(parallel),
+                    work_per_item=n_patterns * timing.space.n_samples,
                 )
             signature_list = [record.signature for record in records]
             samples_per_suspect = [record.samples_spent for record in records]
@@ -593,9 +631,14 @@ def build_multi_clock_dictionary(
                     )
         else:
             with recorder.span("dictionary.signatures"):
+                # The cost hint makes auto-chunking work-aware: chunks
+                # carry at least MIN_CHUNK_WORK of suspects × patterns ×
+                # samples, fixing the small-granularity pool loss
+                # BENCH_parallel.json recorded.
                 signature_list = map_chunked(
                     _signatures_for_chunk, job, len(suspects),
                     resolve_parallel(parallel),
+                    work_per_item=n_patterns * timing.space.n_samples,
                 )
         if recorder.enabled:
             # Estimator-quality meters: the distribution of the per-entry

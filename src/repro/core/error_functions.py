@@ -35,6 +35,7 @@ __all__ = [
     "ErrorFunction",
     "match_probabilities",
     "pattern_match_probability",
+    "batched_scores",
     "METHOD_I",
     "METHOD_II",
     "METHOD_III",
@@ -177,3 +178,120 @@ def by_name(name: str) -> ErrorFunction:
         raise KeyError(
             f"unknown error function {name!r}; known: {sorted(_BY_NAME)}"
         ) from None
+
+
+# ----------------------------------------------------------------------
+# batched scoring kernels
+#
+# One kernel call scores Q behavior matrices against S suspect matrices
+# at once, returning a ``(Q, S)`` score grid.  Bit-identity with the
+# scalar ``score(signature, behavior)`` path is a hard requirement (the
+# service promises warm batch answers equal to one-shot diagnosis), so
+# every reduction below is arranged to replay the scalar floating-point
+# operation order exactly:
+#
+# * elementwise ops broadcast to ``(Q, S, n_out, n_cols)`` — per-element
+#   arithmetic is order-free, so these match trivially;
+# * products use ``multiply.reduce``, which is sequential along the
+#   reduced axis in both the 1-D scalar case and the batched case;
+# * sums/means reduce along the *last* axis of a C-contiguous array,
+#   which NumPy pairwise-sums with the same blocking as the scalar 1-D
+#   (or flattened) reduction of the same length — multi-axis sums are
+#   therefore rewritten as a reshape to ``(Q, S, -1)`` first.
+
+
+def _batched_match_probabilities(
+    e_stack: np.ndarray, behaviors: np.ndarray
+) -> np.ndarray:
+    """Step-5 probabilities for every (behavior, suspect) pair at once."""
+    b = behaviors[:, None, :, :]
+    s = e_stack[None, :, :, :]
+    return b * s + (1.0 - b) * (1.0 - s)
+
+
+def _batched_phi(e_stack: np.ndarray, behaviors: np.ndarray) -> np.ndarray:
+    p = _batched_match_probabilities(e_stack, behaviors)
+    return np.multiply.reduce(p, axis=2)
+
+
+def _b_method_i(e_stack: np.ndarray, behaviors: np.ndarray) -> np.ndarray:
+    phi = _batched_phi(e_stack, behaviors)
+    return 1.0 - np.multiply.reduce(1.0 - phi, axis=-1)
+
+
+def _b_method_ii(e_stack: np.ndarray, behaviors: np.ndarray) -> np.ndarray:
+    if behaviors.shape[-1] == 0:
+        return np.zeros((behaviors.shape[0], e_stack.shape[0]))
+    return _batched_phi(e_stack, behaviors).mean(axis=-1)
+
+
+def _b_method_iii(e_stack: np.ndarray, behaviors: np.ndarray) -> np.ndarray:
+    if behaviors.shape[-1] == 0:
+        return np.zeros((behaviors.shape[0], e_stack.shape[0]))
+    return np.multiply.reduce(_batched_phi(e_stack, behaviors), axis=-1)
+
+
+def _b_alg_rev(e_stack: np.ndarray, behaviors: np.ndarray) -> np.ndarray:
+    phi = _batched_phi(e_stack, behaviors)
+    return ((1.0 - phi) ** 2).sum(axis=-1)
+
+
+def _b_log_likelihood(
+    e_stack: np.ndarray, behaviors: np.ndarray
+) -> np.ndarray:
+    p = _batched_match_probabilities(e_stack, behaviors)
+    lp = np.log(np.clip(p, _EPS, None))
+    # Flatten (n_out, n_cols) so the pairwise sum blocks exactly like the
+    # scalar path's flattened ``.sum()``.
+    return lp.reshape(lp.shape[0], lp.shape[1], -1).sum(axis=-1)
+
+
+def _b_euclidean_sb(e_stack: np.ndarray, behaviors: np.ndarray) -> np.ndarray:
+    d = (e_stack[None, :, :, :] - behaviors[:, None, :, :]) ** 2
+    return d.reshape(d.shape[0], d.shape[1], -1).sum(axis=-1)
+
+
+_BATCHED: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "method_I": _b_method_i,
+    "method_II": _b_method_ii,
+    "method_III": _b_method_iii,
+    "alg_rev": _b_alg_rev,
+    "log_likelihood": _b_log_likelihood,
+    "euclidean_sb": _b_euclidean_sb,
+}
+
+
+def batched_scores(
+    error_function: ErrorFunction,
+    e_stack: np.ndarray,
+    behaviors: np.ndarray,
+) -> np.ndarray:
+    """Score ``Q`` behavior matrices against ``S`` suspect matrices.
+
+    ``e_stack`` is ``(S, n_out, n_cols)`` (rows are per-suspect ``E_crt``
+    matrices), ``behaviors`` is ``(Q, n_out, n_cols)``; the result is a
+    ``(Q, S)`` float grid with ``result[q, s] ==
+    error_function(e_stack[s], behaviors[q])`` bit-for-bit.  Unregistered
+    error functions fall back to the scalar loop, so the equality holds
+    for user-defined functions too.
+    """
+    e_stack = np.asarray(e_stack, dtype=float)
+    behaviors = np.asarray(behaviors, dtype=float)
+    if e_stack.ndim != 3 or behaviors.ndim != 3:
+        raise ValueError(
+            f"expected 3-D stacks, got e_stack {e_stack.shape} and "
+            f"behaviors {behaviors.shape}"
+        )
+    if e_stack.shape[1:] != behaviors.shape[1:]:
+        raise ValueError(
+            f"suspect matrices {e_stack.shape[1:]} vs behavior matrices "
+            f"{behaviors.shape[1:]}"
+        )
+    kernel = _BATCHED.get(error_function.name)
+    if kernel is None:
+        out = np.empty((behaviors.shape[0], e_stack.shape[0]), dtype=float)
+        for q in range(behaviors.shape[0]):
+            for s in range(e_stack.shape[0]):
+                out[q, s] = error_function(e_stack[s], behaviors[q])
+        return out
+    return kernel(e_stack, behaviors)

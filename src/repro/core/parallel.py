@@ -62,6 +62,7 @@ from ..resilience.policy import RetryPolicy, resolve_retry
 
 __all__ = [
     "BACKENDS",
+    "MIN_CHUNK_WORK",
     "ParallelConfig",
     "resolve_parallel",
     "chunk_indices",
@@ -145,19 +146,38 @@ def resolve_parallel(
     )
 
 
+#: Minimum work units (item count × per-item work) a pooled chunk should
+#: carry before its dispatch/pickling overhead is worth paying.
+#: BENCH_parallel.json showed process pools *losing* to serial on small
+#: per-suspect work precisely because count-based chunking produced many
+#: tiny tasks; work-aware sizing merges those into fewer, larger chunks.
+MIN_CHUNK_WORK = 32_768
+
+
 def chunk_indices(
-    n_items: int, chunk_size: Optional[int], n_workers: int
+    n_items: int,
+    chunk_size: Optional[int],
+    n_workers: int,
+    work_per_item: Optional[float] = None,
 ) -> List[range]:
     """Shard ``range(n_items)`` into contiguous chunks, order-preserving.
 
     With ``chunk_size=None`` the items split into roughly ``4 * n_workers``
-    equal chunks.  Chunk sizes above ``n_items`` simply yield one chunk —
-    callers may pass any positive value.
+    equal chunks — and, when the caller declares ``work_per_item`` (for
+    dictionary construction: patterns × samples per suspect), never into
+    chunks carrying less than :data:`MIN_CHUNK_WORK` work units, so
+    small-granularity workloads produce few large chunks instead of many
+    dispatch-dominated ones.  An explicit ``chunk_size`` always wins.
+    Chunk sizes above ``n_items`` simply yield one chunk — callers may
+    pass any positive value.
     """
     if n_items <= 0:
         return []
     if chunk_size is None:
         chunk_size = max(1, -(-n_items // max(4 * n_workers, 1)))
+        if work_per_item is not None and work_per_item > 0:
+            work_floor = int(-(-MIN_CHUNK_WORK // work_per_item))
+            chunk_size = max(chunk_size, min(work_floor, n_items))
     return [
         range(start, min(start + chunk_size, n_items))
         for start in range(0, n_items, chunk_size)
@@ -439,6 +459,7 @@ def map_chunked(
     n_items: int,
     config: Optional[Union[ParallelConfig, str]] = None,
     policy: Optional[RetryPolicy] = None,
+    work_per_item: Optional[float] = None,
 ) -> List:
     """Run ``fn(payload, indices)`` over chunked indices; flatten in order.
 
@@ -447,6 +468,10 @@ def map_chunked(
     process backends.  The flattened result list is aligned with
     ``range(n_items)`` regardless of completion order, which is what makes
     parallel runs reproduce serial runs exactly.
+
+    ``work_per_item`` is an optional cost hint (work units per index)
+    that lets auto-chunking respect :data:`MIN_CHUNK_WORK`; it never
+    changes results, only how indices group into tasks.
 
     ``policy`` (a :class:`repro.resilience.RetryPolicy`; defaults to the
     ``REPRO_RETRY_*`` environment) adds per-chunk retries with
@@ -457,7 +482,9 @@ def map_chunked(
     config = resolve_parallel(config)
     policy = resolve_retry(policy)
     recorder = obs.get_recorder()
-    chunks = chunk_indices(n_items, config.chunk_size, config.workers)
+    chunks = chunk_indices(
+        n_items, config.chunk_size, config.workers, work_per_item
+    )
     if not chunks:
         return []
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
@@ -340,33 +341,134 @@ def check_suspects(
 
 _CACHE_FORMAT = "repro-dictionary-cache-v1"
 
+#: A mmap-store payload: ``dict_<key>.<content-digest-12>.npy``.
+_STORE_PAYLOAD_RE = re.compile(
+    r"^dict_(?P<key>[0-9a-f]+)\.(?P<digest>[0-9a-f]{12})\.npy$"
+)
+
+
+def _check_store_manifest(
+    directory: str, name: str, referenced: set
+) -> List[Diagnostic]:
+    """Audit one ``dict_<key>.json`` store manifest (``S403``/``S407``).
+
+    Shares :func:`repro.core.cache.validate_store_manifest` with the hot
+    path, then cross-checks the filename key and the payload file the
+    manifest points at (existence, shape/dtype agreement, checksum).
+    Valid payload references land in ``referenced`` so the caller can
+    flag unreferenced (stale) payloads.
+    """
+    from ..core.cache import DictionaryStore, validate_store_manifest
+
+    obj = f"cache:{name}"
+    path = os.path.join(directory, name)
+    try:
+        with open(path) as handle:
+            meta = json.load(handle)
+    except Exception as error:
+        return [_diag(
+            "S403",
+            f"store manifest is unreadable ({type(error).__name__}: "
+            f"{error})",
+            obj,
+        )]
+    errors = validate_store_manifest(meta)
+    if errors:
+        return [_diag("S407", f"manifest schema: {text}", obj)
+                for text in errors]
+    findings: List[Diagnostic] = []
+    filename_key = name[len("dict_"):-len(".json")]
+    if meta["key"] != filename_key:
+        findings.append(_diag(
+            "S407",
+            "manifest key does not match its filename (orphaned by a "
+            "key-schema change)",
+            obj,
+        ))
+        return findings
+    payload_path = os.path.join(directory, meta["payload"])
+    if not os.path.isfile(payload_path):
+        findings.append(_diag(
+            "S407",
+            f"manifest points at missing payload {meta['payload']!r} "
+            "(stale pointer — or a rewrite is racing the audit)",
+            obj,
+        ))
+        return findings
+    referenced.add(meta["payload"])
+    try:
+        stack = np.load(payload_path, mmap_mode="r", allow_pickle=False)
+        if tuple(stack.shape) != tuple(meta["shape"]):
+            findings.append(_diag(
+                "S403",
+                f"payload shape {tuple(stack.shape)} disagrees with "
+                f"manifest {tuple(meta['shape'])}",
+                obj,
+            ))
+        elif str(stack.dtype) != meta["dtype"]:
+            findings.append(_diag(
+                "S403",
+                f"payload dtype {stack.dtype} disagrees with manifest "
+                f"{meta['dtype']!r}",
+                obj,
+            ))
+        elif DictionaryStore._stack_checksum(stack) != meta["checksum"]:
+            findings.append(_diag(
+                "S403",
+                "payload checksum mismatch (bit rot or truncated write)",
+                obj,
+            ))
+    except Exception as error:
+        findings.append(_diag(
+            "S403",
+            f"payload is unreadable ({type(error).__name__}: {error})",
+            obj,
+        ))
+    return findings
+
 
 def check_cache(cache_or_dir) -> List[Diagnostic]:
-    """Read-only audit of a dictionary-cache directory (``S403``–``S405``).
+    """Read-only audit of a dictionary-cache directory (``S403``–``S407``).
 
-    Unlike ``DictionaryCache.load`` — which deletes bad entries on the hot
-    path — the audit never modifies the directory; it only reports.
+    Covers both on-disk layouts: legacy ``dict_<key>.npz`` blobs
+    (``S403``–``S405``) and the mmap store's manifest + payload pairs
+    (``S403``/``S405``/``S407``).  Unlike the hot-path loaders — which
+    delete bad entries — the audit never modifies the directory; it only
+    reports.
     """
-    from ..core.cache import DictionaryCache, _payload_checksum
-
-    directory = (
-        cache_or_dir.directory
-        if isinstance(cache_or_dir, DictionaryCache)
-        else os.fspath(cache_or_dir)
+    from ..core.cache import (
+        DictionaryCache,
+        DictionaryStore,
+        _payload_checksum,
     )
+
+    if isinstance(cache_or_dir, (DictionaryCache, DictionaryStore)):
+        directory = cache_or_dir.directory
+    else:
+        directory = os.fspath(cache_or_dir)
     findings: List[Diagnostic] = []
     if not os.path.isdir(directory):
         return findings
-    for name in sorted(os.listdir(directory)):
+    names = sorted(os.listdir(directory))
+    referenced: set = set()
+    payload_names = [
+        name for name in names if _STORE_PAYLOAD_RE.match(name)
+    ]
+    for name in names:
         path = os.path.join(directory, name)
         obj = f"cache:{name}"
-        if name.startswith(".tmp_dict_"):
+        if name.startswith((".tmp_dict_", ".tmp_store_")):
             findings.append(_diag(
                 "S405",
                 "leftover temp file from an interrupted cache writer",
                 obj,
             ))
             continue
+        if name.startswith("dict_") and name.endswith(".json"):
+            findings.extend(_check_store_manifest(directory, name, referenced))
+            continue
+        if name in payload_names:
+            continue  # orphan status decided after every manifest is read
         if not (name.startswith("dict_") and name.endswith(".npz")):
             if os.path.isfile(path):
                 findings.append(_diag(
@@ -413,6 +515,14 @@ def check_cache(cache_or_dir) -> List[Diagnostic]:
                 "S403",
                 f"entry is unreadable ({type(error).__name__}: {error})",
                 obj,
+            ))
+    for name in payload_names:
+        if name not in referenced:
+            findings.append(_diag(
+                "S405",
+                "store payload not referenced by any manifest (stale "
+                "after a rewrite, or its manifest never landed)",
+                obj=f"cache:{name}",
             ))
     return findings
 

@@ -209,6 +209,12 @@ _CATALOG = (
         "per-(suspect, clock, round) streams are what make sampled "
         "dictionary builds bit-reproducible across parallel backends.",
     ),
+    Rule(
+        "S407", "store-manifest-violation", Severity.ERROR, "model",
+        "Dictionary-store manifest (dict_<key>.json) violates the "
+        "repro-dictionary-store-v1 schema, disagrees with its filename "
+        "key, or points at a payload file that does not exist.",
+    ),
     # ------------------------------------ observability run manifests
     Rule(
         "S501", "manifest-unreadable", Severity.ERROR, "model",

@@ -1,0 +1,146 @@
+"""Thin synchronous JSON-lines client for the diagnosis server.
+
+The wire format is the one-object-per-line protocol documented in
+:mod:`repro.service.server`.  Error responses are rehydrated into the
+same typed :mod:`repro.service.errors` exceptions the server raised, so
+calling code (and the ``repro query`` CLI exit-code mapping) dispatches
+on types on both sides of the socket.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import ServiceConnectionError, error_from_wire
+
+__all__ = ["ServiceClient", "RemoteDiagnosis"]
+
+
+class RemoteDiagnosis:
+    """A deserialized diagnose answer: ``ranking`` is best-first
+    ``(edge_string, score)`` pairs (edges travel as their ``str`` form)."""
+
+    def __init__(self, workload: str, method: str,
+                 ranking: Sequence[Tuple[str, float]]) -> None:
+        self.workload = workload
+        self.method = method
+        self.ranking: List[Tuple[str, float]] = [
+            (str(edge), float(score)) for edge, score in ranking
+        ]
+
+    def top(self, k: int = 1) -> List[str]:
+        if k < 1:
+            raise ValueError("K must be at least 1")
+        return [edge for edge, _score in self.ranking[:k]]
+
+    def __repr__(self) -> str:
+        return (f"RemoteDiagnosis({self.workload!r}, {self.method!r}, "
+                f"{len(self.ranking)} suspects)")
+
+
+class ServiceClient:
+    """One TCP connection speaking the JSON-lines protocol.
+
+    Usable as a context manager::
+
+        with ServiceClient("127.0.0.1", 8787) as client:
+            answer = client.diagnose("s1196", behavior, top_k=5)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: Optional[float] = 60.0) -> None:
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceConnectionError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from None
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- transport ------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def call(self, message: dict):
+        """One request/response round trip; raises typed errors."""
+        self._next_id += 1
+        message = dict(message, id=self._next_id)
+        try:
+            self._sock.sendall(json.dumps(message).encode() + b"\n")
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServiceConnectionError(f"transport failure: {exc}") from None
+        if not line:
+            raise ServiceConnectionError("server closed the connection")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceConnectionError(f"bad response line: {exc}") from None
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise error_from_wire(
+                error.get("type", "internal"),
+                error.get("message", "unspecified server error"),
+            )
+        return response.get("result")
+
+    # -- operations -----------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.call({"op": "ping"}) == "pong"
+
+    def stats(self) -> dict:
+        return self.call({"op": "stats"})
+
+    def workloads(self) -> List[str]:
+        return list(self.call({"op": "workloads"}))
+
+    def diagnose(
+        self,
+        workload: str,
+        behavior,
+        error_function: str = "alg_rev",
+        top_k: Optional[int] = None,
+    ) -> RemoteDiagnosis:
+        message = {
+            "op": "diagnose",
+            "workload": workload,
+            "behavior": np.asarray(behavior).tolist(),
+            "error_function": error_function,
+        }
+        if top_k is not None:
+            message["top_k"] = top_k
+        result = self.call(message)
+        return RemoteDiagnosis(
+            result["workload"], result["method"], result["ranking"]
+        )
+
+    def diagnose_many(
+        self,
+        workload: str,
+        behaviors: Iterable,
+        error_function: str = "alg_rev",
+        top_k: Optional[int] = None,
+    ) -> List[RemoteDiagnosis]:
+        """Sequential convenience loop (one connection, many queries)."""
+        return [
+            self.diagnose(workload, behavior, error_function, top_k)
+            for behavior in behaviors
+        ]

@@ -1,0 +1,85 @@
+"""Typed failure taxonomy of the diagnosis service layer.
+
+Extends the :mod:`repro.resilience` error family so the CLI exit-code
+policy applies unchanged: every :class:`ServiceError` is a
+:class:`~repro.resilience.ResilienceError`, and the two *user*-error
+shapes (:class:`BadRequestError`, :class:`UnknownWorkloadError`) are
+additionally flagged for the usage exit code (2) rather than the
+transient one (3).
+
+Wire mapping: the JSON-lines server serializes each class to a stable
+``error.type`` tag (:data:`WIRE_TYPES`), and the client rehydrates the
+tag back into the same class — callers dispatch on *types* on both
+sides, never on message strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..resilience import ResilienceError
+
+__all__ = [
+    "ServiceError",
+    "BadRequestError",
+    "UnknownWorkloadError",
+    "QueueFullError",
+    "RequestTimeoutError",
+    "ServiceConnectionError",
+    "WIRE_TYPES",
+    "error_from_wire",
+    "wire_type",
+]
+
+
+class ServiceError(ResilienceError):
+    """Base of every typed failure raised by :mod:`repro.service`."""
+
+
+class BadRequestError(ServiceError):
+    """A malformed request (bad shape, unknown op, bad JSON): user error."""
+
+
+class UnknownWorkloadError(BadRequestError):
+    """The request names a workload the service never registered."""
+
+
+class QueueFullError(ServiceError):
+    """Backpressure verdict: the bounded request queue is full.
+
+    Raised (and sent as ``error.type: "overloaded"``) *immediately* when
+    a request cannot be enqueued — the server never buffers beyond its
+    queue bound, so a saturated service degrades into fast rejections a
+    client can retry against, not into unbounded memory growth.
+    """
+
+
+class RequestTimeoutError(ServiceError):
+    """A request missed its deadline while queued or being scored."""
+
+
+class ServiceConnectionError(ServiceError):
+    """Client-side transport failure (refused, reset, protocol junk)."""
+
+
+#: Stable wire tags — part of the protocol, append-only.
+WIRE_TYPES: Dict[str, Type[ServiceError]] = {
+    "bad_request": BadRequestError,
+    "unknown_workload": UnknownWorkloadError,
+    "overloaded": QueueFullError,
+    "timeout": RequestTimeoutError,
+    "connection": ServiceConnectionError,
+    "internal": ServiceError,
+}
+
+_TO_WIRE = {cls: tag for tag, cls in WIRE_TYPES.items()}
+
+
+def wire_type(error: BaseException) -> str:
+    """The ``error.type`` tag for an exception (``internal`` fallback)."""
+    return _TO_WIRE.get(type(error), "internal")
+
+
+def error_from_wire(tag: str, message: str) -> ServiceError:
+    """Rehydrate a wire error tag into the matching typed exception."""
+    return WIRE_TYPES.get(tag, ServiceError)(message)

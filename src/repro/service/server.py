@@ -1,0 +1,331 @@
+"""The asyncio JSON-lines front end of :class:`DiagnosisService`.
+
+Protocol — one JSON object per line, both directions:
+
+request::
+
+    {"op": "diagnose", "id": 7, "workload": "s1196",
+     "behavior": [[0,1,...], ...], "error_function": "alg_rev", "top_k": 5}
+    {"op": "ping"}        {"op": "stats"}        {"op": "workloads"}
+
+response::
+
+    {"id": 7, "ok": true, "result": {"workload": "s1196",
+     "method": "alg_rev", "ranking": [["a->b[0]", 0.25], ...]}}
+    {"id": 7, "ok": false, "error": {"type": "overloaded", "message": "..."}}
+
+``error.type`` tags are the stable wire taxonomy of
+:mod:`repro.service.errors`.  Backpressure contract (documented in
+``docs/architecture.md`` §15): diagnose requests land in a bounded
+queue; when it is full the server answers ``overloaded`` *immediately*
+instead of buffering — a saturated service degrades into fast typed
+rejections, never unbounded memory.  A dispatcher task drains the queue
+and micro-batches up to ``max_batch`` pending requests into one
+:meth:`DiagnosisService.diagnose_batch` call, so concurrent clients get
+the vectorized kernel for free; batching never changes answers (the
+engine's bit-identity contract), so rankings are stable however client
+streams interleave.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .. import obs
+from ..core.error_functions import by_name
+from .engine import DiagnosisRequest, DiagnosisService
+from .errors import (
+    BadRequestError,
+    RequestTimeoutError,
+    ServiceError,
+    wire_type,
+)
+
+__all__ = ["ServerConfig", "DiagnosisServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Operational knobs of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (tests); the bound port is exposed
+    queue_limit: int = 64  # backpressure bound on queued diagnose requests
+    max_batch: int = 16  # micro-batch cap per dispatcher drain
+    request_timeout: float = 30.0  # seconds from enqueue to answer
+
+
+@dataclass
+class _Pending:
+    request: DiagnosisRequest
+    future: "asyncio.Future" = field(repr=False)
+    enqueued_at: float = 0.0
+    deadline: float = 0.0
+
+
+class DiagnosisServer:
+    """Bounded-queue asyncio server around a warm :class:`DiagnosisService`."""
+
+    def __init__(
+        self, service: DiagnosisService, config: ServerConfig = ServerConfig()
+    ) -> None:
+        self.service = service
+        self.config = config
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._connections: set = set()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._queue = asyncio.Queue(maxsize=self.config.queue_limit)
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Cancel live connection handlers so no coroutine outlives the
+        # event loop (a GC'd suspended handler raises at interpreter
+        # teardown otherwise).
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        self._connections.clear()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- dispatcher -----------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Drain the queue, micro-batching adjacent pending requests."""
+        assert self._queue is not None
+        recorder = obs.get_recorder()
+        while True:
+            batch: List[_Pending] = [await self._queue.get()]
+            while (
+                len(batch) < self.config.max_batch
+                and not self._queue.empty()
+            ):
+                batch.append(self._queue.get_nowait())
+            now = time.monotonic()
+            live: List[_Pending] = []
+            for pending in batch:
+                if pending.future.cancelled():
+                    continue
+                if now > pending.deadline:
+                    pending.future.set_exception(RequestTimeoutError(
+                        "request spent longer than "
+                        f"{self.config.request_timeout:g}s queued"
+                    ))
+                    recorder.count("service.timeouts")
+                    continue
+                live.append(pending)
+            if not live:
+                continue
+            try:
+                with recorder.span("service.dispatch"):
+                    answers = self.service.diagnose_batch(
+                        [pending.request for pending in live]
+                    )
+            except Exception as error:  # typed errors fail the whole batch
+                for pending in live:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                continue
+            for pending, answer in zip(live, answers):
+                if not pending.future.done():
+                    pending.future.set_result(answer)
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        recorder = obs.get_recorder()
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._handle_line(line, recorder)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_line(self, line: bytes, recorder) -> dict:
+        request_id = None
+        try:
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise BadRequestError(f"bad JSON: {exc}") from None
+            if not isinstance(message, dict):
+                raise BadRequestError("request must be a JSON object")
+            request_id = message.get("id")
+            op = message.get("op")
+            if op == "ping":
+                return {"id": request_id, "ok": True, "result": "pong"}
+            if op == "stats":
+                return {
+                    "id": request_id, "ok": True,
+                    "result": self.service.stats(),
+                }
+            if op == "workloads":
+                return {
+                    "id": request_id, "ok": True,
+                    "result": self.service.workload_names(),
+                }
+            if op != "diagnose":
+                raise BadRequestError(f"unknown op {op!r}")
+            return await self._handle_diagnose(message, request_id, recorder)
+        except ServiceError as error:
+            return self._error_response(request_id, error, recorder)
+        except Exception as error:  # internal: never kill the connection
+            return self._error_response(request_id, error, recorder)
+
+    async def _handle_diagnose(
+        self, message: dict, request_id, recorder
+    ) -> dict:
+        assert self._queue is not None
+        with recorder.span("service.request"):
+            request = self._parse_diagnose(message)
+            loop = asyncio.get_event_loop()
+            now = time.monotonic()
+            pending = _Pending(
+                request=request,
+                future=loop.create_future(),
+                enqueued_at=now,
+                deadline=now + self.config.request_timeout,
+            )
+            try:
+                self._queue.put_nowait(pending)
+            except asyncio.QueueFull:
+                recorder.count("service.overloaded")
+                return {
+                    "id": request_id, "ok": False,
+                    "error": {
+                        "type": "overloaded",
+                        "message": (
+                            "request queue is full "
+                            f"({self.config.queue_limit} pending); retry"
+                        ),
+                    },
+                }
+            try:
+                answer = await asyncio.wait_for(
+                    pending.future, timeout=self.config.request_timeout
+                )
+            except asyncio.TimeoutError:
+                recorder.count("service.timeouts")
+                return self._error_response(
+                    request_id,
+                    RequestTimeoutError(
+                        "no answer within "
+                        f"{self.config.request_timeout:g}s"
+                    ),
+                    recorder,
+                )
+            top_k = message.get("top_k")
+            ranking = answer.ranking if top_k is None else answer.ranking[:top_k]
+            return {
+                "id": request_id, "ok": True,
+                "result": {
+                    "workload": answer.workload,
+                    "method": answer.method,
+                    "ranking": [
+                        [str(edge), score] for edge, score in ranking
+                    ],
+                },
+            }
+
+    def _parse_diagnose(self, message: dict) -> DiagnosisRequest:
+        workload = message.get("workload")
+        if not isinstance(workload, str):
+            raise BadRequestError("diagnose needs a string 'workload'")
+        behavior = message.get("behavior")
+        if behavior is None:
+            raise BadRequestError("diagnose needs a 'behavior' matrix")
+        try:
+            matrix = np.asarray(behavior, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"bad behavior matrix: {exc}") from None
+        if matrix.ndim != 2:
+            raise BadRequestError(
+                f"behavior must be 2-D, got shape {matrix.shape}"
+            )
+        top_k = message.get("top_k")
+        if top_k is not None and (not isinstance(top_k, int) or top_k < 1):
+            raise BadRequestError("top_k must be a positive integer")
+        error_function = message.get("error_function", "alg_rev")
+        if not isinstance(error_function, str):
+            raise BadRequestError("error_function must be a string name")
+        try:
+            by_name(error_function)
+        except KeyError as exc:
+            raise BadRequestError(str(exc)) from None
+        # Reject unknown workloads and shape mismatches *before* the
+        # queue: a bad request must fail alone, never poison the
+        # micro-batch it would have been grouped into.
+        expected = self.service.workload(workload).behavior_shape
+        if matrix.shape != tuple(expected):
+            raise BadRequestError(
+                f"behavior shape {matrix.shape} != workload {workload!r} "
+                f"shape {tuple(expected)}"
+            )
+        return DiagnosisRequest(
+            workload=workload,
+            behavior=matrix,
+            error_function=error_function,
+        )
+
+    def _error_response(self, request_id, error, recorder) -> dict:
+        tag = wire_type(error)
+        recorder.count(f"service.errors.{tag}")
+        return {
+            "id": request_id, "ok": False,
+            "error": {"type": tag, "message": str(error)},
+        }

@@ -92,6 +92,7 @@ def _isolated_execution_env(monkeypatch):
     for variable in (
         "REPRO_CACHE_DIR",
         "REPRO_CACHE_MAX_ENTRIES",
+        "REPRO_CACHE_FORMAT",
         "REPRO_PARALLEL_BACKEND",
         "REPRO_PARALLEL_WORKERS",
         "REPRO_PARALLEL_CHUNK",

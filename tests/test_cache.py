@@ -8,6 +8,7 @@ samples.  And because cache files live on disk across runs, load must
 treat any damaged file as a miss, never as data and never as a crash.
 """
 
+import json
 import os
 
 import numpy as np
@@ -16,13 +17,16 @@ import pytest
 from repro.atpg import random_pattern_pairs
 from repro.circuits import GeneratorConfig, generate_circuit
 from repro.core import (
+    STORE_FORMAT,
     DictionaryCache,
+    DictionaryStore,
     build_dictionary,
     circuit_fingerprint,
     dictionary_cache_key,
     patterns_fingerprint,
     resolve_cache,
     timing_fingerprint,
+    validate_store_manifest,
 )
 from repro.defects import DefectSizeModel
 from repro.timing import CircuitTiming, SampleSpace, diagnosis_clock, simulate_pattern_set
@@ -420,5 +424,292 @@ class TestConcurrentWriters:
         names = sorted(os.listdir(tmp_path))
         assert names == [f"dict_{key}.npz"]
         final = reader.load(key)
+        assert final is not None
+        np.testing.assert_array_equal(final["m_crt"], expected_m)
+
+
+# ---------------------------------------------------------------------------
+# The zero-copy mmap store (DictionaryStore)
+# ---------------------------------------------------------------------------
+
+
+def _store_entry(seed: int):
+    """A deterministic (m_crt, signatures) payload distinct per seed."""
+    rng = np.random.default_rng(seed)
+    m_crt = rng.standard_normal((3, 5))
+    signatures = [rng.standard_normal((3, 5)) for _ in range(4)]
+    return m_crt, signatures
+
+
+class TestDictionaryStore:
+    def test_roundtrip_is_bit_identical_to_blob_cache(self, tmp_path):
+        """The mmap store and the pickle-blob cache agree to the last bit.
+
+        Same key, same content, two formats — every float a downstream
+        diagnosis reads must be identical whichever backend served it.
+        """
+        m_crt, signatures = _store_entry(11)
+        blob = DictionaryCache(tmp_path / "blob")
+        store = DictionaryStore(tmp_path / "store")
+        blob.store("kk", m_crt, signatures)
+        store.store("kk", m_crt, signatures)
+        from_blob = blob.load("kk")
+        from_store = store.load("kk")
+        assert from_blob is not None and from_store is not None
+        np.testing.assert_array_equal(from_blob["m_crt"], from_store["m_crt"])
+        assert len(from_blob["signatures"]) == len(from_store["signatures"])
+        for a, b in zip(from_blob["signatures"], from_store["signatures"]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_load_is_a_read_only_mmap_view(self, tmp_path):
+        store = DictionaryStore(tmp_path)
+        m_crt, signatures = _store_entry(3)
+        store.store("kk", m_crt, signatures)
+        loaded = store.load("kk")
+        assert isinstance(loaded["stack"], np.memmap)
+        assert not loaded["stack"].flags.writeable
+        assert loaded["stack"].shape == (1 + len(signatures),) + m_crt.shape
+        # signatures are zero-copy row views of the mapped stack
+        assert loaded["signatures"][0].base is not None
+        np.testing.assert_array_equal(loaded["stack"][0], m_crt)
+
+    def test_verify_checks_the_full_checksum(self, tmp_path):
+        store = DictionaryStore(tmp_path)
+        store.store("kk", *_store_entry(5))
+        assert store.load("kk", verify=True) is not None
+        assert store.stats.rejected == 0
+
+    def test_missing_payload_is_a_benign_miss_not_corruption(self, tmp_path):
+        """A manifest whose payload vanished (concurrent rewrite retired
+        it) is a plain miss: no rejection, and the manifest survives —
+        the next publisher will repair the entry."""
+        store = DictionaryStore(tmp_path)
+        store.store("kk", *_store_entry(5))
+        manifest = json.load(open(store.manifest_path_for("kk")))
+        os.remove(os.path.join(str(tmp_path), manifest["payload"]))
+        assert store.load("kk") is None
+        assert store.stats.rejected == 0
+        assert store.stats.misses == 1
+        assert os.path.exists(store.manifest_path_for("kk"))
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            pytest.param("truncate_payload", id="truncated-payload"),
+            pytest.param("garbage_manifest", id="garbage-manifest"),
+            pytest.param("schema_violation", id="schema-violation"),
+            pytest.param("wrong_key", id="key-mismatch"),
+        ],
+    )
+    def test_corruption_is_rejected_and_evicted(self, tmp_path, corrupt):
+        store = DictionaryStore(tmp_path)
+        store.store("kk", *_store_entry(5))
+        manifest_path = store.manifest_path_for("kk")
+        manifest = json.load(open(manifest_path))
+        payload_path = os.path.join(str(tmp_path), manifest["payload"])
+        if corrupt == "truncate_payload":
+            with open(payload_path, "r+b") as handle:
+                handle.truncate(40)
+        elif corrupt == "garbage_manifest":
+            with open(manifest_path, "w") as handle:
+                handle.write("{not json")
+        elif corrupt == "schema_violation":
+            del manifest["checksum"]
+            json.dump(manifest, open(manifest_path, "w"))
+        elif corrupt == "wrong_key":
+            manifest["key"] = "other"
+            json.dump(manifest, open(manifest_path, "w"))
+        assert store.load("kk") is None
+        assert store.stats.rejected == 1
+        assert store.stats.misses == 1
+        # eviction removed the damaged entry wholesale: manifest AND
+        # every payload generation, so the next store starts clean
+        assert not os.path.exists(manifest_path)
+        assert not os.path.exists(payload_path)
+        assert store.store("kk", *_store_entry(5)) is not None
+        assert store.load("kk") is not None
+
+    def test_rewrite_is_atomic_for_an_already_mapped_reader(self, tmp_path):
+        """POSIX keeps the retired payload's pages alive for a reader
+        that mapped it before the rewrite — its view never changes."""
+        store = DictionaryStore(tmp_path)
+        old_m, old_sigs = _store_entry(1)
+        store.store("kk", old_m, old_sigs)
+        held = store.load("kk")
+        new_m, new_sigs = _store_entry(2)
+        store.store("kk", new_m, new_sigs)
+        np.testing.assert_array_equal(held["m_crt"], old_m)
+        fresh = store.load("kk")
+        np.testing.assert_array_equal(fresh["m_crt"], new_m)
+        # the stale payload generation was garbage-collected
+        payloads = [n for n in os.listdir(tmp_path) if n.endswith(".npy")]
+        assert len(payloads) == 1
+
+    def test_lru_eviction_and_clear(self, tmp_path):
+        store = DictionaryStore(tmp_path, max_entries=2)
+        for index, key in enumerate(("aaa", "bbb", "ccc")):
+            store.store(key, *_store_entry(index))
+            stamp = os.path.getmtime(store.path_for(key)) - (100 - index)
+            os.utime(store.path_for(key), (stamp, stamp))
+        assert store.stats.evictions == 1
+        assert store.keys() == ["bbb", "ccc"]
+        assert store.clear() == 2
+        assert os.listdir(tmp_path) == []
+
+    def test_migrate_legacy_blobs(self, tmp_path):
+        """Blob → store migration carries every readable entry over
+        bit-exactly, skips corrupt blobs, and never rewrites an entry
+        the store already has."""
+        blob = DictionaryCache(tmp_path / "blob")
+        for index, key in enumerate(("aaa", "bbb", "ccc")):
+            blob.store(key, *_store_entry(index))
+        # corrupt one blob; it must be skipped, not crash the migration
+        with open(blob.path_for("ccc"), "wb") as handle:
+            handle.write(b"not a zip")
+        store = DictionaryStore(tmp_path / "store")
+        pre_m, pre_sigs = _store_entry(99)
+        store.store("aaa", pre_m, pre_sigs)  # already present: untouched
+        assert store.migrate_legacy(blob) == 1  # only "bbb"
+        np.testing.assert_array_equal(store.load("aaa")["m_crt"], pre_m)
+        migrated = store.load("bbb")
+        reference = blob.load("bbb")
+        np.testing.assert_array_equal(migrated["m_crt"], reference["m_crt"])
+        for a, b in zip(migrated["signatures"], reference["signatures"]):
+            np.testing.assert_array_equal(a, b)
+        assert store.load("ccc") is None  # corrupt blob was skipped
+
+    def test_build_dictionary_accepts_a_store(self, case, tmp_path):
+        """The builder treats the store as a drop-in cache backend, and a
+        store-served dictionary scores exactly like a freshly built one."""
+        timing, patterns, clk, suspects, sizes, sims = case
+        store = DictionaryStore(tmp_path / "store")
+        built = build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, cache=store,
+        )
+        assert store.stats.stores == 1
+        served = build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, cache=store,
+        )
+        assert store.stats.hits == 1
+        np.testing.assert_array_equal(built.m_crt, served.m_crt)
+        for edge in built.suspects:
+            np.testing.assert_array_equal(
+                built.signatures[edge], served.signatures[edge]
+            )
+
+
+class TestStoreManifestValidation:
+    def _valid(self):
+        return {
+            "format": STORE_FORMAT,
+            "key": "abc",
+            "payload": "dict_abc.0123456789ab.npy",
+            "n_suspects": 4,
+            "shape": [5, 3, 5],
+            "dtype": "float64",
+            "checksum": "ff" * 32,
+        }
+
+    def test_valid_manifest_passes(self):
+        assert validate_store_manifest(self._valid()) == []
+
+    def test_missing_key_is_reported(self):
+        manifest = self._valid()
+        del manifest["payload"]
+        errors = validate_store_manifest(manifest)
+        assert any("payload" in error for error in errors)
+
+    def test_wrong_format_tag_is_reported(self):
+        manifest = self._valid()
+        manifest["format"] = "repro-dictionary-store-v0"
+        errors = validate_store_manifest(manifest)
+        assert any(STORE_FORMAT in error for error in errors)
+
+    def test_wrong_type_is_reported(self):
+        manifest = self._valid()
+        manifest["n_suspects"] = "four"
+        assert validate_store_manifest(manifest)
+
+
+class TestStoreResolution:
+    def test_format_env_selects_the_store(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_FORMAT", "store")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert isinstance(resolve_cache(None), DictionaryStore)
+        assert isinstance(resolve_cache(tmp_path / "explicit"), DictionaryStore)
+
+    def test_default_format_is_the_blob_cache(self, tmp_path):
+        assert isinstance(resolve_cache(tmp_path / "d"), DictionaryCache)
+
+    def test_unknown_format_is_an_error(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_FORMAT", "parquet")
+        with pytest.raises(ValueError, match="parquet"):
+            resolve_cache(tmp_path / "d")
+
+    def test_explicit_store_instance_wins_over_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_FORMAT", "blob")
+        store = DictionaryStore(tmp_path)
+        assert resolve_cache(store) is store
+
+    def test_max_entries_env_applies_to_stores(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_FORMAT", "store")
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "5")
+        assert resolve_cache(tmp_path / "capped").max_entries == 5
+
+
+def _hammer_dictionary_store(directory, key, n_rounds):
+    """Concurrent-writer body: repeatedly republish the same content
+    under the same key, racing the other writers' two-file protocol."""
+    store = DictionaryStore(directory)
+    for _ in range(n_rounds):
+        store.store(key, *_store_entry(7))
+
+
+class TestStoreConcurrentReaders:
+    def test_readers_survive_a_rewrite_stampede(self, tmp_path):
+        """N processes republish one key while we keep mapping it.
+
+        The two-file protocol (content-named payload written first,
+        manifest pointer ``os.replace``d second) means every successful
+        map is a complete, consistent entry; a reader that loses the
+        race to a retired payload sees a benign miss — never torn data
+        and never a rejection.
+        """
+        import multiprocessing
+
+        key = "contended"
+        writers = [
+            multiprocessing.Process(
+                target=_hammer_dictionary_store, args=(str(tmp_path), key, 20)
+            )
+            for _ in range(4)
+        ]
+        for process in writers:
+            process.start()
+        try:
+            reader = DictionaryStore(tmp_path)
+            expected_m, expected_sigs = _store_entry(7)
+            while any(process.is_alive() for process in writers):
+                loaded = reader.load(key, verify=True)
+                if loaded is None:
+                    continue  # pre-first-publish, or a retired payload
+                np.testing.assert_array_equal(loaded["m_crt"], expected_m)
+                np.testing.assert_array_equal(
+                    loaded["signatures"][0], expected_sigs[0]
+                )
+        finally:
+            for process in writers:
+                process.join()
+        assert reader.stats.rejected == 0, "a torn store entry was mapped"
+        for process in writers:
+            assert process.exitcode == 0
+        # one manifest + one payload generation, no temp debris
+        names = sorted(os.listdir(tmp_path))
+        assert len(names) == 2
+        assert f"dict_{key}.json" in names
+        assert not any(n.startswith(".tmp_store_") for n in names)
+        final = reader.load(key, verify=True)
         assert final is not None
         np.testing.assert_array_equal(final["m_crt"], expected_m)

@@ -13,6 +13,7 @@ import pytest
 
 from repro.atpg import generate_path_tests, random_pattern_pairs
 from repro.core import (
+    MIN_CHUNK_WORK,
     ParallelConfig,
     build_dictionary,
     build_sweep_dictionary,
@@ -187,6 +188,61 @@ class TestExecutor:
             ParallelConfig(n_workers=0)
         with pytest.raises(ValueError):
             ParallelConfig(chunk_size=0)
+
+
+class TestWorkAwareChunking:
+    """The auto chunk size must scale with per-item work, not item count.
+
+    A dictionary build over S suspects does S × patterns × samples units
+    of simulation; chunking purely by suspect count sends microscopic
+    chunks through the pool and the IPC overhead eats the speedup
+    (BENCH_parallel.json documents the losses).  The ``work_per_item``
+    hint floors the auto chunk size at ``MIN_CHUNK_WORK`` units per
+    chunk.  These counts are pinned: a change here silently shifts every
+    parallel build's granularity.
+    """
+
+    def _n_chunks(self, n_items, work_per_item):
+        return len(
+            chunk_indices(
+                n_items, None, n_workers=4, work_per_item=work_per_item
+            )
+        )
+
+    def test_no_hint_keeps_the_oversubscription_split(self):
+        # ceil(100 / (4 workers * 4)) = 7 items/chunk -> 15 chunks
+        assert self._n_chunks(100, None) == 15
+
+    def test_tiny_items_coalesce_into_one_chunk(self):
+        # floor = ceil(32768/16) = 2048 items, capped at n_items -> 1 chunk
+        assert self._n_chunks(100, 16) == 1
+
+    def test_moderate_items_coalesce_partially(self):
+        # floor = ceil(32768/4096) = 8 > base 7 -> 13 chunks of <= 8
+        assert self._n_chunks(100, 4096) == 13
+
+    def test_heavy_items_keep_the_fine_split(self):
+        # floor = 1: a single item already exceeds MIN_CHUNK_WORK, so the
+        # latency-balancing split wins unchanged
+        assert self._n_chunks(100, MIN_CHUNK_WORK) == 15
+        assert self._n_chunks(100, 10 * MIN_CHUNK_WORK) == 15
+
+    def test_explicit_chunk_size_overrides_the_hint(self):
+        chunks = chunk_indices(100, 5, n_workers=4, work_per_item=16)
+        assert len(chunks) == 20
+        assert all(len(chunk) == 5 for chunk in chunks)
+
+    def test_hint_covers_all_items_in_order(self):
+        for work in (None, 1, 100, MIN_CHUNK_WORK):
+            chunks = chunk_indices(37, None, n_workers=4, work_per_item=work)
+            flat = [index for chunk in chunks for index in chunk]
+            assert flat == list(range(37))
+
+    def test_map_chunked_results_identical_with_and_without_hint(self):
+        config = ParallelConfig(backend="thread", n_workers=2)
+        plain = map_chunked(_double_chunk, 3, 9, config)
+        hinted = map_chunked(_double_chunk, 3, 9, config, work_per_item=10)
+        assert plain == hinted == [3 * index for index in range(9)]
 
 
 # ----------------------------------------------------------------------

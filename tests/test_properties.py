@@ -274,3 +274,75 @@ def test_convergence_stat_merge_equals_one_shot(seed, n_rounds):
     assert np.isclose(
         merged.std_error, one_shot.std_error, rtol=1e-9, atol=1e-12
     )
+
+
+def _diagnosis_case(circuit_seed, seed, n_suspects=4):
+    """A small dictionary plus an RNG, shared by the batching properties."""
+    from repro.core import build_dictionary
+    from repro.atpg import PatternPairSet
+    from repro.timing import diagnosis_clock, simulate_pattern_set
+
+    circuit = small_circuit(circuit_seed)
+    timing = CircuitTiming(circuit, SampleSpace(25, 5))
+    rng = np.random.default_rng(seed)
+    patterns = PatternPairSet(circuit)
+    patterns.extend_random(3, rng)
+    sims = simulate_pattern_set(timing, list(patterns))
+    clk = diagnosis_clock(timing, list(patterns), 0.85, simulations=sims)
+    picks = rng.choice(len(circuit.edges), size=n_suspects, replace=False)
+    suspects = [circuit.edges[int(index)] for index in sorted(picks)]
+    sizes = np.full(25, float(rng.uniform(0.5, 3.0)))
+    dictionary = build_dictionary(
+        timing, patterns, clk, suspects, sizes, base_simulations=sims
+    )
+    return dictionary, rng
+
+
+@common
+@given(
+    st.integers(0, 10_000),
+    st.integers(0, 2**31 - 1),
+    st.integers(1, 5),
+    st.sampled_from(
+        ["method_I", "method_II", "method_III", "alg_rev",
+         "log_likelihood", "euclidean_sb"]
+    ),
+)
+def test_batch_diagnosis_equals_one_shot(circuit_seed, seed, n_queries, name):
+    """Batching invariance: ``diagnose_batch([a, b, ...])`` is the list
+    ``[diagnose(a), diagnose(b), ...]`` bit-for-bit, for every error
+    function — the contract the service's micro-batching dispatcher
+    rests on."""
+    from repro.core import diagnose, diagnose_batch
+    from repro.core.error_functions import by_name
+
+    dictionary, rng = _diagnosis_case(circuit_seed, seed)
+    function = by_name(name)
+    behaviors = [
+        (rng.random(dictionary.m_crt.shape) < 0.4).astype(float)
+        for _ in range(n_queries)
+    ]
+    batched = diagnose_batch(dictionary, behaviors, error_function=function)
+    for behavior, answer in zip(behaviors, batched):
+        reference = diagnose(dictionary, behavior, error_function=function)
+        assert answer.method == reference.method
+        assert answer.ranking == reference.ranking  # exact, scores included
+
+
+@common
+@given(st.integers(0, 10_000), st.integers(0, 2**31 - 1))
+def test_batch_ranking_stable_under_query_permutation(circuit_seed, seed):
+    """Permuting the request order permutes the answers and nothing else:
+    each query's ranking is independent of its co-batched neighbors."""
+    from repro.core import diagnose_batch
+
+    dictionary, rng = _diagnosis_case(circuit_seed, seed)
+    behaviors = [
+        (rng.random(dictionary.m_crt.shape) < 0.4).astype(float)
+        for _ in range(4)
+    ]
+    order = rng.permutation(len(behaviors))
+    forward = diagnose_batch(dictionary, behaviors)
+    shuffled = diagnose_batch(dictionary, [behaviors[i] for i in order])
+    for position, original in enumerate(order):
+        assert shuffled[position].ranking == forward[original].ranking
