@@ -449,17 +449,32 @@ def cmd_serve(args) -> int:
     unless ``--cold``, then serves the JSON-lines protocol until
     interrupted.  ``REPRO_CACHE_DIR`` + ``REPRO_CACHE_FORMAT=store``
     back the warm dictionaries with shared mmapped pages.
+
+    The serving plane runs supervised (``docs/architecture.md`` §16): a
+    circuit breaker sheds load when p95 batch latency or failure rate
+    crosses the ``--breaker-*`` thresholds, worker death mid-batch
+    degrades down the process -> thread -> serial ladder, and SIGTERM
+    drains gracefully — stop accepting, flush every in-flight reply,
+    exit 0 (Ctrl-C keeps the documented 130).
     """
     import asyncio
+    import signal
 
     from .service import (
+        BreakerConfig,
         DiagnosisServer,
         DiagnosisService,
         ServerConfig,
+        ServiceSupervisor,
+        SupervisorConfig,
         standard_workload,
     )
 
-    service = DiagnosisService()
+    service = DiagnosisService(
+        cache=args.cache_dir or None,
+        parallel=args.parallel or None,
+        sampler=args.sampler or None,
+    )
     for benchmark in args.benchmarks:
         workload, _model = standard_workload(
             benchmark, samples=args.samples, seed=args.seed,
@@ -472,23 +487,64 @@ def cmd_serve(args) -> int:
     if not args.cold:
         service.warm_all()
         print("dictionaries warm")
+    supervisor = ServiceSupervisor(service, SupervisorConfig(
+        breaker=BreakerConfig(
+            window=args.breaker_window,
+            min_samples=args.breaker_min_samples,
+            max_p95_latency=args.breaker_latency or None,
+            max_failure_rate=args.breaker_failure_rate,
+            cooldown=args.breaker_cooldown,
+        ),
+    ))
     server = DiagnosisServer(service, ServerConfig(
         host=args.host, port=args.port, queue_limit=args.queue_limit,
         max_batch=args.max_batch, request_timeout=args.request_timeout,
-    ))
+        write_timeout=args.write_timeout, drain_grace=args.drain_grace,
+    ), supervisor=supervisor)
 
-    async def _run() -> None:
+    async def _run() -> int:
         await server.start()
         print(f"serving on {args.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        sigterm = loop.create_future()
+
+        def _on_sigterm() -> None:
+            if not sigterm.done():
+                sigterm.set_result(None)
+
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-unix event loops: no graceful-drain signal
+        serve = asyncio.ensure_future(server.serve_forever())
         try:
             # Ctrl-C cancels this await; letting the cancellation
             # propagate (after cleanup) keeps the documented 130 exit.
-            await server.serve_forever()
+            await asyncio.wait(
+                {serve, sigterm}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if sigterm.done():
+                print("SIGTERM received: draining", flush=True)
+                serve.cancel()
+                try:
+                    await serve
+                except asyncio.CancelledError:
+                    pass
+                await server.drain()
+                print("drained; exiting", flush=True)
+            elif serve.done():
+                serve.result()  # surface an unexpected serve exit
         finally:
+            if not serve.done():
+                serve.cancel()
+                try:
+                    await serve
+                except asyncio.CancelledError:
+                    pass
             await server.stop()
+        return 0
 
-    asyncio.run(_run())
-    return 0
+    return asyncio.run(_run())
 
 
 def cmd_query(args) -> int:
@@ -689,6 +745,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--request-timeout", type=float, default=30.0, dest="request_timeout",
         metavar="SECONDS", help="per-request deadline, queue time included",
+    )
+    p.add_argument(
+        "--write-timeout", type=float, default=10.0, dest="write_timeout",
+        metavar="SECONDS",
+        help="per-response write deadline; a reader stalled past it is "
+        "disconnected so it cannot wedge the dispatcher",
+    )
+    p.add_argument(
+        "--drain-grace", type=float, default=10.0, dest="drain_grace",
+        metavar="SECONDS",
+        help="SIGTERM drain budget: flush in-flight replies, then exit 0",
+    )
+    p.add_argument(
+        "--breaker-window", type=_positive_int, default=32,
+        dest="breaker_window",
+        help="circuit-breaker sliding window, in batches",
+    )
+    p.add_argument(
+        "--breaker-min-samples", type=_positive_int, default=8,
+        dest="breaker_min_samples",
+        help="batches observed before the breaker may trip",
+    )
+    p.add_argument(
+        "--breaker-latency", type=float, default=0.0,
+        dest="breaker_latency", metavar="SECONDS",
+        help="p95 batch-latency threshold (0 disables the latency gate)",
+    )
+    p.add_argument(
+        "--breaker-failure-rate", type=float, default=0.5,
+        dest="breaker_failure_rate", metavar="FRACTION",
+        help="windowed batch failure-rate threshold",
+    )
+    p.add_argument(
+        "--breaker-cooldown", type=float, default=5.0,
+        dest="breaker_cooldown", metavar="SECONDS",
+        help="seconds open before a half-open probe batch is admitted",
     )
     p.add_argument(
         "--cold", action="store_true",

@@ -582,6 +582,37 @@ class DictionaryStore:
             "stack": stack,
         }
 
+    def read_manifest(self, key: str) -> Dict:
+        """Read and schema-check one entry's manifest, *loudly*.
+
+        The hot :meth:`load` path treats a bad manifest as corruption to
+        be evicted and rebuilt — correct for a cache, wrong for a hot
+        reload, where the operator needs to know *why* the new entry was
+        rejected and the old in-memory dictionary must keep serving.
+        This hook raises ``ValueError`` with the
+        :func:`validate_store_manifest` findings (or ``FileNotFoundError``
+        on a missing entry) and never evicts anything.
+        """
+        path = self.manifest_path_for(key)
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"no store manifest for key {key!r}")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable store manifest for {key!r}: {exc}")
+        errors = validate_store_manifest(manifest)
+        if errors:
+            raise ValueError(
+                f"store manifest for {key!r} failed validation: "
+                + "; ".join(errors)
+            )
+        if manifest["key"] != key:
+            raise ValueError(
+                f"store manifest key {manifest['key']!r} != entry key {key!r}"
+            )
+        return manifest
+
     @staticmethod
     def _stack_checksum(stack: np.ndarray) -> str:
         return hashlib.sha256(

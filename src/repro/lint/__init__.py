@@ -15,7 +15,8 @@ severities and per-rule suppression:
   CI archives;
 * the **checkpoint auditor** (``R6xx``, :mod:`repro.lint.resilience`)
   gates the resilience checkpoints that ``table1 --checkpoint`` writes —
-  the files a ``--resume`` would trust;
+  the files a ``--resume`` would trust — and pins the service
+  wire-error taxonomy as append-only protocol (R605);
 * the **flow engine** (``F7xx``/``P8xx``/``K9xx``, :mod:`repro.lint.flow`)
   runs whole-program dataflow analyses over the package — interprocedural
   RNG-stream threading with call-path witnesses, pool-worker purity, and
@@ -57,7 +58,12 @@ from .models import (
     lint_circuit,
 )
 from .obs import check_manifest
-from .resilience import check_checkpoint, check_checkpoint_dir
+from .resilience import (
+    WIRE_TAXONOMY_BASELINE,
+    check_checkpoint,
+    check_checkpoint_dir,
+    check_wire_taxonomy,
+)
 from .rules import RULES, Rule, rule
 from .runner import (
     changed_files,
@@ -82,6 +88,7 @@ __all__ = [
     "Rule",
     "SCHEMA_VERSION",
     "Severity",
+    "WIRE_TAXONOMY_BASELINE",
     "analyze_flow",
     "build_call_graph",
     "changed_files",
@@ -89,6 +96,7 @@ __all__ = [
     "check_cache",
     "check_checkpoint",
     "check_checkpoint_dir",
+    "check_wire_taxonomy",
     "check_circuit",
     "check_library",
     "check_manifest",

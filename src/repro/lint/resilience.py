@@ -7,18 +7,139 @@ own checksum (R602), or whose state disagrees with its progress header
 (R603) would make a resume fail — or worse, silently drop trials.  A
 stray atomic-writer temp file (R604) marks a writer that died between
 ``mkstemp`` and ``os.replace``.
+
+R605 pins the *service wire-error taxonomy* instead of an artifact on
+disk: deployed clients dispatch on ``error.type`` tags, so
+``repro.service.errors.WIRE_TYPES`` is append-only protocol.  The
+baseline below is the released prefix — a tag may never be removed,
+re-typed, or reordered; new tags go strictly at the end.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import List
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..resilience.checkpoint import TMP_PREFIX, validate_checkpoint
 from .diagnostics import Diagnostic, Severity
 
-__all__ = ["check_checkpoint", "check_checkpoint_dir"]
+__all__ = [
+    "WIRE_TAXONOMY_BASELINE",
+    "check_checkpoint",
+    "check_checkpoint_dir",
+    "check_wire_taxonomy",
+]
+
+# The released wire-tag prefix, in protocol order.  Append new
+# (tag, exception-class-name) pairs here in the SAME commit that appends
+# them to repro.service.errors.WIRE_TYPES — never edit existing entries.
+WIRE_TAXONOMY_BASELINE: Tuple[Tuple[str, str], ...] = (
+    ("bad_request", "BadRequestError"),
+    ("unknown_workload", "UnknownWorkloadError"),
+    ("overloaded", "QueueFullError"),
+    ("timeout", "RequestTimeoutError"),
+    ("connection", "ServiceConnectionError"),
+    ("internal", "ServiceError"),
+    ("draining", "ServiceDrainingError"),
+    ("reload_failed", "WorkloadReloadError"),
+)
+
+
+def _class_name(value) -> str:
+    return value if isinstance(value, str) else getattr(
+        value, "__name__", str(value)
+    )
+
+
+def check_wire_taxonomy(
+    wire_types: Optional[Mapping[str, object]] = None,
+) -> List[Diagnostic]:
+    """Audit the wire-error taxonomy against the pinned baseline (R605).
+
+    ``wire_types`` defaults to the live
+    :data:`repro.service.errors.WIRE_TYPES`; tests may inject a mapping
+    of tag -> exception class (or class name) to exercise regressions.
+    The mapping's insertion order is the protocol order.
+    """
+    if wire_types is None:
+        from ..service.errors import WIRE_TYPES as wire_types  # type: ignore
+
+    anchor = "wire-taxonomy:repro.service.errors.WIRE_TYPES"
+    current: Sequence[Tuple[str, str]] = [
+        (tag, _class_name(cls)) for tag, cls in wire_types.items()
+    ]
+    by_tag = dict(current)
+    findings: List[Diagnostic] = []
+    for tag, class_name in WIRE_TAXONOMY_BASELINE:
+        if tag not in by_tag:
+            findings.append(
+                Diagnostic(
+                    rule="R605",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"released wire tag {tag!r} was removed — deployed "
+                        "clients dispatching on it would fall back to "
+                        "untyped handling"
+                    ),
+                    obj=anchor,
+                    engine="model",
+                )
+            )
+        elif by_tag[tag] != class_name:
+            findings.append(
+                Diagnostic(
+                    rule="R605",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"released wire tag {tag!r} changed exception class "
+                        f"({class_name} -> {by_tag[tag]}) — retry/exit-code "
+                        "semantics keyed on the type would silently change"
+                    ),
+                    obj=anchor,
+                    engine="model",
+                )
+            )
+    # Order: every baseline tag still present must appear in baseline
+    # order, before any tag the baseline does not know (append-only).
+    surviving = [tag for tag, _ in WIRE_TAXONOMY_BASELINE if tag in by_tag]
+    positions = {tag: i for i, (tag, _) in enumerate(current)}
+    expected = sorted(surviving, key=lambda tag: positions[tag])
+    if surviving != expected:
+        findings.append(
+            Diagnostic(
+                rule="R605",
+                severity=Severity.ERROR,
+                message=(
+                    "released wire tags were reordered "
+                    f"(baseline order {surviving} vs current order "
+                    f"{expected}) — protocol order is part of the contract"
+                ),
+                obj=anchor,
+                engine="model",
+            )
+        )
+    elif surviving and current:
+        new_tags = [tag for tag, _ in current if tag not in dict(
+            WIRE_TAXONOMY_BASELINE
+        )]
+        last_known = positions[surviving[-1]]
+        interleaved = [tag for tag in new_tags if positions[tag] < last_known]
+        if interleaved:
+            findings.append(
+                Diagnostic(
+                    rule="R605",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"new wire tag(s) {interleaved} were inserted "
+                        "before released tags — append new tags strictly "
+                        "at the end"
+                    ),
+                    obj=anchor,
+                    engine="model",
+                )
+            )
+    return findings
 
 
 def check_checkpoint(path: str) -> List[Diagnostic]:

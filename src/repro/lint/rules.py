@@ -261,6 +261,14 @@ _CATALOG = (
         "interrupted writer died between mkstemp and the atomic rename. "
         "Harmless to resume, but worth cleaning up.",
     ),
+    Rule(
+        "R605", "wire-taxonomy-not-append-only", Severity.ERROR, "model",
+        "The service wire-error taxonomy (repro.service.errors.WIRE_TYPES) "
+        "drifted from the pinned release baseline: a released error.type "
+        "tag was removed, re-typed, or reordered. Deployed clients "
+        "dispatch on these tags, so the taxonomy is append-only protocol "
+        "— new tags go at the end only.",
+    ),
     # --------------------------- interprocedural determinism (flow)
     Rule(
         "F701", "dropped-generator-at-call-boundary", Severity.ERROR, "flow",

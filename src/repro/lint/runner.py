@@ -33,7 +33,11 @@ from .diagnostics import LintReport
 from .flow import DEFAULT_BASELINE_NAME, FlowBaseline, analyze_flow, load_baseline
 from .models import check_benchmark, check_cache
 from .obs import check_manifest
-from .resilience import check_checkpoint, check_checkpoint_dir
+from .resilience import (
+    check_checkpoint,
+    check_checkpoint_dir,
+    check_wire_taxonomy,
+)
 from .rules import RULES
 
 __all__ = [
@@ -66,7 +70,8 @@ def lint_models(
 ) -> LintReport:
     """Run the model checker over benchmark circuits (default: all shipped).
 
-    ``cache_dir`` additionally audits a dictionary-cache directory.
+    ``cache_dir`` additionally audits a dictionary-cache directory, and
+    every models pass audits the service wire-error taxonomy (R605).
     """
     from ..circuits.benchmarks import benchmark_names
 
@@ -78,6 +83,7 @@ def lint_models(
         )
     if cache_dir:
         report.extend(check_cache(cache_dir), suppress=suppress)
+    report.extend(check_wire_taxonomy(), suppress=suppress)
     return report
 
 

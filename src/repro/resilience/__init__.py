@@ -44,6 +44,7 @@ from .policy import (
     DEGRADATION_LADDER,
     RetryPolicy,
     deterministic_jitter,
+    fallback_rungs,
     resolve_retry,
     without_sleep,
 )
@@ -89,6 +90,7 @@ __all__ = [
     "checkpoint_checksum",
     "corrupt_file",
     "deterministic_jitter",
+    "fallback_rungs",
     "load_checkpoint",
     "resolve_retry",
     "validate_checkpoint",

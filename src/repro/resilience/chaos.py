@@ -21,7 +21,11 @@ Plans are picklable and travel to process-pool workers through the pool
 initializer (:mod:`repro.core.parallel`), so a ``kill`` event really
 does take down a live worker process.  ``kill`` refuses to fire in the
 main process — an injection harness must never take down the test
-runner itself.
+runner itself.  The one exception is the ``service.*`` points, which are
+only ever tripped in the serving process: there ``kill`` raises
+:class:`~repro.resilience.errors.WorkerPoolBrokenError`, simulating the
+compute plane dying under a batch so the service supervisor's
+degradation ladder can be exercised without sacrificing a real pool.
 
 Plans can also come from the ``REPRO_CHAOS`` environment variable (see
 :meth:`ChaosPlan.parse`), which is how CI interrupts a real
@@ -35,11 +39,12 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from .errors import ChaosError, TransientChaosError
+from .errors import ChaosError, TransientChaosError, WorkerPoolBrokenError
 
 __all__ = [
     "ChaosEvent",
     "ChaosPlan",
+    "async_trip",
     "chaos_active",
     "corrupt_file",
     "get_plan",
@@ -58,7 +63,14 @@ POINTS = (
     "cache.load",
     "cache.store",
     "checkpoint.write",
+    "service.batch",
+    "service.store_load",
+    "service.connection",
 )
+
+#: Points that fire in the serving process itself; ``kill`` here means
+#: "the compute plane died under this operation", not "kill this process".
+_SERVICE_PREFIX = "service."
 
 ACTIONS = ("raise", "transient", "kill", "hang", "slow")
 
@@ -219,32 +231,73 @@ def _in_worker_process() -> bool:
     return multiprocessing.parent_process() is not None
 
 
-def trip(point: str, index: Optional[int] = None, attempt: int = 0) -> None:
-    """Fire any armed events at an injection point (no-op without a plan)."""
+def _armed(
+    point: str, index: Optional[int], attempt: int
+) -> List[ChaosEvent]:
+    """Select (and consume the firing budget of) matching events."""
     plan = get_plan()
     if plan is None:
-        return
-    for event in plan.select(point, index, attempt):
+        return []
+    return list(plan.select(point, index, attempt))
+
+
+def _raise_for(
+    event: ChaosEvent, point: str, index: Optional[int], attempt: int
+) -> None:
+    """Raise (or kill) for one non-sleeping armed event."""
+    if event.action == "transient":
+        raise TransientChaosError(
+            f"injected transient failure at {point} "
+            f"(index={index}, attempt={attempt})"
+        )
+    if event.action == "raise":
+        raise ChaosError(
+            f"injected failure at {point} (index={index}, attempt={attempt})"
+        )
+    if event.action == "kill":
+        if _in_worker_process():
+            os._exit(13)
+        if point.startswith(_SERVICE_PREFIX):
+            raise WorkerPoolBrokenError(
+                f"injected worker death at {point} "
+                f"(index={index}, attempt={attempt})"
+            )
+        raise ChaosError(
+            f"chaos kill at {point} refused: not in a worker process"
+        )
+
+
+def trip(point: str, index: Optional[int] = None, attempt: int = 0) -> None:
+    """Fire any armed events at an injection point (no-op without a plan)."""
+    for event in _armed(point, index, attempt):
         from .. import obs
 
         obs.get_recorder().count(f"chaos.{event.action}")
-        if event.action == "transient":
-            raise TransientChaosError(
-                f"injected transient failure at {point} "
-                f"(index={index}, attempt={attempt})"
-            )
-        if event.action == "raise":
-            raise ChaosError(
-                f"injected failure at {point} (index={index}, attempt={attempt})"
-            )
-        if event.action == "kill":
-            if _in_worker_process():
-                os._exit(13)
-            raise ChaosError(
-                f"chaos kill at {point} refused: not in a worker process"
-            )
         if event.action in ("hang", "slow"):
             time.sleep(event.param)
+        else:
+            _raise_for(event, point, index, attempt)
+
+
+async def async_trip(
+    point: str, index: Optional[int] = None, attempt: int = 0
+) -> None:
+    """:func:`trip` for coroutine call sites (the asyncio serving plane).
+
+    ``hang``/``slow`` await :func:`asyncio.sleep` instead of blocking the
+    event loop — a blocked loop would stall the very deadline machinery
+    (slow-client write timeouts) these events exist to exercise.
+    """
+    import asyncio
+
+    for event in _armed(point, index, attempt):
+        from .. import obs
+
+        obs.get_recorder().count(f"chaos.{event.action}")
+        if event.action in ("hang", "slow"):
+            await asyncio.sleep(event.param)
+        else:
+            _raise_for(event, point, index, attempt)
 
 
 # ----------------------------------------------------------------------

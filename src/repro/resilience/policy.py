@@ -34,6 +34,7 @@ __all__ = [
     "RetryPolicy",
     "resolve_retry",
     "deterministic_jitter",
+    "fallback_rungs",
     "without_sleep",
     "DEGRADATION_LADDER",
 ]
@@ -53,6 +54,17 @@ DEGRADATION_LADDER = {
     "futures": ("futures", "thread", "serial"),
     "thread": ("thread", "serial"),
 }
+
+
+def fallback_rungs(backend: str) -> Tuple[str, ...]:
+    """The rungs *below* ``backend`` on the degradation ladder.
+
+    ``process`` -> ``("thread", "serial")``, ``serial`` -> ``()`` (the
+    bottom rung cannot break).  The service supervisor walks these when a
+    batch loses its compute plane mid-flight, re-running only the
+    affected request group one rung down.
+    """
+    return DEGRADATION_LADDER.get(backend, ("serial",))[1:]
 
 
 def deterministic_jitter(seed: int, chunk: int, attempt: int) -> float:

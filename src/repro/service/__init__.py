@@ -12,9 +12,15 @@ library:
   JSON-lines front end with a bounded queue, micro-batching dispatcher
   and typed backpressure/timeout errors (``repro serve``),
 * :class:`ServiceClient` (:mod:`~repro.service.client`) — the thin
-  synchronous client behind ``repro query``,
+  synchronous client behind ``repro query``, with opt-in
+  reconnect-and-retry (``retries=``),
+* :class:`ServiceSupervisor` (:mod:`~repro.service.supervision`) — the
+  self-healing layer: per-group degradation-ladder recovery from worker
+  death, a sliding-window circuit breaker, the
+  ``starting -> ready -> degraded -> draining -> stopped`` lifecycle,
+  and hot dictionary reload,
 * :mod:`~repro.service.errors` — the typed failure taxonomy and its
-  stable wire tags.
+  stable wire tags (append-only; pinned by lint rule R605).
 
 Dictionaries resolve through :func:`repro.core.cache.resolve_cache`;
 point ``REPRO_CACHE_DIR`` at a directory and set
@@ -32,13 +38,22 @@ from .engine import (
 )
 from .server import DiagnosisServer, ServerConfig
 from .client import RemoteDiagnosis, ServiceClient
+from .supervision import (
+    BreakerConfig,
+    CircuitBreaker,
+    Lifecycle,
+    ServiceSupervisor,
+    SupervisorConfig,
+)
 from .errors import (
     BadRequestError,
     QueueFullError,
     RequestTimeoutError,
     ServiceConnectionError,
+    ServiceDrainingError,
     ServiceError,
     UnknownWorkloadError,
+    WorkloadReloadError,
 )
 
 __all__ = [
@@ -52,10 +67,17 @@ __all__ = [
     "ServerConfig",
     "RemoteDiagnosis",
     "ServiceClient",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "Lifecycle",
+    "ServiceSupervisor",
+    "SupervisorConfig",
     "BadRequestError",
     "QueueFullError",
     "RequestTimeoutError",
     "ServiceConnectionError",
+    "ServiceDrainingError",
     "ServiceError",
     "UnknownWorkloadError",
+    "WorkloadReloadError",
 ]

@@ -11,23 +11,27 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .errors import ServiceConnectionError, error_from_wire
+from ..resilience.policy import RetryPolicy
+from .errors import QueueFullError, ServiceConnectionError, error_from_wire
 
 __all__ = ["ServiceClient", "RemoteDiagnosis"]
 
 
 class RemoteDiagnosis:
     """A deserialized diagnose answer: ``ranking`` is best-first
-    ``(edge_string, score)`` pairs (edges travel as their ``str`` form)."""
+    ``(edge_string, score)`` pairs (edges travel as their ``str`` form);
+    ``version`` is the dictionary generation that scored the query."""
 
     def __init__(self, workload: str, method: str,
-                 ranking: Sequence[Tuple[str, float]]) -> None:
+                 ranking: Sequence[Tuple[str, float]],
+                 version: int = 0) -> None:
         self.workload = workload
         self.method = method
+        self.version = int(version)
         self.ranking: List[Tuple[str, float]] = [
             (str(edge), float(score)) for edge, score in ranking
         ]
@@ -49,28 +53,65 @@ class ServiceClient:
 
         with ServiceClient("127.0.0.1", 8787) as client:
             answer = client.diagnose("s1196", behavior, top_k=5)
+
+    ``retries`` opts into transparent reconnect-and-retry for the two
+    wire errors a client can always safely re-issue against —
+    ``connection`` (the request may never have reached a dispatcher) and
+    ``overloaded`` (the server explicitly asked for a retry).  Off by
+    default: pass an ``int`` (shorthand for that many re-attempts) or a
+    full :class:`~repro.resilience.RetryPolicy` for custom backoff.
+    Waits are bounded and deterministic (the policy's hash-derived
+    jitter), keyed on the client-side call sequence number.  ``timeout``
+    and other typed errors are never retried — the request may have
+    executed.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
-                 timeout: Optional[float] = 60.0) -> None:
+                 timeout: Optional[float] = 60.0,
+                 retries: Optional[Union[int, RetryPolicy]] = None) -> None:
         self.host = host
         self.port = port
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise ServiceConnectionError(
-                f"cannot connect to {host}:{port}: {exc}"
-            ) from None
-        self._reader = self._sock.makefile("rb")
+        self.timeout = timeout
+        if retries is None or isinstance(retries, RetryPolicy):
+            self._retry = retries
+        elif isinstance(retries, int) and not isinstance(retries, bool):
+            self._retry = RetryPolicy(max_retries=retries)
+        else:
+            raise TypeError("retries must be None, an int, or a RetryPolicy")
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
         self._next_id = 0
+        self._calls = 0
+        self._connect()
 
     # -- transport ------------------------------------------------------
 
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            self._sock = None
+            self._reader = None
+            raise ServiceConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from None
+        self._reader = self._sock.makefile("rb")
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+
     def close(self) -> None:
         try:
-            self._reader.close()
+            if self._reader is not None:
+                self._reader.close()
         finally:
-            self._sock.close()
+            if self._sock is not None:
+                self._sock.close()
+        self._reader = None
+        self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -79,7 +120,37 @@ class ServiceClient:
         self.close()
 
     def call(self, message: dict):
-        """One request/response round trip; raises typed errors."""
+        """One request/response round trip; raises typed errors.
+
+        With ``retries`` enabled, ``connection`` failures reconnect and
+        resend, ``overloaded`` rejections back off and resend — both
+        bounded by the policy's ``max_retries``; everything else
+        propagates immediately.
+        """
+        self._calls += 1
+        if self._retry is None:
+            return self._call_once(message)
+        chunk = self._calls  # deterministic-jitter key for this call
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(message)
+            except (ServiceConnectionError, QueueFullError) as error:
+                if attempt >= self._retry.max_retries:
+                    raise
+                attempt += 1
+                self._retry.wait(chunk, attempt)
+                if isinstance(error, ServiceConnectionError):
+                    try:
+                        self._reconnect()
+                    except ServiceConnectionError:
+                        # Still down: burn the next attempt's fast
+                        # failure in _call_once rather than giving up.
+                        continue
+
+    def _call_once(self, message: dict):
+        if self._sock is None:
+            raise ServiceConnectionError("not connected")
         self._next_id += 1
         message = dict(message, id=self._next_id)
         try:
@@ -112,6 +183,20 @@ class ServiceClient:
     def workloads(self) -> List[str]:
         return list(self.call({"op": "workloads"}))
 
+    def health(self) -> dict:
+        """Lifecycle state, breaker snapshot, plane, queue depth."""
+        return self.call({"op": "health"})
+
+    def ready(self) -> dict:
+        """Readiness verdict: ``{"ready": bool, "state": str}``."""
+        return self.call({"op": "ready"})
+
+    def reload(self, workload: str) -> dict:
+        """Hot-swap a workload's dictionary from its rewritten store
+        entry; returns ``{"workload": ..., "version": ...}`` or raises a
+        typed ``reload_failed`` error."""
+        return self.call({"op": "reload", "workload": workload})
+
     def diagnose(
         self,
         workload: str,
@@ -129,7 +214,8 @@ class ServiceClient:
             message["top_k"] = top_k
         result = self.call(message)
         return RemoteDiagnosis(
-            result["workload"], result["method"], result["ranking"]
+            result["workload"], result["method"], result["ranking"],
+            version=result.get("version", 0),
         )
 
     def diagnose_many(

@@ -41,11 +41,17 @@ from ..timing import (
 )
 from ..core import diagnose_batch as _core_diagnose_batch
 from ..core import by_name
-from ..core.cache import DictionaryCache, DictionaryStore, resolve_cache
+from ..core.cache import (
+    DictionaryCache,
+    DictionaryStore,
+    dictionary_cache_key,
+    resolve_cache,
+)
 from ..core.dictionary import ProbabilisticFaultDictionary, build_dictionary
 from ..core.parallel import ParallelConfig
-from ..sampling import SizeDistribution
-from .errors import BadRequestError, UnknownWorkloadError
+from ..resilience import chaos
+from ..sampling import SizeDistribution, resolve_sampler
+from .errors import BadRequestError, UnknownWorkloadError, WorkloadReloadError
 
 __all__ = [
     "DiagnosisRequest",
@@ -68,11 +74,17 @@ class DiagnosisRequest:
 
 @dataclass
 class RankedDiagnosis:
-    """The service's answer: best-first suspect ranking for one request."""
+    """The service's answer: best-first suspect ranking for one request.
+
+    ``version`` tags which dictionary generation scored the request — it
+    is the proof obligation of hot reload: every suspect in ``ranking``
+    came from exactly that generation, never a mix.
+    """
 
     workload: str
     method: str
     ranking: List[Tuple[Edge, float]]
+    version: int = 0
 
     def top(self, k: int = 1) -> List[Edge]:
         if k < 1:
@@ -98,11 +110,17 @@ class Workload:
     size_distribution: Optional[SizeDistribution] = None
     base_simulations: Optional[Sequence] = None
     dictionary: Optional[ProbabilisticFaultDictionary] = None
+    #: Dictionary generation: bumped by every successful hot reload and
+    #: threaded through :class:`RankedDiagnosis` and the wire result.
+    version: int = 0
 
     @property
     def behavior_shape(self) -> Tuple[int, int]:
-        targets = self.patterns.target_observations()
-        return (len(targets), len(self.patterns))
+        # One row per circuit output, one column per pattern pair — the
+        # same axes as ``m_crt`` and every suspect signature.  (Not the
+        # *targeted* observation count: a behavior matrix reports every
+        # output, whether or not the pattern set targets it.)
+        return (len(self.patterns.circuit.outputs), len(self.patterns))
 
 
 class DiagnosisService:
@@ -184,6 +202,114 @@ class DiagnosisService:
         for name in self.workload_names():
             self.warm(name)
 
+    # -- execution plane -------------------------------------------------
+
+    @property
+    def parallel(self):
+        """The current parallel plane (builds run through it)."""
+        return self._parallel
+
+    def set_parallel(self, parallel) -> None:
+        """Swap the parallel plane — the supervisor's degradation hook.
+
+        Only future dictionary builds are affected; answers never change
+        (builds are bit-identical across backends by contract).
+        """
+        self._parallel = parallel
+
+    @property
+    def cache(self):
+        """The resolved dictionary cache/store (``None`` when disabled)."""
+        return self._cache
+
+    # -- hot reload ------------------------------------------------------
+
+    def cache_key(self, name: str) -> str:
+        """The content address a workload's dictionary lives under.
+
+        Mirrors :func:`repro.core.dictionary.build_dictionary` exactly
+        (same fingerprints, same sampler token), so a rewritten store
+        entry for this key is *the* entry a reload must pick up.
+        """
+        workload = self.workload(name)
+        sampler_config = resolve_sampler(self._sampler)
+        token = None
+        if not sampler_config.is_plain:
+            token = sampler_config.cache_token(workload.size_distribution)
+        return dictionary_cache_key(
+            workload.timing,
+            list(workload.patterns),
+            (float(workload.clk),),
+            workload.suspects,
+            workload.size_samples,
+            sampler_token=token,
+        )
+
+    def reload(self, name: str) -> int:
+        """Atomically swap a workload's dictionary from its store entry.
+
+        Reads the rewritten :class:`~repro.core.cache.DictionaryStore`
+        manifest for the workload's cache key, validates it loudly
+        (:meth:`DictionaryStore.read_manifest`), maps the payload, and
+        swaps the ``(dictionary, version)`` pair under the per-workload
+        lock — in-flight queries keep scoring against the generation
+        they snapshotted; later groups see the new one.  Any failure
+        raises a typed :class:`WorkloadReloadError` and leaves the old
+        mapping serving.  Returns the new generation number.
+        """
+        workload = self.workload(name)
+        recorder = obs.get_recorder()
+        with recorder.span("service.reload"):
+            try:
+                if not isinstance(self._cache, DictionaryStore):
+                    raise ValueError(
+                        "hot reload needs a DictionaryStore cache "
+                        f"(service cache is {type(self._cache).__name__})"
+                    )
+                chaos.trip("service.store_load", index=workload.version)
+                key = self.cache_key(name)
+                manifest = self._cache.read_manifest(key)
+                if manifest["n_suspects"] != len(workload.suspects):
+                    raise ValueError(
+                        f"store entry has {manifest['n_suspects']} suspects, "
+                        f"workload has {len(workload.suspects)}"
+                    )
+                expected = workload.behavior_shape
+                if tuple(manifest["shape"][1:]) != tuple(expected):
+                    raise ValueError(
+                        f"store entry shape {tuple(manifest['shape'][1:])} "
+                        f"!= workload behavior shape {tuple(expected)}"
+                    )
+                payload = self._cache.load(key)
+                if payload is None:
+                    raise ValueError(
+                        "store entry vanished or failed structural checks "
+                        "while mapping"
+                    )
+            except Exception as exc:
+                recorder.count("service.reload.failed")
+                raise WorkloadReloadError(
+                    f"hot reload of workload {name!r} rejected (still "
+                    f"serving generation {workload.version}): {exc}"
+                ) from exc
+            stack = payload.get("stack")
+            dictionary = ProbabilisticFaultDictionary(
+                timing=workload.timing,
+                clk=workload.clk,
+                m_crt=payload["m_crt"],
+                suspects=list(workload.suspects),
+                signatures=dict(zip(workload.suspects, payload["signatures"])),
+                size_samples=workload.size_samples,
+                _signature_stack=stack[1:] if stack is not None else None,
+            )
+            dictionary.signature_stack()
+            with self._locks[name]:
+                workload.dictionary = dictionary
+                workload.version += 1
+                version = workload.version
+            recorder.count("service.reloads")
+            return version
+
     # -- queries --------------------------------------------------------
 
     def diagnose_batch(
@@ -215,7 +341,15 @@ class DiagnosisService:
             recorder.count("service.batches")
             recorder.count("service.queries", len(requests))
             for (name, function_name), indices in groups.items():
-                dictionary = self.warm(name)
+                self.warm(name)
+                workload = self.workload(name)
+                # Snapshot one (dictionary, version) pair under the
+                # workload lock: a concurrent hot reload lands wholly
+                # before or wholly after this group, so a group is never
+                # scored against a torn mix of generations.
+                with self._locks[name]:
+                    dictionary = workload.dictionary
+                    version = workload.version
                 behaviors = []
                 for index in indices:
                     behavior = np.asarray(requests[index].behavior)
@@ -233,6 +367,7 @@ class DiagnosisService:
                         workload=name,
                         method=result.method,
                         ranking=result.ranking,
+                        version=version,
                     )
         self.queries_served += len(requests)
         self.batches_served += 1
@@ -268,6 +403,7 @@ class DiagnosisService:
                     "warm": workload.dictionary is not None,
                     "suspects": len(workload.suspects),
                     "behavior_shape": list(workload.behavior_shape),
+                    "version": workload.version,
                 }
                 for name, workload in sorted(self._workloads.items())
             },

@@ -26,6 +26,8 @@ __all__ = [
     "QueueFullError",
     "RequestTimeoutError",
     "ServiceConnectionError",
+    "ServiceDrainingError",
+    "WorkloadReloadError",
     "WIRE_TYPES",
     "error_from_wire",
     "wire_type",
@@ -62,7 +64,23 @@ class ServiceConnectionError(ServiceError):
     """Client-side transport failure (refused, reset, protocol junk)."""
 
 
-#: Stable wire tags — part of the protocol, append-only.
+class ServiceDrainingError(ServiceError):
+    """The server is draining (SIGTERM received): in-flight work finishes,
+    new diagnose requests are rejected so the process can exit cleanly."""
+
+
+class WorkloadReloadError(ServiceError):
+    """A hot dictionary reload was rejected (bad manifest, shape drift).
+
+    The service keeps answering from the previous dictionary generation —
+    a failed reload degrades into this typed error, never into a torn or
+    mixed mapping.
+    """
+
+
+#: Stable wire tags — part of the protocol, **append-only**: a released
+#: tag is never removed, re-typed, or reordered (lint rule R605 pins the
+#: taxonomy against ``lint.resilience.WIRE_TAXONOMY_BASELINE``).
 WIRE_TYPES: Dict[str, Type[ServiceError]] = {
     "bad_request": BadRequestError,
     "unknown_workload": UnknownWorkloadError,
@@ -70,6 +88,8 @@ WIRE_TYPES: Dict[str, Type[ServiceError]] = {
     "timeout": RequestTimeoutError,
     "connection": ServiceConnectionError,
     "internal": ServiceError,
+    "draining": ServiceDrainingError,
+    "reload_failed": WorkloadReloadError,
 }
 
 _TO_WIRE = {cls: tag for tag, cls in WIRE_TYPES.items()}

@@ -364,6 +364,52 @@ def test_cache_audit_flags_format_drift(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# wire-error taxonomy (R605)
+# ----------------------------------------------------------------------
+def test_live_wire_taxonomy_is_clean_and_fully_pinned():
+    from repro.lint import WIRE_TAXONOMY_BASELINE, check_wire_taxonomy
+    from repro.service.errors import WIRE_TYPES
+
+    assert "R605" in RULES
+    assert check_wire_taxonomy() == []
+    # every shipped tag is pinned — appending to WIRE_TYPES must append
+    # to the baseline in the same commit
+    assert WIRE_TAXONOMY_BASELINE == tuple(
+        (tag, cls.__name__) for tag, cls in WIRE_TYPES.items()
+    )
+
+
+def test_wire_taxonomy_mutations_fixture_regressions():
+    from repro.lint import check_wire_taxonomy
+
+    with open(os.path.join(FIXTURES, "wire_taxonomy_mutated.json")) as handle:
+        fixture = json.load(handle)
+    assert fixture["format"] == "repro-wire-taxonomy-fixture-v1"
+    for name, case in fixture["cases"].items():
+        wire_types = {tag: cls for tag, cls in case["wire_types"]}
+        findings = check_wire_taxonomy(wire_types)
+        assert [f.rule for f in findings] == case["expect_rules"], (
+            f"case {name}: {[f.message for f in findings]}"
+        )
+        if case["expect_message"]:
+            assert case["expect_message"] in findings[0].message, name
+        for finding in findings:
+            assert finding.severity is Severity.ERROR
+            assert finding.engine == "model"
+
+
+def test_wire_taxonomy_gate_runs_in_models_mode(monkeypatch):
+    from repro.service import errors as service_errors
+
+    mutated = dict(service_errors.WIRE_TYPES)
+    mutated.pop("timeout")
+    monkeypatch.setattr(service_errors, "WIRE_TYPES", mutated)
+    report = run_lint(mode="models", circuits=["c17"])
+    assert not report.ok
+    assert report.by_rule().get("R605") == 1
+
+
+# ----------------------------------------------------------------------
 # orchestration, JSON schema, CLI
 # ----------------------------------------------------------------------
 def test_lint_models_clean_on_shipped_benchmarks():
