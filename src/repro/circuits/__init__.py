@@ -14,7 +14,7 @@ from .verilog_parser import (
     write_verilog,
     VerilogParseError,
 )
-from .generate import GeneratorConfig, generate_circuit
+from .generate import GeneratorConfig, generate_circuit, s38417_profile_config
 from .benchmarks import BenchmarkProfile, PROFILES, load_benchmark, benchmark_names
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "VerilogParseError",
     "GeneratorConfig",
     "generate_circuit",
+    "s38417_profile_config",
     "BenchmarkProfile",
     "PROFILES",
     "load_benchmark",

@@ -31,7 +31,11 @@ from ..rng import CompatRandom
 from .library import GateType
 from .netlist import Circuit
 
-__all__ = ["GeneratorConfig", "generate_circuit"]
+__all__ = ["GeneratorConfig", "generate_circuit", "s38417_profile_config"]
+
+#: Pinned default seed of the s38417-profile preset: the exact circuit
+#: BENCH_hier.json benchmarks, reproducible from any checkout.
+S38417_PRESET_SEED = 38417
 
 #: Default gate-type mix (probability weights), loosely matching the ISCAS89
 #: suite: NAND/NOR-heavy with inverters and occasional XORs.
@@ -85,6 +89,24 @@ class GeneratorConfig:
             raise ValueError("n_gates must cover at least the output stage")
         if self.target_depth < 2:
             raise ValueError("target_depth must be >= 2")
+
+
+def s38417_profile_config(
+    seed: int = S38417_PRESET_SEED, scale: float = 1.0
+) -> GeneratorConfig:
+    """Generator preset matching the published s38417 profile.
+
+    The largest ISCAS89 circuit (28 PI, 106 PO, 1636 DFFs, ~23.8k
+    combinational gates — a 1664-in / 1742-out scan view), the scale the
+    hierarchical block engine exists for.  The default seed is pinned so
+    every checkout generates the identical ~20k+ gate circuit that
+    ``benchmarks/bench_hier.py`` times; ``scale`` shrinks the gate count
+    proportionally for smoke tests (the scan interface keeps its full
+    width either way, exactly like :class:`BenchmarkProfile` scaling).
+    """
+    from .benchmarks import PROFILES
+
+    return PROFILES["s38417"].generator_config(seed=seed, scale=scale)
 
 
 def _choose_type(rng: CompatRandom, weights: Dict[GateType, float]) -> GateType:

@@ -36,6 +36,7 @@ import hashlib
 import json
 import os
 import tempfile
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -72,8 +73,29 @@ def _array_bytes(array: np.ndarray) -> bytes:
     return str(array.dtype).encode() + str(array.shape).encode() + array.tobytes()
 
 
+#: Identity-keyed digests of live objects.  Circuits and timing models
+#: are immutable once built (the whole content-address scheme already
+#: relies on that), so a digest can be computed once per object instead
+#: of re-walking a 20k-gate netlist / re-hashing the delay matrix on
+#: every cache-key, partition or block-model lookup.
+_CIRCUIT_FINGERPRINTS: "weakref.WeakKeyDictionary[Circuit, str]" = (
+    weakref.WeakKeyDictionary()
+)
+_TIMING_FINGERPRINTS: "weakref.WeakKeyDictionary[CircuitTiming, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def circuit_fingerprint(circuit: Circuit) -> str:
-    """Digest of the structural netlist (gates, connectivity, I/O)."""
+    """Digest of the structural netlist (gates, connectivity, I/O).
+
+    Memoized per (live) circuit object — the netlist is treated as
+    immutable once fingerprinted, which every content-addressed layer
+    here already assumes.
+    """
+    cached = _CIRCUIT_FINGERPRINTS.get(circuit)
+    if cached is not None:
+        return cached
     hasher = hashlib.sha256()
     hasher.update(circuit.name.encode())
     hasher.update(json.dumps(circuit.inputs).encode())
@@ -83,7 +105,9 @@ def circuit_fingerprint(circuit: Circuit) -> str:
         hasher.update(
             json.dumps([name, gate.gate_type.value, gate.fanins]).encode()
         )
-    return hasher.hexdigest()
+    digest = hasher.hexdigest()
+    _CIRCUIT_FINGERPRINTS[circuit] = digest
+    return digest
 
 
 def timing_fingerprint(timing: CircuitTiming) -> str:
@@ -92,12 +116,18 @@ def timing_fingerprint(timing: CircuitTiming) -> str:
     Hashing the materialized delay matrix (rather than the library
     parameters) makes the fingerprint exact: it subsumes the RNG seed,
     ``n_samples`` and every library knob that shaped the samples.
+    Memoized per (live) timing object, like :func:`circuit_fingerprint`.
     """
+    cached = _TIMING_FINGERPRINTS.get(timing)
+    if cached is not None:
+        return cached
     hasher = hashlib.sha256()
     hasher.update(circuit_fingerprint(timing.circuit).encode())
     hasher.update(_array_bytes(timing.delays))
     hasher.update(f"{timing.space.n_samples}:{timing.space.seed}".encode())
-    return hasher.hexdigest()
+    digest = hasher.hexdigest()
+    _TIMING_FINGERPRINTS[timing] = digest
+    return digest
 
 
 def patterns_fingerprint(
@@ -119,13 +149,21 @@ def dictionary_cache_key(
     suspects: Sequence[Edge],
     size_samples: np.ndarray,
     sampler_token: Optional[str] = None,
+    hier_token: Optional[str] = None,
 ) -> str:
     """The content address of one dictionary build.
 
     ``sampler_token`` folds a non-plain sampler configuration into the
     address (:meth:`repro.sampling.SamplerConfig.cache_token`); plain
     builds pass ``None`` so their keys stay byte-identical to keys
-    written before the sampling subsystem existed.
+    written before the sampling subsystem existed.  ``hier_token``
+    (:meth:`repro.hier.HierConfig.cache_token`) does the same for
+    hierarchically-built dictionaries: the bytes are bit-identical to
+    flat builds by contract, but the token — which includes the
+    partition fingerprint — records the construction path, keeping the
+    ``K901`` cache-key completeness invariant (every parameter reaching
+    the build job is keyed) and making a partition change auditable in
+    the store.  Flat builds pass ``None`` and keep their historic keys.
     """
     hasher = hashlib.sha256()
     hasher.update(timing_fingerprint(timing).encode())
@@ -137,6 +175,8 @@ def dictionary_cache_key(
     hasher.update(_array_bytes(np.asarray(size_samples, dtype=float)))
     if sampler_token is not None:
         hasher.update(sampler_token.encode())
+    if hier_token is not None:
+        hasher.update(hier_token.encode())
     return hasher.hexdigest()
 
 

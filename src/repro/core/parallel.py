@@ -460,6 +460,7 @@ def map_chunked(
     config: Optional[Union[ParallelConfig, str]] = None,
     policy: Optional[RetryPolicy] = None,
     work_per_item: Optional[float] = None,
+    chunks: Optional[List[Sequence[int]]] = None,
 ) -> List:
     """Run ``fn(payload, indices)`` over chunked indices; flatten in order.
 
@@ -473,6 +474,15 @@ def map_chunked(
     that lets auto-chunking respect :data:`MIN_CHUNK_WORK`; it never
     changes results, only how indices group into tasks.
 
+    ``chunks`` hands the sharding to the caller entirely: an explicit
+    list of index groups (hierarchical builds pass block-grouped suspect
+    indices from :func:`repro.hier.block_chunks`), possibly
+    non-contiguous, that together must cover ``range(n_items)`` exactly
+    once.  Results are scattered back by item index, so explicit shards
+    preserve the serial result order no matter how they carve the index
+    space.  Mutually exclusive in spirit with ``chunk_size`` /
+    ``work_per_item``, which are ignored when ``chunks`` is given.
+
     ``policy`` (a :class:`repro.resilience.RetryPolicy`; defaults to the
     ``REPRO_RETRY_*`` environment) adds per-chunk retries with
     deterministic backoff, per-chunk deadlines and graceful degradation
@@ -482,9 +492,18 @@ def map_chunked(
     config = resolve_parallel(config)
     policy = resolve_retry(policy)
     recorder = obs.get_recorder()
-    chunks = chunk_indices(
-        n_items, config.chunk_size, config.workers, work_per_item
-    )
+    explicit = chunks is not None
+    if explicit:
+        chunks = [list(chunk) for chunk in chunks if len(chunk)]
+        covered = sorted(index for chunk in chunks for index in chunk)
+        if covered != list(range(n_items)):
+            raise ValueError(
+                "explicit chunks must cover range(n_items) exactly once"
+            )
+    else:
+        chunks = chunk_indices(
+            n_items, config.chunk_size, config.workers, work_per_item
+        )
     if not chunks:
         return []
 
@@ -500,7 +519,7 @@ def map_chunked(
             )
         recorder.count("parallel.serial.chunks", len(chunks))
         recorder.count("parallel.serial.items", n_items)
-        return _flatten(results, recorder)
+        return _flatten(results, recorder, chunks if explicit else None, n_items)
 
     workers = min(config.workers, len(chunks))
     ladder = policy.ladder(config.backend)
@@ -542,14 +561,36 @@ def map_chunked(
     recorder.count(f"parallel.{config.backend}.chunks", len(chunks))
     recorder.count(f"parallel.{config.backend}.items", n_items)
     recorder.gauge("parallel.workers", workers)
-    return _flatten(results, recorder)
+    return _flatten(results, recorder, chunks if explicit else None, n_items)
 
 
-def _flatten(results: List, recorder) -> List:
-    flattened = []
-    for chunk_result in results:
+def _flatten(
+    results: List,
+    recorder,
+    chunks: Optional[List[Sequence[int]]] = None,
+    n_items: int = 0,
+) -> List:
+    """Reassemble chunk results; scatter by index for explicit chunks.
+
+    Auto-chunking produces contiguous ascending ranges, so concatenation
+    in chunk order is already item order.  Explicit (caller-provided)
+    chunks may interleave the index space arbitrarily; their results are
+    scattered into an item-indexed list so downstream reductions still
+    see exactly the serial ordering.
+    """
+    if chunks is None:
+        flattened = []
+        for chunk_result in results:
+            if isinstance(chunk_result, _MetricsShard):
+                recorder.merge(chunk_result.metrics)
+                chunk_result = chunk_result.items
+            flattened.extend(chunk_result)
+        return flattened
+    scattered: List = [_PENDING] * n_items
+    for chunk, chunk_result in zip(chunks, results):
         if isinstance(chunk_result, _MetricsShard):
             recorder.merge(chunk_result.metrics)
             chunk_result = chunk_result.items
-        flattened.extend(chunk_result)
-    return flattened
+        for index, item in zip(chunk, chunk_result):
+            scattered[index] = item
+    return scattered

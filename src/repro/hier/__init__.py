@@ -1,0 +1,66 @@
+"""Hierarchical block timing models (partition / extract / replay).
+
+Following the Li/Schlichtmann hierarchical statistical-STA line of work
+(PAPERS.md), this package turns the flat Monte-Carlo diagnosis flow into
+a block-structured one:
+
+* :mod:`repro.hier.partition` — deterministic levelized partitioning of
+  a frozen circuit into gate-count-balanced blocks with one-directional
+  interfaces,
+* :mod:`repro.hier.extract` — per-block interface timing models
+  (arrival-time surfaces over the shared MC sample space, exact on block
+  boundaries by construction), persisted once per (timing model,
+  patterns, partition) through the ``DictionaryStore`` mmap path,
+* :mod:`repro.hier.replay` — block-truncated replay that re-simulates
+  only the suspect's home block and the downstream prefix a pattern can
+  observe it through, bit-identical to the flat kernel (which remains
+  the oracle, toggled by ``REPRO_HIER`` exactly like
+  ``REPRO_TIMING_KERNEL``).
+
+Blocks double as the coarse shard unit of parallel dictionary builds:
+:func:`repro.core.dictionary.build_multi_clock_dictionary` with
+``hier=True`` shards suspects by home block through
+:func:`repro.hier.partition.block_chunks`.
+"""
+
+from .extract import (
+    BlockModelSet,
+    block_model_cache_key,
+    extract_block_models,
+    load_block_model_stack,
+)
+from .partition import (
+    BlockGraph,
+    block_chunks,
+    default_block_count,
+    partition_circuit,
+)
+from .replay import (
+    HIER_BLOCKS_ENV,
+    HIER_ENV,
+    HierConfig,
+    HierReplayJob,
+    HierSinkPlan,
+    annotate_plan,
+    hier_signatures_for_chunk,
+    resolve_hier,
+)
+
+__all__ = [
+    "BlockGraph",
+    "BlockModelSet",
+    "HierConfig",
+    "HierReplayJob",
+    "HierSinkPlan",
+    "HIER_ENV",
+    "HIER_BLOCKS_ENV",
+    "annotate_plan",
+    "block_chunks",
+    "block_model_cache_key",
+    "default_block_count",
+    "extract_block_models",
+    "hier_signatures_for_chunk",
+    "load_block_model_stack",
+    "partition_circuit",
+    "resolve_hier",
+]

@@ -1,0 +1,187 @@
+"""Per-block interface timing-model extraction (hierarchical models, step 2).
+
+The extracted model of a block is its *interface arrival-time surface*:
+for every pattern, the settle time of each net over the shared
+Monte-Carlo sample space, stored as one ``(n_patterns, n_nets, width)``
+stack in net-row (= topological) order so each block's rows are a
+contiguous slice.  Because the models are materialized on the exact
+sample space the flat kernel simulates (not a fitted surrogate), they
+are **exact on block boundaries by construction** — replaying a cached
+interface row is bit-identical to re-simulating the upstream block.
+
+Extraction is paid once per (timing model, pattern set, partition) and
+persisted through the existing :class:`~repro.core.cache.DictionaryStore`
+mmap path: the stack lives in one ``.npy`` payload under a ``hier/``
+subdirectory of the dictionary-cache directory, content-addressed by
+:func:`block_model_cache_key` (which folds in the partition fingerprint —
+rule ``K901`` guards that).  Process-pool dictionary builds ship workers
+a ``(directory, key)`` reference instead of pickling the arrival
+matrices; every worker then maps the same physical pages, so the
+per-worker payload cost is page-cache residency, not copies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cache import (
+    DictionaryStore,
+    patterns_fingerprint,
+    timing_fingerprint,
+)
+from ..timing.instance import CircuitTiming
+from .. import obs
+from .partition import BlockGraph
+
+__all__ = [
+    "BlockModelSet",
+    "block_model_cache_key",
+    "extract_block_models",
+    "load_block_model_stack",
+]
+
+#: Subdirectory of the dictionary-cache directory holding block models.
+HIER_STORE_SUBDIR = "hier"
+
+
+def block_model_cache_key(
+    timing: CircuitTiming,
+    patterns: Sequence,
+    graph: BlockGraph,
+) -> str:
+    """Content address of one block-model extraction.
+
+    Everything the stored arrival stack depends on is hashed: the timing
+    model (circuit + delay samples), the pattern set, and the partition
+    fingerprint — two different partitions of the same circuit must not
+    collide (their block slices differ even though the underlying
+    arrival times agree), which is exactly the ``K901`` requirement that
+    block-model cache keys include the partition fingerprint.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(b"hier-block-model-v1:")
+    hasher.update(timing_fingerprint(timing).encode())
+    hasher.update(patterns_fingerprint(list(patterns)).encode())
+    hasher.update(graph.fingerprint.encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class BlockModelSet:
+    """The extracted interface models of every block of one partition.
+
+    ``stack[p]`` is pattern ``p``'s ``(n_nets, width)`` arrival-time
+    matrix in topological row order; block ``j``'s model is the
+    contiguous row range covering ``graph.blocks[j]``.  ``key`` /
+    ``directory`` are set when the stack is backed by (or was persisted
+    to) a :class:`~repro.core.cache.DictionaryStore` payload — the
+    reference process-pool workers re-map instead of receiving copies.
+    """
+
+    graph: BlockGraph
+    stack: np.ndarray
+    key: Optional[str] = None
+    directory: Optional[str] = None
+
+    @property
+    def n_patterns(self) -> int:
+        return int(self.stack.shape[0])
+
+    def store_ref(self) -> Optional[Tuple[str, str]]:
+        """The ``(directory, key)`` workers can re-map, if persisted."""
+        if self.directory is not None and self.key is not None:
+            return self.directory, self.key
+        return None
+
+    def block_rows(self, block_index: int) -> Tuple[int, int]:
+        """Topological row range ``[start, stop)`` of one block's model."""
+        start = 0
+        for index in range(block_index):
+            start += len(self.graph.blocks[index])
+        return start, start + len(self.graph.blocks[block_index])
+
+
+def _stable_matrix(circuit, sim) -> np.ndarray:
+    """One simulation's ``(n_nets, width)`` settle times, topo row order."""
+    stable = sim.stable
+    matrix = getattr(stable, "matrix", None)
+    if matrix is not None:
+        return np.asarray(matrix)
+    return np.stack([stable[name] for name in circuit.topological_order])
+
+
+def extract_block_models(
+    timing: CircuitTiming,
+    patterns: Sequence,
+    base_simulations: Sequence,
+    graph: BlockGraph,
+    directory: Optional[str] = None,
+) -> BlockModelSet:
+    """Extract (or load) the partition's interface timing models.
+
+    With ``directory`` set (normally the dictionary-cache directory),
+    the stack round-trips through a ``DictionaryStore`` under
+    ``directory/hier/``: a warm call maps the existing payload without
+    touching the base simulations; a cold call stacks the simulated
+    arrival times, persists them, and returns the mmapped pages so the
+    parent process itself already shares the store copy.
+    """
+    recorder = obs.get_recorder()
+    store = None
+    key = None
+    if directory is not None and len(base_simulations) > 0:
+        store = DictionaryStore(os.path.join(directory, HIER_STORE_SUBDIR))
+        key = block_model_cache_key(timing, patterns, graph)
+        payload = store.load(key)
+        if payload is not None:
+            recorder.count("hier.extract.served")
+            return BlockModelSet(
+                graph=graph,
+                stack=payload["stack"],
+                key=key,
+                directory=directory,
+            )
+
+    circuit = timing.circuit
+    recorder.count("hier.extract.builds")
+    with recorder.span("hier.extract"):
+        matrices: List[np.ndarray] = [
+            _stable_matrix(circuit, sim) for sim in base_simulations
+        ]
+        if matrices:
+            stack = np.stack(matrices)
+        else:
+            stack = np.zeros(
+                (0, len(circuit.topological_order), timing.space.n_samples)
+            )
+        if store is not None and key is not None:
+            store.store(key, stack[0], list(stack[1:]))
+            payload = store.load(key)
+            if payload is not None:
+                stack = payload["stack"]
+    return BlockModelSet(
+        graph=graph,
+        stack=stack,
+        key=key,
+        directory=directory if store is not None else None,
+    )
+
+
+def load_block_model_stack(directory: str, key: str) -> Optional[np.ndarray]:
+    """Re-map a persisted block-model stack (worker-side attach).
+
+    Returns the mmapped ``(n_patterns, n_nets, width)`` stack, or
+    ``None`` when the entry has vanished (evicted between the parent's
+    extraction and the worker's attach) — callers must then fall back to
+    the matrices pickled alongside the job, if any, or fail loudly.
+    """
+    store = DictionaryStore(os.path.join(directory, HIER_STORE_SUBDIR))
+    payload = store.load(key)
+    if payload is None:
+        return None
+    return payload["stack"]

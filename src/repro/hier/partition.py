@@ -1,0 +1,204 @@
+"""Deterministic levelized netlist partitioning (hierarchical models, step 1).
+
+Following Li/Schlichtmann's hierarchical statistical STA papers, the
+circuit is cut into *blocks* — contiguous logic-level bands balanced by
+gate count — so that dictionary construction can (a) extract each block's
+interface timing model once (:mod:`repro.hier.extract`) and (b) shard the
+per-suspect replay work by block instead of by arbitrary suspect chunks
+(:mod:`repro.hier.replay`), the coarse granularity that makes process
+pools pay off.
+
+Why level bands and not an arbitrary min-cut: logic levels strictly
+increase along every edge (``levels[v] >= levels[u] + 1`` for any edge
+``u -> v``), so a level-band partition has a one-directional interface —
+signals only flow from lower-numbered blocks to higher-numbered ones.
+That single property is what makes block-restricted replay *exactly*
+equal to flat replay (see :mod:`repro.hier.replay` for the argument), so
+the partitioner never has to trade quality for correctness: any balanced
+band assignment is exact.
+
+The partitioner is pure structure — no RNG anywhere (trivially clean
+under the ``F7xx`` flow-determinism rules) — and deterministic given the
+frozen circuit and the block count, which the partition fingerprint
+captures for cache keying (``K901`` guards that every block-model cache
+key includes it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.netlist import Circuit, Edge
+from ..core.cache import circuit_fingerprint
+from ..core.parallel import MIN_CHUNK_WORK
+
+__all__ = [
+    "BlockGraph",
+    "partition_circuit",
+    "default_block_count",
+    "block_chunks",
+]
+
+
+@dataclass(frozen=True)
+class BlockGraph:
+    """A levelized partition of one frozen circuit.
+
+    Block ``j`` owns every net whose logic level falls in
+    ``[boundaries[j], boundaries[j + 1])``; primary inputs (level 0) are
+    always in block 0.  ``interface_nets`` are the nets with at least one
+    fanout edge crossing into a later block — the nets whose arrival
+    times form the blocks' extracted interface timing models.
+    """
+
+    circuit: Circuit
+    #: Level cut points, length ``n_blocks + 1`` (``boundaries[0] == 0``).
+    boundaries: Tuple[int, ...]
+    #: Net name -> owning block index.
+    block_of: Dict[str, int] = field(repr=False)
+    #: Per-block net names, topological order within each block.
+    blocks: Tuple[Tuple[str, ...], ...] = field(repr=False)
+    #: Nets feeding at least one gate in a later block.
+    interface_nets: Tuple[str, ...] = field(repr=False)
+    #: Content address of this partition: circuit + boundaries.
+    fingerprint: str = ""
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def home_block(self, edge: Edge) -> int:
+        """The block a suspect on ``edge`` perturbs first (its sink's)."""
+        return self.block_of[edge.sink]
+
+
+def default_block_count(circuit: Circuit) -> int:
+    """Block count heuristic: one block per ~4 logic levels, clamped.
+
+    Deep circuits get more blocks (more replay truncation headroom and
+    more shards), shallow ones fewer; at least 2 so "hierarchical" is
+    never a single flat block, at most 16 so blocks stay coarse enough
+    to be worthwhile process-pool shards.
+    """
+    return max(2, min(16, circuit.depth // 4))
+
+
+def partition_circuit(
+    circuit: Circuit, n_blocks: Optional[int] = None
+) -> BlockGraph:
+    """Partition a frozen circuit into gate-count-balanced level bands.
+
+    Greedy balanced cut: walking levels in ascending order, a block is
+    closed once the cumulative gate weight reaches its proportional
+    share of the total.  Deterministic in (circuit, n_blocks); requires
+    a frozen circuit (levels and topological order are defined).
+    """
+    levels = circuit.levels
+    depth = circuit.depth
+    if n_blocks is None:
+        n_blocks = default_block_count(circuit)
+    n_blocks = max(1, min(int(n_blocks), depth + 1))
+
+    # Gate weight per level (primary inputs are free: no evaluation).
+    weight = [0] * (depth + 1)
+    for name in circuit.topological_order:
+        if circuit.gates[name].fanins:
+            weight[levels[name]] += 1
+    total = sum(weight) or 1
+
+    boundaries: List[int] = [0]
+    accumulated = 0
+    closed = 0
+    for level in range(depth + 1):
+        accumulated += weight[level]
+        remaining_levels = depth - level
+        remaining_blocks = n_blocks - closed - 1
+        if remaining_blocks <= 0:
+            break
+        # Close the current block when it has reached its cumulative
+        # share — but never so late that the remaining blocks outnumber
+        # the remaining levels.
+        share = total * (closed + 1) / n_blocks
+        if accumulated >= share or remaining_levels <= remaining_blocks:
+            boundaries.append(level + 1)
+            closed += 1
+    boundaries.append(depth + 1)
+
+    level_block = [0] * (depth + 1)
+    for block_index in range(len(boundaries) - 1):
+        for level in range(boundaries[block_index], boundaries[block_index + 1]):
+            level_block[level] = block_index
+
+    block_of: Dict[str, int] = {}
+    block_nets: List[List[str]] = [[] for _ in range(len(boundaries) - 1)]
+    for name in circuit.topological_order:
+        block_index = level_block[levels[name]]
+        block_of[name] = block_index
+        block_nets[block_index].append(name)
+
+    interface: List[str] = []
+    for name in circuit.topological_order:
+        source_block = block_of[name]
+        if any(
+            block_of[edge.sink] > source_block
+            for edge in circuit.fanouts.get(name, ())
+        ):
+            interface.append(name)
+
+    hasher = hashlib.sha256()
+    hasher.update(circuit_fingerprint(circuit).encode())
+    hasher.update(json.dumps(boundaries).encode())
+    return BlockGraph(
+        circuit=circuit,
+        boundaries=tuple(boundaries),
+        block_of=block_of,
+        blocks=tuple(tuple(nets) for nets in block_nets),
+        interface_nets=tuple(interface),
+        fingerprint=hasher.hexdigest(),
+    )
+
+
+def block_chunks(
+    graph: BlockGraph,
+    suspects: Sequence[Edge],
+    work_per_gate: float,
+    min_chunk_work: float = MIN_CHUNK_WORK,
+) -> List[List[int]]:
+    """Shard suspect indices by home block; merge undersized blocks.
+
+    The returned chunks are the explicit-shard input of
+    :func:`repro.core.parallel.map_chunked`: each chunk holds the
+    (ascending) original indices of the suspects homed in one block — or
+    in a run of consecutive blocks whose combined work
+    (block gate count x ``work_per_gate``, i.e. gate count x patterns x
+    samples) would otherwise fall below ``min_chunk_work``.  Chunks are
+    block-major (indices ascending within each block) and cover every
+    index exactly once; ``map_chunked`` scatters results back by index,
+    so the assembled result order is the serial one regardless of how
+    blocks interleave the index space.
+    """
+    by_block: List[List[int]] = [[] for _ in range(graph.n_blocks)]
+    for index, edge in enumerate(suspects):
+        by_block[graph.home_block(edge)].append(index)
+
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    current_work = 0.0
+    for block_index, indices in enumerate(by_block):
+        if not indices:
+            continue
+        current.extend(indices)
+        current_work += len(graph.blocks[block_index]) * work_per_gate
+        if current_work >= min_chunk_work:
+            chunks.append(current)
+            current = []
+            current_work = 0.0
+    if current:
+        if chunks and current_work < min_chunk_work:
+            chunks[-1].extend(current)
+        else:
+            chunks.append(current)
+    return chunks

@@ -1,0 +1,334 @@
+"""Block-level replay for dictionary construction (hierarchical, step 3).
+
+A suspect's extra delay perturbs settle times only inside its fanout
+cone; the hierarchical engine additionally exploits the partition's
+one-directional interfaces to truncate each replay to a *prefix of
+blocks*:
+
+* the suspect's **home block** (its sink's) is re-simulated at gate
+  level,
+* **upstream blocks** are never touched — their nets are served straight
+  from the extracted interface models (the cached base arrival times),
+* **downstream blocks** are re-simulated only up to the last block that
+  holds an output the pattern can observe the suspect through; every
+  block past it is replayed through the extracted models, i.e. not
+  simulated at all.
+
+Exactness argument (why truncated replay is *bit-identical* to flat):
+logic levels strictly increase along edges, and a level-band partition
+maps levels monotonically onto block indices, so every path from the
+suspect's sink to an output in block ``j`` lies entirely inside blocks
+``<= j``.  The truncated affected set ``cone ∩ blocks[0..j]`` is
+therefore closed under in-cone predecessors: every gate it contains sees
+exactly the operand rows the full-cone replay would feed it (in-cone
+sources are in the prefix, out-of-cone sources are served from the same
+base model either way), and the kernel reduces each gate's segment in a
+fixed order independent of the affected set.  Induction along the
+restricted schedule gives bitwise-equal settle rows for every net the
+signature reads.  When no later-block output is live the truncation is
+empty of savings and the engine **falls back to the full flat-cone
+replay** — same values, one code path for the proof.
+
+The flat kernel remains the oracle (``REPRO_HIER`` off), exactly like
+``REPRO_TIMING_KERNEL``'s compiled/reference pairing.  All flat-kernel
+entry points are called through the sanctioned ``_flat_replay`` bridge —
+lint rule ``T310`` flags any other direct call from ``hier/`` code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..timing.dynamic import TransitionSimResult, resimulate_with_extra
+from ..timing.kernel import StableTimes
+from .. import obs
+from .extract import load_block_model_stack
+from .partition import BlockGraph
+
+__all__ = [
+    "HIER_ENV",
+    "HIER_BLOCKS_ENV",
+    "HierConfig",
+    "resolve_hier",
+    "HierSinkPlan",
+    "annotate_plan",
+    "HierReplayJob",
+    "hier_signatures_for_chunk",
+]
+
+#: Environment knobs (also set by the ``--hier`` CLI flags).
+HIER_ENV = "REPRO_HIER"
+HIER_BLOCKS_ENV = "REPRO_HIER_BLOCKS"
+
+_TRUTHY = {"1", "true", "on", "yes"}
+
+
+@dataclass(frozen=True)
+class HierConfig:
+    """Whether (and how) to build dictionaries through block replay.
+
+    ``n_blocks`` ``None`` means :func:`repro.hier.default_block_count`.
+    Hierarchical builds are bit-identical to flat ones, but their cache
+    keys include :meth:`cache_token` anyway: the token records *how* the
+    bytes were produced, the same discipline as the sampler token, and
+    it is what satisfies the ``K901`` completeness rule for the ``hier``
+    parameter's influence on the build job.
+    """
+
+    enabled: bool = False
+    n_blocks: Optional[int] = None
+
+    def cache_token(self, graph: BlockGraph) -> str:
+        return f"hier:v1:blocks={graph.n_blocks}:{graph.fingerprint}"
+
+
+def resolve_hier(
+    config: Optional[Union[HierConfig, bool, str]] = None,
+) -> HierConfig:
+    """Normalize a caller-supplied hierarchical-build configuration.
+
+    ``None`` falls back to the ``REPRO_HIER`` / ``REPRO_HIER_BLOCKS``
+    environment (disabled when unset); a bool or a truthy string toggles
+    with default block count.
+    """
+    if isinstance(config, HierConfig):
+        return config
+    if isinstance(config, bool):
+        return HierConfig(enabled=config)
+    if isinstance(config, str):
+        return HierConfig(enabled=config.strip().lower() in _TRUTHY)
+    raw = os.environ.get(HIER_ENV, "").strip().lower()
+    if raw not in _TRUTHY:
+        return HierConfig()
+    blocks = os.environ.get(HIER_BLOCKS_ENV, "").strip()
+    return HierConfig(enabled=True, n_blocks=int(blocks) if blocks else None)
+
+
+# ----------------------------------------------------------------------
+# block-annotated activity plans
+# ----------------------------------------------------------------------
+@dataclass
+class HierSinkPlan:
+    """One sink's flat activity plan annotated with block truncations.
+
+    ``activity`` entries are the flat plan's ``(column, rows, nets)``
+    extended with ``j`` — the last block index holding a live output for
+    that pattern.  ``cones_by_block[j]`` is the prefix affected set
+    ``cone ∩ blocks[0..j]``; when ``j`` reaches the cone's own last
+    block it IS the memoized full-cone object, so the truncated and flat
+    paths share one cached cone schedule.  The objects are built once
+    per sink and shared by every suspect on it — the kernel's cone-
+    schedule cache is keyed by object identity, so stability matters.
+    """
+
+    home: int
+    cone_max_block: int
+    full_cone: Sequence[str]
+    cones_by_block: Dict[int, Sequence[str]]
+    activity: List[Tuple[int, np.ndarray, List[str], int]]
+
+
+def annotate_plan(
+    graph: BlockGraph,
+    sink: str,
+    cone: Sequence[str],
+    activity: Sequence[Tuple[int, np.ndarray, List[str]]],
+) -> HierSinkPlan:
+    """Annotate one flat sink plan with its block truncation structure.
+
+    Reuses the flat plan's ``(column, rows, nets)`` entries verbatim —
+    the hierarchical build must gate on exactly the same transitions as
+    the flat build — and only adds the per-pattern truncation depth plus
+    the shared prefix cone objects.
+    """
+    block_of = graph.block_of
+    home = block_of[sink]
+    cone_max_block = max(block_of[net] for net in cone) if cone else home
+    cones_by_block: Dict[int, Sequence[str]] = {}
+    annotated: List[Tuple[int, np.ndarray, List[str], int]] = []
+    for column, rows, nets in activity:
+        j = max(block_of[net] for net in nets)
+        if j not in cones_by_block:
+            if j >= cone_max_block:
+                cones_by_block[j] = cone
+            else:
+                cones_by_block[j] = [
+                    net for net in cone if block_of[net] <= j
+                ]
+        annotated.append((column, rows, nets, j))
+    return HierSinkPlan(
+        home=home,
+        cone_max_block=cone_max_block,
+        full_cone=cone,
+        cones_by_block=cones_by_block,
+        activity=annotated,
+    )
+
+
+# ----------------------------------------------------------------------
+# the replay job (process-pool payload with mmap attach)
+# ----------------------------------------------------------------------
+def _strippable(sim: TransitionSimResult) -> bool:
+    """Whether a simulation's settle matrix can ride in the block store."""
+    return getattr(sim.stable, "matrix", None) is not None
+
+
+@dataclass(frozen=True)
+class _StrippedStable:
+    """Placeholder for a settle matrix shipped via the block-model store."""
+
+    net_rows: Dict[str, int]
+    pattern_index: int
+
+
+@dataclass
+class HierReplayJob:
+    """Everything a worker needs for block-sharded signature chunks.
+
+    Pickling (the process-pool payload ship) swaps each base
+    simulation's settle matrix for a :class:`_StrippedStable` reference
+    when ``model_ref`` names a persisted block-model stack; the worker
+    re-maps the store payload on attach, so all workers share the
+    extraction's OS page cache instead of receiving pickled copies of
+    the largest arrays in the job.
+    """
+
+    base_simulations: Sequence[TransitionSimResult]
+    clks: Tuple[float, ...]
+    size_samples: np.ndarray
+    suspects: List
+    edge_indices: List[int]
+    m_crt: np.ndarray
+    plans: Dict[str, HierSinkPlan]
+    model_ref: Optional[Tuple[str, str]] = None
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        if self.model_ref is not None:
+            state["base_simulations"] = [
+                dataclass_replace(
+                    sim,
+                    stable=_StrippedStable(sim.stable.net_rows, index),
+                )
+                if _strippable(sim)
+                else sim
+                for index, sim in enumerate(self.base_simulations)
+            ]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        stripped = [
+            sim
+            for sim in self.base_simulations
+            if isinstance(sim.stable, _StrippedStable)
+        ]
+        if not stripped:
+            return
+        directory, key = self.model_ref
+        stack = load_block_model_stack(directory, key)
+        if stack is None:
+            raise RuntimeError(
+                f"hier block-model store entry {key[:12]}... vanished from "
+                f"{directory!r} between extraction and worker attach"
+            )
+        self.base_simulations = [
+            dataclass_replace(
+                sim,
+                stable=StableTimes(
+                    stack[sim.stable.pattern_index], sim.stable.net_rows
+                ),
+            )
+            if isinstance(sim.stable, _StrippedStable)
+            else sim
+            for sim in self.base_simulations
+        ]
+
+
+# ----------------------------------------------------------------------
+# the sanctioned flat-kernel bridge (T310)
+# ----------------------------------------------------------------------
+def _flat_replay(
+    base: TransitionSimResult, extra_delay: Dict, affected: Sequence[str]
+):
+    """The one sanctioned flat-kernel entry point in the replay path.
+
+    Both the truncated (contained) replay and the boundary-crossing
+    fallback funnel through here: the *affected set* is the hierarchical
+    decision, the kernel call is always the dispatching flat entry point
+    (so ``REPRO_TIMING_KERNEL`` stays authoritative).  Rule ``T310``
+    flags any flat-kernel call in ``hier/`` outside ``*flat*``-named
+    bridges like this one.
+    """
+    return resimulate_with_extra(base, extra_delay, affected=affected)
+
+
+# ----------------------------------------------------------------------
+# the worker body
+# ----------------------------------------------------------------------
+def hier_signatures_for_chunk(
+    job: HierReplayJob, indices: Sequence[int]
+) -> List[np.ndarray]:
+    """Signature matrices for one block-sharded chunk of suspect indices.
+
+    Mirrors :func:`repro.core.dictionary._signatures_for_chunk` entry
+    for entry (same activity gating, same arena allocation, same
+    threshold arithmetic) — the only difference is the affected set
+    handed to the kernel, which the exactness argument in the module
+    docstring proves is value-preserving.  Bit-identity with the flat
+    builder is pinned by the test-suite and the ``bench-hier`` CI proof.
+    """
+    recorder = obs.get_recorder()
+    n_patterns = len(job.base_simulations)
+    results: List[np.ndarray] = []
+    shared_zero: Optional[np.ndarray] = None
+    arena: Optional[np.ndarray] = None
+    arena_used = 0
+    contained = 0
+    fallback = 0
+    for index in indices:
+        edge = job.suspects[index]
+        edge_index = job.edge_indices[index]
+        plan = job.plans[edge.sink]
+        if not plan.activity:
+            if shared_zero is None:
+                shared_zero = np.zeros(job.m_crt.shape, dtype=job.m_crt.dtype)
+                shared_zero.setflags(write=False)
+            results.append(shared_zero)
+            continue
+        if arena is None or arena_used == len(arena):
+            arena = np.zeros((64,) + job.m_crt.shape, dtype=job.m_crt.dtype)
+            arena_used = 0
+        signature = arena[arena_used]
+        arena_used += 1
+        for column, rows, nets, j in plan.activity:
+            affected = plan.cones_by_block[j]
+            if j < plan.cone_max_block:
+                contained += 1
+            else:
+                fallback += 1
+            patched = _flat_replay(
+                job.base_simulations[column],
+                {edge_index: job.size_samples},
+                affected,
+            )
+            stable = patched.stable
+            take = getattr(stable, "take_rows", None)
+            if take is not None:
+                stacked = take(nets)
+            else:
+                stacked = np.stack([stable[net] for net in nets])
+            for block, clk in enumerate(job.clks):
+                col = block * n_patterns + column
+                errs = (stacked > clk).mean(axis=1)
+                signature[rows, col] = errs - job.m_crt[rows, col]
+        results.append(signature)
+    if contained:
+        recorder.count("hier.block.contained", contained)
+    if fallback:
+        recorder.count("hier.block.fallback", fallback)
+    return results

@@ -1,0 +1,593 @@
+"""Hierarchical block timing models: partition, extraction, replay.
+
+The contract under test is the tentpole guarantee of the ``repro.hier``
+package: dictionaries built through block partitioning, per-block
+interface-model extraction and block-truncated replay are **bit
+identical** (``np.array_equal``, not ``allclose``) to the flat kernel's,
+across serial/thread/process backends and plain/is/adaptive samplers —
+the hierarchy is a performance structure, never an approximation.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.atpg import random_pattern_pairs
+from repro.core import ParallelConfig, build_dictionary
+from repro.core.cache import dictionary_cache_key
+from repro.core.multidefect import diagnose_multi
+from repro.defects import SingleDefectModel
+from repro.hier import (
+    HierConfig,
+    HierReplayJob,
+    annotate_plan,
+    block_chunks,
+    block_model_cache_key,
+    default_block_count,
+    extract_block_models,
+    load_block_model_stack,
+    partition_circuit,
+    resolve_hier,
+)
+from repro.timing import (
+    CircuitTiming,
+    SampleSpace,
+    diagnosis_clock,
+    simulate_pattern_set,
+)
+
+
+# ----------------------------------------------------------------------
+# shared problem instance (module scope: built once)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def bench_case(request):
+    """A realistic diagnosis case on the s1196 profile."""
+    circuit = request.getfixturevalue("bench_synth")
+    timing = CircuitTiming(circuit, SampleSpace(n_samples=60, seed=0))
+    patterns = random_pattern_pairs(circuit, 4, seed=3)
+    sims = simulate_pattern_set(timing, list(patterns))
+    clk = diagnosis_clock(timing, list(patterns), 0.8, simulations=sims)
+    suspects = circuit.edges[::17]
+    model = SingleDefectModel(timing)
+    sizes = model.dictionary_size_variable().samples
+    dist = model.dictionary_size_distribution()
+    return timing, patterns, clk, suspects, sizes, sims, dist
+
+
+@pytest.fixture(scope="module")
+def flat_reference(bench_case):
+    timing, patterns, clk, suspects, sizes, sims, _dist = bench_case
+    return build_dictionary(
+        timing, patterns, clk, suspects, sizes, base_simulations=sims
+    )
+
+
+def _assert_identical(reference, candidate):
+    assert np.array_equal(reference.m_crt, candidate.m_crt)
+    assert reference.suspects == candidate.suspects
+    for edge in reference.suspects:
+        assert np.array_equal(
+            reference.signatures[edge], candidate.signatures[edge]
+        ), f"signature mismatch at {edge}"
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+class TestPartition:
+    def test_every_net_in_exactly_one_block(self, bench_synth):
+        graph = partition_circuit(bench_synth)
+        flattened = [net for block in graph.blocks for net in block]
+        assert sorted(flattened) == sorted(bench_synth.topological_order)
+        for block_index, block in enumerate(graph.blocks):
+            for net in block:
+                assert graph.block_of[net] == block_index
+
+    def test_blocks_are_level_bands(self, bench_synth):
+        graph = partition_circuit(bench_synth)
+        levels = bench_synth.levels
+        for block_index, block in enumerate(graph.blocks):
+            low, high = graph.boundaries[block_index], graph.boundaries[block_index + 1]
+            for net in block:
+                assert low <= levels[net] < high
+
+    def test_interfaces_are_one_directional(self, bench_synth):
+        """The exactness precondition: signals never flow backwards."""
+        graph = partition_circuit(bench_synth)
+        for edge in bench_synth.edges:
+            assert graph.block_of[edge.source] <= graph.block_of[edge.sink]
+
+    def test_interface_nets_feed_later_blocks(self, bench_synth):
+        graph = partition_circuit(bench_synth)
+        interface = set(graph.interface_nets)
+        for net in bench_synth.topological_order:
+            crosses = any(
+                graph.block_of[e.sink] > graph.block_of[net]
+                for e in bench_synth.fanouts.get(net, ())
+            )
+            assert (net in interface) == crosses
+
+    def test_deterministic_fingerprint(self, bench_synth):
+        first = partition_circuit(bench_synth, 4)
+        second = partition_circuit(bench_synth, 4)
+        assert first.boundaries == second.boundaries
+        assert first.fingerprint == second.fingerprint
+        other = partition_circuit(bench_synth, 5)
+        assert other.fingerprint != first.fingerprint
+
+    def test_block_count_clamped_to_depth(self, small_synth):
+        graph = partition_circuit(small_synth, 1000)
+        assert graph.n_blocks <= small_synth.depth + 1
+        assert partition_circuit(small_synth, 1).n_blocks == 1
+
+    def test_default_block_count_bounds(self, bench_synth, small_synth):
+        for circuit in (bench_synth, small_synth):
+            count = default_block_count(circuit)
+            assert 2 <= count <= 16
+
+    def test_home_block_is_sink_block(self, bench_synth):
+        graph = partition_circuit(bench_synth)
+        for edge in bench_synth.edges[:50]:
+            assert graph.home_block(edge) == graph.block_of[edge.sink]
+
+
+class TestBlockChunks:
+    def test_chunks_cover_every_index_once(self, bench_synth):
+        graph = partition_circuit(bench_synth)
+        suspects = bench_synth.edges[::7]
+        chunks = block_chunks(graph, suspects, work_per_gate=100)
+        flattened = sorted(i for chunk in chunks for i in chunk)
+        assert flattened == list(range(len(suspects)))
+
+    def test_chunks_are_block_major(self, bench_synth):
+        graph = partition_circuit(bench_synth)
+        suspects = bench_synth.edges[::7]
+        chunks = block_chunks(
+            graph, suspects, work_per_gate=1, min_chunk_work=0
+        )
+        seen_blocks = []
+        for chunk in chunks:
+            blocks = {graph.home_block(suspects[i]) for i in chunk}
+            assert len(blocks) == 1  # no merging at zero threshold
+            seen_blocks.append(blocks.pop())
+        assert seen_blocks == sorted(seen_blocks)
+
+    def test_small_blocks_merge(self, bench_synth):
+        graph = partition_circuit(bench_synth)
+        suspects = bench_synth.edges[::7]
+        merged = block_chunks(
+            graph, suspects, work_per_gate=1, min_chunk_work=10**12
+        )
+        assert len(merged) == 1
+        assert sorted(merged[0]) == list(range(len(suspects)))
+
+
+# ----------------------------------------------------------------------
+# configuration resolution
+# ----------------------------------------------------------------------
+class TestResolveHier:
+    def test_default_disabled(self):
+        assert not resolve_hier(None).enabled
+        assert not resolve_hier(False).enabled
+
+    def test_bool_and_string(self):
+        assert resolve_hier(True).enabled
+        assert resolve_hier("on").enabled
+        assert not resolve_hier("off").enabled
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HIER", "1")
+        monkeypatch.setenv("REPRO_HIER_BLOCKS", "6")
+        config = resolve_hier(None)
+        assert config.enabled and config.n_blocks == 6
+
+    def test_config_passthrough(self):
+        config = HierConfig(enabled=True, n_blocks=3)
+        assert resolve_hier(config) is config
+
+
+# ----------------------------------------------------------------------
+# bit-identity: the tentpole guarantee
+# ----------------------------------------------------------------------
+class TestHierBitIdentity:
+    def test_serial(self, bench_case, flat_reference):
+        timing, patterns, clk, suspects, sizes, sims, _dist = bench_case
+        hier = build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, hier=True,
+        )
+        _assert_identical(flat_reference, hier)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_pooled_backends(self, bench_case, flat_reference, backend):
+        timing, patterns, clk, suspects, sizes, sims, _dist = bench_case
+        hier = build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, hier=True,
+            parallel=ParallelConfig(
+                backend=backend, n_workers=2, chunk_size=3
+            ),
+        )
+        _assert_identical(flat_reference, hier)
+
+    def test_process_with_store_attach(
+        self, bench_case, flat_reference, tmp_path
+    ):
+        """Workers re-map the persisted block models (stripped pickle)."""
+        timing, patterns, clk, suspects, sizes, sims, _dist = bench_case
+        hier = build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, hier=True,
+            cache=str(tmp_path / "cache"),
+            parallel=ParallelConfig(
+                backend="process", n_workers=2, chunk_size=3
+            ),
+        )
+        _assert_identical(flat_reference, hier)
+        assert os.path.isdir(str(tmp_path / "cache" / "hier"))
+
+    def test_explicit_block_counts(self, bench_case, flat_reference):
+        timing, patterns, clk, suspects, sizes, sims, _dist = bench_case
+        for n_blocks in (1, 3, 16):
+            hier = build_dictionary(
+                timing, patterns, clk, suspects, sizes,
+                base_simulations=sims,
+                hier=HierConfig(enabled=True, n_blocks=n_blocks),
+            )
+            _assert_identical(flat_reference, hier)
+
+    @pytest.mark.parametrize("mode", ["is", "adaptive"])
+    def test_sampled_builds(self, bench_case, mode):
+        timing, patterns, clk, suspects, sizes, sims, dist = bench_case
+        flat = build_dictionary(
+            timing, patterns, clk, suspects, sizes, base_simulations=sims,
+            sampler=mode, size_distribution=dist,
+        )
+        hier = build_dictionary(
+            timing, patterns, clk, suspects, sizes, base_simulations=sims,
+            sampler=mode, size_distribution=dist, hier=True,
+            parallel=ParallelConfig(
+                backend="process", n_workers=2, chunk_size=3
+            ),
+        )
+        _assert_identical(flat, hier)
+
+    def test_env_toggle_and_counters(self, bench_case, flat_reference, monkeypatch):
+        timing, patterns, clk, suspects, sizes, sims, _dist = bench_case
+        monkeypatch.setenv("REPRO_HIER", "1")
+        recorder = obs.install()
+        try:
+            hier = build_dictionary(
+                timing, patterns, clk, suspects, sizes, base_simulations=sims
+            )
+        finally:
+            obs.disable()
+        _assert_identical(flat_reference, hier)
+        counters = recorder.snapshot()["counters"]
+        assert counters.get("hier.builds") == 1
+        assert counters.get("hier.blocks", 0) >= 2
+        assert counters.get("hier.chunks", 0) >= 1
+        replays = counters.get("hier.block.contained", 0) + counters.get(
+            "hier.block.fallback", 0
+        )
+        assert replays > 0
+
+    def test_small_circuit(self, small_synth, flat_reference):
+        timing = CircuitTiming(small_synth, SampleSpace(n_samples=80, seed=0))
+        patterns = random_pattern_pairs(small_synth, 5, seed=3)
+        sims = simulate_pattern_set(timing, list(patterns))
+        clk = diagnosis_clock(timing, list(patterns), 0.8, simulations=sims)
+        suspects = small_synth.edges[::3]
+        sizes = SingleDefectModel(timing).dictionary_size_variable().samples
+        flat = build_dictionary(
+            timing, patterns, clk, suspects, sizes, base_simulations=sims
+        )
+        hier = build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, hier=True,
+        )
+        _assert_identical(flat, hier)
+
+
+# ----------------------------------------------------------------------
+# cache keys
+# ----------------------------------------------------------------------
+class TestHierCacheKeys:
+    def test_flat_key_unchanged_by_default(self, bench_case):
+        timing, patterns, clk, suspects, sizes, _sims, _dist = bench_case
+        baseline = dictionary_cache_key(
+            timing, list(patterns), (float(clk),), suspects, sizes
+        )
+        explicit_none = dictionary_cache_key(
+            timing, list(patterns), (float(clk),), suspects, sizes,
+            hier_token=None,
+        )
+        assert baseline == explicit_none
+
+    def test_hier_token_separates_keys(self, bench_case):
+        timing, patterns, clk, suspects, sizes, _sims, _dist = bench_case
+        graph4 = partition_circuit(timing.circuit, 4)
+        graph5 = partition_circuit(timing.circuit, 5)
+        config = HierConfig(enabled=True)
+        flat_key = dictionary_cache_key(
+            timing, list(patterns), (float(clk),), suspects, sizes
+        )
+        keys = {
+            dictionary_cache_key(
+                timing, list(patterns), (float(clk),), suspects, sizes,
+                hier_token=config.cache_token(graph),
+            )
+            for graph in (graph4, graph5)
+        }
+        assert len(keys) == 2 and flat_key not in keys
+
+    def test_block_model_key_includes_partition(self, bench_case):
+        timing, patterns, _clk, _suspects, _sizes, _sims, _dist = bench_case
+        graph4 = partition_circuit(timing.circuit, 4)
+        graph5 = partition_circuit(timing.circuit, 5)
+        assert block_model_cache_key(
+            timing, list(patterns), graph4
+        ) != block_model_cache_key(timing, list(patterns), graph5)
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+class TestExtraction:
+    def test_models_match_base_simulations(self, bench_case):
+        """Interface exactness: extracted rows ARE the simulated rows."""
+        timing, patterns, _clk, _suspects, _sizes, sims, _dist = bench_case
+        graph = partition_circuit(timing.circuit)
+        models = extract_block_models(timing, list(patterns), sims, graph)
+        order = {
+            net: row
+            for row, net in enumerate(timing.circuit.topological_order)
+        }
+        for pattern_index, sim in enumerate(sims):
+            for net in graph.interface_nets[:25]:
+                assert np.array_equal(
+                    models.stack[pattern_index, order[net]],
+                    np.asarray(sim.stable[net]),
+                )
+
+    def test_store_roundtrip_and_warm_serve(self, bench_case, tmp_path):
+        timing, patterns, _clk, _suspects, _sizes, sims, _dist = bench_case
+        graph = partition_circuit(timing.circuit)
+        directory = str(tmp_path / "cache")
+        recorder = obs.install()
+        try:
+            cold = extract_block_models(
+                timing, list(patterns), sims, graph, directory=directory
+            )
+            warm = extract_block_models(
+                timing, list(patterns), sims, graph, directory=directory
+            )
+        finally:
+            obs.disable()
+        counters = recorder.snapshot()["counters"]
+        assert counters.get("hier.extract.builds") == 1
+        assert counters.get("hier.extract.served") == 1
+        assert cold.store_ref() is not None
+        assert cold.store_ref() == warm.store_ref()
+        assert np.array_equal(np.asarray(cold.stack), np.asarray(warm.stack))
+        stack = load_block_model_stack(directory, cold.key)
+        assert stack is not None
+        assert np.array_equal(np.asarray(stack), np.asarray(cold.stack))
+
+    def test_missing_entry_returns_none(self, tmp_path):
+        assert load_block_model_stack(str(tmp_path), "0" * 64) is None
+
+    def test_block_rows_are_contiguous_partition(self, bench_case):
+        timing, patterns, _clk, _suspects, _sizes, sims, _dist = bench_case
+        graph = partition_circuit(timing.circuit)
+        models = extract_block_models(timing, list(patterns), sims, graph)
+        stop_previous = 0
+        for block_index in range(graph.n_blocks):
+            start, stop = models.block_rows(block_index)
+            assert start == stop_previous
+            assert stop - start == len(graph.blocks[block_index])
+            stop_previous = stop
+        assert stop_previous == len(timing.circuit.topological_order)
+
+
+# ----------------------------------------------------------------------
+# the replay job payload
+# ----------------------------------------------------------------------
+class TestReplayJobPickle:
+    def _job(self, bench_case, model_ref):
+        timing, patterns, clk, suspects, sizes, sims, _dist = bench_case
+        graph = partition_circuit(timing.circuit)
+        from repro.core.dictionary import (
+            _sink_plan,
+            _transition_matrix,
+        )
+
+        circuit = timing.circuit
+        output_row = {net: row for row, net in enumerate(circuit.outputs)}
+        transitioned = _transition_matrix(circuit, sims)
+        plans = {}
+        for sink in {edge.sink for edge in suspects}:
+            cone, activity = _sink_plan(
+                circuit, transitioned, output_row, sink
+            )
+            plans[sink] = annotate_plan(graph, sink, cone, activity)
+        n_patterns = len(sims)
+        m_crt = np.zeros((len(circuit.outputs), n_patterns))
+        for column, sim in enumerate(sims):
+            m_crt[:, column] = sim.error_vector(clk)
+        return HierReplayJob(
+            base_simulations=sims,
+            clks=(float(clk),),
+            size_samples=sizes,
+            suspects=list(suspects),
+            edge_indices=[timing.edge_index[e] for e in suspects],
+            m_crt=m_crt,
+            plans=plans,
+            model_ref=model_ref,
+        )
+
+    def test_roundtrip_without_model_ref(self, bench_case):
+        job = self._job(bench_case, model_ref=None)
+        clone = pickle.loads(pickle.dumps(job))
+        for sim, other in zip(job.base_simulations, clone.base_simulations):
+            for net in list(sim.stable.net_rows)[:10]:
+                assert np.array_equal(sim.stable[net], other.stable[net])
+
+    def test_roundtrip_reattaches_store_stack(self, bench_case, tmp_path):
+        timing, patterns, _clk, _suspects, _sizes, sims, _dist = bench_case
+        graph = partition_circuit(timing.circuit)
+        directory = str(tmp_path / "cache")
+        models = extract_block_models(
+            timing, list(patterns), sims, graph, directory=directory
+        )
+        job = self._job(bench_case, model_ref=models.store_ref())
+        payload = pickle.dumps(job)
+        # the stripped payload must be materially smaller than the full one
+        assert len(payload) < len(pickle.dumps(self._job(bench_case, None)))
+        clone = pickle.loads(payload)
+        for sim, other in zip(job.base_simulations, clone.base_simulations):
+            for net in list(sim.stable.net_rows)[:10]:
+                assert np.array_equal(sim.stable[net], other.stable[net])
+
+    def test_vanished_store_fails_loudly(self, bench_case, tmp_path):
+        timing, patterns, _clk, _suspects, _sizes, sims, _dist = bench_case
+        graph = partition_circuit(timing.circuit)
+        directory = str(tmp_path / "cache")
+        models = extract_block_models(
+            timing, list(patterns), sims, graph, directory=directory
+        )
+        job = self._job(bench_case, model_ref=models.store_ref())
+        payload = pickle.dumps(job)
+        import shutil
+
+        shutil.rmtree(directory)
+        with pytest.raises(RuntimeError, match="vanished"):
+            pickle.loads(payload)
+
+
+# ----------------------------------------------------------------------
+# multi-defect diagnosis on hierarchically built dictionaries
+# ----------------------------------------------------------------------
+class TestMultiDefectOnHierDictionaries:
+    @pytest.fixture(scope="class")
+    def hier_pair(self, request):
+        bench_case = request.getfixturevalue("bench_case")
+        timing, patterns, clk, suspects, sizes, sims, _dist = bench_case
+        flat = build_dictionary(
+            timing, patterns, clk, suspects, sizes, base_simulations=sims
+        )
+        hier = build_dictionary(
+            timing, patterns, clk, suspects, sizes,
+            base_simulations=sims, hier=True,
+        )
+        graph = partition_circuit(timing.circuit)
+        return flat, hier, graph
+
+    def _pick(self, dictionary, graph, relation):
+        """Two strong suspects whose home blocks satisfy ``relation``."""
+        ranked = sorted(
+            dictionary.suspects,
+            key=lambda e: float(dictionary.signatures[e].sum()),
+            reverse=True,
+        )
+        for i, first in enumerate(ranked):
+            if not dictionary.signatures[first].any():
+                break
+            for second in ranked[i + 1:]:
+                if not dictionary.signatures[second].any():
+                    break
+                if relation(
+                    graph.home_block(first), graph.home_block(second)
+                ):
+                    return first, second
+        return None
+
+    @pytest.mark.parametrize(
+        "relation",
+        [lambda a, b: a != b, lambda a, b: a == b],
+        ids=["different-blocks", "same-block"],
+    )
+    def test_two_site_diagnosis_matches_flat(self, hier_pair, relation):
+        flat, hier, graph = hier_pair
+        pair = self._pick(hier, graph, relation)
+        if pair is None:
+            pytest.skip("no suspect pair with this block relation")
+        first, second = pair
+        behavior = (
+            (hier.signatures[first] >= 0.5)
+            | (hier.signatures[second] >= 0.5)
+        ).astype(np.int8)
+        if not behavior.any():
+            pytest.skip("no strong entries under these random patterns")
+        from_hier = diagnose_multi(hier, behavior, max_defects=3)
+        from_flat = diagnose_multi(flat, behavior, max_defects=3)
+        assert from_hier.candidates == from_flat.candidates
+        for stage_h, stage_f in zip(from_hier.stages, from_flat.stages):
+            assert [e for e, _s in stage_h.ranking] == [
+                e for e, _s in stage_f.ranking
+            ]
+            assert [s for _e, s in stage_h.ranking] == pytest.approx(
+                [s for _e, s in stage_f.ranking]
+            )
+
+    def test_boundary_crossing_suspect(self, hier_pair):
+        """A suspect edge that crosses a block boundary diagnoses the
+        same way in both dictionaries."""
+        flat, hier, graph = hier_pair
+        crossing = [
+            e
+            for e in hier.suspects
+            if graph.block_of[e.source] != graph.block_of[e.sink]
+            and hier.signatures[e].any()
+        ]
+        if not crossing:
+            pytest.skip("no active boundary-crossing suspect in the set")
+        suspect = crossing[0]
+        assert np.array_equal(
+            flat.signatures[suspect], hier.signatures[suspect]
+        )
+        behavior = (hier.signatures[suspect] >= 0.5).astype(np.int8)
+        if not behavior.any():
+            pytest.skip("no strong entries under these random patterns")
+        from_hier = diagnose_multi(hier, behavior, max_defects=2)
+        from_flat = diagnose_multi(flat, behavior, max_defects=2)
+        assert from_hier.candidates == from_flat.candidates
+
+
+# ----------------------------------------------------------------------
+# the s38417-profile generator preset
+# ----------------------------------------------------------------------
+class TestS38417Preset:
+    def test_preset_shape_and_pinned_seed(self):
+        from repro.circuits import s38417_profile_config
+        from repro.circuits.generate import S38417_PRESET_SEED
+
+        config = s38417_profile_config()
+        assert config.seed == S38417_PRESET_SEED
+        assert config.n_inputs == 28 + 1636
+        assert config.n_outputs == 106 + 1636
+        assert config.n_gates > 20_000
+
+    @pytest.mark.slow
+    def test_full_size_generation_smoke(self):
+        from repro.circuits import generate_circuit, s38417_profile_config
+        from repro.core.cache import circuit_fingerprint
+
+        first = generate_circuit(s38417_profile_config())
+        assert first.name == "s38417"
+        assert len(first.inputs) == 1664
+        assert len(first.outputs) == 1742
+        assert len(first.topological_order) - len(first.inputs) > 20_000
+        # deterministic: regeneration is the identical netlist
+        second = generate_circuit(s38417_profile_config())
+        assert circuit_fingerprint(first) == circuit_fingerprint(second)
+        # and it partitions cleanly at scale
+        graph = partition_circuit(first)
+        assert graph.n_blocks >= 2
+        assert sum(len(b) for b in graph.blocks) == len(
+            first.topological_order
+        )
